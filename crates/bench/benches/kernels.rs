@@ -1,0 +1,152 @@
+//! Micro-benchmarks of the per-iteration kernels: SpMV, preconditioner
+//! application, block factorization, and the redundancy queue.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use esrcg_precond::{
+    BlockJacobiPrecond, Ic0Precond, JacobiPrecond, Preconditioner, SsorPrecond,
+};
+use esrcg_core::queue::RedundancyQueue;
+use esrcg_sparse::gen::{audikw_like, emilia_like};
+use esrcg_sparse::{DenseMatrix, Partition};
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spmv");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    for (name, a) in [
+        ("emilia-like-13k", emilia_like(8, 8, 200)),
+        ("audikw-like-14k", audikw_like(4, 4, 300)),
+    ] {
+        let x: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut y = vec![0.0; a.nrows()];
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                a.spmv_into(black_box(&x), &mut y);
+                black_box(&y);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_precond_apply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("precond_apply");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    let a = emilia_like(8, 8, 200);
+    let n = a.nrows();
+    let part = Partition::balanced(n, 8);
+    let r: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + i as f64)).collect();
+    let mut z = vec![0.0; n];
+
+    let jacobi = JacobiPrecond::new(&a).expect("jacobi");
+    let bj = BlockJacobiPrecond::new(&a, &part, 10).expect("block jacobi");
+    let ic0 = Ic0Precond::new(&a, &part).expect("ic0");
+    let ssor = SsorPrecond::new(&a, &part, 1.2).expect("ssor");
+    let preconds: [(&str, &dyn Preconditioner); 4] = [
+        ("jacobi", &jacobi),
+        ("block-jacobi-10", &bj),
+        ("ic0", &ic0),
+        ("ssor", &ssor),
+    ];
+    for (name, p) in preconds {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                p.apply_into(black_box(&r), &mut z);
+                black_box(&z);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_block_factorization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_jacobi_build");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    let a = emilia_like(8, 8, 100);
+    let part = Partition::balanced(a.nrows(), 8);
+    for max_block in [4usize, 10, 20] {
+        g.bench_function(format!("max_block_{max_block}"), |b| {
+            b.iter(|| {
+                black_box(BlockJacobiPrecond::new(&a, &part, max_block).expect("spd"))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dense_cholesky(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dense_cholesky");
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    for n in [5usize, 10, 20] {
+        // A simple SPD block like the ones block Jacobi factors.
+        let mut m = DenseMatrix::zeros(n);
+        for i in 0..n {
+            m.set(i, i, 4.0);
+            if i + 1 < n {
+                m.set(i, i + 1, -1.0);
+                m.set(i + 1, i, -1.0);
+            }
+        }
+        g.bench_function(format!("factor_{n}"), |b| {
+            b.iter(|| black_box(m.cholesky().expect("spd")))
+        });
+        let ch = m.cholesky().expect("spd");
+        let rhs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        g.bench_function(format!("solve_{n}"), |b| {
+            b.iter_batched(
+                || rhs.clone(),
+                |mut x| {
+                    ch.solve_in_place(&mut x);
+                    black_box(x)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("redundancy_queue");
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    let entries: Vec<(usize, f64)> = (0..2000).map(|i| (i, i as f64)).collect();
+    g.bench_function("push_rotate", |b| {
+        b.iter_batched(
+            RedundancyQueue::new,
+            |mut q| {
+                for j in 0..10 {
+                    q.push(j, entries.clone());
+                }
+                black_box(q)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut q = RedundancyQueue::new();
+    for j in 0..3 {
+        q.push(j, entries.clone());
+    }
+    g.bench_function("entries_in_range", |b| {
+        b.iter(|| black_box(q.entries_in_range(2, 500, 700)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spmv,
+    bench_precond_apply,
+    bench_block_factorization,
+    bench_dense_cholesky,
+    bench_queue
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Benchmarks of the static communication-plan construction: the SpMV plan
+//! and the ASpMV augmentation across redundancy levels. These run once per
+//! solve, so their absolute cost matters mainly for very short solves; the
+//! interesting output is how the augmentation traffic scales with φ.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use esrcg_core::aspmv::AspmvPlan;
+use esrcg_core::dist::plan::CommPlan;
+use esrcg_sparse::gen::{banded_spd, emilia_like};
+use esrcg_sparse::Partition;
+
+fn bench_comm_plan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("comm_plan_build");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    let a = emilia_like(8, 8, 200);
+    for n_ranks in [8usize, 32, 64] {
+        let part = Partition::balanced(a.nrows(), n_ranks);
+        g.bench_function(format!("ranks_{n_ranks}"), |b| {
+            b.iter(|| black_box(CommPlan::build(&a, &part)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_aspmv_plan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aspmv_plan_build");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    let a = emilia_like(8, 8, 200);
+    let part = Partition::balanced(a.nrows(), 32);
+    let plan = CommPlan::build(&a, &part);
+    for phi in [1usize, 3, 8] {
+        g.bench_function(format!("phi_{phi}"), |b| {
+            b.iter(|| black_box(AspmvPlan::build(&plan, &part, phi)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_extra_traffic_report(c: &mut Criterion) {
+    // Not a timing benchmark so much as a regression guard: print the
+    // augmentation traffic per φ and bandwidth so `cargo bench` output
+    // records the redundancy cost curve (paper §2.2: banded matrices have
+    // low ASpMV overhead).
+    let mut g = c.benchmark_group("extra_traffic");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    for bw in [2usize, 8, 32] {
+        let a = banded_spd(4096, bw, 0.6, 7);
+        let part = Partition::balanced(a.nrows(), 16);
+        let plan = CommPlan::build(&a, &part);
+        for phi in [1usize, 3] {
+            let aspmv = AspmvPlan::build(&plan, &part, phi);
+            eprintln!(
+                "extra_traffic: bandwidth={bw} phi={phi}: spmv={} extra={} (+{:.1}%)",
+                plan.total_traffic(),
+                aspmv.total_extra_traffic(),
+                100.0 * aspmv.total_extra_traffic() as f64
+                    / plan.total_traffic().max(1) as f64
+            );
+        }
+        g.bench_function(format!("holders_scan_bw{bw}"), |b| {
+            let aspmv = AspmvPlan::build(&plan, &part, 3);
+            b.iter(|| {
+                let mut total = 0usize;
+                for i in (0..a.nrows()).step_by(64) {
+                    total += aspmv.holders_of(i, &plan, &part).len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_comm_plan, bench_aspmv_plan, bench_extra_traffic_report);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! End-to-end solver benchmarks: wall time of small distributed solves per
+//! strategy, and of a solve with an injected failure (recovery included).
+//! These complement the `paper` binary: Criterion measures *wall* time of
+//! the simulation itself, while the paper tables use deterministic modeled
+//! time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use esrcg_core::driver::{paper_failure_iteration, Experiment, MatrixSource, RhsSpec};
+use esrcg_core::strategy::Strategy;
+
+fn small_matrix() -> MatrixSource {
+    MatrixSource::EmiliaLike {
+        nx: 6,
+        ny: 6,
+        nz: 24,
+    }
+}
+
+fn reference_c() -> usize {
+    // Deterministic for the fixed seed; computed once per process.
+    use std::sync::OnceLock;
+    static C: OnceLock<usize> = OnceLock::new();
+    *C.get_or_init(|| {
+        Experiment::builder()
+            .matrix(small_matrix())
+            .rhs(RhsSpec::Random { seed: 3 })
+            .n_ranks(8)
+            .run()
+            .expect("reference")
+            .iterations
+    })
+}
+
+fn run(strategy: Strategy, phi: usize, failure: Option<usize>) -> f64 {
+    let mut e = Experiment::builder()
+        .matrix(small_matrix())
+        .rhs(RhsSpec::Random { seed: 3 })
+        .n_ranks(8)
+        .strategy(strategy)
+        .phi(phi);
+    if let Some(t) = failure {
+        e = e.failure_at(paper_failure_iteration(reference_c(), t), 0, phi);
+    }
+    let report = e.run().expect("run");
+    assert!(report.converged);
+    report.modeled_time
+}
+
+fn bench_strategies_failure_free(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve_failure_free");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    for (name, strategy, phi) in [
+        ("reference", Strategy::None, 0usize),
+        ("esr_phi1", Strategy::esr(), 1),
+        ("esrp20_phi1", Strategy::Esrp { t: 20 }, 1),
+        ("esrp20_phi3", Strategy::Esrp { t: 20 }, 3),
+        ("imcr20_phi1", Strategy::Imcr { t: 20 }, 1),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run(strategy, phi, None)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_solve_with_failure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve_with_failure");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    for (name, strategy, phi) in [
+        ("esr_phi1", Strategy::esr(), 1usize),
+        ("esrp20_phi1", Strategy::Esrp { t: 20 }, 1),
+        ("esrp20_phi3", Strategy::Esrp { t: 20 }, 3),
+        ("imcr20_phi3", Strategy::Imcr { t: 20 }, 3),
+    ] {
+        let t = strategy.interval().expect("resilient");
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run(strategy, phi, Some(t))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sequential_pcg(c: &mut Criterion) {
+    use esrcg_core::pcg::pcg;
+    use esrcg_precond::PrecondSpec;
+    use esrcg_sparse::Partition;
+
+    let mut g = c.benchmark_group("sequential_pcg");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    let a = small_matrix().build().expect("matrix");
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).cos()).collect();
+    let part = Partition::balanced(n, 1);
+    let precond = PrecondSpec::paper_default().build(&a, &part).expect("precond");
+    g.bench_function("emilia_like_864", |bch| {
+        bch.iter(|| {
+            let r = pcg(&a, &b, &vec![0.0; n], precond.as_ref(), 1e-8, 100_000);
+            assert!(r.converged);
+            black_box(r.iterations)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_strategies_failure_free,
+    bench_solve_with_failure,
+    bench_sequential_pcg
+);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Benchmark harness for the ESRCG reproduction: regenerates every table
+//! and figure of the paper's evaluation (§5) on the synthetic stand-in
+//! workloads, following the paper's experimental protocol:
+//!
+//! 1. reference runs establish `t₀` and the iteration count `C` per
+//!    repetition (repetitions vary the right-hand-side seed — our modeled
+//!    time is deterministic, so machine noise is replaced by workload
+//!    variation),
+//! 2. failure-free runs of every strategy × T × φ cell measure the
+//!    *failure-free overhead*,
+//! 3. failure runs inject ψ = φ contiguous rank failures in the checkpoint
+//!    interval containing C/2, two iterations before its end, at the two
+//!    paper locations (block starting at rank 0 and at rank N/2), and
+//!    measure the *overhead with node failures* and the *reconstruction
+//!    overhead*.
+//!
+//! The `paper` binary drives this module; see `EXPERIMENTS.md` for the
+//! recorded outputs and the paper-vs-measured comparison.
+
+pub mod figures;
+pub mod format;
+pub mod grid;
+pub mod scale;
+
+pub use grid::{run_table, CellResult, FailureCell, TableData, TableRow, TableSpec};
+pub use scale::Scale;

@@ -1,0 +1,374 @@
+//! The per-rank communication context: tag-matched point-to-point messaging
+//! plus deterministic tree collectives, with cost-model instrumentation.
+
+use std::collections::{HashMap, VecDeque};
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::cost::CostModel;
+use crate::msg::{Message, Payload, Tag};
+use crate::stats::{Phase, RankStats};
+
+/// Reduction operators for [`Ctx::allreduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise maximum.
+    Max,
+}
+
+impl ReduceOp {
+    #[inline]
+    fn combine(self, acc: &mut [f64], other: &[f64]) {
+        debug_assert_eq!(acc.len(), other.len(), "reduce: length mismatch");
+        match self {
+            ReduceOp::Sum => {
+                for (a, b) in acc.iter_mut().zip(other.iter()) {
+                    *a += b;
+                }
+            }
+            ReduceOp::Max => {
+                for (a, b) in acc.iter_mut().zip(other.iter()) {
+                    *a = a.max(*b);
+                }
+            }
+        }
+    }
+}
+
+/// The per-rank handle to the simulated cluster: identity, channels,
+/// logical clock, and instrumentation.
+///
+/// All receive operations address a specific `(source, tag)` pair, so
+/// message matching — and therefore every floating-point result — is
+/// independent of thread scheduling.
+pub struct Ctx {
+    rank: usize,
+    size: usize,
+    /// `senders[dst]` delivers to rank `dst`; `senders[rank]` is unused.
+    senders: Vec<Sender<Message>>,
+    /// `receivers[src]` yields messages sent by rank `src`.
+    receivers: Vec<Receiver<Message>>,
+    /// Out-of-order messages parked per `(src, tag)` until requested.
+    pending: Vec<HashMap<u64, VecDeque<Message>>>,
+    cost: CostModel,
+    clock: f64,
+    phase: Phase,
+    stats: RankStats,
+    /// Monotone sequence numbers to disambiguate repeated collectives.
+    coll_seq: u32,
+}
+
+impl Ctx {
+    /// Assembles a context. Used by the SPMD runner; not part of the public
+    /// surface most users touch.
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        senders: Vec<Sender<Message>>,
+        receivers: Vec<Receiver<Message>>,
+        cost: CostModel,
+    ) -> Self {
+        let pending = (0..size).map(|_| HashMap::new()).collect();
+        Ctx {
+            rank,
+            size,
+            senders,
+            receivers,
+            pending,
+            cost,
+            clock: 0.0,
+            phase: Phase::Setup,
+            stats: RankStats::default(),
+            coll_seq: 0,
+        }
+    }
+
+    /// This rank's id, in `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the simulated cluster.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The active cost model.
+    #[inline]
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Current modeled time on this rank's logical clock.
+    #[inline]
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Sets the phase subsequent activity is attributed to; returns the
+    /// previous phase so callers can restore it.
+    pub fn set_phase(&mut self, phase: Phase) -> Phase {
+        std::mem::replace(&mut self.phase, phase)
+    }
+
+    /// The phase currently being attributed.
+    #[inline]
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Immutable view of this rank's counters.
+    pub fn stats(&self) -> &RankStats {
+        &self.stats
+    }
+
+    /// Consumes the context, returning the final counters. Called by the
+    /// runner after the rank body finishes.
+    pub(crate) fn into_stats(self) -> RankStats {
+        self.stats
+    }
+
+    /// Advances the logical clock by `dt`, attributing it to the current
+    /// phase.
+    #[inline]
+    fn advance(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0, "clock must not run backwards");
+        self.clock += dt;
+        self.stats.modeled_time[self.phase as usize] += dt;
+    }
+
+    /// Advances the logical clock to at least `t` (no-op if already past).
+    #[inline]
+    fn advance_to(&mut self, t: f64) {
+        if t > self.clock {
+            let dt = t - self.clock;
+            self.clock += dt;
+            self.stats.modeled_time[self.phase as usize] += dt;
+        }
+    }
+
+    /// Charges `flops` floating-point operations to the current phase and
+    /// advances the clock accordingly.
+    pub fn charge_flops(&mut self, flops: u64) {
+        self.stats.flops[self.phase as usize] += flops;
+        self.advance(self.cost.compute_time(flops));
+    }
+
+    /// Sends `payload` to rank `to` under `tag`.
+    ///
+    /// # Panics
+    /// Panics on self-sends and on unknown destination ranks (both are
+    /// protocol bugs, not runtime conditions).
+    pub fn send(&mut self, to: usize, tag: u64, payload: Payload) {
+        assert_ne!(to, self.rank, "self-send is a protocol bug");
+        assert!(to < self.size, "send: unknown destination rank {to}");
+        let bytes = payload.bytes();
+        self.stats.msgs_sent[self.phase as usize] += 1;
+        self.stats.bytes_sent[self.phase as usize] += bytes as u64;
+        // Sender pays the injection overhead; the message then arrives after
+        // the transfer time. Receiver-side synchronization happens in recv.
+        self.advance(self.cost.injection_time());
+        let arrival = self.clock + self.cost.transfer_time(bytes);
+        self.senders[to]
+            .send(Message {
+                tag,
+                arrival,
+                payload,
+            })
+            .expect("receiver hung up: a rank exited early");
+    }
+
+    /// Receives the next message from rank `from` with matching `tag`,
+    /// blocking until it arrives. Non-matching messages from the same
+    /// source are parked and delivered to later receives.
+    ///
+    /// # Panics
+    /// Panics if the sending rank's thread exited without sending (protocol
+    /// mismatch or a crashed rank).
+    pub fn recv(&mut self, from: usize, tag: u64) -> Payload {
+        assert_ne!(from, self.rank, "self-receive is a protocol bug");
+        assert!(from < self.size, "recv: unknown source rank {from}");
+        // Check parked messages first.
+        if let Some(queue) = self.pending[from].get_mut(&tag) {
+            if let Some(msg) = queue.pop_front() {
+                self.advance_to(msg.arrival);
+                return msg.payload;
+            }
+        }
+        loop {
+            let msg = self.receivers[from]
+                .recv()
+                .expect("sender hung up: a rank exited early");
+            if msg.tag == tag {
+                self.advance_to(msg.arrival);
+                return msg.payload;
+            }
+            self.pending[from]
+                .entry(msg.tag)
+                .or_default()
+                .push_back(msg);
+        }
+    }
+
+    /// Fresh sub-identifier for a collective round.
+    fn next_seq(&mut self) -> u32 {
+        self.coll_seq = self.coll_seq.wrapping_add(1);
+        self.coll_seq
+    }
+
+    /// All-reduce over `vals` with operator `op`; every rank receives the
+    /// combined result. Implemented as a deterministic binomial reduce to
+    /// rank 0 followed by a binomial broadcast, so results are bitwise
+    /// reproducible and identical on all ranks.
+    ///
+    /// Every rank must call this the same number of times with equal-length
+    /// inputs.
+    pub fn allreduce(&mut self, vals: &[f64], op: ReduceOp) -> Vec<f64> {
+        let seq = self.next_seq();
+        let reduced = self.reduce_to_root(vals, op, seq);
+        self.bcast_from_root(reduced, vals.len(), seq)
+    }
+
+    /// Convenience sum-all-reduce.
+    pub fn allreduce_sum(&mut self, vals: &[f64]) -> Vec<f64> {
+        self.allreduce(vals, ReduceOp::Sum)
+    }
+
+    /// Convenience scalar sum-all-reduce.
+    pub fn allreduce_sum_scalar(&mut self, val: f64) -> f64 {
+        self.allreduce(&[val], ReduceOp::Sum)[0]
+    }
+
+    /// Convenience scalar max-all-reduce.
+    pub fn allreduce_max_scalar(&mut self, val: f64) -> f64 {
+        self.allreduce(&[val], ReduceOp::Max)[0]
+    }
+
+    /// Binomial-tree reduce to rank 0. Returns the combined vector on rank 0
+    /// and the partial accumulator elsewhere (callers must not use it off
+    /// the root).
+    fn reduce_to_root(&mut self, vals: &[f64], op: ReduceOp, seq: u32) -> Vec<f64> {
+        let tag = Tag::Reduce.with(seq);
+        let mut acc = vals.to_vec();
+        let mut mask = 1usize;
+        while mask < self.size {
+            if self.rank & mask != 0 {
+                let dst = self.rank ^ mask; // clears the bit: dst < rank
+                self.send(dst, tag, Payload::F64s(acc.clone()));
+                break;
+            }
+            let partner = self.rank | mask;
+            if partner < self.size {
+                let incoming = self.recv(partner, tag).into_f64s();
+                // One flop per combined element.
+                self.stats.flops[self.phase as usize] += incoming.len() as u64;
+                self.advance(self.cost.compute_time(incoming.len() as u64));
+                op.combine(&mut acc, &incoming);
+            }
+            mask <<= 1;
+        }
+        acc
+    }
+
+    /// Binomial-tree broadcast from rank 0 of a vector of length `len`.
+    fn bcast_from_root(&mut self, mut data: Vec<f64>, len: usize, seq: u32) -> Vec<f64> {
+        let tag = Tag::Bcast.with(seq);
+        // Lowest set bit of the rank determines when it receives; rank 0
+        // behaves as if its low bit were the tree height.
+        let top = self.size.next_power_of_two();
+        let lowbit = if self.rank == 0 {
+            top
+        } else {
+            self.rank & self.rank.wrapping_neg()
+        };
+        if self.rank != 0 {
+            let src = self.rank ^ lowbit;
+            data = self.recv(src, tag).into_f64s();
+            debug_assert_eq!(data.len(), len, "bcast: length mismatch");
+        }
+        // Forward to children: rank + m for every power of two m < lowbit.
+        let mut m = lowbit >> 1;
+        while m > 0 {
+            let dst = self.rank + m;
+            if dst < self.size {
+                self.send(dst, tag, Payload::F64s(data.clone()));
+            }
+            m >>= 1;
+        }
+        data
+    }
+
+    /// Broadcast `payload` from `root`; returns the payload on every rank.
+    pub fn bcast(&mut self, root: usize, payload: Option<Payload>) -> Payload {
+        assert!(root < self.size, "bcast: unknown root {root}");
+        let seq = self.next_seq();
+        let tag = Tag::Bcast.with(seq);
+        // Virtual ranks rotate `root` to 0 so the rank-0 tree applies.
+        let vrank = (self.rank + self.size - root) % self.size;
+        let top = self.size.next_power_of_two();
+        let lowbit = if vrank == 0 {
+            top
+        } else {
+            vrank & vrank.wrapping_neg()
+        };
+        let data = if vrank == 0 {
+            payload.expect("bcast: root must supply the payload")
+        } else {
+            let vsrc = vrank ^ lowbit;
+            let src = (vsrc + root) % self.size;
+            self.recv(src, tag)
+        };
+        let mut m = lowbit >> 1;
+        while m > 0 {
+            let vdst = vrank + m;
+            if vdst < self.size {
+                let dst = (vdst + root) % self.size;
+                self.send(dst, tag, data.clone());
+            }
+            m >>= 1;
+        }
+        data
+    }
+
+    /// Gathers one payload per rank at `root` (rank order). Non-roots return
+    /// an empty vector.
+    pub fn gather(&mut self, root: usize, payload: Payload) -> Vec<Payload> {
+        assert!(root < self.size, "gather: unknown root {root}");
+        let seq = self.next_seq();
+        let tag = Tag::Gather.with(seq);
+        if self.rank == root {
+            let mut out = Vec::with_capacity(self.size);
+            for src in 0..self.size {
+                if src == root {
+                    out.push(payload.clone());
+                } else {
+                    out.push(self.recv(src, tag));
+                }
+            }
+            out
+        } else {
+            self.send(root, tag, payload);
+            Vec::new()
+        }
+    }
+
+    /// Synchronizes all ranks and their logical clocks: after this call every
+    /// rank's clock equals the maximum clock across ranks. Returns that time.
+    pub fn barrier_sync_clock(&mut self) -> f64 {
+        let t = self.allreduce_max_scalar(self.clock);
+        self.advance_to(t);
+        t
+    }
+
+    /// Plain barrier (no payload beyond the collective itself).
+    pub fn barrier(&mut self) {
+        self.allreduce(&[], ReduceOp::Sum);
+    }
+}
+
+// Tests for the communication layer live in `spmd.rs`, which provides the
+// thread harness they need.

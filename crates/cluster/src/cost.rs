@@ -1,0 +1,106 @@
+//! The α–β–γ communication/computation cost model.
+//!
+//! Converts counted events (messages, bytes, flops) into modeled seconds.
+//! The defaults are calibrated to a commodity cluster — the absolute values
+//! are not meant to match the paper's VSC3 testbed, only to put computation
+//! and communication in a realistic ratio so that overhead *shapes* (who
+//! wins, how overheads scale with φ and T) are preserved. The benchmark
+//! harness exposes all three knobs.
+
+/// Cost model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Per-message latency in seconds (the "α" of the α–β model).
+    pub alpha: f64,
+    /// Seconds per byte transferred (1/β, the reciprocal bandwidth).
+    pub seconds_per_byte: f64,
+    /// Seconds per floating-point operation (1/γ, the reciprocal
+    /// effective flop rate for sparse kernels).
+    pub seconds_per_flop: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            // 2 µs MPI latency, 1 GiB/s effective point-to-point bandwidth,
+            // 2 GFLOP/s effective sparse-kernel compute rate per node.
+            alpha: 2.0e-6,
+            seconds_per_byte: 1.0 / (1024.0 * 1024.0 * 1024.0),
+            seconds_per_flop: 1.0 / 2.0e9,
+        }
+    }
+}
+
+impl CostModel {
+    /// A model where communication is free — isolates compute effects.
+    pub fn compute_only(seconds_per_flop: f64) -> Self {
+        CostModel {
+            alpha: 0.0,
+            seconds_per_byte: 0.0,
+            seconds_per_flop,
+        }
+    }
+
+    /// A model where computation is free — isolates communication effects.
+    pub fn comm_only(alpha: f64, seconds_per_byte: f64) -> Self {
+        CostModel {
+            alpha,
+            seconds_per_byte,
+            seconds_per_flop: 0.0,
+        }
+    }
+
+    /// Time for a message of `bytes` payload to cross the network after
+    /// injection.
+    #[inline]
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        self.alpha + bytes as f64 * self.seconds_per_byte
+    }
+
+    /// Sender-side injection overhead per message.
+    #[inline]
+    pub fn injection_time(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Time to execute `flops` floating-point operations.
+    #[inline]
+    pub fn compute_time(&self, flops: u64) -> f64 {
+        flops as f64 * self.seconds_per_flop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = CostModel::default();
+        assert!(c.alpha > 0.0);
+        assert!(c.transfer_time(0) == c.alpha);
+        assert!(c.transfer_time(1 << 30) > 0.9); // ~1 GiB at ~1 GiB/s
+        assert!((c.compute_time(2_000_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_only_zeroes_comm() {
+        let c = CostModel::compute_only(1e-9);
+        assert_eq!(c.transfer_time(1000), 0.0);
+        assert_eq!(c.injection_time(), 0.0);
+        assert!(c.compute_time(10) > 0.0);
+    }
+
+    #[test]
+    fn comm_only_zeroes_compute() {
+        let c = CostModel::comm_only(1e-6, 1e-9);
+        assert_eq!(c.compute_time(1_000_000), 0.0);
+        assert!(c.transfer_time(8) > 1e-6);
+    }
+
+    #[test]
+    fn transfer_scales_with_bytes() {
+        let c = CostModel::default();
+        assert!(c.transfer_time(2000) > c.transfer_time(1000));
+    }
+}

@@ -1,0 +1,98 @@
+//! Node-failure specification.
+//!
+//! The paper simulates node failures by having the affected ranks zero out
+//! all their dynamic data at a marked iteration; the same ranks then act as
+//! their own replacement nodes (§4). [`FailureSpec`] carries the marked
+//! iteration and the affected rank set; the solver performs the zeroing and
+//! runs the recovery protocol.
+
+/// A simulated node-failure event: `ranks` fail simultaneously at the start
+/// of iteration `at_iteration` (immediately after that iteration's matrix–
+/// vector product, matching the paper's reconstruction pre-conditions — see
+/// `DESIGN.md` §2.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureSpec {
+    /// The iteration at which the failure strikes.
+    pub at_iteration: usize,
+    /// The simultaneously failing ranks (ψ in the paper's notation).
+    pub ranks: Vec<usize>,
+}
+
+impl FailureSpec {
+    /// A failure of a contiguous block of `count` ranks starting at `start`
+    /// (wrapping modulo `n_ranks`), at iteration `at_iteration`. The paper
+    /// justifies contiguous blocks by switch faults in a fat tree taking out
+    /// a contiguous range of ranks.
+    ///
+    /// # Panics
+    /// Panics if `count == 0`, or `count > n_ranks` (a full-cluster failure
+    /// is unrecoverable by construction), or `start >= n_ranks`.
+    pub fn contiguous(at_iteration: usize, start: usize, count: usize, n_ranks: usize) -> Self {
+        assert!(count > 0, "failure must affect at least one rank");
+        assert!(
+            count <= n_ranks,
+            "cannot fail more ranks than the cluster has"
+        );
+        assert!(start < n_ranks, "start rank out of range");
+        let ranks = (0..count).map(|k| (start + k) % n_ranks).collect();
+        FailureSpec {
+            at_iteration,
+            ranks,
+        }
+    }
+
+    /// Number of simultaneously failing ranks (ψ).
+    pub fn count(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// True if `rank` is in the failure set.
+    pub fn affects(&self, rank: usize) -> bool {
+        self.ranks.contains(&rank)
+    }
+
+    /// True if the event triggers at iteration `j`.
+    pub fn triggers_at(&self, j: usize) -> bool {
+        self.at_iteration == j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_block() {
+        let f = FailureSpec::contiguous(100, 2, 3, 8);
+        assert_eq!(f.ranks, vec![2, 3, 4]);
+        assert_eq!(f.count(), 3);
+        assert!(f.affects(3));
+        assert!(!f.affects(5));
+        assert!(f.triggers_at(100));
+        assert!(!f.triggers_at(99));
+    }
+
+    #[test]
+    fn contiguous_block_wraps() {
+        let f = FailureSpec::contiguous(10, 6, 4, 8);
+        assert_eq!(f.ranks, vec![6, 7, 0, 1]);
+    }
+
+    #[test]
+    fn single_rank_failure() {
+        let f = FailureSpec::contiguous(1, 0, 1, 4);
+        assert_eq!(f.ranks, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more ranks than the cluster")]
+    fn whole_cluster_failure_rejected() {
+        FailureSpec::contiguous(1, 0, 5, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_failure_rejected() {
+        FailureSpec::contiguous(1, 0, 0, 4);
+    }
+}

@@ -1,0 +1,35 @@
+//! Simulated distributed-memory cluster runtime for the ESRCG project.
+//!
+//! The paper runs its solver on 128 MPI processes of the VSC3 cluster; this
+//! crate provides the laptop-scale equivalent: an SPMD runtime where each
+//! simulated node ("rank") runs on its own OS thread and communicates through
+//! an MPI-like, tag-matched, point-to-point message layer ([`Ctx`]).
+//!
+//! Two kinds of time are measured (see `DESIGN.md` §2.2):
+//!
+//! * **wall-clock** — real elapsed time of the threaded run, and
+//! * **modeled time** — a deterministic α–β–γ cost model: sends advance a
+//!   per-rank logical clock by a per-message latency plus a bandwidth term,
+//!   receives synchronize the receiver's clock with the message's arrival
+//!   time, and compute kernels charge flops at a configurable rate. Because
+//!   collectives are built from deterministic point-to-point trees, modeled
+//!   time is bit-reproducible run to run, which is what lets the benchmark
+//!   harness regenerate the paper's *table shapes* on any machine.
+//!
+//! Node failures are simulated exactly as in the paper (§4): at a marked
+//! iteration the failing ranks zero out their dynamic data and then act as
+//! their own replacement nodes ([`FailureSpec`]).
+
+pub mod comm;
+pub mod cost;
+pub mod failure;
+pub mod msg;
+pub mod spmd;
+pub mod stats;
+
+pub use comm::{Ctx, ReduceOp};
+pub use cost::CostModel;
+pub use failure::FailureSpec;
+pub use msg::{Payload, Tag};
+pub use spmd::{run_spmd, SpmdOutcome};
+pub use stats::{Phase, RankStats, N_PHASES};

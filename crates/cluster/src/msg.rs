@@ -1,0 +1,199 @@
+//! Message payloads and tag construction.
+
+/// Typed message payloads exchanged between ranks.
+///
+/// The solver's protocols only ever move a handful of shapes: raw `f64`
+/// vectors (halo exchange, checkpoints), `(global index, value)` pairs
+/// (redundant-copy recovery), index lists, single scalars, and empty
+/// control messages. An enum keeps the channel layer simple and lets the
+/// instrumentation compute payload sizes without serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// No data (barriers, acknowledgements).
+    Empty,
+    /// A single scalar (e.g. the replicated β during recovery).
+    Scalar(f64),
+    /// A dense vector chunk.
+    F64s(Vec<f64>),
+    /// A list of global indices.
+    Usizes(Vec<usize>),
+    /// Sparse `(global index, value)` pairs (redundant copies).
+    Pairs(Vec<(usize, f64)>),
+}
+
+impl Payload {
+    /// Payload size in bytes, as charged by the cost model. Matches what a
+    /// compact wire encoding would carry (8 bytes per scalar/index).
+    pub fn bytes(&self) -> usize {
+        match self {
+            Payload::Empty => 0,
+            Payload::Scalar(_) => 8,
+            Payload::F64s(v) => 8 * v.len(),
+            Payload::Usizes(v) => 8 * v.len(),
+            Payload::Pairs(v) => 16 * v.len(),
+        }
+    }
+
+    /// Unwraps a `F64s` payload.
+    ///
+    /// # Panics
+    /// Panics if the payload has a different shape — a protocol bug.
+    pub fn into_f64s(self) -> Vec<f64> {
+        match self {
+            Payload::F64s(v) => v,
+            other => panic!("protocol error: expected F64s, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a `Scalar` payload.
+    ///
+    /// # Panics
+    /// Panics if the payload has a different shape.
+    pub fn into_scalar(self) -> f64 {
+        match self {
+            Payload::Scalar(v) => v,
+            other => panic!("protocol error: expected Scalar, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a `Pairs` payload.
+    ///
+    /// # Panics
+    /// Panics if the payload has a different shape.
+    pub fn into_pairs(self) -> Vec<(usize, f64)> {
+        match self {
+            Payload::Pairs(v) => v,
+            other => panic!("protocol error: expected Pairs, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a `Usizes` payload.
+    ///
+    /// # Panics
+    /// Panics if the payload has a different shape.
+    pub fn into_usizes(self) -> Vec<usize> {
+        match self {
+            Payload::Usizes(v) => v,
+            other => panic!("protocol error: expected Usizes, got {other:?}"),
+        }
+    }
+}
+
+/// An in-flight message.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Matching tag (see [`Tag`]).
+    pub tag: u64,
+    /// Modeled arrival time at the receiver (sender clock at injection plus
+    /// transfer time).
+    pub arrival: f64,
+    /// The data.
+    pub payload: Payload,
+}
+
+/// Tag namespaces for the solver's protocols.
+///
+/// A tag is `(kind << 32) | sub`, where `sub` disambiguates concurrent
+/// messages of the same kind (an iteration number, a collective round, a
+/// rank, ...). Collectives use reserved kinds so user messages can never
+/// collide with them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum Tag {
+    /// Internal: reduction tree traffic.
+    Reduce = 1,
+    /// Internal: broadcast tree traffic.
+    Bcast = 2,
+    /// Internal: barrier.
+    Barrier = 3,
+    /// Internal: gather-to-root.
+    Gather = 4,
+    /// Halo exchange for SpMV.
+    Halo = 16,
+    /// ASpMV redundant-copy extras.
+    Redundant = 17,
+    /// IMCR checkpoint traffic.
+    Checkpoint = 18,
+    /// Recovery: redundant-copy retrieval.
+    RecoveryCopies = 19,
+    /// Recovery: halo of starred/current vectors.
+    RecoveryHalo = 20,
+    /// Recovery: replicated scalars (β).
+    RecoveryScalar = 21,
+    /// Recovery: checkpoint retrieval (IMCR).
+    RecoveryCkpt = 22,
+    /// Recovery: inner-solve scatter/gather.
+    RecoveryInner = 23,
+}
+
+impl Tag {
+    /// Combines the tag kind with a sub-identifier into a wire tag.
+    #[inline]
+    pub fn with(self, sub: u32) -> u64 {
+        ((self as u64) << 32) | sub as u64
+    }
+
+    /// The bare tag (sub-identifier 0).
+    #[inline]
+    pub fn bare(self) -> u64 {
+        self.with(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_sizes() {
+        assert_eq!(Payload::Empty.bytes(), 0);
+        assert_eq!(Payload::Scalar(1.0).bytes(), 8);
+        assert_eq!(Payload::F64s(vec![0.0; 5]).bytes(), 40);
+        assert_eq!(Payload::Usizes(vec![1, 2]).bytes(), 16);
+        assert_eq!(Payload::Pairs(vec![(1, 2.0)]).bytes(), 16);
+    }
+
+    #[test]
+    fn unwrap_helpers() {
+        assert_eq!(Payload::F64s(vec![1.0]).into_f64s(), vec![1.0]);
+        assert_eq!(Payload::Scalar(2.5).into_scalar(), 2.5);
+        assert_eq!(Payload::Pairs(vec![(3, 4.0)]).into_pairs(), vec![(3, 4.0)]);
+        assert_eq!(Payload::Usizes(vec![7]).into_usizes(), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol error")]
+    fn wrong_unwrap_panics() {
+        Payload::Empty.into_f64s();
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let kinds = [
+            Tag::Reduce,
+            Tag::Bcast,
+            Tag::Barrier,
+            Tag::Gather,
+            Tag::Halo,
+            Tag::Redundant,
+            Tag::Checkpoint,
+            Tag::RecoveryCopies,
+            Tag::RecoveryHalo,
+            Tag::RecoveryScalar,
+            Tag::RecoveryCkpt,
+            Tag::RecoveryInner,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for k in kinds {
+            assert!(seen.insert(k.with(42)));
+        }
+    }
+
+    #[test]
+    fn tag_sub_identifier_is_preserved() {
+        let t = Tag::Halo.with(7);
+        assert_eq!(t & 0xFFFF_FFFF, 7);
+        assert_eq!(t >> 32, Tag::Halo as u64);
+        assert_ne!(Tag::Halo.with(1), Tag::Halo.with(2));
+    }
+}

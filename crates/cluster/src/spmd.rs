@@ -1,0 +1,317 @@
+//! The SPMD runner: executes one closure per rank on its own OS thread.
+
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::unbounded;
+
+use crate::comm::Ctx;
+use crate::cost::CostModel;
+use crate::msg::Message;
+use crate::stats::RankStats;
+
+/// Result of an SPMD run.
+#[derive(Debug)]
+pub struct SpmdOutcome<T> {
+    /// Per-rank return values, in rank order.
+    pub results: Vec<T>,
+    /// Per-rank instrumentation counters, in rank order.
+    pub stats: Vec<RankStats>,
+    /// Real elapsed time of the whole run.
+    pub wall_time: Duration,
+    /// Modeled runtime: the maximum final logical clock across ranks.
+    pub modeled_time: f64,
+}
+
+impl<T> SpmdOutcome<T> {
+    /// Aggregated counters over all ranks.
+    pub fn total_stats(&self) -> RankStats {
+        let mut acc = RankStats::default();
+        for s in &self.stats {
+            acc.merge(s);
+        }
+        acc
+    }
+}
+
+/// Runs `body` as an SPMD program over `n_ranks` simulated nodes, one OS
+/// thread per rank, and collects results, counters, and both time metrics.
+///
+/// The closure receives this rank's [`Ctx`]; all inter-rank communication
+/// goes through it. A panic on any rank aborts the run (propagated after all
+/// threads are joined).
+///
+/// # Panics
+/// Panics if `n_ranks == 0` or if any rank body panics.
+pub fn run_spmd<T, F>(n_ranks: usize, cost: CostModel, body: F) -> SpmdOutcome<T>
+where
+    T: Send,
+    F: Fn(&mut Ctx) -> T + Sync,
+{
+    assert!(n_ranks > 0, "run_spmd: need at least one rank");
+
+    // Build the full channel mesh: one unbounded channel per (src, dst)
+    // pair. senders[src][dst] feeds receivers_by_dst[dst][src].
+    let mut senders: Vec<Vec<_>> = (0..n_ranks).map(|_| Vec::with_capacity(n_ranks)).collect();
+    let mut receivers: Vec<Vec<_>> = (0..n_ranks).map(|_| Vec::with_capacity(n_ranks)).collect();
+    for src_senders in senders.iter_mut() {
+        for dst_receivers in receivers.iter_mut() {
+            let (tx, rx) = unbounded::<Message>();
+            src_senders.push(tx);
+            dst_receivers.push(rx);
+        }
+    }
+
+    let started = Instant::now();
+    let body_ref = &body;
+    let mut per_rank: Vec<Option<(T, RankStats, f64)>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_ranks);
+        // Hand each rank its row of senders and column of receivers.
+        let rank_channels: Vec<_> = senders
+            .into_iter()
+            .zip(receivers)
+            .collect();
+        for (rank, (tx_row, rx_col)) in rank_channels.into_iter().enumerate() {
+            handles.push(scope.spawn(move || {
+                let mut ctx = Ctx::new(rank, n_ranks, tx_row, rx_col, cost);
+                let out = body_ref(&mut ctx);
+                let clock = ctx.clock();
+                (out, ctx.into_stats(), clock)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => Some(v),
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    });
+    let wall_time = started.elapsed();
+
+    let mut results = Vec::with_capacity(n_ranks);
+    let mut stats = Vec::with_capacity(n_ranks);
+    let mut modeled_time = 0.0f64;
+    for slot in per_rank.iter_mut() {
+        let (out, st, clock) = slot.take().expect("all ranks joined");
+        results.push(out);
+        stats.push(st);
+        modeled_time = modeled_time.max(clock);
+    }
+
+    SpmdOutcome {
+        results,
+        stats,
+        wall_time,
+        modeled_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::ReduceOp;
+    use crate::msg::{Payload, Tag};
+    use crate::stats::Phase;
+
+    const SIZES: [usize; 7] = [1, 2, 3, 4, 5, 8, 13];
+
+    #[test]
+    fn point_to_point_ring() {
+        let out = run_spmd(4, CostModel::default(), |ctx| {
+            let next = (ctx.rank() + 1) % ctx.size();
+            let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            ctx.send(next, Tag::Halo.with(0), Payload::Scalar(ctx.rank() as f64));
+            ctx.recv(prev, Tag::Halo.with(0)).into_scalar()
+        });
+        assert_eq!(
+            out.results,
+            vec![3.0, 0.0, 1.0, 2.0],
+            "each rank receives its predecessor's id"
+        );
+    }
+
+    #[test]
+    fn allreduce_sum_all_sizes() {
+        for n in SIZES {
+            let out = run_spmd(n, CostModel::default(), |ctx| {
+                ctx.allreduce_sum_scalar((ctx.rank() + 1) as f64)
+            });
+            let expected = (n * (n + 1) / 2) as f64;
+            for (rank, &r) in out.results.iter().enumerate() {
+                assert_eq!(r, expected, "rank {rank} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max_all_sizes() {
+        for n in SIZES {
+            let out = run_spmd(n, CostModel::default(), |ctx| {
+                ctx.allreduce_max_scalar(-(ctx.rank() as f64))
+            });
+            for &r in &out.results {
+                assert_eq!(r, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_vector_valued() {
+        let out = run_spmd(5, CostModel::default(), |ctx| {
+            ctx.allreduce(&[1.0, ctx.rank() as f64], ReduceOp::Sum)
+        });
+        for r in &out.results {
+            assert_eq!(r[0], 5.0);
+            assert_eq!(r[1], 10.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_results_identical_across_ranks_bitwise() {
+        // Irrational-ish values make accidental associativity differences
+        // visible; all ranks must hold the exact same bits.
+        let out = run_spmd(7, CostModel::default(), |ctx| {
+            ctx.allreduce_sum_scalar(0.1 + ctx.rank() as f64 * 0.3)
+        });
+        let first = out.results[0].to_bits();
+        for r in &out.results {
+            assert_eq!(r.to_bits(), first);
+        }
+    }
+
+    #[test]
+    fn bcast_from_every_root() {
+        for n in SIZES {
+            for root in [0, n / 2, n - 1] {
+                let out = run_spmd(n, CostModel::default(), move |ctx| {
+                    let payload = (ctx.rank() == root)
+                        .then(|| Payload::F64s(vec![42.0, root as f64]));
+                    ctx.bcast(root, payload).into_f64s()
+                });
+                for r in &out.results {
+                    assert_eq!(r, &vec![42.0, root as f64], "n={n} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = run_spmd(4, CostModel::default(), |ctx| {
+            let g = ctx.gather(2, Payload::Scalar(ctx.rank() as f64 * 10.0));
+            g.into_iter().map(Payload::into_scalar).collect::<Vec<_>>()
+        });
+        assert_eq!(out.results[2], vec![0.0, 10.0, 20.0, 30.0]);
+        assert!(out.results[0].is_empty());
+        assert!(out.results[3].is_empty());
+    }
+
+    #[test]
+    fn out_of_order_tags_are_parked() {
+        let out = run_spmd(2, CostModel::default(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, Tag::Halo.with(7), Payload::Scalar(7.0));
+                ctx.send(1, Tag::Halo.with(8), Payload::Scalar(8.0));
+                0.0
+            } else {
+                // Receive in the opposite order they were sent.
+                let b = ctx.recv(0, Tag::Halo.with(8)).into_scalar();
+                let a = ctx.recv(0, Tag::Halo.with(7)).into_scalar();
+                a * 10.0 + b
+            }
+        });
+        assert_eq!(out.results[1], 78.0);
+    }
+
+    #[test]
+    fn modeled_time_advances_with_flops_and_messages() {
+        let cost = CostModel::default();
+        let out = run_spmd(2, cost, |ctx| {
+            ctx.set_phase(Phase::SpMV);
+            ctx.charge_flops(1_000_000);
+            if ctx.rank() == 0 {
+                ctx.send(1, Tag::Halo.bare(), Payload::F64s(vec![0.0; 1000]));
+            } else {
+                ctx.recv(0, Tag::Halo.bare());
+            }
+            ctx.clock()
+        });
+        let compute = cost.compute_time(1_000_000);
+        // Rank 0: compute + injection. Rank 1: at least compute, then
+        // synchronized past rank 0's send.
+        assert!(out.results[0] >= compute);
+        assert!(out.results[1] >= out.results[0]);
+        assert!(out.modeled_time >= out.results[1] - 1e-15);
+    }
+
+    #[test]
+    fn modeled_time_is_deterministic() {
+        let run = || {
+            run_spmd(6, CostModel::default(), |ctx| {
+                ctx.set_phase(Phase::Reduction);
+                let mut x = ctx.rank() as f64;
+                for _ in 0..50 {
+                    x = ctx.allreduce_sum_scalar(x) / ctx.size() as f64;
+                }
+                ctx.charge_flops(123);
+                ctx.clock()
+            })
+            .modeled_time
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn barrier_sync_clock_equalizes() {
+        let out = run_spmd(4, CostModel::default(), |ctx| {
+            // Skew the clocks.
+            ctx.charge_flops(ctx.rank() as u64 * 1_000_000);
+            let t = ctx.barrier_sync_clock();
+            (t, ctx.clock())
+        });
+        let t0 = out.results[0].0;
+        for &(t, clock) in &out.results {
+            assert_eq!(t.to_bits(), t0.to_bits());
+            assert!(clock >= t);
+        }
+    }
+
+    #[test]
+    fn stats_track_messages_per_phase() {
+        let out = run_spmd(2, CostModel::default(), |ctx| {
+            ctx.set_phase(Phase::Checkpoint);
+            if ctx.rank() == 0 {
+                ctx.send(1, Tag::Checkpoint.bare(), Payload::F64s(vec![1.0; 4]));
+            } else {
+                ctx.recv(0, Tag::Checkpoint.bare());
+            }
+        });
+        let s0 = &out.stats[0];
+        assert_eq!(s0.msgs_sent[Phase::Checkpoint as usize], 1);
+        assert_eq!(s0.bytes_sent[Phase::Checkpoint as usize], 32);
+        assert_eq!(out.stats[1].msgs_sent[Phase::Checkpoint as usize], 0);
+        let total = out.total_stats();
+        assert_eq!(total.total_msgs(), 1);
+    }
+
+    #[test]
+    fn single_rank_runs() {
+        let out = run_spmd(1, CostModel::default(), |ctx| {
+            let s = ctx.allreduce_sum_scalar(5.0);
+            ctx.barrier();
+            s
+        });
+        assert_eq!(out.results, vec![5.0]);
+        assert_eq!(out.total_stats().total_msgs(), 0);
+    }
+
+    #[test]
+    fn wall_time_is_measured() {
+        let out = run_spmd(2, CostModel::default(), |ctx| {
+            ctx.barrier();
+        });
+        assert!(out.wall_time > Duration::ZERO);
+    }
+}

@@ -1,0 +1,534 @@
+//! The experiment driver: one-call setup and execution of a distributed
+//! resilient PCG run, reporting the metrics the paper's evaluation uses.
+//!
+//! The paper's experimental protocol (§5) is:
+//!
+//! 1. run a non-resilient reference to get `t₀` and the iteration count `C`,
+//! 2. run each strategy failure-free to measure the *failure-free overhead*
+//!    `(t − t₀)/t₀`,
+//! 3. inject `ψ = φ` simultaneous failures in the checkpoint interval
+//!    containing iteration `C/2`, two iterations before the interval's end
+//!    (the worst case), and measure the *overhead with node failures* and
+//!    the *reconstruction overhead*.
+//!
+//! [`Experiment`] runs one such run; [`paper_failure_iteration`] computes
+//! the worst-case injection point. The benchmark harness in `esrcg-bench`
+//! composes these into the full table/figure grids.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use esrcg_cluster::{run_spmd, CostModel, FailureSpec, Phase, RankStats};
+use esrcg_precond::PrecondSpec;
+use esrcg_sparse::gen;
+use esrcg_sparse::CsrMatrix;
+
+use crate::solver::recovery::RecoveryOutcome;
+use crate::solver::{solve_node, SharedProblem, SolverConfig};
+use crate::strategy::Strategy;
+
+/// Where the system matrix comes from.
+#[derive(Debug, Clone)]
+pub enum MatrixSource {
+    /// 5-point 2-D Poisson on an `nx × ny` grid.
+    Poisson2d {
+        /// Grid width.
+        nx: usize,
+        /// Grid height.
+        ny: usize,
+    },
+    /// 7-point 3-D Poisson on an `nx × ny × nz` grid.
+    Poisson3d {
+        /// Grid width.
+        nx: usize,
+        /// Grid depth.
+        ny: usize,
+        /// Grid height.
+        nz: usize,
+    },
+    /// 27-point stencil — the `Emilia_923` stand-in (see `DESIGN.md` §4).
+    EmiliaLike {
+        /// Grid width.
+        nx: usize,
+        /// Grid depth.
+        ny: usize,
+        /// Grid height.
+        nz: usize,
+    },
+    /// 3-dof elasticity stencil — the `audikw_1` stand-in.
+    AudikwLike {
+        /// Grid width.
+        nx: usize,
+        /// Grid depth.
+        ny: usize,
+        /// Grid height.
+        nz: usize,
+    },
+    /// Random banded SPD matrix.
+    BandedSpd {
+        /// Problem size.
+        n: usize,
+        /// Half-bandwidth.
+        bandwidth: usize,
+        /// In-band fill probability.
+        density: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// A Matrix Market file (e.g. the genuine SuiteSparse matrices).
+    File(std::path::PathBuf),
+    /// A caller-supplied matrix.
+    Custom(CsrMatrix),
+}
+
+impl MatrixSource {
+    /// Materializes the matrix.
+    ///
+    /// # Errors
+    /// Returns I/O and parse failures for [`MatrixSource::File`]
+    /// (stringified).
+    pub fn build(&self) -> Result<CsrMatrix, String> {
+        Ok(match self {
+            MatrixSource::Poisson2d { nx, ny } => gen::poisson2d(*nx, *ny),
+            MatrixSource::Poisson3d { nx, ny, nz } => gen::poisson3d(*nx, *ny, *nz),
+            MatrixSource::EmiliaLike { nx, ny, nz } => gen::emilia_like(*nx, *ny, *nz),
+            MatrixSource::AudikwLike { nx, ny, nz } => gen::audikw_like(*nx, *ny, *nz),
+            MatrixSource::BandedSpd {
+                n,
+                bandwidth,
+                density,
+                seed,
+            } => gen::banded_spd(*n, *bandwidth, *density, *seed),
+            MatrixSource::File(path) => {
+                esrcg_sparse::mm::read_matrix_market_file(path).map_err(|e| e.to_string())?
+            }
+            MatrixSource::Custom(a) => a.clone(),
+        })
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MatrixSource::Poisson2d { .. } => "poisson2d",
+            MatrixSource::Poisson3d { .. } => "poisson3d",
+            MatrixSource::EmiliaLike { .. } => "emilia-like",
+            MatrixSource::AudikwLike { .. } => "audikw-like",
+            MatrixSource::BandedSpd { .. } => "banded-spd",
+            MatrixSource::File(_) => "file",
+            MatrixSource::Custom(_) => "custom",
+        }
+    }
+}
+
+/// How the right-hand side is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RhsSpec {
+    /// `b = A·x*` with a fixed smooth synthetic solution `x*` — lets tests
+    /// validate against the known solution. Note that this RHS damps the
+    /// low end of the spectrum (`b`'s eigen-components are scaled by λ), so
+    /// CG converges faster than on a generic load.
+    FromKnownSolution,
+    /// `b = (1, 1, …, 1)ᵀ`.
+    Ones,
+    /// `b` uniform in `[-1, 1)` from a seeded RNG — a generic load with
+    /// mass on the whole spectrum; the hardest (and most realistic)
+    /// convergence case, used by the paper-table harness.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// The paper's worst-case failure placement (§5): inside the checkpoint
+/// interval containing iteration `C/2`, two iterations before the
+/// interval's end (so almost a whole interval of work is lost).
+pub fn paper_failure_iteration(c: usize, t: usize) -> usize {
+    let m = (c / 2) / t;
+    ((m + 1) * t).saturating_sub(2).max(1)
+}
+
+/// One fully-specified experiment run (builder-style).
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    matrix: MatrixSource,
+    rhs: RhsSpec,
+    n_ranks: usize,
+    precond: PrecondSpec,
+    strategy: Strategy,
+    phi: usize,
+    rtol: f64,
+    max_iters: usize,
+    /// `(at_iteration, start_rank, count)` events — materialized into
+    /// [`FailureSpec`]s once `n_ranks` is final.
+    failure_blocks: Vec<(usize, usize, usize)>,
+    failure_explicit: Vec<FailureSpec>,
+    cost: CostModel,
+}
+
+impl Experiment {
+    /// Starts a builder with paper defaults: block Jacobi (max block 10),
+    /// rtol 1e-8, 8 ranks, no resilience, no failure.
+    pub fn builder() -> Experiment {
+        Experiment {
+            matrix: MatrixSource::Poisson2d { nx: 16, ny: 16 },
+            rhs: RhsSpec::FromKnownSolution,
+            n_ranks: 8,
+            precond: PrecondSpec::paper_default(),
+            strategy: Strategy::None,
+            phi: 0,
+            rtol: 1e-8,
+            max_iters: 200_000,
+            failure_blocks: Vec::new(),
+            failure_explicit: Vec::new(),
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Sets the matrix source.
+    pub fn matrix(mut self, m: MatrixSource) -> Self {
+        self.matrix = m;
+        self
+    }
+
+    /// Sets the right-hand-side recipe.
+    pub fn rhs(mut self, r: RhsSpec) -> Self {
+        self.rhs = r;
+        self
+    }
+
+    /// Sets the number of simulated nodes.
+    pub fn n_ranks(mut self, n: usize) -> Self {
+        self.n_ranks = n;
+        self
+    }
+
+    /// Sets the preconditioner.
+    pub fn precond(mut self, p: PrecondSpec) -> Self {
+        self.precond = p;
+        self
+    }
+
+    /// Sets the resilience strategy.
+    pub fn strategy(mut self, s: Strategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Sets φ, the number of tolerated simultaneous failures.
+    pub fn phi(mut self, phi: usize) -> Self {
+        self.phi = phi;
+        self
+    }
+
+    /// Sets the convergence tolerance.
+    pub fn rtol(mut self, rtol: f64) -> Self {
+        self.rtol = rtol;
+        self
+    }
+
+    /// Sets the iteration cap.
+    pub fn max_iters(mut self, m: usize) -> Self {
+        self.max_iters = m;
+        self
+    }
+
+    /// Injects a contiguous block failure of `count` ranks starting at
+    /// `start_rank` (wrapping), at iteration `at_iteration`. May be called
+    /// several times to inject multiple sequential failure events.
+    pub fn failure_at(mut self, at_iteration: usize, start_rank: usize, count: usize) -> Self {
+        self.failure_blocks.push((at_iteration, start_rank, count));
+        self
+    }
+
+    /// Adds an explicit failure event.
+    pub fn failure_spec(mut self, f: FailureSpec) -> Self {
+        self.failure_explicit.push(f);
+        self
+    }
+
+    /// Sets the cost model.
+    pub fn cost_model(mut self, c: CostModel) -> Self {
+        self.cost = c;
+        self
+    }
+
+    /// Builds the shared problem and runs the SPMD solve.
+    ///
+    /// # Errors
+    /// Returns configuration/assembly errors as strings.
+    pub fn run(self) -> Result<RunReport, String> {
+        let a = self.matrix.build()?;
+        let n = a.nrows();
+        let b = match self.rhs {
+            RhsSpec::FromKnownSolution => {
+                let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.137).sin() + 0.5).collect();
+                a.spmv(&x_true)
+            }
+            RhsSpec::Ones => vec![1.0; n],
+            RhsSpec::Random { seed } => {
+                use rand::{Rng, SeedableRng};
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+            }
+        };
+        let mut failures = self.failure_explicit.clone();
+        failures.extend(
+            self.failure_blocks
+                .iter()
+                .map(|&(at, start, count)| FailureSpec::contiguous(at, start, count, self.n_ranks)),
+        );
+        failures.sort_by_key(|f| f.at_iteration);
+        let mut cfg = SolverConfig::new(self.strategy, self.phi);
+        cfg.rtol = self.rtol;
+        cfg.max_iters = self.max_iters;
+        cfg.failures = failures;
+        let shared = Arc::new(SharedProblem::assemble(
+            a,
+            b,
+            vec![0.0; n],
+            self.n_ranks,
+            self.precond,
+            cfg,
+        )?);
+
+        let outcome = run_spmd(self.n_ranks, self.cost, {
+            let shared = shared.clone();
+            move |ctx| solve_node(ctx, &shared)
+        });
+
+        let mut x = Vec::with_capacity(n);
+        for node in &outcome.results {
+            x.extend_from_slice(&node.x_local);
+        }
+        let first = &outcome.results[0];
+        // Aggregate per-event recovery reports: everything except the
+        // inner-solve iteration count is identical across ranks; take the
+        // per-event maximum of the latter.
+        let recoveries: Vec<_> = first
+            .recoveries
+            .iter()
+            .enumerate()
+            .map(|(e, rec)| {
+                let mut rec = rec.clone();
+                rec.inner_iterations = outcome
+                    .results
+                    .iter()
+                    .filter_map(|o| o.recoveries.get(e))
+                    .map(|r| r.inner_iterations)
+                    .max()
+                    .unwrap_or(0);
+                rec
+            })
+            .collect();
+        let recovery = recoveries.first().cloned();
+        let mut stats_total = RankStats::default();
+        for s in &outcome.stats {
+            stats_total.merge(s);
+        }
+
+        Ok(RunReport {
+            converged: outcome.results.iter().all(|o| o.converged),
+            iterations: first.iterations,
+            total_loop_trips: first.total_loop_trips,
+            final_relres: first.final_relres,
+            true_relres: first.true_relres,
+            residual_drift: first.residual_drift,
+            modeled_time: outcome.modeled_time,
+            wall_time: outcome.wall_time,
+            recovery,
+            recoveries,
+            per_rank_stats: outcome.stats,
+            stats_total,
+            x,
+            strategy: self.strategy,
+            phi: self.phi,
+            n_ranks: self.n_ranks,
+        })
+    }
+}
+
+/// Aggregated result of one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// True if every rank reached the tolerance.
+    pub converged: bool,
+    /// Logical iterations to convergence (the paper's `C` on reference runs).
+    pub iterations: usize,
+    /// Loop trips executed including redone iterations after rollback.
+    pub total_loop_trips: usize,
+    /// Final recurrence relative residual.
+    pub final_relres: f64,
+    /// Final true relative residual `‖b−Ax‖/‖b‖`.
+    pub true_relres: f64,
+    /// The paper's residual drift metric (Eq. 2).
+    pub residual_drift: f64,
+    /// Deterministic modeled runtime (seconds).
+    pub modeled_time: f64,
+    /// Real elapsed time of the threaded run.
+    pub wall_time: Duration,
+    /// First recovery event's details (convenience accessor for the
+    /// paper's single-event experiments; `None` if no failure triggered).
+    pub recovery: Option<RecoveryOutcome>,
+    /// All recovery events, in trigger order.
+    pub recoveries: Vec<RecoveryOutcome>,
+    /// Per-rank instrumentation.
+    pub per_rank_stats: Vec<RankStats>,
+    /// Sum of all ranks' counters.
+    pub stats_total: RankStats,
+    /// The assembled global solution.
+    pub x: Vec<f64>,
+    /// Echo of the strategy.
+    pub strategy: Strategy,
+    /// Echo of φ.
+    pub phi: usize,
+    /// Echo of the rank count.
+    pub n_ranks: usize,
+}
+
+impl RunReport {
+    /// Relative overhead of this run versus a reference time:
+    /// `(t − t₀)/t₀`, using modeled time.
+    pub fn overhead_vs(&self, t0: f64) -> f64 {
+        (self.modeled_time - t0) / t0
+    }
+
+    /// Modeled recovery time (summed over all events) relative to a
+    /// reference time (the paper's "reconstruction overhead" column).
+    pub fn reconstruction_overhead_vs(&self, t0: f64) -> f64 {
+        self.recoveries.iter().map(|r| r.recovery_time).sum::<f64>() / t0
+    }
+
+    /// Modeled time spent in a phase, maximized over ranks.
+    pub fn max_phase_time(&self, phase: Phase) -> f64 {
+        self.per_rank_stats
+            .iter()
+            .map(|s| s.modeled_time[phase as usize])
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_run_converges() {
+        let report = Experiment::builder()
+            .matrix(MatrixSource::Poisson2d { nx: 10, ny: 10 })
+            .n_ranks(4)
+            .run()
+            .unwrap();
+        assert!(report.converged);
+        assert!(report.iterations > 0);
+        assert!(report.modeled_time > 0.0);
+        assert!(report.true_relres < 1e-7);
+        assert!(report.recovery.is_none());
+        assert_eq!(report.x.len(), 100);
+    }
+
+    #[test]
+    fn failure_experiment_reports_recovery() {
+        let reference = Experiment::builder()
+            .matrix(MatrixSource::Poisson2d { nx: 10, ny: 10 })
+            .n_ranks(4)
+            .run()
+            .unwrap();
+        let c = reference.iterations;
+        let t = 5;
+        let jf = paper_failure_iteration(c, t);
+        assert!(jf < c);
+        let report = Experiment::builder()
+            .matrix(MatrixSource::Poisson2d { nx: 10, ny: 10 })
+            .n_ranks(4)
+            .strategy(Strategy::Esrp { t })
+            .phi(1)
+            .failure_at(jf, 0, 1)
+            .run()
+            .unwrap();
+        assert!(report.converged);
+        let rec = report.recovery.clone().expect("failure processed");
+        assert_eq!(rec.failed_at, jf);
+        assert!(rec.inner_iterations > 0, "inner solve aggregated");
+        assert!(report.modeled_time > reference.modeled_time);
+        assert!(report.overhead_vs(reference.modeled_time) > 0.0);
+        assert!(report.reconstruction_overhead_vs(reference.modeled_time) > 0.0);
+    }
+
+    #[test]
+    fn paper_failure_placement() {
+        // C = 100, T = 20: C/2 = 50 lies in [40, 60); inject at 58.
+        assert_eq!(paper_failure_iteration(100, 20), 58);
+        // T = 1 (ESR): inject near C/2.
+        assert_eq!(paper_failure_iteration(100, 1), 49);
+        // Tiny C still yields a valid iteration >= 1.
+        assert!(paper_failure_iteration(3, 20) >= 1);
+    }
+
+    #[test]
+    fn matrix_sources_build() {
+        for src in [
+            MatrixSource::Poisson2d { nx: 4, ny: 4 },
+            MatrixSource::Poisson3d {
+                nx: 3,
+                ny: 3,
+                nz: 3,
+            },
+            MatrixSource::EmiliaLike {
+                nx: 3,
+                ny: 3,
+                nz: 3,
+            },
+            MatrixSource::AudikwLike {
+                nx: 2,
+                ny: 2,
+                nz: 2,
+            },
+            MatrixSource::BandedSpd {
+                n: 20,
+                bandwidth: 3,
+                density: 0.5,
+                seed: 1,
+            },
+        ] {
+            let a = src.build().unwrap();
+            assert!(a.nrows() > 0);
+            assert!(a.is_symmetric(1e-12), "{}", src.name());
+        }
+    }
+
+    #[test]
+    fn rhs_ones_works() {
+        let report = Experiment::builder()
+            .matrix(MatrixSource::Poisson2d { nx: 8, ny: 8 })
+            .rhs(RhsSpec::Ones)
+            .n_ranks(2)
+            .run()
+            .unwrap();
+        assert!(report.converged);
+    }
+
+    #[test]
+    fn invalid_config_is_reported() {
+        let err = Experiment::builder()
+            .matrix(MatrixSource::Poisson2d { nx: 4, ny: 4 })
+            .n_ranks(4)
+            .strategy(Strategy::Esrp { t: 2 })
+            .phi(1)
+            .run()
+            .unwrap_err();
+        assert!(err.contains("T = 2"));
+    }
+
+    #[test]
+    fn custom_matrix_and_file_round_trip() {
+        let a = gen::poisson1d(12);
+        let dir = std::env::temp_dir().join("esrcg_driver_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.mtx");
+        esrcg_sparse::mm::write_matrix_market_file(&a, &path).unwrap();
+        let from_file = MatrixSource::File(path.clone()).build().unwrap();
+        let custom = MatrixSource::Custom(a.clone()).build().unwrap();
+        assert_eq!(from_file, custom);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,733 @@
+//! The distributed resilient PCG node program.
+//!
+//! [`solve_node`] is the SPMD body each simulated node runs (paper Alg. 3):
+//! the PCG loop with pluggable resilience — ASpMV storage stages (ESR/ESRP),
+//! buddy checkpointing (IMCR), failure injection, and recovery. The
+//! [`SharedProblem`] holds all *static* data (matrix, preconditioner,
+//! right-hand side, communication plans), which the paper assumes
+//! retrievable from safe storage after a failure.
+
+pub mod recovery;
+pub mod state;
+
+use std::sync::Arc;
+
+use esrcg_cluster::{Ctx, Payload, Phase, Tag};
+use esrcg_precond::{Preconditioner, PrecondSpec};
+use esrcg_sparse::vector::{axpby, axpy, dot};
+use esrcg_sparse::{CsrMatrix, Partition, SparseError};
+
+use crate::aspmv::{AspmvPlan, BuddyMap};
+use crate::dist::halo::exchange_halo;
+use crate::dist::plan::CommPlan;
+use crate::strategy::Strategy;
+use recovery::{recover, RecoveryOutcome};
+use state::{HeldCheckpoint, NodeState};
+
+/// Halo-exchange tag used during (re)initialization.
+const INIT_TAG: u32 = u32::MAX - 1;
+/// Halo-exchange tag used by the post-convergence drift computation.
+const DRIFT_TAG: u32 = u32::MAX;
+
+/// Solver configuration: strategy, redundancy level, tolerances, and the
+/// injected failure events.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// The resilience strategy.
+    pub strategy: Strategy,
+    /// Number of simultaneous node failures to tolerate (φ). Ignored for
+    /// `Strategy::None`.
+    pub phi: usize,
+    /// Convergence threshold on `‖r‖₂ / ‖b‖₂` (the paper uses 1e-8).
+    pub rtol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// The simulated node-failure events, ordered by strictly increasing
+    /// trigger iteration. The paper evaluates a single event per run;
+    /// multiple sequential events are supported as long as each event's
+    /// rank count is at most φ (and, for full redundancy-coverage
+    /// guarantees, consecutive events are separated by a completed storage
+    /// stage / checkpoint round — the round re-executed right after a
+    /// rollback already repopulates the redundant copies).
+    pub failures: Vec<esrcg_cluster::FailureSpec>,
+    /// Relative tolerance of the inner reconstruction solve (paper: 1e-14).
+    pub inner_rtol: f64,
+    /// Iteration cap of the inner solve.
+    pub inner_max_iters: usize,
+    /// Block size of the inner solve's block Jacobi preconditioner
+    /// (paper: 10).
+    pub inner_max_block: usize,
+}
+
+impl SolverConfig {
+    /// Paper-default tolerances for the given strategy and φ.
+    pub fn new(strategy: Strategy, phi: usize) -> Self {
+        SolverConfig {
+            strategy,
+            phi,
+            rtol: 1e-8,
+            max_iters: 200_000,
+            failures: Vec::new(),
+            inner_rtol: 1e-14,
+            inner_max_iters: 100_000,
+            inner_max_block: 10,
+        }
+    }
+
+    /// Validates the configuration against a cluster size.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self, n_ranks: usize) -> Result<(), String> {
+        self.strategy.validate()?;
+        if self.strategy != Strategy::None {
+            if self.phi == 0 {
+                return Err("phi must be at least 1 for a resilient strategy".into());
+            }
+            if self.phi >= n_ranks {
+                return Err(format!(
+                    "phi ({}) must be smaller than the number of ranks ({n_ranks})",
+                    self.phi
+                ));
+            }
+        }
+        for (i, f) in self.failures.iter().enumerate() {
+            if self.strategy == Strategy::None {
+                return Err("cannot inject a failure without a resilience strategy".into());
+            }
+            if f.count() > self.phi {
+                return Err(format!(
+                    "injecting {} failures but phi = {} copies",
+                    f.count(),
+                    self.phi
+                ));
+            }
+            for &r in &f.ranks {
+                if r >= n_ranks {
+                    return Err(format!("failure rank {r} out of range"));
+                }
+            }
+            if i > 0 && f.at_iteration <= self.failures[i - 1].at_iteration {
+                return Err(
+                    "failure events must have strictly increasing trigger iterations".into(),
+                );
+            }
+        }
+        if self.rtol <= 0.0 || self.rtol.is_nan() || self.inner_rtol <= 0.0 || self.inner_rtol.is_nan() {
+            return Err("tolerances must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// All static data of a distributed solve, shared read-only by every rank.
+pub struct SharedProblem {
+    /// The system matrix (every rank reads only its rows plus recovery
+    /// submatrices; replicating it in-process stands in for safe storage).
+    pub a: Arc<CsrMatrix>,
+    /// The right-hand side.
+    pub b: Arc<Vec<f64>>,
+    /// The initial guess.
+    pub x0: Arc<Vec<f64>>,
+    /// The block-row distribution.
+    pub part: Arc<Partition>,
+    /// The preconditioner.
+    pub precond: Arc<dyn Preconditioner>,
+    /// The SpMV communication plan.
+    pub plan: Arc<CommPlan>,
+    /// The ASpMV augmentation plan (ESR/ESRP strategies).
+    pub aspmv: Option<Arc<AspmvPlan>>,
+    /// The buddy map (IMCR strategy).
+    pub buddies: Option<Arc<BuddyMap>>,
+    /// Solver configuration.
+    pub cfg: SolverConfig,
+}
+
+impl SharedProblem {
+    /// Assembles the shared problem: partitions the matrix, builds the
+    /// communication plan, the preconditioner, and the strategy-specific
+    /// redundancy plans.
+    ///
+    /// # Errors
+    /// Returns configuration errors as strings and factorization failures
+    /// as [`SparseError`] (stringified).
+    pub fn assemble(
+        a: CsrMatrix,
+        b: Vec<f64>,
+        x0: Vec<f64>,
+        n_ranks: usize,
+        precond_spec: PrecondSpec,
+        cfg: SolverConfig,
+    ) -> Result<Self, String> {
+        if a.nrows() != a.ncols() {
+            return Err("matrix must be square".into());
+        }
+        if b.len() != a.nrows() || x0.len() != a.nrows() {
+            return Err("b and x0 must match the matrix size".into());
+        }
+        cfg.validate(n_ranks)?;
+        let part = Arc::new(Partition::balanced(a.nrows(), n_ranks));
+        let plan = Arc::new(CommPlan::build(&a, &part));
+        let precond = precond_spec
+            .build(&a, &part)
+            .map_err(|e: SparseError| e.to_string())?;
+        let aspmv = cfg
+            .strategy
+            .uses_aspmv()
+            .then(|| Arc::new(AspmvPlan::build(&plan, &part, cfg.phi)));
+        let buddies = cfg
+            .strategy
+            .uses_checkpoints()
+            .then(|| Arc::new(BuddyMap::new(n_ranks, cfg.phi)));
+        Ok(SharedProblem {
+            a: Arc::new(a),
+            b: Arc::new(b),
+            x0: Arc::new(x0),
+            part,
+            precond,
+            plan,
+            aspmv,
+            buddies,
+            cfg,
+        })
+    }
+}
+
+/// What one rank reports after the solve.
+#[derive(Debug, Clone)]
+pub struct NodeOutcome {
+    /// Whether `‖r‖₂/‖b‖₂ < rtol` was reached.
+    pub converged: bool,
+    /// The logical iteration index at exit (the paper's C for reference
+    /// runs).
+    pub iterations: usize,
+    /// Loop trips actually executed (≥ `iterations` when a rollback redid
+    /// work).
+    pub total_loop_trips: usize,
+    /// Final recurrence relative residual `‖r‖₂/‖b‖₂`.
+    pub final_relres: f64,
+    /// Final *true* relative residual `‖b − Ax‖₂/‖b‖₂`.
+    pub true_relres: f64,
+    /// The paper's residual drift metric (Eq. 2):
+    /// `(‖r‖₂ − ‖b−Ax‖₂) / ‖b−Ax‖₂`.
+    pub residual_drift: f64,
+    /// This rank's chunk of the solution.
+    pub x_local: Vec<f64>,
+    /// Recovery details, one entry per processed failure event, in order.
+    pub recoveries: Vec<RecoveryOutcome>,
+}
+
+/// Initializes (or re-initializes) the PCG state from the static data:
+/// `x = x0`, `r = b − A x`, `z = P r`, `p = z`, plus the replicated `r·z`.
+/// Returns the global `r·r` for the initial convergence check. Charges its
+/// work to whatever phase the context currently attributes.
+pub(crate) fn init_state(
+    ctx: &mut Ctx,
+    shared: &SharedProblem,
+    st: &mut NodeState,
+    full: &mut [f64],
+) -> f64 {
+    let rank = ctx.rank();
+    let part = &*shared.part;
+    let range = part.range(rank);
+    let nloc = range.len();
+
+    st.x.copy_from_slice(&shared.x0[range.clone()]);
+    exchange_halo(ctx, &shared.plan, part, &st.x, INIT_TAG, full, None);
+    shared
+        .a
+        .spmv_rows_into(range.clone(), full, &mut st.q);
+    ctx.charge_flops(shared.a.spmv_rows_flops(range.clone()));
+    for i in 0..nloc {
+        st.r[i] = shared.b[range.start + i] - st.q[i];
+    }
+    ctx.charge_flops(nloc as u64);
+    shared.precond.apply_local(range.clone(), &st.r, &mut st.z);
+    ctx.charge_flops(shared.precond.apply_flops(range.clone()));
+    st.p.copy_from_slice(&st.z);
+
+    let rz_loc = dot(&st.r, &st.z);
+    let rr_loc = dot(&st.r, &st.r);
+    ctx.charge_flops(4 * nloc as u64);
+    let red = ctx.allreduce_sum(&[rz_loc, rr_loc]);
+    st.rz = red[0];
+    st.beta_prev = 0.0;
+    red[1]
+}
+
+/// True when iteration `j` runs the *augmented* SpMV under `strategy`.
+fn aspmv_iteration(strategy: Strategy, j: usize) -> bool {
+    match strategy {
+        Strategy::Esrp { t: 1 } => true,
+        Strategy::Esrp { t } => (j.is_multiple_of(t) && j >= t) || (j % t == 1 && j > t),
+        _ => false,
+    }
+}
+
+/// True when iteration `j` is the second iteration of an ESRP storage stage
+/// (starred copies are taken).
+fn storage_second(strategy: Strategy, j: usize) -> bool {
+    matches!(strategy, Strategy::Esrp { t } if t > 1 && j % t == 1 && j > t)
+}
+
+/// True when iteration `j` is the first iteration of an ESRP storage stage
+/// (β** is stashed after β is computed).
+fn storage_first(strategy: Strategy, j: usize) -> bool {
+    matches!(strategy, Strategy::Esrp { t } if t > 1 && j.is_multiple_of(t) && j >= t)
+}
+
+/// True when iteration `j` takes an IMCR checkpoint.
+fn checkpoint_iteration(strategy: Strategy, j: usize) -> bool {
+    matches!(strategy, Strategy::Imcr { t } if j > 0 && j.is_multiple_of(t))
+}
+
+/// The SPMD body: runs the resilient PCG to convergence on this rank.
+///
+/// # Panics
+/// Panics on configuration errors (call [`SolverConfig::validate`] first),
+/// protocol violations, and unrecoverable failures (e.g. ψ > φ).
+pub fn solve_node(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
+    let cfg = &shared.cfg;
+    debug_assert!(cfg.validate(ctx.size()).is_ok(), "invalid solver config");
+    let part = &*shared.part;
+    assert_eq!(ctx.size(), part.n_ranks(), "rank count mismatch");
+    let rank = ctx.rank();
+    let range = part.range(rank);
+    let nloc = range.len();
+
+    ctx.set_phase(Phase::Setup);
+    let mut full = vec![0.0f64; part.n()];
+    let b_loc = &shared.b[range.clone()];
+    let bb_loc = dot(b_loc, b_loc);
+    ctx.charge_flops(2 * nloc as u64);
+    let bnorm2 = ctx.allreduce_sum_scalar(bb_loc);
+    assert!(bnorm2 > 0.0, "zero right-hand side: x = 0 is the solution");
+
+    let mut st = NodeState::new(nloc);
+    let rr0 = init_state(ctx, shared, &mut st, &mut full);
+    let mut relres = (rr0 / bnorm2).sqrt();
+
+    let mut j: usize = 0;
+    let mut next_event = 0usize;
+    let mut recovery_reports: Vec<RecoveryOutcome> = Vec::new();
+    let mut total_loop_trips = 0usize;
+    let mut converged = false;
+
+    loop {
+        if relres < cfg.rtol {
+            converged = true;
+            break;
+        }
+        if j >= cfg.max_iters {
+            break;
+        }
+        total_loop_trips += 1;
+
+        // --- IMCR checkpoint (before the SpMV, state is iteration j) ------
+        if checkpoint_iteration(cfg.strategy, j) {
+            checkpoint_exchange(ctx, shared, &mut st, j);
+        }
+
+        // --- SpMV / ASpMV --------------------------------------------------
+        let augmented = aspmv_iteration(cfg.strategy, j);
+        ctx.set_phase(Phase::SpMV);
+        if augmented {
+            let mut captured: Vec<(usize, f64)> = Vec::new();
+            exchange_halo(
+                ctx,
+                &shared.plan,
+                part,
+                &st.p,
+                j as u32,
+                &mut full,
+                Some(&mut captured),
+            );
+            aspmv_extras(ctx, shared, &st.p, range.start, j, &mut captured);
+            st.queue.push(j, captured);
+            ctx.set_phase(Phase::SpMV);
+        } else {
+            exchange_halo(ctx, &shared.plan, part, &st.p, j as u32, &mut full, None);
+        }
+        shared.a.spmv_rows_into(range.clone(), &full, &mut st.q);
+        ctx.charge_flops(shared.a.spmv_rows_flops(range.clone()));
+
+        // --- ESRP storage stage, second iteration: starred copies ---------
+        if storage_second(cfg.strategy, j) {
+            ctx.set_phase(Phase::Storage);
+            st.make_star(j);
+        }
+
+        // --- Failure injection + recovery ---------------------------------
+        if let Some(f) = cfg.failures.get(next_event) {
+            if f.triggers_at(j) {
+                next_event += 1;
+                let event = f.clone();
+                if event.affects(rank) {
+                    st.wipe();
+                }
+                let rec = recover(ctx, shared, &mut st, &mut full, j, &event);
+                j = rec.resumed_at;
+                recovery_reports.push(rec);
+                // Not converged; the residual norm is recomputed at the end
+                // of the re-executed iteration.
+                relres = f64::INFINITY;
+                continue;
+            }
+        }
+
+        // --- α = r·z / p·Ap ------------------------------------------------
+        ctx.set_phase(Phase::Reduction);
+        let pq_loc = dot(&st.p, &st.q);
+        ctx.charge_flops(2 * nloc as u64);
+        let pap = ctx.allreduce_sum_scalar(pq_loc);
+        assert!(
+            pap > 0.0,
+            "pᵀAp = {pap} ≤ 0: matrix not SPD to working precision"
+        );
+        let alpha = st.rz / pap;
+
+        // --- x += αp, r −= αq ----------------------------------------------
+        ctx.set_phase(Phase::VecOps);
+        axpy(alpha, &st.p, &mut st.x);
+        axpy(-alpha, &st.q, &mut st.r);
+        ctx.charge_flops(4 * nloc as u64);
+
+        // --- z = P r --------------------------------------------------------
+        ctx.set_phase(Phase::Precond);
+        shared.precond.apply_local(range.clone(), &st.r, &mut st.z);
+        ctx.charge_flops(shared.precond.apply_flops(range.clone()));
+
+        // --- β and the convergence norm (one fused reduction) -------------
+        ctx.set_phase(Phase::Reduction);
+        let rz_loc = dot(&st.r, &st.z);
+        let rr_loc = dot(&st.r, &st.r);
+        ctx.charge_flops(4 * nloc as u64);
+        let red = ctx.allreduce_sum(&[rz_loc, rr_loc]);
+        let (rz_new, rr) = (red[0], red[1]);
+        let beta = rz_new / st.rz;
+        st.rz = rz_new;
+
+        // --- ESRP storage stage, first iteration: stash β** ---------------
+        if storage_first(cfg.strategy, j) {
+            ctx.set_phase(Phase::Storage);
+            st.beta_ss = beta;
+        }
+
+        // --- p = z + βp -----------------------------------------------------
+        ctx.set_phase(Phase::VecOps);
+        axpby(1.0, &st.z, beta, &mut st.p);
+        ctx.charge_flops(2 * nloc as u64);
+        st.beta_prev = beta;
+
+        j += 1;
+        relres = (rr / bnorm2).sqrt();
+    }
+
+    // --- Accuracy: the paper's residual drift metric (Eq. 2) --------------
+    ctx.set_phase(Phase::Other);
+    exchange_halo(ctx, &shared.plan, part, &st.x, DRIFT_TAG, &mut full, None);
+    shared.a.spmv_rows_into(range.clone(), &full, &mut st.q);
+    ctx.charge_flops(shared.a.spmv_rows_flops(range.clone()));
+    let mut tr_loc = 0.0f64;
+    for i in 0..nloc {
+        let tri = shared.b[range.start + i] - st.q[i];
+        tr_loc += tri * tri;
+    }
+    let rr_loc = dot(&st.r, &st.r);
+    ctx.charge_flops(5 * nloc as u64);
+    let red = ctx.allreduce_sum(&[rr_loc, tr_loc]);
+    let rnorm = red[0].sqrt();
+    let true_rnorm = red[1].sqrt();
+    let bnorm = bnorm2.sqrt();
+
+    NodeOutcome {
+        converged,
+        iterations: j,
+        total_loop_trips,
+        final_relres: rnorm / bnorm,
+        true_relres: true_rnorm / bnorm,
+        residual_drift: (rnorm - true_rnorm) / true_rnorm,
+        x_local: st.x,
+        recoveries: recovery_reports,
+    }
+}
+
+/// Sends and receives the ASpMV extra redundant copies (paper §2.2.1) and
+/// appends everything received to `captured`.
+fn aspmv_extras(
+    ctx: &mut Ctx,
+    shared: &SharedProblem,
+    p_local: &[f64],
+    range_start: usize,
+    j: usize,
+    captured: &mut Vec<(usize, f64)>,
+) {
+    let aspmv = shared
+        .aspmv
+        .as_ref()
+        .expect("ASpMV iteration requires an augmentation plan");
+    let rank = ctx.rank();
+    ctx.set_phase(Phase::Storage);
+    let tag = Tag::Redundant.with(j as u32);
+    for (dst, gidx) in aspmv.extras_of(rank) {
+        let pairs: Vec<(usize, f64)> = gidx
+            .iter()
+            .map(|&g| (g, p_local[g - range_start]))
+            .collect();
+        ctx.send(*dst, tag, Payload::Pairs(pairs));
+    }
+    for &src in aspmv.extra_sources_of(rank) {
+        captured.extend(ctx.recv(src, tag).into_pairs());
+    }
+}
+
+/// One IMCR checkpoint round (paper §3.1): every rank sends its dynamic
+/// vectors to its φ buddies and keeps a local rollback copy.
+fn checkpoint_exchange(ctx: &mut Ctx, shared: &SharedProblem, st: &mut NodeState, j: usize) {
+    let buddies = shared
+        .buddies
+        .as_ref()
+        .expect("IMCR requires a buddy map");
+    let rank = ctx.rank();
+    ctx.set_phase(Phase::Checkpoint);
+    let tag = Tag::Checkpoint.with(j as u32);
+    let blob = st.checkpoint_blob();
+    for &d in buddies.out_buddies(rank) {
+        ctx.send(d, tag, Payload::F64s(blob.clone()));
+    }
+    for &s in buddies.in_buddies(rank) {
+        let data = ctx.recv(s, tag).into_f64s();
+        st.held_ckpts.insert(
+            s,
+            HeldCheckpoint {
+                iter: j,
+                blob: data,
+            },
+        );
+    }
+    st.take_own_checkpoint(j);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcg::pcg;
+    use esrcg_cluster::{run_spmd, CostModel, FailureSpec};
+    use esrcg_sparse::gen::poisson2d;
+    use esrcg_sparse::vector::max_abs_diff;
+
+    fn shared_for(
+        n_ranks: usize,
+        strategy: Strategy,
+        phi: usize,
+        failure: Option<FailureSpec>,
+    ) -> SharedProblem {
+        let a = poisson2d(12, 12);
+        let n = a.nrows();
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
+        let b = a.spmv(&x_true);
+        let mut cfg = SolverConfig::new(strategy, phi);
+        cfg.failures = failure.into_iter().collect();
+        SharedProblem::assemble(
+            a,
+            b,
+            vec![0.0; n],
+            n_ranks,
+            PrecondSpec::paper_default(),
+            cfg,
+        )
+        .expect("valid problem")
+    }
+
+    fn run(shared: SharedProblem, n_ranks: usize) -> (Vec<NodeOutcome>, f64) {
+        let shared = Arc::new(shared);
+        let out = run_spmd(n_ranks, CostModel::default(), {
+            let shared = shared.clone();
+            move |ctx| solve_node(ctx, &shared)
+        });
+        (out.results, out.modeled_time)
+    }
+
+    fn gather_x(outs: &[NodeOutcome]) -> Vec<f64> {
+        outs.iter().flat_map(|o| o.x_local.iter().copied()).collect()
+    }
+
+    #[test]
+    fn distributed_matches_sequential_reference() {
+        let shared = shared_for(4, Strategy::None, 0, None);
+        let seq = pcg(
+            &shared.a,
+            &shared.b,
+            &shared.x0,
+            shared.precond.as_ref(),
+            shared.cfg.rtol,
+            shared.cfg.max_iters,
+        );
+        let (outs, _) = run(shared_for(4, Strategy::None, 0, None), 4);
+        assert!(outs.iter().all(|o| o.converged));
+        assert_eq!(outs[0].iterations, seq.iterations);
+        let x = gather_x(&outs);
+        assert!(max_abs_diff(&x, &seq.x) < 1e-12);
+    }
+
+    #[test]
+    fn all_strategies_follow_identical_trajectories_failure_free() {
+        // Resilience without failures must not change the arithmetic: same
+        // iteration count, bitwise identical solution.
+        let (ref_outs, _) = run(shared_for(4, Strategy::None, 0, None), 4);
+        let ref_x = gather_x(&ref_outs);
+        let c = ref_outs[0].iterations;
+        for strategy in [
+            Strategy::esr(),
+            Strategy::Esrp { t: 5 },
+            Strategy::Esrp { t: 20 },
+            Strategy::Imcr { t: 5 },
+        ] {
+            let (outs, _) = run(shared_for(4, strategy, 2, None), 4);
+            assert!(outs.iter().all(|o| o.converged), "{strategy}");
+            assert_eq!(outs[0].iterations, c, "{strategy}");
+            assert_eq!(gather_x(&outs), ref_x, "{strategy}: bitwise identical");
+        }
+    }
+
+    #[test]
+    fn esrp_recovers_from_single_failure() {
+        let (ref_outs, _) = run(shared_for(4, Strategy::None, 0, None), 4);
+        let c = ref_outs[0].iterations;
+        let ref_x = gather_x(&ref_outs);
+        let failure = FailureSpec::contiguous(c / 2, 1, 1, 4);
+        let (outs, _) = run(shared_for(4, Strategy::Esrp { t: 5 }, 1, Some(failure)), 4);
+        assert!(outs.iter().all(|o| o.converged));
+        let rec = outs[0].recoveries.first().expect("recovery happened");
+        assert!(!rec.full_restart);
+        assert!(rec.resumed_at <= rec.failed_at);
+        assert!(rec.recovery_time > 0.0);
+        // Same trajectory ⇒ same iteration count and ~same solution.
+        assert_eq!(outs[0].iterations, c);
+        let x = gather_x(&outs);
+        assert!(max_abs_diff(&x, &ref_x) < 1e-8);
+    }
+
+    #[test]
+    fn esr_recovers_with_zero_wasted_iterations() {
+        let (ref_outs, _) = run(shared_for(4, Strategy::None, 0, None), 4);
+        let c = ref_outs[0].iterations;
+        let failure = FailureSpec::contiguous(c / 2, 2, 1, 4);
+        let (outs, _) = run(shared_for(4, Strategy::esr(), 1, Some(failure)), 4);
+        assert!(outs.iter().all(|o| o.converged));
+        let rec = outs[0].recoveries.first().unwrap();
+        assert_eq!(rec.wasted_iterations, 0, "ESR reconstructs the current iteration");
+        assert_eq!(outs[0].iterations, c);
+    }
+
+    #[test]
+    fn imcr_recovers_from_single_failure() {
+        let (ref_outs, _) = run(shared_for(4, Strategy::None, 0, None), 4);
+        let c = ref_outs[0].iterations;
+        let ref_x = gather_x(&ref_outs);
+        let failure = FailureSpec::contiguous(c / 2, 0, 1, 4);
+        let (outs, _) = run(shared_for(4, Strategy::Imcr { t: 5 }, 1, Some(failure)), 4);
+        assert!(outs.iter().all(|o| o.converged));
+        let rec = outs[0].recoveries.first().unwrap();
+        assert!(!rec.full_restart);
+        assert_eq!(rec.resumed_at, (c / 2) / 5 * 5);
+        // IMCR rollback is bitwise: identical trajectory and solution.
+        assert_eq!(outs[0].iterations, c);
+        assert_eq!(gather_x(&outs), ref_x);
+    }
+
+    #[test]
+    fn multi_rank_failure_recovers() {
+        let (ref_outs, _) = run(shared_for(6, Strategy::None, 0, None), 6);
+        let c = ref_outs[0].iterations;
+        let ref_x = gather_x(&ref_outs);
+        let failure = FailureSpec::contiguous(c / 2, 2, 3, 6);
+        let (outs, _) = run(
+            shared_for(6, Strategy::Esrp { t: 4 }, 3, Some(failure)),
+            6,
+        );
+        assert!(outs.iter().all(|o| o.converged));
+        assert_eq!(outs[0].iterations, c);
+        let x = gather_x(&outs);
+        assert!(max_abs_diff(&x, &ref_x) < 1e-8);
+    }
+
+    #[test]
+    fn failure_before_first_checkpoint_restarts() {
+        let failure = FailureSpec::contiguous(3, 0, 1, 4);
+        let (outs, _) = run(
+            shared_for(4, Strategy::Esrp { t: 50 }, 1, Some(failure)),
+            4,
+        );
+        assert!(outs.iter().all(|o| o.converged));
+        let rec = outs[0].recoveries.first().unwrap();
+        assert!(rec.full_restart);
+        assert_eq!(rec.resumed_at, 0);
+    }
+
+    #[test]
+    fn drift_metric_is_small_and_consistent() {
+        let (outs, _) = run(shared_for(4, Strategy::None, 0, None), 4);
+        for o in &outs {
+            assert_eq!(o.residual_drift, outs[0].residual_drift);
+            assert!(o.residual_drift.abs() < 1.0);
+            assert!(o.true_relres < 1e-6);
+        }
+    }
+
+    #[test]
+    fn modeled_time_reflects_redundancy_overhead() {
+        let (_, t_none) = run(shared_for(4, Strategy::None, 0, None), 4);
+        let (_, t_esr) = run(shared_for(4, Strategy::esr(), 3, None), 4);
+        let (_, t_esrp) = run(shared_for(4, Strategy::Esrp { t: 20 }, 3, None), 4);
+        assert!(t_esr > t_none, "ESR pays redundancy every iteration");
+        assert!(t_esrp > t_none, "ESRP pays some redundancy");
+        assert!(t_esrp < t_esr, "ESRP(T=20) must be cheaper than ESR");
+    }
+
+    #[test]
+    fn aspmv_iteration_schedule() {
+        let esr = Strategy::esr();
+        assert!(aspmv_iteration(esr, 0) && aspmv_iteration(esr, 7));
+        let esrp = Strategy::Esrp { t: 5 };
+        let expected: Vec<usize> = vec![5, 6, 10, 11, 15, 16];
+        let got: Vec<usize> = (0..18).filter(|&j| aspmv_iteration(esrp, j)).collect();
+        assert_eq!(got, expected);
+        assert!(!aspmv_iteration(Strategy::Imcr { t: 5 }, 5));
+        assert!(!aspmv_iteration(Strategy::None, 5));
+    }
+
+    #[test]
+    fn storage_stage_schedule() {
+        let esrp = Strategy::Esrp { t: 5 };
+        let firsts: Vec<usize> = (0..18).filter(|&j| storage_first(esrp, j)).collect();
+        let seconds: Vec<usize> = (0..18).filter(|&j| storage_second(esrp, j)).collect();
+        assert_eq!(firsts, vec![5, 10, 15]);
+        assert_eq!(seconds, vec![6, 11, 16]);
+        // ESR has no starred stages.
+        assert!((0..18).all(|j| !storage_first(Strategy::esr(), j)));
+        assert!((0..18).all(|j| !storage_second(Strategy::esr(), j)));
+    }
+
+    #[test]
+    fn checkpoint_schedule() {
+        let imcr = Strategy::Imcr { t: 4 };
+        let cks: Vec<usize> = (0..14).filter(|&j| checkpoint_iteration(imcr, j)).collect();
+        assert_eq!(cks, vec![4, 8, 12]);
+        assert!(!checkpoint_iteration(Strategy::esr(), 4));
+    }
+
+    #[test]
+    fn config_validation() {
+        let ok = SolverConfig::new(Strategy::Esrp { t: 5 }, 2);
+        assert!(ok.validate(8).is_ok());
+        let mut bad = SolverConfig::new(Strategy::Esrp { t: 5 }, 2);
+        bad.failures = vec![FailureSpec::contiguous(10, 0, 3, 8)];
+        assert!(bad.validate(8).is_err(), "psi > phi rejected");
+        let bad = SolverConfig::new(Strategy::Esrp { t: 5 }, 8);
+        assert!(bad.validate(8).is_err(), "phi >= n_ranks rejected");
+        let mut bad = SolverConfig::new(Strategy::None, 0);
+        bad.failures = vec![FailureSpec::contiguous(10, 0, 1, 8)];
+        assert!(bad.validate(8).is_err(), "failure without strategy rejected");
+    }
+}

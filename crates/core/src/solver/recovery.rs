@@ -1,0 +1,635 @@
+//! Recovery protocols: the ESR reconstruction (paper Alg. 2) adapted to
+//! ESRP rollback targets, and the IMCR checkpoint retrieval (paper §3.1).
+//!
+//! Both protocols run on *all* ranks after a failure is injected: survivors
+//! contribute data and roll their own state back; the failed ranks — acting
+//! as their own replacement nodes, as in the paper's framework (§4) —
+//! reconstruct or retrieve their lost state. Every message is addressed by
+//! `(source, tag)`, and the participants derive identical protocol decisions
+//! from shared static data, so the exchange is deterministic and cannot
+//! deadlock (sends never block).
+
+use esrcg_cluster::{Ctx, Payload, Phase, Tag};
+use esrcg_precond::{BlockJacobiPrecond, Preconditioner};
+use esrcg_sparse::vector::dot;
+use esrcg_sparse::Partition;
+
+use crate::solver::state::{NodeState, OwnCheckpoint};
+use crate::solver::{init_state, SharedProblem};
+use crate::strategy::Strategy;
+
+/// What a recovery did, as reported by every rank (identical everywhere
+/// except `inner_iterations`, which only the designated inner-solver rank
+/// knows; the driver takes the maximum over ranks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryOutcome {
+    /// The iteration at which the failure struck.
+    pub failed_at: usize,
+    /// The iteration the solver resumed from (ĵ for ESRP, the checkpoint
+    /// iteration for IMCR, 0 for a full restart).
+    pub resumed_at: usize,
+    /// Iterations that must be redone: `failed_at - resumed_at`.
+    pub wasted_iterations: usize,
+    /// True if no recovery point existed and the solver restarted from x⁰.
+    pub full_restart: bool,
+    /// Modeled seconds spent in recovery (clock-synchronized across ranks,
+    /// so identical on every rank).
+    pub recovery_time: f64,
+    /// Iterations of the inner `A[I_f, I_f]` solve (designated rank only;
+    /// 0 elsewhere and for IMCR).
+    pub inner_iterations: usize,
+}
+
+/// Runs the strategy's recovery protocol. The failed ranks must already
+/// have wiped their state ([`NodeState::wipe`]). Returns the outcome;
+/// afterwards every rank's state corresponds to iteration
+/// `outcome.resumed_at` and `st.rz` is current.
+pub(crate) fn recover(
+    ctx: &mut Ctx,
+    shared: &SharedProblem,
+    st: &mut NodeState,
+    full: &mut [f64],
+    j_f: usize,
+    event: &esrcg_cluster::FailureSpec,
+) -> RecoveryOutcome {
+    let t_start = ctx.barrier_sync_clock();
+    let (resumed_at, full_restart, inner_iterations) = match shared.cfg.strategy {
+        Strategy::None => panic!(
+            "node failure injected into a run without a resilience strategy — \
+             an unprotected solver loses all progress (the paper's motivating case)"
+        ),
+        Strategy::Esrp { t } => recover_esrp(ctx, shared, st, full, j_f, t, &event.ranks),
+        Strategy::Imcr { t } => recover_imcr(ctx, shared, st, full, j_f, t, &event.ranks),
+    };
+    let t_end = ctx.barrier_sync_clock();
+    RecoveryOutcome {
+        failed_at: j_f,
+        resumed_at,
+        wasted_iterations: j_f - resumed_at,
+        full_restart,
+        recovery_time: t_end - t_start,
+        inner_iterations,
+    }
+}
+
+/// The rollback target ĵ for ESR/ESRP given the failure iteration.
+///
+/// * ESR (`t == 1`): the ASpMV of iteration `j_f` has already pushed
+///   `p'(j_f)`, so ĵ = j_f as long as `p'(j_f − 1)` exists (`j_f >= 1`).
+/// * ESRP (`t >= 3`): the last *complete* storage stage (mT, mT+1) with
+///   `mT + 1 <= j_f` gives ĵ = mT + 1; none exists before the first stage.
+pub fn esrp_rollback_target(j_f: usize, t: usize) -> Option<usize> {
+    if t == 1 {
+        (j_f >= 1).then_some(j_f)
+    } else {
+        if j_f == 0 {
+            return None;
+        }
+        let m = (j_f - 1) / t;
+        (m >= 1).then(|| m * t + 1)
+    }
+}
+
+/// The rollback target for IMCR: the newest checkpoint iteration `mT <= j_f`
+/// (checkpoints start at `T`).
+pub fn imcr_rollback_target(j_f: usize, t: usize) -> Option<usize> {
+    let m = j_f / t;
+    (m >= 1).then(|| m * t)
+}
+
+/// ESR/ESRP recovery (paper Alg. 2 + the ESRP rollback of §3).
+fn recover_esrp(
+    ctx: &mut Ctx,
+    shared: &SharedProblem,
+    st: &mut NodeState,
+    full: &mut [f64],
+    j_f: usize,
+    t: usize,
+    failed: &[usize],
+) -> (usize, bool, usize) {
+    let part = &*shared.part;
+    let me = ctx.rank();
+    let n_ranks = ctx.size();
+    let mut failed_sorted = failed.to_vec();
+    failed_sorted.sort_unstable();
+    let am_failed = failed_sorted.binary_search(&me).is_ok();
+    let is_failed = |r: usize| failed_sorted.binary_search(&r).is_ok();
+
+    let Some(jhat) = esrp_rollback_target(j_f, t) else {
+        // No recovery point yet: restart the whole solve from x0 (static
+        // data is retrievable from safe storage; see DESIGN.md §2.4 — the
+        // paper's experiments never hit this case, ours test it).
+        full_restart(ctx, shared, st, full);
+        return (0, true, 0);
+    };
+
+    // --- Survivors roll back to the storage-stage state -------------------
+    ctx.set_phase(Phase::RecoveryReset);
+    if !am_failed {
+        if t > 1 {
+            debug_assert_eq!(
+                st.star.as_ref().map(|s| s.iter),
+                Some(jhat),
+                "starred copies must match the rollback target"
+            );
+            st.rollback_to_star();
+        }
+        // ESR (t == 1): the current state *is* the iteration-ĵ state.
+        st.queue.purge_after(jhat);
+    }
+
+    // --- Replacements retrieve β^(ĵ−1) from the lowest surviving rank -----
+    ctx.set_phase(Phase::RecoveryGather);
+    let scalar_root = (0..n_ranks)
+        .find(|&r| !is_failed(r))
+        .expect("at least one rank survives");
+    if me == scalar_root {
+        for &f in &failed_sorted {
+            ctx.send(f, Tag::RecoveryScalar.bare(), Payload::Scalar(st.beta_prev));
+        }
+    }
+    let beta = if am_failed {
+        ctx.recv(scalar_root, Tag::RecoveryScalar.bare())
+            .into_scalar()
+    } else {
+        st.beta_prev
+    };
+
+    // --- Redundant copies of p^(ĵ−1), p^(ĵ) flow to the replacements ------
+    // Every survivor scans its queue for entries owned by each failed rank;
+    // replacements assemble their chunks and verify full coverage.
+    let mut p_prev = vec![0.0f64; st.p.len()];
+    let mut p_cur = vec![0.0f64; st.p.len()];
+    if !am_failed {
+        for &f in &failed_sorted {
+            let fr = part.range(f);
+            let prev = st.queue.entries_in_range(jhat - 1, fr.start, fr.end);
+            let cur = st.queue.entries_in_range(jhat, fr.start, fr.end);
+            ctx.send(f, Tag::RecoveryCopies.with(0), Payload::Pairs(prev));
+            ctx.send(f, Tag::RecoveryCopies.with(1), Payload::Pairs(cur));
+        }
+    } else {
+        let range = part.range(me);
+        let mut cov_prev = vec![false; range.len()];
+        let mut cov_cur = vec![false; range.len()];
+        for src in 0..n_ranks {
+            if src == me || is_failed(src) {
+                continue;
+            }
+            for (sel, target, cov) in [
+                (0u32, &mut p_prev, &mut cov_prev),
+                (1u32, &mut p_cur, &mut cov_cur),
+            ] {
+                let pairs = ctx.recv(src, Tag::RecoveryCopies.with(sel)).into_pairs();
+                for (g, v) in pairs {
+                    debug_assert!(range.contains(&g), "copy outside my range");
+                    target[g - range.start] = v;
+                    cov[g - range.start] = true;
+                }
+            }
+        }
+        assert!(
+            cov_prev.iter().all(|&c| c) && cov_cur.iter().all(|&c| c),
+            "insufficient redundancy: some entries of the lost search directions \
+             survive on no rank (phi too small for this failure?)"
+        );
+    }
+
+    // --- Halo of the rolled-back x (and r, for cross-rank preconditioners)
+    let coupling = shared.precond.couples_across_ranks();
+    if !am_failed {
+        let range = part.range(me);
+        for (dst, gidx) in shared.plan.sends_of(me) {
+            if is_failed(*dst) {
+                let xs: Vec<f64> = gidx.iter().map(|&g| st.x[g - range.start]).collect();
+                ctx.send(*dst, Tag::RecoveryHalo.with(0), Payload::F64s(xs));
+                if coupling {
+                    let rs: Vec<f64> = gidx.iter().map(|&g| st.r[g - range.start]).collect();
+                    ctx.send(*dst, Tag::RecoveryHalo.with(1), Payload::F64s(rs));
+                }
+            }
+        }
+    }
+    let mut r_full = if coupling && am_failed {
+        Some(vec![0.0f64; part.n()])
+    } else {
+        None
+    };
+    if am_failed {
+        for (src, gidx) in shared.plan.recvs_of(me) {
+            if is_failed(*src) {
+                continue;
+            }
+            let xs = ctx.recv(*src, Tag::RecoveryHalo.with(0)).into_f64s();
+            for (&g, &v) in gidx.iter().zip(xs.iter()) {
+                full[g] = v;
+            }
+            if let Some(rf) = r_full.as_mut() {
+                let rs = ctx.recv(*src, Tag::RecoveryHalo.with(1)).into_f64s();
+                for (&g, &v) in gidx.iter().zip(rs.iter()) {
+                    rf[g] = v;
+                }
+            }
+        }
+    }
+
+    // --- Reconstruction math (paper Alg. 2) on the replacements -----------
+    let mut inner_iterations = 0usize;
+    if am_failed {
+        ctx.set_phase(Phase::RecoveryInner);
+        let range = part.range(me);
+        let nloc = range.len();
+        let my_idx: Vec<usize> = range.clone().collect();
+
+        // Line 4: z_f = p^(ĵ)_f − β^(ĵ−1) p^(ĵ−1)_f.
+        for i in 0..nloc {
+            st.z[i] = p_cur[i] - beta * p_prev[i];
+        }
+        ctx.charge_flops(2 * nloc as u64);
+
+        // Line 5: v = z_f − P[f, s] r_s (zero for node-local preconditioners).
+        let mut v = st.z.clone();
+        if let Some(rf) = r_full.as_ref() {
+            let off = shared.precond.apply_offdiag(&my_idx, rf);
+            for (vi, oi) in v.iter_mut().zip(off.iter()) {
+                *vi -= oi;
+            }
+            ctx.charge_flops(nloc as u64);
+        }
+
+        // Line 6: solve P[f, f] r_f = v — exact for block-local operators.
+        st.r = shared.precond.solve_restricted(&my_idx, &v);
+        ctx.charge_flops(shared.precond.solve_restricted_flops(nloc));
+
+        // Line 7: w = b_f − r_f − A[f, s] x_s. `full` carries the surviving
+        // x at exactly the halo positions my rows read; columns owned by
+        // failed ranks are masked out and handled by the inner solve.
+        let in_failed_idx = build_failed_mask(part, &failed_sorted);
+        let ax = shared
+            .a
+            .spmv_rows_masked(&my_idx, full, |c| in_failed_idx[c]);
+        ctx.charge_flops(shared.a.spmv_rows_flops(range.clone()));
+        let mut w = vec![0.0f64; nloc];
+        for i in 0..nloc {
+            w[i] = shared.b[range.start + i] - st.r[i] - ax[i];
+        }
+        ctx.charge_flops(2 * nloc as u64);
+
+        // Line 8: solve A[I_f, I_f] x_f = w. The failed ranks' rows couple,
+        // so the union system is solved by a *distributed* PCG over the
+        // replacement subgroup — each replacement owns its own rows, halo
+        // entries travel between replacements over the same index sets as
+        // the outer SpMV plan, and dot products reduce linearly through the
+        // lowest failed rank. This mirrors the paper's recovery running on
+        // the replacement nodes (and is why its recovery cost scales with
+        // the inner system rather than with the whole machine).
+        let (x_f, iters) =
+            distributed_inner_solve(ctx, shared, &failed_sorted, &w, &in_failed_idx);
+        inner_iterations = iters;
+        st.x.copy_from_slice(&x_f);
+
+        // Restore the rest of the replacement's state for iteration ĵ.
+        st.p.copy_from_slice(&p_cur);
+        st.beta_prev = beta;
+        if t > 1 {
+            // ĵ = mT+1 is a storage-stage end: re-establish the starred
+            // copies and β** so the replacement is indistinguishable from a
+            // survivor when the loop re-executes iteration ĵ.
+            st.beta_ss = beta;
+            st.make_star(jhat);
+        }
+    }
+
+    // --- All ranks: recompute the replicated r·z for iteration ĵ ----------
+    ctx.set_phase(Phase::RecoveryReset);
+    let rz_loc = dot(&st.r, &st.z);
+    ctx.charge_flops(2 * st.r.len() as u64);
+    st.rz = ctx.allreduce_sum_scalar(rz_loc);
+
+    (jhat, false, inner_iterations)
+}
+
+/// IMCR recovery: replacements fetch the newest checkpoint from their first
+/// surviving buddy; survivors roll back locally.
+fn recover_imcr(
+    ctx: &mut Ctx,
+    shared: &SharedProblem,
+    st: &mut NodeState,
+    full: &mut [f64],
+    j_f: usize,
+    t: usize,
+    failed: &[usize],
+) -> (usize, bool, usize) {
+    let me = ctx.rank();
+    let mut failed_sorted = failed.to_vec();
+    failed_sorted.sort_unstable();
+    let am_failed = failed_sorted.binary_search(&me).is_ok();
+
+    let Some(jc) = imcr_rollback_target(j_f, t) else {
+        full_restart(ctx, shared, st, full);
+        return (0, true, 0);
+    };
+
+    let buddies = shared
+        .buddies
+        .as_ref()
+        .expect("IMCR requires a buddy map");
+
+    ctx.set_phase(Phase::RecoveryGather);
+    if !am_failed {
+        // Am I the designated sender for any failed rank?
+        for &f in &failed_sorted {
+            if buddies.first_surviving_buddy(f, &failed_sorted) == Some(me) {
+                let held = st
+                    .held_ckpts
+                    .get(&f)
+                    .expect("buddy holds the owner's checkpoint");
+                assert_eq!(held.iter, jc, "held checkpoint must be the newest");
+                ctx.send(
+                    f,
+                    Tag::RecoveryCkpt.with(f as u32),
+                    Payload::F64s(held.blob.clone()),
+                );
+            }
+        }
+    } else {
+        let sender = buddies
+            .first_surviving_buddy(me, &failed_sorted)
+            .expect("at least one buddy survives when psi <= phi");
+        let blob = ctx
+            .recv(sender, Tag::RecoveryCkpt.with(me as u32))
+            .into_f64s();
+        st.restore_from_blob(&blob);
+        // The replacement's own rollback copy is its restored state.
+        st.own_ckpt = Some(OwnCheckpoint {
+            iter: jc,
+            x: st.x.clone(),
+            r: st.r.clone(),
+            z: st.z.clone(),
+            p: st.p.clone(),
+            beta_prev: st.beta_prev,
+        });
+    }
+
+    ctx.set_phase(Phase::RecoveryReset);
+    if !am_failed {
+        debug_assert_eq!(
+            st.own_ckpt.as_ref().map(|c| c.iter),
+            Some(jc),
+            "survivor checkpoint must match the rollback target"
+        );
+        st.rollback_to_checkpoint();
+        // Held checkpoints for ranks that failed are kept: they are exactly
+        // the data just restored; newer held data cannot exist.
+    }
+
+    let rz_loc = dot(&st.r, &st.z);
+    ctx.charge_flops(2 * st.r.len() as u64);
+    st.rz = ctx.allreduce_sum_scalar(rz_loc);
+
+    (jc, false, 0)
+}
+
+/// Distributed PCG over the replacement subgroup for the inner system
+/// `A[I_f, I_f] x_f = w` (paper Alg. 2, line 8), to the configured inner
+/// tolerance. Only the failed ranks call this; every one of them owns its
+/// original row range restricted to the columns in `I_f`.
+///
+/// * Halo exchange between replacements reuses the outer SpMV plan's index
+///   sets (the columns of `A[I_f2, I_f1]` are exactly the plan's
+///   `I_{f1,f2}` lists — masking columns only removes non-failed owners).
+/// * Dot products reduce linearly through the lowest failed rank (ψ ≤ 8,
+///   so a tree buys nothing).
+/// * Each replacement preconditions its own diagonal block with block
+///   Jacobi (max block size per the config), matching the paper's choice of
+///   the same preconditioner for the inner systems.
+///
+/// Returns `(x_f local chunk, inner iterations)`.
+fn distributed_inner_solve(
+    ctx: &mut Ctx,
+    shared: &SharedProblem,
+    failed_sorted: &[usize],
+    w: &[f64],
+    in_failed_idx: &[bool],
+) -> (Vec<f64>, usize) {
+    let me = ctx.rank();
+    let part = &*shared.part;
+    let range = part.range(me);
+    let nloc = range.len();
+    let my_rows: Vec<usize> = range.clone().collect();
+    let designated = failed_sorted[0];
+    let is_failed = |r: usize| failed_sorted.binary_search(&r).is_ok();
+
+    // Sub-group reduction: linear gather at the designated rank (in sorted
+    // rank order, so the floating-point result is deterministic), then fan
+    // the result back out.
+    let mut seq: u32 = 0;
+    macro_rules! subreduce {
+        ($vals:expr) => {{
+            seq += 1;
+            let tag = Tag::RecoveryInner.with(seq);
+            let vals: Vec<f64> = $vals;
+            if me == designated {
+                let mut acc = vals;
+                for &f in failed_sorted {
+                    if f == designated {
+                        continue;
+                    }
+                    let incoming = ctx.recv(f, tag).into_f64s();
+                    for (a, b) in acc.iter_mut().zip(incoming.iter()) {
+                        *a += b;
+                    }
+                }
+                seq += 1;
+                let tag2 = Tag::RecoveryInner.with(seq);
+                for &f in failed_sorted {
+                    if f == designated {
+                        continue;
+                    }
+                    ctx.send(f, tag2, Payload::F64s(acc.clone()));
+                }
+                acc
+            } else {
+                ctx.send(designated, tag, Payload::F64s(vals));
+                seq += 1;
+                let tag2 = Tag::RecoveryInner.with(seq);
+                ctx.recv(designated, tag2).into_f64s()
+            }
+        }};
+    }
+
+    // Halo exchange of the search direction among replacements, scattering
+    // into a full-length scratch vector (only `I_f` positions are read by
+    // the masked SpMV).
+    let mut p_full = vec![0.0f64; part.n()];
+    macro_rules! exchange_inner_halo {
+        ($p_local:expr) => {{
+            seq += 1;
+            let tag = Tag::RecoveryInner.with(seq);
+            let p_local: &[f64] = $p_local;
+            p_full[range.clone()].copy_from_slice(p_local);
+            for (dst, gidx) in shared.plan.sends_of(me) {
+                if is_failed(*dst) {
+                    let vals: Vec<f64> =
+                        gidx.iter().map(|&g| p_local[g - range.start]).collect();
+                    ctx.send(*dst, tag, Payload::F64s(vals));
+                }
+            }
+            for (src, gidx) in shared.plan.recvs_of(me) {
+                if is_failed(*src) {
+                    let vals = ctx.recv(*src, tag).into_f64s();
+                    for (&g, &v) in gidx.iter().zip(vals.iter()) {
+                        p_full[g] = v;
+                    }
+                }
+            }
+        }};
+    }
+
+    // Per-replacement preconditioner on the own diagonal block. Extracting
+    // the block is static-data access (excluded from overheads, like the
+    // paper's static reloads); factoring it is recovery work.
+    let a_local = shared.a.principal_submatrix(&my_rows);
+    let local_part = Partition::balanced(nloc, 1);
+    let inner_precond =
+        BlockJacobiPrecond::new(&a_local, &local_part, shared.cfg.inner_max_block)
+            .expect("principal submatrix of an SPD matrix is SPD");
+    ctx.charge_flops(
+        (shared.cfg.inner_max_block * shared.cfg.inner_max_block) as u64 * nloc as u64,
+    );
+    let spmv_flops = shared.a.spmv_rows_flops(range.clone());
+
+    // PCG on the inner system, distributed over the replacements.
+    let mut x = vec![0.0f64; nloc];
+    let mut r = w.to_vec();
+    let mut z = vec![0.0f64; nloc];
+    inner_precond.apply_local(0..nloc, &r, &mut z);
+    ctx.charge_flops(inner_precond.apply_flops(0..nloc));
+    let mut p = z.clone();
+    let reduced = subreduce!(vec![
+        dot(&r, &z),
+        dot(w, w),
+        dot(&r, &r)
+    ]);
+    ctx.charge_flops(6 * nloc as u64);
+    let mut rz = reduced[0];
+    let wnorm = reduced[1].sqrt();
+    let mut relres = if wnorm > 0.0 {
+        reduced[2].sqrt() / wnorm
+    } else {
+        0.0
+    };
+
+    let mut iterations = 0usize;
+    while relres >= shared.cfg.inner_rtol && iterations < shared.cfg.inner_max_iters {
+        exchange_inner_halo!(&p);
+        let q = shared
+            .a
+            .spmv_rows_masked(&my_rows, &p_full, |c| !in_failed_idx[c]);
+        ctx.charge_flops(spmv_flops);
+        let pap = subreduce!(vec![dot(&p, &q)])[0];
+        ctx.charge_flops(2 * nloc as u64);
+        if pap <= 0.0 {
+            break; // numerical breakdown; accept the current iterate
+        }
+        let alpha = rz / pap;
+        for i in 0..nloc {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * q[i];
+        }
+        ctx.charge_flops(4 * nloc as u64);
+        inner_precond.apply_local(0..nloc, &r, &mut z);
+        ctx.charge_flops(inner_precond.apply_flops(0..nloc));
+        let reduced = subreduce!(vec![dot(&r, &z), dot(&r, &r)]);
+        ctx.charge_flops(4 * nloc as u64);
+        let rz_new = reduced[0];
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..nloc {
+            p[i] = z[i] + beta * p[i];
+        }
+        ctx.charge_flops(2 * nloc as u64);
+        iterations += 1;
+        relres = if wnorm > 0.0 {
+            reduced[1].sqrt() / wnorm
+        } else {
+            0.0
+        };
+    }
+    (x, iterations)
+}
+
+/// Restart from scratch: re-initialize every rank from the static data.
+fn full_restart(ctx: &mut Ctx, shared: &SharedProblem, st: &mut NodeState, full: &mut [f64]) {
+    ctx.set_phase(Phase::RecoveryReset);
+    let nloc = shared.part.local_len(ctx.rank());
+    *st = NodeState::new(nloc);
+    init_state(ctx, shared, st, full);
+}
+
+/// Bitmask over global indices: true where the index is owned by a failed
+/// rank.
+fn build_failed_mask(part: &Partition, failed_sorted: &[usize]) -> Vec<bool> {
+    let mut mask = vec![false; part.n()];
+    for &f in failed_sorted {
+        for i in part.range(f) {
+            mask[i] = true;
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn esrp_rollback_targets() {
+        // ESR: roll back to the failure iteration itself.
+        assert_eq!(esrp_rollback_target(0, 1), None);
+        assert_eq!(esrp_rollback_target(1, 1), Some(1));
+        assert_eq!(esrp_rollback_target(57, 1), Some(57));
+
+        // ESRP T = 5: stages complete at 6, 11, 16, ...
+        let t = 5;
+        assert_eq!(esrp_rollback_target(0, t), None);
+        assert_eq!(esrp_rollback_target(5, t), None, "stage at 5 incomplete");
+        assert_eq!(esrp_rollback_target(6, t), Some(6));
+        assert_eq!(esrp_rollback_target(9, t), Some(6));
+        assert_eq!(
+            esrp_rollback_target(10, t),
+            Some(6),
+            "failure at the first storage iteration falls back a stage"
+        );
+        assert_eq!(esrp_rollback_target(11, t), Some(11));
+        assert_eq!(esrp_rollback_target(14, t), Some(11));
+    }
+
+    #[test]
+    fn paper_example_rollback() {
+        // Paper §3: failure right after the queue gains p'(2T) recovers the
+        // state for iteration T+1.
+        let t = 20;
+        assert_eq!(esrp_rollback_target(2 * t, t), Some(t + 1));
+        assert_eq!(esrp_rollback_target(2 * t + 1, t), Some(2 * t + 1));
+    }
+
+    #[test]
+    fn imcr_rollback_targets() {
+        assert_eq!(imcr_rollback_target(0, 20), None);
+        assert_eq!(imcr_rollback_target(19, 20), None);
+        assert_eq!(imcr_rollback_target(20, 20), Some(20));
+        assert_eq!(imcr_rollback_target(39, 20), Some(20));
+        assert_eq!(imcr_rollback_target(40, 20), Some(40));
+    }
+
+    #[test]
+    fn failed_mask_marks_ranges() {
+        let part = Partition::balanced(12, 4);
+        let mask = build_failed_mask(&part, &[1, 3]);
+        for (i, &m) in mask.iter().enumerate() {
+            let expect = (3..6).contains(&i) || (9..12).contains(&i);
+            assert_eq!(m, expect, "index {i}");
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Per-node dynamic solver state.
+//!
+//! Everything in `NodeState` is *dynamic data* in the paper's sense
+//! (§1.1): it is lost when the node fails. Static data (matrix rows,
+//! preconditioner, right-hand side) lives in
+//! [`SharedProblem`](crate::solver::SharedProblem) and is considered
+//! re-loadable from safe storage.
+
+use std::collections::HashMap;
+
+use crate::queue::RedundancyQueue;
+
+/// The starred local copies of ESRP (paper §3): the state at the end of the
+/// last completed storage stage, duplicated locally by every node so that
+/// survivors can roll back without communication.
+#[derive(Debug, Clone)]
+pub(crate) struct StarCopies {
+    /// The iteration ĵ = mT+1 these copies belong to.
+    pub iter: usize,
+    pub x: Vec<f64>,
+    pub r: Vec<f64>,
+    pub z: Vec<f64>,
+    pub p: Vec<f64>,
+    /// β* = β^(ĵ−1), needed to reconstruct z at the replacement nodes.
+    pub beta_star: f64,
+}
+
+/// A node's own IMCR rollback copy (kept locally; the same data is also sent
+/// to the buddy ranks).
+#[derive(Debug, Clone)]
+pub(crate) struct OwnCheckpoint {
+    pub iter: usize,
+    pub x: Vec<f64>,
+    pub r: Vec<f64>,
+    pub z: Vec<f64>,
+    pub p: Vec<f64>,
+    pub beta_prev: f64,
+}
+
+/// A checkpoint this node holds **for another rank** (IMCR buddy storage):
+/// the owner's `[x; r; z; p; beta_prev]` concatenated.
+#[derive(Debug, Clone)]
+pub(crate) struct HeldCheckpoint {
+    pub iter: usize,
+    /// `4·nloc(owner) + 1` values: x, r, z, p chunks then β.
+    pub blob: Vec<f64>,
+}
+
+/// All dynamic data of one simulated node.
+#[derive(Debug, Clone)]
+pub(crate) struct NodeState {
+    /// Local chunk of the iterand x.
+    pub x: Vec<f64>,
+    /// Local chunk of the residual r.
+    pub r: Vec<f64>,
+    /// Local chunk of the preconditioned residual z.
+    pub z: Vec<f64>,
+    /// Local chunk of the search direction p.
+    pub p: Vec<f64>,
+    /// Local chunk of q = A p (scratch, recomputed every iteration).
+    pub q: Vec<f64>,
+    /// The replicated scalar r·z of the current iteration.
+    pub rz: f64,
+    /// The replicated scalar β of the previous iteration.
+    pub beta_prev: f64,
+    /// β** — the β stashed during the first iteration of the current
+    /// storage stage (promoted to β* during the second).
+    pub beta_ss: f64,
+    /// ESRP starred copies (None before the first completed storage stage).
+    pub star: Option<StarCopies>,
+    /// Redundant search-direction copies this node holds for others.
+    pub queue: RedundancyQueue,
+    /// IMCR: own rollback copy.
+    pub own_ckpt: Option<OwnCheckpoint>,
+    /// IMCR: checkpoints held for other ranks, keyed by owner rank.
+    pub held_ckpts: HashMap<usize, HeldCheckpoint>,
+}
+
+impl NodeState {
+    /// Fresh (pre-initialization) state for a node owning `nloc` indices.
+    pub fn new(nloc: usize) -> Self {
+        NodeState {
+            x: vec![0.0; nloc],
+            r: vec![0.0; nloc],
+            z: vec![0.0; nloc],
+            p: vec![0.0; nloc],
+            q: vec![0.0; nloc],
+            rz: 0.0,
+            beta_prev: 0.0,
+            beta_ss: 0.0,
+            star: None,
+            queue: RedundancyQueue::new(),
+            own_ckpt: None,
+            held_ckpts: HashMap::new(),
+        }
+    }
+
+    /// Simulates the node failure exactly as the paper does (§4): zero out
+    /// every vector entry and scalar, and drop all redundant/checkpoint
+    /// data residing on this node.
+    pub fn wipe(&mut self) {
+        self.x.fill(0.0);
+        self.r.fill(0.0);
+        self.z.fill(0.0);
+        self.p.fill(0.0);
+        self.q.fill(0.0);
+        self.rz = 0.0;
+        self.beta_prev = 0.0;
+        self.beta_ss = 0.0;
+        self.star = None;
+        self.queue.clear();
+        self.own_ckpt = None;
+        self.held_ckpts.clear();
+    }
+
+    /// Takes the starred copies at iteration `iter` (ESRP storage stage,
+    /// second iteration): duplicates x, r, z, p and promotes β** → β*.
+    pub fn make_star(&mut self, iter: usize) {
+        self.star = Some(StarCopies {
+            iter,
+            x: self.x.clone(),
+            r: self.r.clone(),
+            z: self.z.clone(),
+            p: self.p.clone(),
+            beta_star: self.beta_ss,
+        });
+    }
+
+    /// Rolls this node back to its starred copies (survivor side of ESRP
+    /// recovery).
+    ///
+    /// # Panics
+    /// Panics if no starred copies exist — callers must have established
+    /// that a storage stage completed.
+    pub fn rollback_to_star(&mut self) {
+        let star = self.star.as_ref().expect("rollback requires starred copies");
+        self.x.copy_from_slice(&star.x);
+        self.r.copy_from_slice(&star.r);
+        self.z.copy_from_slice(&star.z);
+        self.p.copy_from_slice(&star.p);
+        self.beta_prev = star.beta_star;
+    }
+
+    /// Records the node's own IMCR checkpoint at iteration `iter`.
+    pub fn take_own_checkpoint(&mut self, iter: usize) {
+        self.own_ckpt = Some(OwnCheckpoint {
+            iter,
+            x: self.x.clone(),
+            r: self.r.clone(),
+            z: self.z.clone(),
+            p: self.p.clone(),
+            beta_prev: self.beta_prev,
+        });
+    }
+
+    /// Rolls this node back to its own IMCR checkpoint (survivor side).
+    ///
+    /// # Panics
+    /// Panics if no checkpoint exists.
+    pub fn rollback_to_checkpoint(&mut self) {
+        let c = self
+            .own_ckpt
+            .as_ref()
+            .expect("rollback requires a checkpoint");
+        self.x.copy_from_slice(&c.x);
+        self.r.copy_from_slice(&c.r);
+        self.z.copy_from_slice(&c.z);
+        self.p.copy_from_slice(&c.p);
+        self.beta_prev = c.beta_prev;
+    }
+
+    /// Serializes `[x; r; z; p; beta_prev]` for buddy checkpointing.
+    pub fn checkpoint_blob(&self) -> Vec<f64> {
+        let nloc = self.x.len();
+        let mut blob = Vec::with_capacity(4 * nloc + 1);
+        blob.extend_from_slice(&self.x);
+        blob.extend_from_slice(&self.r);
+        blob.extend_from_slice(&self.z);
+        blob.extend_from_slice(&self.p);
+        blob.push(self.beta_prev);
+        blob
+    }
+
+    /// Restores the node's vectors and β from a checkpoint blob.
+    ///
+    /// # Panics
+    /// Panics if the blob length does not match `4·nloc + 1`.
+    pub fn restore_from_blob(&mut self, blob: &[f64]) {
+        let nloc = self.x.len();
+        assert_eq!(blob.len(), 4 * nloc + 1, "checkpoint blob length mismatch");
+        self.x.copy_from_slice(&blob[0..nloc]);
+        self.r.copy_from_slice(&blob[nloc..2 * nloc]);
+        self.z.copy_from_slice(&blob[2 * nloc..3 * nloc]);
+        self.p.copy_from_slice(&blob[3 * nloc..4 * nloc]);
+        self.beta_prev = blob[4 * nloc];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(nloc: usize) -> NodeState {
+        let mut st = NodeState::new(nloc);
+        for i in 0..nloc {
+            st.x[i] = i as f64;
+            st.r[i] = 10.0 + i as f64;
+            st.z[i] = 20.0 + i as f64;
+            st.p[i] = 30.0 + i as f64;
+        }
+        st.rz = 1.5;
+        st.beta_prev = 0.25;
+        st
+    }
+
+    #[test]
+    fn wipe_zeroes_everything() {
+        let mut st = filled(3);
+        st.make_star(7);
+        st.take_own_checkpoint(5);
+        st.queue.push(7, vec![(0, 1.0)]);
+        st.held_ckpts.insert(
+            2,
+            HeldCheckpoint {
+                iter: 5,
+                blob: vec![1.0],
+            },
+        );
+        st.wipe();
+        assert!(st.x.iter().all(|&v| v == 0.0));
+        assert!(st.p.iter().all(|&v| v == 0.0));
+        assert_eq!(st.rz, 0.0);
+        assert_eq!(st.beta_prev, 0.0);
+        assert!(st.star.is_none());
+        assert!(st.queue.is_empty());
+        assert!(st.own_ckpt.is_none());
+        assert!(st.held_ckpts.is_empty());
+    }
+
+    #[test]
+    fn star_round_trip() {
+        let mut st = filled(4);
+        st.beta_ss = 0.75;
+        st.make_star(11);
+        // Mutate, then roll back.
+        st.x.fill(-1.0);
+        st.r.fill(-1.0);
+        st.z.fill(-1.0);
+        st.p.fill(-1.0);
+        st.beta_prev = 9.0;
+        st.rollback_to_star();
+        assert_eq!(st.x[2], 2.0);
+        assert_eq!(st.r[0], 10.0);
+        assert_eq!(st.z[3], 23.0);
+        assert_eq!(st.p[1], 31.0);
+        assert_eq!(st.beta_prev, 0.75, "beta* promoted from beta**");
+        assert_eq!(st.star.as_ref().unwrap().iter, 11);
+    }
+
+    #[test]
+    fn checkpoint_blob_round_trip() {
+        let st = filled(3);
+        let blob = st.checkpoint_blob();
+        assert_eq!(blob.len(), 13);
+        let mut st2 = NodeState::new(3);
+        st2.restore_from_blob(&blob);
+        assert_eq!(st2.x, st.x);
+        assert_eq!(st2.r, st.r);
+        assert_eq!(st2.z, st.z);
+        assert_eq!(st2.p, st.p);
+        assert_eq!(st2.beta_prev, st.beta_prev);
+    }
+
+    #[test]
+    fn own_checkpoint_round_trip() {
+        let mut st = filled(2);
+        st.take_own_checkpoint(20);
+        st.x.fill(0.0);
+        st.beta_prev = -1.0;
+        st.rollback_to_checkpoint();
+        assert_eq!(st.x, vec![0.0_f64, 1.0]);
+        assert_eq!(st.beta_prev, 0.25);
+        assert_eq!(st.own_ckpt.as_ref().unwrap().iter, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "starred copies")]
+    fn rollback_without_star_panics() {
+        NodeState::new(2).rollback_to_star();
+    }
+
+    #[test]
+    #[should_panic(expected = "blob length")]
+    fn bad_blob_rejected() {
+        NodeState::new(3).restore_from_blob(&[0.0; 5]);
+    }
+}

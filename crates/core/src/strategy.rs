@@ -1,0 +1,144 @@
+//! Resilience strategy configuration.
+
+use std::fmt;
+
+/// Which resilience strategy the solver runs.
+///
+/// * `None` — the plain PCG reference (the paper's t₀ baseline),
+/// * `Esrp { t: 1 }` — classic **ESR**: redundant storage in *every*
+///   iteration (papers [7, 20, 21]),
+/// * `Esrp { t >= 3 }` — **ESRP**: storage stages of two consecutive ASpMV
+///   iterations every `t` iterations (this paper's contribution),
+/// * `Imcr { t }` — in-memory buddy checkpoint-restart every `t` iterations
+///   (the paper's comparison baseline, §3.1).
+///
+/// `t = 2` is rejected for ESRP: the paper notes it stores copies every
+/// iteration anyway, so plain ESR should be used instead (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// No resilience (reference runs).
+    None,
+    /// Exact state reconstruction with periodic storage; `t = 1` is ESR.
+    Esrp {
+        /// Checkpointing interval in iterations (`T` in the paper).
+        t: usize,
+    },
+    /// In-memory buddy checkpoint-restart.
+    Imcr {
+        /// Checkpointing interval in iterations.
+        t: usize,
+    },
+}
+
+impl Strategy {
+    /// Classic ESR (ESRP with `t = 1`).
+    pub fn esr() -> Self {
+        Strategy::Esrp { t: 1 }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns a description of the problem for `t = 0` or ESRP with
+    /// `t = 2`.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            Strategy::None => Ok(()),
+            Strategy::Esrp { t: 0 } | Strategy::Imcr { t: 0 } => {
+                Err("checkpoint interval must be at least 1".into())
+            }
+            Strategy::Esrp { t: 2 } => Err(
+                "ESRP with T = 2 stores copies every iteration; use ESR (T = 1) instead \
+                 (paper §3)"
+                    .into(),
+            ),
+            _ => Ok(()),
+        }
+    }
+
+    /// Whether the strategy stores redundant copies through the augmented
+    /// SpMV (i.e. needs an [`crate::aspmv::AspmvPlan`]).
+    pub fn uses_aspmv(&self) -> bool {
+        matches!(self, Strategy::Esrp { .. })
+    }
+
+    /// Whether the strategy checkpoints to buddy ranks (needs a
+    /// [`crate::aspmv::BuddyMap`]).
+    pub fn uses_checkpoints(&self) -> bool {
+        matches!(self, Strategy::Imcr { .. })
+    }
+
+    /// The checkpointing interval, if any.
+    pub fn interval(&self) -> Option<usize> {
+        match *self {
+            Strategy::None => None,
+            Strategy::Esrp { t } | Strategy::Imcr { t } => Some(t),
+        }
+    }
+
+    /// True for classic ESR (every-iteration storage).
+    pub fn is_esr(&self) -> bool {
+        matches!(self, Strategy::Esrp { t: 1 })
+    }
+
+    /// Short name for reports: `none`, `esr`, `esrp`, `imcr`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::None => "none",
+            Strategy::Esrp { t: 1 } => "esr",
+            Strategy::Esrp { .. } => "esrp",
+            Strategy::Imcr { .. } => "imcr",
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Strategy::None => f.write_str("none"),
+            Strategy::Esrp { t: 1 } => f.write_str("esr"),
+            Strategy::Esrp { t } => write!(f, "esrp(T={t})"),
+            Strategy::Imcr { t } => write!(f, "imcr(T={t})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rules() {
+        assert!(Strategy::None.validate().is_ok());
+        assert!(Strategy::esr().validate().is_ok());
+        assert!(Strategy::Esrp { t: 3 }.validate().is_ok());
+        assert!(Strategy::Esrp { t: 100 }.validate().is_ok());
+        assert!(Strategy::Imcr { t: 20 }.validate().is_ok());
+        assert!(Strategy::Esrp { t: 2 }.validate().is_err());
+        assert!(Strategy::Esrp { t: 0 }.validate().is_err());
+        assert!(Strategy::Imcr { t: 0 }.validate().is_err());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Strategy::esr().is_esr());
+        assert!(!Strategy::Esrp { t: 5 }.is_esr());
+        assert!(Strategy::Esrp { t: 5 }.uses_aspmv());
+        assert!(!Strategy::Imcr { t: 5 }.uses_aspmv());
+        assert!(Strategy::Imcr { t: 5 }.uses_checkpoints());
+        assert!(!Strategy::None.uses_aspmv());
+        assert_eq!(Strategy::Esrp { t: 7 }.interval(), Some(7));
+        assert_eq!(Strategy::None.interval(), None);
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(Strategy::None.name(), "none");
+        assert_eq!(Strategy::esr().name(), "esr");
+        assert_eq!(Strategy::Esrp { t: 20 }.name(), "esrp");
+        assert_eq!(Strategy::Imcr { t: 20 }.name(), "imcr");
+        assert_eq!(Strategy::Esrp { t: 20 }.to_string(), "esrp(T=20)");
+        assert_eq!(Strategy::esr().to_string(), "esr");
+        assert_eq!(Strategy::Imcr { t: 50 }.to_string(), "imcr(T=50)");
+    }
+}

@@ -1,0 +1,284 @@
+//! Block Jacobi preconditioner — the preconditioner the paper evaluates.
+//!
+//! `M = blockdiag(A_b)` with non-overlapping blocks, every block fully
+//! inside one rank's index range, uniformly sized per rank, "as few of them
+//! as possible, with a maximum block size of 10" (paper §5). Each block is
+//! Cholesky-factored once at construction; applying `P = M⁻¹` is a pair of
+//! small triangular solves per block.
+
+use std::ops::Range;
+
+use esrcg_sparse::{Cholesky, CsrMatrix, DenseMatrix, Partition, SparseError};
+
+use crate::traits::Preconditioner;
+
+/// One factored diagonal block.
+#[derive(Debug, Clone)]
+struct Block {
+    /// Global index of the block's first row.
+    start: usize,
+    /// Cholesky factor of `A[start..start+len, start..start+len]`.
+    chol: Cholesky,
+}
+
+/// The block Jacobi preconditioner of the paper's experiments.
+#[derive(Debug, Clone)]
+pub struct BlockJacobiPrecond {
+    n: usize,
+    /// Blocks sorted by `start`; they tile `0..n`.
+    blocks: Vec<Block>,
+    /// `block_of[i]` = index into `blocks` owning global row `i`.
+    block_of: Vec<usize>,
+    max_block: usize,
+}
+
+impl BlockJacobiPrecond {
+    /// Builds the preconditioner: each rank's range is split into the
+    /// fewest uniformly-sized blocks of at most `max_block` rows, and each
+    /// block `A[b, b]` is Cholesky-factored.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::NotPositiveDefinite`] if any block fails to
+    /// factor (cannot happen for an SPD `A`, whose principal submatrices are
+    /// SPD).
+    ///
+    /// # Panics
+    /// Panics if `max_block == 0` or the partition size differs from the
+    /// matrix size.
+    pub fn new(
+        a: &CsrMatrix,
+        partition: &Partition,
+        max_block: usize,
+    ) -> Result<Self, SparseError> {
+        assert!(max_block > 0, "block size must be positive");
+        assert_eq!(
+            partition.n(),
+            a.nrows(),
+            "partition size must match the matrix"
+        );
+        let n = a.nrows();
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; n];
+        for (_, range) in partition.iter() {
+            let len = range.len();
+            if len == 0 {
+                continue;
+            }
+            // Fewest uniform blocks of size <= max_block covering `len` rows:
+            // nb = ceil(len / max_block), sizes differing by at most one.
+            let nb = len.div_ceil(max_block);
+            let base = len / nb;
+            let extra = len % nb;
+            let mut pos = range.start;
+            for b in 0..nb {
+                let bl = base + usize::from(b < extra);
+                let idx: Vec<usize> = (pos..pos + bl).collect();
+                let dense = DenseMatrix::from_csr_block(a, &idx);
+                let chol = dense.cholesky()?;
+                let bid = blocks.len();
+                for i in &idx {
+                    block_of[*i] = bid;
+                }
+                blocks.push(Block { start: pos, chol });
+                pos += bl;
+            }
+            debug_assert_eq!(pos, range.end);
+        }
+        Ok(BlockJacobiPrecond {
+            n,
+            blocks,
+            block_of,
+            max_block,
+        })
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The configured maximum block size.
+    pub fn max_block(&self) -> usize {
+        self.max_block
+    }
+
+    /// The blocks fully contained in `lo..hi`, with a panic if any block
+    /// straddles the boundary (cannot happen when `lo..hi` is a union of
+    /// rank ranges, since blocks never cross rank boundaries).
+    fn blocks_in(&self, lo: usize, hi: usize) -> &[Block] {
+        let first = self.blocks.partition_point(|b| b.start < lo);
+        let last = self.blocks.partition_point(|b| b.start < hi);
+        let slice = &self.blocks[first..last];
+        if let Some(b) = slice.last() {
+            assert!(
+                b.start + b.chol.n() <= hi,
+                "block straddles the requested range — ranges must align with rank boundaries"
+            );
+        }
+        slice
+    }
+}
+
+impl Preconditioner for BlockJacobiPrecond {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn apply_into(&self, r: &[f64], z: &mut [f64]) {
+        assert_eq!(r.len(), self.n, "block jacobi: r length");
+        assert_eq!(z.len(), self.n, "block jacobi: z length");
+        for b in &self.blocks {
+            let range = b.start..b.start + b.chol.n();
+            z[range.clone()].copy_from_slice(&r[range]);
+            b.chol.solve_in_place(&mut z[b.start..b.start + b.chol.n()]);
+        }
+    }
+
+    fn apply_local(&self, range: Range<usize>, r_local: &[f64], z_local: &mut [f64]) {
+        assert_eq!(r_local.len(), range.len(), "block jacobi: local r length");
+        assert_eq!(z_local.len(), range.len(), "block jacobi: local z length");
+        z_local.copy_from_slice(r_local);
+        for b in self.blocks_in(range.start, range.end) {
+            let lo = b.start - range.start;
+            b.chol.solve_in_place(&mut z_local[lo..lo + b.chol.n()]);
+        }
+    }
+
+    fn apply_flops(&self, range: Range<usize>) -> u64 {
+        self.blocks_in(range.start, range.end)
+            .iter()
+            .map(|b| b.chol.solve_flops())
+            .sum()
+    }
+
+    fn solve_restricted(&self, idx: &[usize], v: &[f64]) -> Vec<f64> {
+        assert_eq!(idx.len(), v.len(), "block jacobi: restricted lengths");
+        // P_ff r_f = v with P = M⁻¹ block-diagonal ⇒ r_f = M_ff v, i.e.
+        // multiply each block's original matrix (recovered from its factor
+        // as L·Lᵀ). idx is a union of whole rank ranges, hence of whole
+        // blocks; process it run by run.
+        let mut out = vec![0.0; idx.len()];
+        let mut k = 0usize;
+        while k < idx.len() {
+            let bid = self.block_of[idx[k]];
+            let b = &self.blocks[bid];
+            let bn = b.chol.n();
+            assert_eq!(
+                idx[k], b.start,
+                "restricted index set must align with preconditioner blocks"
+            );
+            assert!(
+                k + bn <= idx.len() && idx[k + bn - 1] == b.start + bn - 1,
+                "restricted index set must contain whole blocks"
+            );
+            let y = b.chol.apply_original(&v[k..k + bn]);
+            out[k..k + bn].copy_from_slice(&y);
+            k += bn;
+        }
+        out
+    }
+
+    fn solve_restricted_flops(&self, idx_len: usize) -> u64 {
+        // Same asymptotic cost as a solve over the same rows: ~2·Σ n_b².
+        // Approximate with the configured block size.
+        let nb = self.max_block.max(1) as u64;
+        2 * nb * idx_len as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "block-jacobi"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esrcg_sparse::gen::{poisson1d, poisson2d};
+    use esrcg_sparse::vector::max_abs_diff;
+
+    #[test]
+    fn block_sizes_respect_cap_and_count() {
+        let a = poisson1d(25);
+        let part = Partition::balanced(25, 2); // 13 + 12
+        let p = BlockJacobiPrecond::new(&a, &part, 10).unwrap();
+        // 13 rows -> 2 blocks (7+6); 12 rows -> 2 blocks (6+6).
+        assert_eq!(p.n_blocks(), 4);
+    }
+
+    #[test]
+    fn single_rank_single_block_is_exact_solve() {
+        // With one block spanning the whole matrix, PCG's preconditioner is
+        // A⁻¹: applying it to b must give the solution of A x = b.
+        let a = poisson1d(8);
+        let part = Partition::balanced(8, 1);
+        let p = BlockJacobiPrecond::new(&a, &part, 8).unwrap();
+        assert_eq!(p.n_blocks(), 1);
+        let x_true: Vec<f64> = (0..8).map(|i| (i as f64).sin()).collect();
+        let b = a.spmv(&x_true);
+        let mut z = vec![0.0; 8];
+        p.apply_into(&b, &mut z);
+        assert!(max_abs_diff(&z, &x_true) < 1e-12);
+    }
+
+    #[test]
+    fn apply_local_matches_global() {
+        let a = poisson2d(4, 4);
+        let part = Partition::balanced(16, 4);
+        let p = BlockJacobiPrecond::new(&a, &part, 3).unwrap();
+        let r: Vec<f64> = (0..16).map(|i| (i as f64 * 0.7).cos()).collect();
+        let mut z_full = vec![0.0; 16];
+        p.apply_into(&r, &mut z_full);
+        for (_, range) in part.iter() {
+            let mut z_loc = vec![0.0; range.len()];
+            p.apply_local(range.clone(), &r[range.clone()], &mut z_loc);
+            assert!(max_abs_diff(&z_loc, &z_full[range]) < 1e-15);
+        }
+    }
+
+    #[test]
+    fn solve_restricted_inverts_apply_on_rank_union() {
+        let a = poisson2d(4, 4);
+        let part = Partition::balanced(16, 4);
+        let p = BlockJacobiPrecond::new(&a, &part, 10).unwrap();
+        // idx = ranks 1 and 2 -> global 4..12.
+        let idx: Vec<usize> = (4..12).collect();
+        let r_f: Vec<f64> = (0..8).map(|i| 1.0 + i as f64).collect();
+        // v = P_ff r_f: apply the preconditioner restricted to idx.
+        let mut v = vec![0.0; 8];
+        p.apply_local(4..12, &r_f, &mut v);
+        let rec = p.solve_restricted(&idx, &v);
+        assert!(max_abs_diff(&rec, &r_f) < 1e-12);
+    }
+
+    #[test]
+    fn blocks_never_cross_rank_boundaries() {
+        let a = poisson1d(10);
+        let part = Partition::from_offsets(vec![0, 3, 10]);
+        let p = BlockJacobiPrecond::new(&a, &part, 4).unwrap();
+        // Rank 0: 3 rows -> 1 block; rank 1: 7 rows -> 2 blocks (4+3).
+        assert_eq!(p.n_blocks(), 3);
+        // Applying over rank 1 alone must be legal.
+        let mut z = vec![0.0; 7];
+        p.apply_local(3..10, &[1.0; 7], &mut z);
+    }
+
+    #[test]
+    fn empty_rank_is_fine() {
+        let a = poisson1d(4);
+        let part = Partition::from_offsets(vec![0, 4, 4]);
+        let p = BlockJacobiPrecond::new(&a, &part, 2).unwrap();
+        assert_eq!(p.n_blocks(), 2);
+        let mut z = vec![0.0; 0];
+        p.apply_local(4..4, &[], &mut z);
+    }
+
+    #[test]
+    fn name_and_flops() {
+        let a = poisson1d(10);
+        let part = Partition::balanced(10, 1);
+        let p = BlockJacobiPrecond::new(&a, &part, 5).unwrap();
+        assert_eq!(p.name(), "block-jacobi");
+        assert!(p.apply_flops(0..10) > 0);
+        assert!(p.solve_restricted_flops(10) > 0);
+    }
+}

@@ -1,0 +1,374 @@
+//! Node-local incomplete Cholesky IC(0) preconditioner.
+//!
+//! One of the "more appropriate preconditioners" the paper's future work
+//! calls for (§6). Each rank factorizes its own diagonal block
+//! `A[I_s, I_s] ≈ L_s L_sᵀ` with the sparsity pattern of the block's lower
+//! triangle (additive-Schwarz style, no cross-rank coupling), so the
+//! preconditioner stays compatible with the ESR reconstruction: the
+//! restriction to failed ranks is exactly the failed ranks' factors.
+
+use std::ops::Range;
+
+use esrcg_sparse::{CsrMatrix, Partition, SparseError};
+
+use crate::traits::Preconditioner;
+
+/// Per-rank IC(0) factor of the local diagonal block.
+#[derive(Debug, Clone)]
+struct LocalFactor {
+    /// Global index of the block's first row.
+    start: usize,
+    /// Lower-triangular factor (local indices), diagonal included.
+    l: CsrMatrix,
+    /// `l` transposed (upper triangular), for the backward solve.
+    lt: CsrMatrix,
+}
+
+impl LocalFactor {
+    fn len(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// Forward + backward substitution: `z = (L Lᵀ)⁻¹ r` (local indices).
+    fn solve(&self, r: &[f64], z: &mut [f64]) {
+        let n = self.len();
+        debug_assert_eq!(r.len(), n);
+        debug_assert_eq!(z.len(), n);
+        // Forward: L y = r (y stored in z).
+        for i in 0..n {
+            let (cols, vals) = self.l.row(i);
+            let mut s = r[i];
+            // The last entry in the row is the diagonal.
+            let (last, rest) = vals.split_last().expect("factor rows are non-empty");
+            for (&c, &v) in cols.iter().zip(rest.iter()) {
+                s -= v * z[c];
+            }
+            z[i] = s / last;
+        }
+        // Backward: Lᵀ z = y. Row i of Lᵀ holds the diagonal first.
+        for i in (0..n).rev() {
+            let (cols, vals) = self.lt.row(i);
+            let (first, rest) = vals.split_first().expect("factor rows are non-empty");
+            let mut s = z[i];
+            for (&c, &v) in cols.iter().skip(1).zip(rest.iter()) {
+                s -= v * z[c];
+            }
+            z[i] = s / first;
+        }
+    }
+
+    /// Applies the factored operator: `y = L (Lᵀ x)` (local indices).
+    fn apply_m(&self, x: &[f64]) -> Vec<f64> {
+        let t = self.lt.spmv(x);
+        self.l.spmv(&t)
+    }
+
+    fn solve_flops(&self) -> u64 {
+        4 * self.l.nnz() as u64
+    }
+}
+
+/// Node-local IC(0) preconditioner.
+#[derive(Debug, Clone)]
+pub struct Ic0Precond {
+    n: usize,
+    factors: Vec<LocalFactor>,
+    /// Map rank-range start -> factor (sorted by start).
+    starts: Vec<usize>,
+}
+
+impl Ic0Precond {
+    /// Factorizes each rank's diagonal block. If plain IC(0) breaks down
+    /// (non-positive pivot — possible for matrices that are SPD but far from
+    /// diagonally dominant), the block's diagonal is scaled by increasing
+    /// factors (up to 8×) until the factorization succeeds; this is the
+    /// standard shifted-IC fallback.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::NotPositiveDefinite`] if even the strongest
+    /// shift fails.
+    pub fn new(a: &CsrMatrix, partition: &Partition) -> Result<Self, SparseError> {
+        assert_eq!(
+            partition.n(),
+            a.nrows(),
+            "partition size must match the matrix"
+        );
+        let mut factors = Vec::new();
+        let mut starts = Vec::new();
+        for (_, range) in partition.iter() {
+            if range.is_empty() {
+                continue;
+            }
+            let idx: Vec<usize> = range.clone().collect();
+            let block = a.principal_submatrix(&idx);
+            let mut shift = 0.0f64;
+            let l = loop {
+                match ic0_factor(&block, shift) {
+                    Ok(l) => break l,
+                    Err(e) => {
+                        shift = if shift == 0.0 { 0.5 } else { shift * 2.0 };
+                        if shift > 8.0 {
+                            return Err(e);
+                        }
+                    }
+                }
+            };
+            let lt = l.transpose();
+            starts.push(range.start);
+            factors.push(LocalFactor {
+                start: range.start,
+                l,
+                lt,
+            });
+        }
+        Ok(Ic0Precond {
+            n: a.nrows(),
+            factors,
+            starts,
+        })
+    }
+
+    /// Factors fully contained in `lo..hi` (panics if a factor straddles the
+    /// boundary — ranges must align with rank boundaries).
+    fn factors_in(&self, lo: usize, hi: usize) -> &[LocalFactor] {
+        let first = self.starts.partition_point(|&s| s < lo);
+        let last = self.starts.partition_point(|&s| s < hi);
+        let slice = &self.factors[first..last];
+        if let Some(f) = slice.last() {
+            assert!(
+                f.start + f.len() <= hi,
+                "IC(0) factor straddles the requested range"
+            );
+        }
+        slice
+    }
+}
+
+/// IC(0) of `a` (+ `shift`-scaled diagonal), returning the lower factor with
+/// the lower-triangle pattern of `a`.
+fn ic0_factor(a: &CsrMatrix, shift: f64) -> Result<CsrMatrix, SparseError> {
+    let n = a.nrows();
+    // Build row by row; rows stay sorted because we scan a's sorted rows.
+    let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let (cols, vals) = a.row(i);
+        let mut row_i: Vec<(usize, f64)> = Vec::new();
+        let mut diag = 0.0f64;
+        for (&c, &v) in cols.iter().zip(vals.iter()) {
+            if c > i {
+                break;
+            }
+            if c == i {
+                diag = v * (1.0 + shift);
+                continue;
+            }
+            // l_ic = (a_ic - Σ_j l_ij l_cj) / l_cc, summing over the common
+            // pattern j < c of rows i (built so far) and c (complete).
+            let row_c = &rows[c];
+            let mut s = v;
+            let (mut p, mut q) = (0usize, 0usize);
+            while p < row_i.len() && q < row_c.len() {
+                let (ci, vi) = row_i[p];
+                let (cc, vc) = row_c[q];
+                if ci == cc {
+                    if ci < c {
+                        s -= vi * vc;
+                    }
+                    p += 1;
+                    q += 1;
+                } else if ci < cc {
+                    p += 1;
+                } else {
+                    q += 1;
+                }
+            }
+            let lcc = row_c.last().expect("previous rows end with diagonal").1;
+            debug_assert_eq!(row_c.last().expect("non-empty").0, c);
+            row_i.push((c, s / lcc));
+        }
+        let mut d = diag;
+        for &(_, v) in &row_i {
+            d -= v * v;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(SparseError::NotPositiveDefinite {
+                pivot_index: i,
+                pivot: d,
+            });
+        }
+        row_i.push((i, d.sqrt()));
+        rows.push(row_i);
+    }
+    // Assemble CSR.
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    row_ptr.push(0usize);
+    let nnz: usize = rows.iter().map(Vec::len).sum();
+    let mut col_idx = Vec::with_capacity(nnz);
+    let mut values = Vec::with_capacity(nnz);
+    for row in rows {
+        for (c, v) in row {
+            col_idx.push(c);
+            values.push(v);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    CsrMatrix::from_raw(n, n, row_ptr, col_idx, values)
+}
+
+impl Preconditioner for Ic0Precond {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn apply_into(&self, r: &[f64], z: &mut [f64]) {
+        assert_eq!(r.len(), self.n, "ic0: r length");
+        assert_eq!(z.len(), self.n, "ic0: z length");
+        for f in &self.factors {
+            let range = f.start..f.start + f.len();
+            let mut zl = vec![0.0; f.len()];
+            f.solve(&r[range.clone()], &mut zl);
+            z[range].copy_from_slice(&zl);
+        }
+    }
+
+    fn apply_local(&self, range: Range<usize>, r_local: &[f64], z_local: &mut [f64]) {
+        assert_eq!(r_local.len(), range.len(), "ic0: local r length");
+        assert_eq!(z_local.len(), range.len(), "ic0: local z length");
+        for f in self.factors_in(range.start, range.end) {
+            let lo = f.start - range.start;
+            let mut zl = vec![0.0; f.len()];
+            f.solve(&r_local[lo..lo + f.len()], &mut zl);
+            z_local[lo..lo + f.len()].copy_from_slice(&zl);
+        }
+    }
+
+    fn apply_flops(&self, range: Range<usize>) -> u64 {
+        self.factors_in(range.start, range.end)
+            .iter()
+            .map(LocalFactor::solve_flops)
+            .sum()
+    }
+
+    fn solve_restricted(&self, idx: &[usize], v: &[f64]) -> Vec<f64> {
+        assert_eq!(idx.len(), v.len(), "ic0: restricted lengths");
+        // P_ff r_f = v ⇒ r_f = M_ff v = L_f (L_fᵀ v), factor by factor.
+        let mut out = vec![0.0; idx.len()];
+        let mut k = 0usize;
+        while k < idx.len() {
+            let start = idx[k];
+            let fpos = self
+                .starts
+                .binary_search(&start)
+                .expect("restricted index set must align with rank blocks");
+            let f = &self.factors[fpos];
+            let bn = f.len();
+            assert!(
+                k + bn <= idx.len() && idx[k + bn - 1] == start + bn - 1,
+                "restricted index set must contain whole rank blocks"
+            );
+            let y = f.apply_m(&v[k..k + bn]);
+            out[k..k + bn].copy_from_slice(&y);
+            k += bn;
+        }
+        out
+    }
+
+    fn solve_restricted_flops(&self, idx_len: usize) -> u64 {
+        // Two SpMVs with the factor; approximate via average factor density.
+        let nnz: usize = self.factors.iter().map(|f| f.l.nnz()).sum();
+        let rows: usize = self.factors.iter().map(LocalFactor::len).sum();
+        if rows == 0 {
+            return 0;
+        }
+        (4 * nnz as u64 * idx_len as u64) / rows as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "ic0"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esrcg_sparse::gen::{poisson1d, poisson2d};
+    use esrcg_sparse::vector::max_abs_diff;
+
+    #[test]
+    fn ic0_is_exact_for_tridiagonal() {
+        // For a tridiagonal SPD matrix the lower-triangle pattern equals the
+        // full Cholesky pattern, so IC(0) is the exact factorization.
+        let a = poisson1d(10);
+        let part = Partition::balanced(10, 1);
+        let p = Ic0Precond::new(&a, &part).unwrap();
+        let x_true: Vec<f64> = (0..10).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b = a.spmv(&x_true);
+        let mut z = vec![0.0; 10];
+        p.apply_into(&b, &mut z);
+        assert!(max_abs_diff(&z, &x_true) < 1e-12);
+    }
+
+    #[test]
+    fn apply_local_matches_global() {
+        let a = poisson2d(4, 4);
+        let part = Partition::balanced(16, 4);
+        let p = Ic0Precond::new(&a, &part).unwrap();
+        let r: Vec<f64> = (0..16).map(|i| 1.0 + (i % 5) as f64).collect();
+        let mut z_full = vec![0.0; 16];
+        p.apply_into(&r, &mut z_full);
+        for (_, range) in part.iter() {
+            let mut z_loc = vec![0.0; range.len()];
+            p.apply_local(range.clone(), &r[range.clone()], &mut z_loc);
+            assert!(max_abs_diff(&z_loc, &z_full[range]) < 1e-15);
+        }
+    }
+
+    #[test]
+    fn solve_restricted_inverts_apply() {
+        let a = poisson2d(4, 4);
+        let part = Partition::balanced(16, 4);
+        let p = Ic0Precond::new(&a, &part).unwrap();
+        let idx: Vec<usize> = (8..16).collect(); // ranks 2 and 3
+        let r_f: Vec<f64> = (0..8).map(|i| (i as f64 - 3.0) * 0.5).collect();
+        let mut v = vec![0.0; 8];
+        p.apply_local(8..16, &r_f, &mut v);
+        let rec = p.solve_restricted(&idx, &v);
+        assert!(max_abs_diff(&rec, &r_f) < 1e-12);
+    }
+
+    #[test]
+    fn preconditioner_is_spd_like() {
+        // z = P r with r = e_i: diagonal entries of P must be positive.
+        let a = poisson2d(3, 3);
+        let part = Partition::balanced(9, 3);
+        let p = Ic0Precond::new(&a, &part).unwrap();
+        for i in 0..9 {
+            let mut r = vec![0.0; 9];
+            r[i] = 1.0;
+            let mut z = vec![0.0; 9];
+            p.apply_into(&r, &mut z);
+            assert!(z[i] > 0.0, "P[{i},{i}] must be positive");
+        }
+    }
+
+    #[test]
+    fn factor_has_lower_pattern_of_a() {
+        let a = poisson2d(3, 3);
+        let l = ic0_factor(&a, 0.0).unwrap();
+        for i in 0..9 {
+            let (cols, _) = l.row(i);
+            for &c in cols {
+                assert!(c <= i, "factor must be lower triangular");
+                assert!(a.get(i, c) != 0.0, "factor pattern must be within A's");
+            }
+        }
+    }
+
+    #[test]
+    fn name_is_ic0() {
+        let a = poisson1d(4);
+        let p = Ic0Precond::new(&a, &Partition::balanced(4, 1)).unwrap();
+        assert_eq!(p.name(), "ic0");
+        assert!(p.apply_flops(0..4) > 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Coordinate-format (COO) matrix builder.
+//!
+//! COO is the assembly format: generators and the Matrix Market reader push
+//! `(row, col, value)` triplets in arbitrary order (duplicates allowed, summed
+//! on conversion) and the result is converted once to [`CsrMatrix`] for
+//! compute.
+//!
+//! [`CsrMatrix`]: crate::csr::CsrMatrix
+
+use crate::error::SparseError;
+
+/// A sparse matrix under assembly, stored as unordered `(row, col, value)`
+/// triplets.
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `nrows × ncols` builder.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty builder with capacity for `cap` triplets.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (duplicates counted individually).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The raw triplets, in insertion order.
+    pub fn entries(&self) -> &[(usize, usize, f64)] {
+        &self.entries
+    }
+
+    /// Adds `value` at `(row, col)`. Duplicate positions are summed when the
+    /// matrix is converted to CSR.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::IndexOutOfBounds`] if the position is outside
+    /// the matrix.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<(), SparseError> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        self.entries.push((row, col, value));
+        Ok(())
+    }
+
+    /// Adds `value` at `(row, col)` and, if off-diagonal, also at
+    /// `(col, row)` — convenient for assembling symmetric matrices from a
+    /// triangular pattern.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::IndexOutOfBounds`] on out-of-range positions.
+    pub fn push_sym(&mut self, row: usize, col: usize, value: f64) -> Result<(), SparseError> {
+        self.push(row, col, value)?;
+        if row != col {
+            self.push(col, row, value)?;
+        }
+        Ok(())
+    }
+
+    /// Consumes the builder and returns sorted, deduplicated CSR arrays
+    /// `(row_ptr, col_idx, values)`. Duplicate positions are summed;
+    /// explicitly stored zeros are kept (they carry sparsity-pattern
+    /// information that matters for communication planning).
+    pub(crate) fn into_csr_arrays(mut self) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+        // Sort by (row, col); stable sort keeps duplicate summation
+        // order-independent because addition order within a duplicate run is
+        // insertion order, which we then fold left-to-right.
+        self.entries
+            .sort_by_key(|a| (a.0, a.1));
+
+        let mut row_ptr = vec![0usize; self.nrows + 1];
+        let mut col_idx = Vec::with_capacity(self.entries.len());
+        let mut values = Vec::with_capacity(self.entries.len());
+
+        for &(r, c, v) in &self.entries {
+            if let (Some(&lc), Some(lv)) = (col_idx.last(), values.last_mut()) {
+                // Merge a duplicate of the previous entry.
+                if !col_idx.is_empty() && row_ptr[r + 1] > 0 && lc == c {
+                    // Same row (row_ptr[r+1] already counts entries in row r)
+                    // and same column: accumulate.
+                    *lv += v;
+                    continue;
+                }
+            }
+            col_idx.push(c);
+            values.push(v);
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        (row_ptr, col_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_counts() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 2, 2.0).unwrap();
+        assert_eq!(coo.nnz(), 2);
+        assert_eq!(coo.nrows(), 2);
+        assert_eq!(coo.ncols(), 3);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut coo = CooMatrix::new(2, 2);
+        assert!(coo.push(2, 0, 1.0).is_err());
+        assert!(coo.push(0, 2, 1.0).is_err());
+        assert!(coo.push(1, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn push_sym_mirrors_offdiagonal_only() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push_sym(0, 1, 5.0).unwrap();
+        coo.push_sym(2, 2, 7.0).unwrap();
+        assert_eq!(coo.nnz(), 3); // (0,1), (1,0), (2,2)
+    }
+
+    #[test]
+    fn into_csr_sorts_and_sums_duplicates() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(1, 1, 1.0).unwrap();
+        coo.push(0, 1, 2.0).unwrap();
+        coo.push(0, 0, 3.0).unwrap();
+        coo.push(0, 1, 4.0).unwrap(); // duplicate of (0,1)
+        let (rp, ci, v) = coo.into_csr_arrays();
+        assert_eq!(rp, vec![0, 2, 3]);
+        assert_eq!(ci, vec![0, 1, 1]);
+        assert_eq!(v, vec![3.0, 6.0, 1.0]);
+    }
+
+    #[test]
+    fn explicit_zero_is_kept() {
+        let mut coo = CooMatrix::new(1, 2);
+        coo.push(0, 1, 0.0).unwrap();
+        let (rp, ci, v) = coo.into_csr_arrays();
+        assert_eq!(rp, vec![0, 1]);
+        assert_eq!(ci, vec![1]);
+        assert_eq!(v, vec![0.0]);
+    }
+
+    #[test]
+    fn empty_matrix_converts() {
+        let coo = CooMatrix::new(3, 3);
+        let (rp, ci, v) = coo.into_csr_arrays();
+        assert_eq!(rp, vec![0, 0, 0, 0]);
+        assert!(ci.is_empty() && v.is_empty());
+    }
+}

@@ -1,0 +1,635 @@
+//! Compressed sparse row (CSR) matrices and the kernels used by the resilient
+//! PCG solver.
+//!
+//! Beyond the usual SpMV, this module provides the operations the exact state
+//! reconstruction (ESR) recovery path needs:
+//!
+//! * [`CsrMatrix::extract_rows`] — the rows `A[I_f, :]` owned by failed ranks
+//!   (column indices stay global),
+//! * [`CsrMatrix::principal_submatrix`] — the inner-system matrix `A[I_f, I_f]`
+//!   with columns remapped to local indices,
+//! * [`CsrMatrix::spmv_rows_masked`] — the off-diagonal product
+//!   `A[I_f, I\I_f] · x[I\I_f]` used to form the inner right-hand sides.
+
+use crate::coo::CooMatrix;
+use crate::error::SparseError;
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Invariants (checked by [`CsrMatrix::validate`], maintained by all
+/// constructors): `row_ptr` has length `nrows + 1`, is non-decreasing, starts
+/// at 0 and ends at `nnz`; within each row, column indices are strictly
+/// increasing and `< ncols`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from a COO builder, sorting entries and summing
+    /// duplicates.
+    pub fn from_coo(coo: CooMatrix) -> Self {
+        let nrows = coo.nrows();
+        let ncols = coo.ncols();
+        let (row_ptr, col_idx, values) = coo.into_csr_arrays();
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Builds a CSR matrix from raw arrays, validating all invariants.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::InvalidCsr`] if any invariant is violated.
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self, SparseError> {
+        let m = CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Builds from a dense row-major array (test helper; zeros are dropped).
+    pub fn from_dense(nrows: usize, ncols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "from_dense: data length");
+        let mut coo = CooMatrix::new(nrows, ncols);
+        for r in 0..nrows {
+            for c in 0..ncols {
+                let v = data[r * ncols + c];
+                if v != 0.0 {
+                    coo.push(r, c, v).expect("in-range by construction");
+                }
+            }
+        }
+        CsrMatrix::from_coo(coo)
+    }
+
+    /// Checks all structural invariants.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::InvalidCsr`] describing the first violation.
+    pub fn validate(&self) -> Result<(), SparseError> {
+        if self.row_ptr.len() != self.nrows + 1 {
+            return Err(SparseError::InvalidCsr(format!(
+                "row_ptr length {} != nrows + 1 = {}",
+                self.row_ptr.len(),
+                self.nrows + 1
+            )));
+        }
+        if self.row_ptr[0] != 0 {
+            return Err(SparseError::InvalidCsr("row_ptr[0] != 0".into()));
+        }
+        if *self.row_ptr.last().expect("non-empty by check above") != self.col_idx.len() {
+            return Err(SparseError::InvalidCsr(
+                "row_ptr does not end at nnz".into(),
+            ));
+        }
+        if self.col_idx.len() != self.values.len() {
+            return Err(SparseError::InvalidCsr(
+                "col_idx and values lengths differ".into(),
+            ));
+        }
+        for r in 0..self.nrows {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            if lo > hi {
+                return Err(SparseError::InvalidCsr(format!(
+                    "row_ptr decreasing at row {r}"
+                )));
+            }
+            let mut prev: Option<usize> = None;
+            for &c in &self.col_idx[lo..hi] {
+                if c >= self.ncols {
+                    return Err(SparseError::InvalidCsr(format!(
+                        "column {c} out of range in row {r}"
+                    )));
+                }
+                if let Some(p) = prev {
+                    if c <= p {
+                        return Err(SparseError::InvalidCsr(format!(
+                            "columns not strictly increasing in row {r}"
+                        )));
+                    }
+                }
+                prev = Some(c);
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Row pointer array (length `nrows + 1`).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column index array (length `nnz`).
+    #[inline]
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Value array (length `nnz`).
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Columns and values of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[usize], &[f64]) {
+        let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of stored entries in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Value at `(r, c)`, or 0.0 if not stored. Binary searches the row.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let (cols, vals) = self.row(r);
+        match cols.binary_search(&c) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// `y = A x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != ncols`.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows];
+        self.spmv_into(x, &mut y);
+        y
+    }
+
+    /// `y ← A x` into a caller-provided buffer.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "spmv: x length != ncols");
+        assert_eq!(y.len(), self.nrows, "spmv: y length != nrows");
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..self.nrows {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Computes `y[i - rows.start] = Σ_k A[i, k] x[k]` for `i` in `rows` —
+    /// the node-local part of a distributed SpMV, where `x` is a full-length
+    /// gathered input vector.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches or an out-of-range row range.
+    pub fn spmv_rows_into(&self, rows: std::ops::Range<usize>, x: &[f64], y: &mut [f64]) {
+        assert!(rows.end <= self.nrows, "spmv_rows: row range out of range");
+        assert_eq!(x.len(), self.ncols, "spmv_rows: x length != ncols");
+        assert_eq!(y.len(), rows.len(), "spmv_rows: y length != rows.len()");
+        for (out, r) in y.iter_mut().zip(rows) {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            *out = acc;
+        }
+    }
+
+    /// For each row `i` in `rows` (a sorted list of global row indices),
+    /// computes `Σ_{k ∉ masked} A[i, k] x_full[k]` — the off-diagonal product
+    /// `A[I_f, I\I_f] x[I\I_f]` from Alg. 2 of the paper, where `masked`
+    /// answers "is this column in `I_f`?".
+    ///
+    /// `x_full` must be a full-length vector whose entries outside the mask
+    /// are meaningful (masked entries are never read).
+    pub fn spmv_rows_masked(
+        &self,
+        rows: &[usize],
+        x_full: &[f64],
+        masked: impl Fn(usize) -> bool,
+    ) -> Vec<f64> {
+        assert_eq!(x_full.len(), self.ncols, "spmv_rows_masked: x length");
+        let mut y = vec![0.0; rows.len()];
+        for (out, &r) in y.iter_mut().zip(rows.iter()) {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                if !masked(c) {
+                    acc += v * x_full[c];
+                }
+            }
+            *out = acc;
+        }
+        y
+    }
+
+    /// Extracts the rows `rows` (sorted global indices) as a new
+    /// `rows.len() × ncols` matrix; column indices stay global.
+    pub fn extract_rows(&self, rows: &[usize]) -> CsrMatrix {
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        row_ptr.push(0);
+        let nnz: usize = rows.iter().map(|&r| self.row_nnz(r)).sum();
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for &r in rows {
+            let (cols, vals) = self.row(r);
+            col_idx.extend_from_slice(cols);
+            values.extend_from_slice(vals);
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            nrows: rows.len(),
+            ncols: self.ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Extracts the principal submatrix `A[idx, idx]` with rows *and* columns
+    /// remapped to local indices `0..idx.len()`. `idx` must be sorted and
+    /// duplicate-free; this is the inner-system matrix `A[I_f, I_f]` of the
+    /// ESR reconstruction (Alg. 2, line 8).
+    ///
+    /// # Panics
+    /// Panics (debug assertion) if `idx` is not strictly increasing.
+    pub fn principal_submatrix(&self, idx: &[usize]) -> CsrMatrix {
+        debug_assert!(
+            idx.windows(2).all(|w| w[0] < w[1]),
+            "principal_submatrix: idx must be strictly increasing"
+        );
+        // Global-to-local column map. A hash map would work; a direct lookup
+        // table is faster and the memory (ncols usizes) is transient.
+        const ABSENT: usize = usize::MAX;
+        let mut g2l = vec![ABSENT; self.ncols];
+        for (local, &g) in idx.iter().enumerate() {
+            g2l[g] = local;
+        }
+        let mut row_ptr = Vec::with_capacity(idx.len() + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for &r in idx {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                let lc = g2l[c];
+                if lc != ABSENT {
+                    col_idx.push(lc);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            nrows: idx.len(),
+            ncols: idx.len(),
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// The main diagonal as a dense vector (missing entries are 0.0). Only
+    /// meaningful for square matrices.
+    pub fn diag(&self) -> Vec<f64> {
+        let n = self.nrows.min(self.ncols);
+        (0..n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Transpose (exact, re-sorted CSR).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut row_ptr = vec![0usize; self.ncols + 1];
+        for &c in &self.col_idx {
+            row_ptr[c + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = row_ptr.clone();
+        for r in 0..self.nrows {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            for k in lo..hi {
+                let c = self.col_idx[k];
+                let pos = next[c];
+                col_idx[pos] = r;
+                values[pos] = self.values[k];
+                next[c] += 1;
+            }
+        }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Checks numeric symmetry to absolute tolerance `tol`.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::NotSymmetric`] with the first offending pair,
+    /// or [`SparseError::DimensionMismatch`] if not square.
+    pub fn check_symmetric(&self, tol: f64) -> Result<(), SparseError> {
+        if self.nrows != self.ncols {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.nrows,
+                found: self.ncols,
+            });
+        }
+        let t = self.transpose();
+        for r in 0..self.nrows {
+            let (ca, va) = self.row(r);
+            let (cb, vb) = t.row(r);
+            // Merge-compare the two sorted rows.
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < ca.len() || j < cb.len() {
+                let (c, d) = match (ca.get(i), cb.get(j)) {
+                    (Some(&x), Some(&y)) if x == y => {
+                        let d = (va[i] - vb[j]).abs();
+                        i += 1;
+                        j += 1;
+                        (x, d)
+                    }
+                    (Some(&x), Some(&y)) if x < y => {
+                        let d = va[i].abs();
+                        i += 1;
+                        (x, d)
+                    }
+                    (Some(_), Some(&y)) => {
+                        let d = vb[j].abs();
+                        j += 1;
+                        (y, d)
+                    }
+                    (Some(&x), None) => {
+                        let d = va[i].abs();
+                        i += 1;
+                        (x, d)
+                    }
+                    (None, Some(&y)) => {
+                        let d = vb[j].abs();
+                        j += 1;
+                        (y, d)
+                    }
+                    (None, None) => unreachable!("loop condition"),
+                };
+                if d > tol {
+                    return Err(SparseError::NotSymmetric {
+                        row: r,
+                        col: c,
+                        diff: d,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True if [`CsrMatrix::check_symmetric`] passes at tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        self.check_symmetric(tol).is_ok()
+    }
+
+    /// Matrix bandwidth: `max_i max_{j: a_ij ≠ 0} |i - j|`. Returns 0 for
+    /// matrices with no off-diagonal entries.
+    pub fn bandwidth(&self) -> usize {
+        let mut bw = 0usize;
+        for r in 0..self.nrows {
+            let (cols, _) = self.row(r);
+            if let Some(&first) = cols.first() {
+                bw = bw.max(r.saturating_sub(first));
+            }
+            if let Some(&last) = cols.last() {
+                bw = bw.max(last.saturating_sub(r));
+            }
+        }
+        bw
+    }
+
+    /// Average number of stored entries per row.
+    pub fn avg_nnz_per_row(&self) -> f64 {
+        if self.nrows == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.nrows as f64
+        }
+    }
+
+    /// Flop count of one SpMV with this matrix (2 flops per stored entry),
+    /// used by the cost model.
+    pub fn spmv_flops(&self) -> u64 {
+        2 * self.nnz() as u64
+    }
+
+    /// Flop count of applying rows `rows` only.
+    pub fn spmv_rows_flops(&self, rows: std::ops::Range<usize>) -> u64 {
+        2 * (self.row_ptr[rows.end] - self.row_ptr[rows.start]) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [ 4 -1  0 ]
+        // [-1  4 -1 ]
+        // [ 0 -1  4 ]
+        CsrMatrix::from_dense(3, 3, &[4.0, -1.0, 0.0, -1.0, 4.0, -1.0, 0.0, -1.0, 4.0])
+    }
+
+    #[test]
+    fn from_coo_builds_valid_csr() {
+        let a = small();
+        a.validate().unwrap();
+        assert_eq!(a.nnz(), 7);
+        assert_eq!(a.get(0, 0), 4.0);
+        assert_eq!(a.get(0, 2), 0.0);
+        assert_eq!(a.get(2, 1), -1.0);
+    }
+
+    #[test]
+    fn identity_acts_as_identity() {
+        let i = CsrMatrix::identity(4);
+        i.validate().unwrap();
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.spmv(&x), x);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = small();
+        let y = a.spmv(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![2.0, 4.0, 10.0]);
+    }
+
+    #[test]
+    fn spmv_rows_computes_partial_product() {
+        let a = small();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = vec![0.0; 2];
+        a.spmv_rows_into(1..3, &x, &mut y);
+        assert_eq!(y, vec![4.0, 10.0]);
+    }
+
+    #[test]
+    fn spmv_rows_masked_skips_masked_columns() {
+        let a = small();
+        let x = [1.0, 2.0, 3.0];
+        // Mask column 1: row 0 -> 4*1, row 2 -> 4*3
+        let y = a.spmv_rows_masked(&[0, 2], &x, |c| c == 1);
+        assert_eq!(y, vec![4.0, 12.0]);
+    }
+
+    #[test]
+    fn extract_rows_keeps_global_columns() {
+        let a = small();
+        let sub = a.extract_rows(&[0, 2]);
+        assert_eq!(sub.nrows(), 2);
+        assert_eq!(sub.ncols(), 3);
+        assert_eq!(sub.get(0, 1), -1.0);
+        assert_eq!(sub.get(1, 1), -1.0);
+        assert_eq!(sub.get(1, 2), 4.0);
+        sub.validate().unwrap();
+    }
+
+    #[test]
+    fn principal_submatrix_remaps_columns() {
+        let a = small();
+        let sub = a.principal_submatrix(&[0, 2]);
+        assert_eq!(sub.nrows(), 2);
+        assert_eq!(sub.ncols(), 2);
+        // A[{0,2},{0,2}] = [[4, 0], [0, 4]] (the -1s couple through index 1).
+        assert_eq!(sub.get(0, 0), 4.0);
+        assert_eq!(sub.get(0, 1), 0.0);
+        assert_eq!(sub.get(1, 1), 4.0);
+        sub.validate().unwrap();
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = CsrMatrix::from_dense(2, 3, &[1.0, 0.0, 2.0, 0.0, 3.0, 0.0]);
+        let t = a.transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 2);
+        assert_eq!(t.get(2, 0), 2.0);
+        assert_eq!(t.get(1, 1), 3.0);
+        let tt = t.transpose();
+        assert_eq!(tt, a);
+    }
+
+    #[test]
+    fn symmetry_check_accepts_symmetric() {
+        assert!(small().is_symmetric(0.0));
+    }
+
+    #[test]
+    fn symmetry_check_rejects_asymmetric() {
+        let a = CsrMatrix::from_dense(2, 2, &[1.0, 2.0, 3.0, 1.0]);
+        let err = a.check_symmetric(1e-12).unwrap_err();
+        assert!(matches!(err, SparseError::NotSymmetric { .. }));
+    }
+
+    #[test]
+    fn symmetry_check_handles_structural_asymmetry() {
+        // Value present at (0,1) but absent at (1,0).
+        let a = CsrMatrix::from_dense(2, 2, &[1.0, 5.0, 0.0, 1.0]);
+        assert!(!a.is_symmetric(1e-12));
+        // ... but tolerated if within tol.
+        let b = CsrMatrix::from_dense(2, 2, &[1.0, 1e-15, 0.0, 1.0]);
+        assert!(b.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn bandwidth_computed() {
+        assert_eq!(small().bandwidth(), 1);
+        assert_eq!(CsrMatrix::identity(5).bandwidth(), 0);
+        let a = CsrMatrix::from_dense(3, 3, &[1.0, 0.0, 7.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.bandwidth(), 2);
+    }
+
+    #[test]
+    fn validate_catches_bad_structure() {
+        let bad = CsrMatrix::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]);
+        assert!(bad.is_err()); // row_ptr too short
+        let bad = CsrMatrix::from_raw(1, 2, vec![0, 2], vec![1, 0], vec![1.0, 2.0]);
+        assert!(bad.is_err()); // unsorted columns
+        let bad = CsrMatrix::from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]);
+        assert!(bad.is_err()); // column out of range
+        let good = CsrMatrix::from_raw(1, 2, vec![0, 2], vec![0, 1], vec![1.0, 2.0]);
+        assert!(good.is_ok());
+    }
+
+    #[test]
+    fn diag_and_flops() {
+        let a = small();
+        assert_eq!(a.diag(), vec![4.0, 4.0, 4.0]);
+        assert_eq!(a.spmv_flops(), 14);
+        assert_eq!(a.spmv_rows_flops(0..1), 4);
+        assert_eq!(a.spmv_rows_flops(1..3), 10);
+    }
+
+    #[test]
+    fn avg_nnz_per_row_computed() {
+        let a = small();
+        assert!((a.avg_nnz_per_row() - 7.0 / 3.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,123 @@
+//! Random SPD matrix generators for tests and ablations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+
+/// Random banded symmetric positive definite matrix: `n × n`, off-diagonal
+/// entries only within `|i - j| <= bandwidth`, each present with probability
+/// `density`, values uniform in `[-1, 0)`; the diagonal is the dominance sum
+/// plus 1. Deterministic for a given `seed`.
+///
+/// Useful for property tests (arbitrary sparsity patterns) and for the
+/// bandwidth-sweep ablation (ASpMV extra traffic as a function of
+/// bandwidth).
+///
+/// # Panics
+/// Panics if `n == 0` or `density` is not in `[0, 1]`.
+pub fn banded_spd(n: usize, bandwidth: usize, density: f64, seed: u64) -> CsrMatrix {
+    assert!(n > 0, "banded_spd: n must be positive");
+    assert!(
+        (0.0..=1.0).contains(&density),
+        "banded_spd: density must be in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(n, n);
+    let mut dominance = vec![0.0f64; n];
+    for i in 0..n {
+        let hi = (i + bandwidth).min(n - 1);
+        for j in (i + 1)..=hi {
+            if rng.gen::<f64>() < density {
+                let v = -rng.gen::<f64>(); // in (-1, 0]
+                coo.push_sym(i, j, v).expect("in range");
+                dominance[i] += v.abs();
+                dominance[j] += v.abs();
+            }
+        }
+    }
+    for (i, d) in dominance.iter().enumerate() {
+        coo.push(i, i, d + 1.0).expect("in range");
+    }
+    CsrMatrix::from_coo(coo)
+}
+
+/// Small dense random SPD matrix, returned as CSR: `A = B Bᵀ + n·I` with
+/// `B` uniform in `[-1, 1)`. Everything is stored (fully dense pattern), so
+/// use only at test scale. Deterministic for a given `seed`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn random_spd_dense(n: usize, seed: u64) -> CsrMatrix {
+    assert!(n > 0, "random_spd_dense: n must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DenseMatrix::zeros(n);
+    for r in 0..n {
+        for c in 0..n {
+            b.set(r, c, rng.gen_range(-1.0..1.0));
+        }
+    }
+    // A = B Bᵀ + n·I (dense, then convert).
+    let mut data = vec![0.0; n * n];
+    for r in 0..n {
+        for c in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += b.get(r, k) * b.get(c, k);
+            }
+            data[r * n + c] = acc + if r == c { n as f64 } else { 0.0 };
+        }
+    }
+    CsrMatrix::from_dense(n, n, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banded_spd_is_symmetric_and_banded() {
+        let a = banded_spd(50, 5, 0.5, 42);
+        assert!(a.is_symmetric(0.0));
+        assert!(a.bandwidth() <= 5);
+        assert_eq!(a.nrows(), 50);
+    }
+
+    #[test]
+    fn banded_spd_is_positive_definite() {
+        let a = banded_spd(30, 4, 0.7, 7);
+        let idx: Vec<usize> = (0..30).collect();
+        assert!(DenseMatrix::from_csr_block(&a, &idx).cholesky().is_ok());
+    }
+
+    #[test]
+    fn banded_spd_deterministic_per_seed() {
+        let a = banded_spd(20, 3, 0.5, 1);
+        let b = banded_spd(20, 3, 0.5, 1);
+        let c = banded_spd(20, 3, 0.5, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn banded_spd_zero_density_is_diagonal() {
+        let a = banded_spd(10, 3, 0.0, 0);
+        assert_eq!(a.nnz(), 10);
+        assert_eq!(a.bandwidth(), 0);
+    }
+
+    #[test]
+    fn random_spd_dense_is_spd() {
+        let a = random_spd_dense(12, 3);
+        assert!(a.is_symmetric(1e-12));
+        let idx: Vec<usize> = (0..12).collect();
+        assert!(DenseMatrix::from_csr_block(&a, &idx).cholesky().is_ok());
+    }
+
+    #[test]
+    fn random_spd_dense_deterministic() {
+        assert_eq!(random_spd_dense(8, 9), random_spd_dense(8, 9));
+    }
+}

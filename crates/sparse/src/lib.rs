@@ -1,0 +1,36 @@
+//! Sparse linear algebra substrate for the ESRCG project.
+//!
+//! This crate provides everything the resilient PCG solver needs from a linear
+//! algebra library, implemented from scratch:
+//!
+//! * [`CooMatrix`] — a coordinate-format builder for assembling matrices,
+//! * [`CsrMatrix`] — compressed sparse row storage with the kernels used by the
+//!   solver (SpMV, row extraction, principal submatrices, transpose, symmetry
+//!   checks),
+//! * [`DenseMatrix`] and [`Cholesky`] — small dense matrices and Cholesky
+//!   factorization for block Jacobi preconditioner blocks,
+//! * [`Partition`] — the contiguous block-row distribution of matrix rows and
+//!   vector entries over cluster ranks used throughout the paper,
+//! * [`gen`] — synthetic SPD problem generators standing in for the paper's
+//!   SuiteSparse test matrices (see `DESIGN.md` §4 for the substitution
+//!   argument),
+//! * [`mm`] — Matrix Market I/O so the genuine matrices can be used when
+//!   available,
+//! * [`vector`] — the dense vector kernels (dot, axpy, norms) used by PCG.
+//!
+//! All numeric code is `f64`; indices are `usize`.
+
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod gen;
+pub mod mm;
+pub mod partition;
+pub mod vector;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use dense::{Cholesky, DenseMatrix};
+pub use error::SparseError;
+pub use partition::Partition;

@@ -1,0 +1,193 @@
+//! Dense vector kernels used by the PCG solver.
+//!
+//! These are deliberately plain, allocation-free slice functions: the
+//! distributed solver calls them on node-local sub-slices and accounts for
+//! their flop cost explicitly (see `esrcg-cluster`). All kernels panic on
+//! length mismatches — mismatched local vector lengths are a logic error in
+//! the solver, never a runtime condition to recover from.
+
+/// Dot product `a · b`.
+///
+/// # Panics
+/// Panics if `a.len() != b.len()`.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Euclidean norm `‖a‖₂`.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y ← y + alpha * x`.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y ← alpha * x + beta * y`.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpby: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi = alpha * xi + beta * *yi;
+    }
+}
+
+/// `x ← alpha * x`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// `out ← a - b`.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn sub_into(a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "sub_into: length mismatch");
+    assert_eq!(a.len(), out.len(), "sub_into: output length mismatch");
+    for ((o, x), y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = x - y;
+    }
+}
+
+/// `out ← a + b`.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn add_into(a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "add_into: length mismatch");
+    assert_eq!(a.len(), out.len(), "add_into: output length mismatch");
+    for ((o, x), y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = x + y;
+    }
+}
+
+/// Largest absolute component difference `max_i |a_i - b_i|`.
+///
+/// Returns 0.0 for empty slices.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff: length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0_f64, f64::max)
+}
+
+/// Euclidean distance `‖a - b‖₂`.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dist2: length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Flop count of a dot product of length `n` (used by the cost model).
+#[inline]
+pub const fn dot_flops(n: usize) -> u64 {
+    2 * n as u64
+}
+
+/// Flop count of an axpy of length `n` (used by the cost model).
+#[inline]
+pub const fn axpy_flops(n: usize) -> u64 {
+    2 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn norm2_is_sqrt_of_self_dot() {
+        let v = [3.0, 4.0];
+        assert_eq!(norm2(&v), 5.0);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = [1.0, 1.0];
+        axpy(2.0, &[10.0, 20.0], &mut y);
+        assert_eq!(y, [21.0, 41.0]);
+    }
+
+    #[test]
+    fn axpby_combines() {
+        let mut y = [1.0, 2.0];
+        axpby(3.0, &[1.0, 1.0], -1.0, &mut y);
+        assert_eq!(y, [2.0, 1.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = [2.0, -4.0];
+        scale(0.5, &mut x);
+        assert_eq!(x, [1.0, -2.0]);
+    }
+
+    #[test]
+    fn sub_and_add_into() {
+        let mut out = [0.0; 2];
+        sub_into(&[5.0, 7.0], &[2.0, 3.0], &mut out);
+        assert_eq!(out, [3.0, 4.0]);
+        add_into(&[5.0, 7.0], &[2.0, 3.0], &mut out);
+        assert_eq!(out, [7.0, 10.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_and_dist2() {
+        assert_eq!(max_abs_diff(&[1.0, 5.0], &[2.0, 3.0]), 2.0);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn flop_counts() {
+        assert_eq!(dot_flops(10), 20);
+        assert_eq!(axpy_flops(10), 20);
+    }
+}

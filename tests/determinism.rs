@@ -1,0 +1,155 @@
+//! Determinism guarantees: the simulated cluster must produce bitwise
+//! reproducible results and modeled times regardless of thread scheduling,
+//! and the distributed solver must agree with the sequential reference.
+
+use esrcg::core::pcg::pcg;
+use esrcg::prelude::*;
+use esrcg::sparse::vector::max_abs_diff;
+
+fn matrix() -> MatrixSource {
+    MatrixSource::AudikwLike {
+        nx: 4,
+        ny: 4,
+        nz: 8,
+    }
+}
+
+#[test]
+fn repeated_runs_are_bitwise_identical() {
+    let run = || {
+        Experiment::builder()
+            .matrix(matrix())
+            .n_ranks(5)
+            .strategy(Strategy::Esrp { t: 5 })
+            .phi(2)
+            .failure_at(12, 1, 2)
+            .run()
+            .expect("run")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.x, b.x, "solutions bitwise identical");
+    assert_eq!(
+        a.modeled_time.to_bits(),
+        b.modeled_time.to_bits(),
+        "modeled time bitwise identical"
+    );
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.recovery, b.recovery);
+    assert_eq!(a.residual_drift.to_bits(), b.residual_drift.to_bits());
+}
+
+#[test]
+fn distributed_solution_matches_sequential_pcg() {
+    let m = matrix().build().expect("matrix");
+    let n = m.nrows();
+    let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.137).sin() + 0.5).collect();
+    let b = m.spmv(&x_true);
+    let part = Partition::balanced(n, 1);
+    let precond = PrecondSpec::paper_default().build(&m, &part).expect("precond");
+    let seq = pcg(&m, &b, &vec![0.0; n], precond.as_ref(), 1e-8, 100_000);
+    assert!(seq.converged);
+
+    // With a single rank the distributed solver must match bitwise; with
+    // more ranks the block Jacobi blocks change (node-local blocks), so the
+    // trajectory differs but the solution agrees to solver tolerance.
+    let dist1 = Experiment::builder()
+        .matrix(matrix())
+        .n_ranks(1)
+        .run()
+        .expect("single-rank run");
+    assert_eq!(dist1.iterations, seq.iterations);
+    assert_eq!(dist1.x, seq.x, "single rank is bitwise the sequential solver");
+
+    for n_ranks in [2usize, 3, 7] {
+        let dist = Experiment::builder()
+            .matrix(matrix())
+            .n_ranks(n_ranks)
+            .run()
+            .expect("multi-rank run");
+        assert!(dist.converged, "{n_ranks} ranks");
+        assert!(
+            max_abs_diff(&dist.x, &x_true) < 1e-5,
+            "{n_ranks} ranks: solution error {}",
+            max_abs_diff(&dist.x, &x_true)
+        );
+    }
+}
+
+#[test]
+fn modeled_time_ordering_is_stable() {
+    // The qualitative cost ordering must be deterministic and sensible:
+    // reference < ESRP(T=20) < ESR, all failure-free.
+    let run = |strategy: Strategy, phi: usize| {
+        Experiment::builder()
+            .matrix(matrix())
+            .n_ranks(5)
+            .strategy(strategy)
+            .phi(phi)
+            .run()
+            .expect("run")
+            .modeled_time
+    };
+    let t_ref = run(Strategy::None, 0);
+    let t_esrp = run(Strategy::Esrp { t: 20 }, 2);
+    let t_esr = run(Strategy::esr(), 2);
+    assert!(t_ref < t_esrp, "{t_ref} < {t_esrp}");
+    assert!(t_esrp < t_esr, "{t_esrp} < {t_esr}");
+}
+
+#[test]
+fn phase_accounting_is_consistent() {
+    let report = Experiment::builder()
+        .matrix(matrix())
+        .n_ranks(4)
+        .strategy(Strategy::Esrp { t: 5 })
+        .phi(1)
+        .failure_at(12, 0, 1)
+        .run()
+        .expect("run");
+    // Per-rank modeled time sums over phases equal the final clock
+    // (every clock advance is attributed to exactly one phase), and the
+    // maximum equals the reported modeled time.
+    let max_total = report
+        .per_rank_stats
+        .iter()
+        .map(|s| s.total_time())
+        .fold(0.0f64, f64::max);
+    assert!((max_total - report.modeled_time).abs() <= 1e-12 * report.modeled_time.max(1.0));
+    // The failure run must have spent time in recovery phases.
+    let recovery_time: f64 = report
+        .per_rank_stats
+        .iter()
+        .map(|s| s.recovery_time())
+        .sum();
+    assert!(recovery_time > 0.0);
+    // Flops were charged in the main phases.
+    let total = report.stats_total;
+    assert!(total.flops[Phase::SpMV as usize] > 0);
+    assert!(total.flops[Phase::Precond as usize] > 0);
+    assert!(total.msgs_sent[Phase::Reduction as usize] > 0);
+    assert!(total.msgs_sent[Phase::Storage as usize] > 0, "ASpMV extras flowed");
+}
+
+#[test]
+fn iteration_count_is_rank_count_invariant_for_jacobi() {
+    // With a point-Jacobi preconditioner (no rank-dependent blocks), the
+    // preconditioned operator is identical for every partition, and the
+    // deterministic reductions make even the iteration count invariant.
+    let runs: Vec<RunReport> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&r| {
+            Experiment::builder()
+                .matrix(matrix())
+                .precond(PrecondSpec::Jacobi)
+                .n_ranks(r)
+                .run()
+                .expect("run")
+        })
+        .collect();
+    for r in &runs[1..] {
+        assert!(r.converged);
+        assert_eq!(r.iterations, runs[0].iterations);
+        assert!(max_abs_diff(&r.x, &runs[0].x) < 1e-9);
+    }
+}

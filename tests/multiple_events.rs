@@ -1,0 +1,150 @@
+//! Multiple *sequential* failure events in one solve — beyond the paper's
+//! single-event experiments. Each event's rank count stays within φ; events
+//! are separated far enough that the re-executed storage stage / checkpoint
+//! round has repopulated the redundant copies.
+
+use esrcg::prelude::*;
+use esrcg::sparse::vector::max_abs_diff;
+
+const N_RANKS: usize = 6;
+
+fn matrix() -> MatrixSource {
+    MatrixSource::EmiliaLike {
+        nx: 6,
+        ny: 6,
+        nz: 12,
+    }
+}
+
+fn reference() -> RunReport {
+    Experiment::builder()
+        .matrix(matrix())
+        .n_ranks(N_RANKS)
+        .run()
+        .expect("reference")
+}
+
+#[test]
+fn esrp_survives_two_failures() {
+    let reference = reference();
+    let c = reference.iterations;
+    assert!(c > 40, "need room for two events (C = {c})");
+    let t = 8;
+    let run = Experiment::builder()
+        .matrix(matrix())
+        .n_ranks(N_RANKS)
+        .strategy(Strategy::Esrp { t })
+        .phi(2)
+        .failure_at(c / 4, 1, 2) // ranks 1, 2 die
+        .failure_at(c / 2, 4, 1) // later, rank 4 dies
+        .run()
+        .expect("two-event run");
+    assert!(run.converged);
+    assert_eq!(run.recoveries.len(), 2, "both events processed");
+    assert_eq!(run.recoveries[0].failed_at, c / 4);
+    assert_eq!(run.recoveries[1].failed_at, c / 2);
+    assert!(run.recoveries.iter().all(|r| !r.full_restart));
+    assert_eq!(run.iterations, c, "trajectory preserved through both recoveries");
+    assert!(max_abs_diff(&run.x, &reference.x) < 1e-5);
+}
+
+#[test]
+fn esrp_survives_repeated_failure_of_the_same_rank() {
+    let reference = reference();
+    let c = reference.iterations;
+    let t = 8;
+    let run = Experiment::builder()
+        .matrix(matrix())
+        .n_ranks(N_RANKS)
+        .strategy(Strategy::Esrp { t })
+        .phi(1)
+        .failure_at(c / 3, 3, 1)
+        .failure_at(2 * c / 3, 3, 1) // the same rank dies again
+        .run()
+        .expect("repeat-failure run");
+    assert!(run.converged);
+    assert_eq!(run.recoveries.len(), 2);
+    assert_eq!(run.iterations, c);
+    assert!(max_abs_diff(&run.x, &reference.x) < 1e-5);
+}
+
+#[test]
+fn imcr_survives_two_failures_bitwise() {
+    let reference = reference();
+    let c = reference.iterations;
+    let run = Experiment::builder()
+        .matrix(matrix())
+        .n_ranks(N_RANKS)
+        .strategy(Strategy::Imcr { t: 8 })
+        .phi(2)
+        .failure_at(c / 4, 0, 2)
+        .failure_at(c / 2, 3, 2)
+        .run()
+        .expect("two-event run");
+    assert!(run.converged);
+    assert_eq!(run.recoveries.len(), 2);
+    assert_eq!(run.x, reference.x, "IMCR rollback stays bitwise exact");
+}
+
+#[test]
+fn imcr_second_failure_right_after_first_recovery() {
+    // The second event strikes a few iterations after the first one's
+    // rollback target; the re-executed checkpoint round at the rollback
+    // iteration must have repopulated the buddy copies.
+    let reference = reference();
+    let c = reference.iterations;
+    let t = 8;
+    assert!(3 * t + 4 < c);
+    let run = Experiment::builder()
+        .matrix(matrix())
+        .n_ranks(N_RANKS)
+        .strategy(Strategy::Imcr { t })
+        .phi(2)
+        .failure_at(3 * t + 2, 1, 2)
+        .failure_at(3 * t + 4, 2, 2) // overlaps rank 2 with event 1
+        .run()
+        .expect("back-to-back events");
+    assert!(run.converged);
+    assert_eq!(run.recoveries.len(), 2);
+    assert_eq!(run.x, reference.x);
+}
+
+#[test]
+fn recovery_overhead_accumulates_over_events() {
+    let reference = reference();
+    let c = reference.iterations;
+    let one = Experiment::builder()
+        .matrix(matrix())
+        .n_ranks(N_RANKS)
+        .strategy(Strategy::Esrp { t: 8 })
+        .phi(1)
+        .failure_at(c / 2, 0, 1)
+        .run()
+        .expect("one event");
+    let two = Experiment::builder()
+        .matrix(matrix())
+        .n_ranks(N_RANKS)
+        .strategy(Strategy::Esrp { t: 8 })
+        .phi(1)
+        .failure_at(c / 3, 0, 1)
+        .failure_at(2 * c / 3, 2, 1)
+        .run()
+        .expect("two events");
+    let t0 = reference.modeled_time;
+    assert!(two.reconstruction_overhead_vs(t0) > one.reconstruction_overhead_vs(t0));
+    assert!(two.modeled_time > one.modeled_time);
+}
+
+#[test]
+fn non_increasing_event_iterations_rejected() {
+    let err = Experiment::builder()
+        .matrix(matrix())
+        .n_ranks(N_RANKS)
+        .strategy(Strategy::Esrp { t: 8 })
+        .phi(1)
+        .failure_at(20, 0, 1)
+        .failure_at(20, 2, 1)
+        .run()
+        .unwrap_err();
+    assert!(err.contains("strictly increasing"), "{err}");
+}

@@ -1,0 +1,120 @@
+//! The ESR reconstruction must work with every shipped preconditioner —
+//! the paper's future work asks for "more appropriate preconditioners", so
+//! the recovery path cannot be block-Jacobi-specific.
+
+use esrcg::prelude::*;
+use esrcg::sparse::vector::max_abs_diff;
+
+const N_RANKS: usize = 6;
+
+fn matrix() -> MatrixSource {
+    MatrixSource::EmiliaLike {
+        nx: 6,
+        ny: 6,
+        nz: 10,
+    }
+}
+
+fn all_preconds() -> Vec<PrecondSpec> {
+    vec![
+        PrecondSpec::Identity,
+        PrecondSpec::Jacobi,
+        PrecondSpec::BlockJacobi { max_block: 10 },
+        PrecondSpec::BlockJacobi { max_block: 4 },
+        PrecondSpec::Ic0,
+        PrecondSpec::Ssor { omega: 1.2 },
+    ]
+}
+
+#[test]
+fn every_preconditioner_converges_failure_free() {
+    for spec in all_preconds() {
+        let run = Experiment::builder()
+            .matrix(matrix())
+            .n_ranks(N_RANKS)
+            .precond(spec)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+        assert!(run.converged, "{}", spec.name());
+        assert!(run.true_relres < 1e-6, "{}", spec.name());
+    }
+}
+
+#[test]
+fn esrp_recovery_works_with_every_preconditioner() {
+    for spec in all_preconds() {
+        let reference = Experiment::builder()
+            .matrix(matrix())
+            .n_ranks(N_RANKS)
+            .precond(spec)
+            .run()
+            .expect("reference");
+        let c = reference.iterations;
+        let t = 8;
+        let run = Experiment::builder()
+            .matrix(matrix())
+            .n_ranks(N_RANKS)
+            .precond(spec)
+            .strategy(Strategy::Esrp { t })
+            .phi(2)
+            .failure_at(paper_failure_iteration(c, t), 2, 2)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+        assert!(run.converged, "{}", spec.name());
+        assert_eq!(
+            run.iterations,
+            c,
+            "{}: recovered run must follow the reference trajectory",
+            spec.name()
+        );
+        assert!(
+            max_abs_diff(&run.x, &reference.x) < 1e-5,
+            "{}: solution deviates by {:e}",
+            spec.name(),
+            max_abs_diff(&run.x, &reference.x)
+        );
+    }
+}
+
+#[test]
+fn stronger_preconditioners_reduce_iterations() {
+    // IC(0) and SSOR are the "more appropriate preconditioners" of the
+    // paper's future work: they should beat plain Jacobi on this problem.
+    let iters = |spec: PrecondSpec| {
+        Experiment::builder()
+            .matrix(matrix())
+            .n_ranks(N_RANKS)
+            .precond(spec)
+            .run()
+            .expect("run")
+            .iterations
+    };
+    let jacobi = iters(PrecondSpec::Jacobi);
+    let ic0 = iters(PrecondSpec::Ic0);
+    let ssor = iters(PrecondSpec::Ssor { omega: 1.2 });
+    assert!(ic0 < jacobi, "IC(0) {ic0} must beat Jacobi {jacobi}");
+    assert!(ssor < jacobi, "SSOR {ssor} must beat Jacobi {jacobi}");
+}
+
+#[test]
+fn imcr_is_preconditioner_agnostic() {
+    for spec in [PrecondSpec::Jacobi, PrecondSpec::Ic0] {
+        let reference = Experiment::builder()
+            .matrix(matrix())
+            .n_ranks(N_RANKS)
+            .precond(spec)
+            .run()
+            .expect("reference");
+        let run = Experiment::builder()
+            .matrix(matrix())
+            .n_ranks(N_RANKS)
+            .precond(spec)
+            .strategy(Strategy::Imcr { t: 8 })
+            .phi(1)
+            .failure_at(paper_failure_iteration(reference.iterations, 8), 4, 1)
+            .run()
+            .expect("failure run");
+        assert!(run.converged, "{}", spec.name());
+        assert_eq!(run.x, reference.x, "{}: bitwise", spec.name());
+    }
+}
