@@ -7,7 +7,8 @@
 //! * inner-solve preconditioner block size (recovery cost knob),
 //! * storage overhead vs checkpoint interval (the ESRP trade-off curve).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use esrcg_bench::microbench::Criterion;
+use esrcg_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use esrcg_core::aspmv::AspmvPlan;

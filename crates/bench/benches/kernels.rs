@@ -1,13 +1,12 @@
 //! Micro-benchmarks of the per-iteration kernels: SpMV, preconditioner
 //! application, block factorization, and the redundancy queue.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use esrcg_bench::microbench::{BatchSize, Criterion};
+use esrcg_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
-use esrcg_precond::{
-    BlockJacobiPrecond, Ic0Precond, JacobiPrecond, Preconditioner, SsorPrecond,
-};
 use esrcg_core::queue::RedundancyQueue;
+use esrcg_precond::{BlockJacobiPrecond, Ic0Precond, JacobiPrecond, Preconditioner, SsorPrecond};
 use esrcg_sparse::gen::{audikw_like, emilia_like};
 use esrcg_sparse::{DenseMatrix, Partition};
 
@@ -73,9 +72,7 @@ fn bench_block_factorization(c: &mut Criterion) {
     let part = Partition::balanced(a.nrows(), 8);
     for max_block in [4usize, 10, 20] {
         g.bench_function(format!("max_block_{max_block}"), |b| {
-            b.iter(|| {
-                black_box(BlockJacobiPrecond::new(&a, &part, max_block).expect("spd"))
-            })
+            b.iter(|| black_box(BlockJacobiPrecond::new(&a, &part, max_block).expect("spd")))
         });
     }
     g.finish();

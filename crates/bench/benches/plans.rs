@@ -3,7 +3,8 @@
 //! solve, so their absolute cost matters mainly for very short solves; the
 //! interesting output is how the augmentation traffic scales with φ.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use esrcg_bench::microbench::Criterion;
+use esrcg_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use esrcg_core::aspmv::AspmvPlan;
@@ -61,8 +62,7 @@ fn bench_extra_traffic_report(c: &mut Criterion) {
                 "extra_traffic: bandwidth={bw} phi={phi}: spmv={} extra={} (+{:.1}%)",
                 plan.total_traffic(),
                 aspmv.total_extra_traffic(),
-                100.0 * aspmv.total_extra_traffic() as f64
-                    / plan.total_traffic().max(1) as f64
+                100.0 * aspmv.total_extra_traffic() as f64 / plan.total_traffic().max(1) as f64
             );
         }
         g.bench_function(format!("holders_scan_bw{bw}"), |b| {
@@ -79,5 +79,10 @@ fn bench_extra_traffic_report(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_comm_plan, bench_aspmv_plan, bench_extra_traffic_report);
+criterion_group!(
+    benches,
+    bench_comm_plan,
+    bench_aspmv_plan,
+    bench_extra_traffic_report
+);
 criterion_main!(benches);

@@ -4,7 +4,8 @@
 //! the simulation itself, while the paper tables use deterministic modeled
 //! time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use esrcg_bench::microbench::Criterion;
+use esrcg_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use esrcg_core::driver::{paper_failure_iteration, Experiment, MatrixSource, RhsSpec};
@@ -60,9 +61,7 @@ fn bench_strategies_failure_free(c: &mut Criterion) {
         ("esrp20_phi3", Strategy::Esrp { t: 20 }, 3),
         ("imcr20_phi1", Strategy::Imcr { t: 20 }, 1),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(run(strategy, phi, None)))
-        });
+        g.bench_function(name, |b| b.iter(|| black_box(run(strategy, phi, None))));
     }
     g.finish();
 }
@@ -79,9 +78,7 @@ fn bench_solve_with_failure(c: &mut Criterion) {
         ("imcr20_phi3", Strategy::Imcr { t: 20 }, 3),
     ] {
         let t = strategy.interval().expect("resilient");
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(run(strategy, phi, Some(t))))
-        });
+        g.bench_function(name, |b| b.iter(|| black_box(run(strategy, phi, Some(t)))));
     }
     g.finish();
 }
@@ -99,7 +96,9 @@ fn bench_sequential_pcg(c: &mut Criterion) {
     let n = a.nrows();
     let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).cos()).collect();
     let part = Partition::balanced(n, 1);
-    let precond = PrecondSpec::paper_default().build(&a, &part).expect("precond");
+    let precond = PrecondSpec::paper_default()
+        .build(&a, &part)
+        .expect("precond");
     g.bench_function("emilia_like_864", |bch| {
         bch.iter(|| {
             let r = pcg(&a, &b, &vec![0.0; n], precond.as_ref(), 1e-8, 100_000);

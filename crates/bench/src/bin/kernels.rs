@@ -1,0 +1,88 @@
+//! Emits `BENCH_kernels.json`: SpMV/dot GFLOP/s per backend and thread
+//! count on Poisson-3D workloads.
+//!
+//! ```text
+//! cargo run --release -p esrcg-bench --bin kernels -- [options]
+//!
+//! options:
+//!   --out PATH       output file (default: BENCH_kernels.json)
+//!   --sizes LIST     comma-separated row counts (default: 10000,100000,1000000)
+//!   --threads LIST   comma-separated thread counts (default: 1,4)
+//!   --samples N      timed repetitions per cell (default: 10)
+//! ```
+
+use esrcg_bench::kernels::run_kernel_bench;
+
+struct Options {
+    out: String,
+    sizes: Vec<usize>,
+    threads: Vec<usize>,
+    samples: usize,
+}
+
+fn parse_list(v: &str) -> Result<Vec<usize>, String> {
+    v.split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad number '{s}'")))
+        .collect()
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opt = Options {
+        out: "BENCH_kernels.json".to_string(),
+        sizes: vec![10_000, 100_000, 1_000_000],
+        threads: vec![1, 4],
+        samples: 10,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => opt.out = args.next().ok_or("missing value for --out")?,
+            "--sizes" => opt.sizes = parse_list(&args.next().ok_or("missing value for --sizes")?)?,
+            "--threads" => {
+                opt.threads = parse_list(&args.next().ok_or("missing value for --threads")?)?
+            }
+            "--samples" => {
+                opt.samples = args
+                    .next()
+                    .ok_or("missing value for --samples")?
+                    .parse()
+                    .map_err(|_| "bad --samples")?
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(opt)
+}
+
+fn main() {
+    let opt = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "kernel bench: sizes {:?}, threads {:?}, {} samples (host parallelism: {})",
+        opt.sizes,
+        opt.threads,
+        opt.samples,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    let report = run_kernel_bench(&opt.sizes, &opt.threads, opt.samples);
+    for m in &report.results {
+        eprintln!(
+            "  {:<5} n={:<8} {:<9} {:>10.3} ms/iter  {:>8.3} GFLOP/s",
+            m.kernel,
+            m.n,
+            m.backend,
+            m.secs * 1e3,
+            m.gflops
+        );
+    }
+    let json = report.to_json();
+    std::fs::write(&opt.out, &json).expect("write output file");
+    eprintln!("wrote {}", opt.out);
+}

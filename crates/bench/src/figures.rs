@@ -30,12 +30,7 @@ pub struct FigPoint {
 /// paper, the ESR line repeats the ESRP T = 1 result in every T cluster.
 pub fn figure_series(data: &TableData, with_failures: bool) -> Vec<FigPoint> {
     let mut points = Vec::new();
-    let mut ts: Vec<usize> = data
-        .rows
-        .iter()
-        .filter(|r| r.t > 1)
-        .map(|r| r.t)
-        .collect();
+    let mut ts: Vec<usize> = data.rows.iter().filter(|r| r.t > 1).map(|r| r.t).collect();
     ts.sort_unstable();
     ts.dedup();
     let mut phis: Vec<usize> = data.rows.iter().map(|r| r.phi).collect();
@@ -53,8 +48,7 @@ pub fn figure_series(data: &TableData, with_failures: bool) -> Vec<FigPoint> {
                 let overhead = if with_failures {
                     // Median over the two locations = midpoint of the two
                     // medians for an even sample of 2.
-                    let mut o: Vec<f64> =
-                        row.failures.iter().map(|f| f.overhead).collect();
+                    let mut o: Vec<f64> = row.failures.iter().map(|f| f.overhead).collect();
                     o.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
                     if o.is_empty() {
                         continue;
@@ -155,9 +149,7 @@ pub fn render_figure(data: &TableData, with_failures: bool) -> String {
                     for &phi in &phis {
                         let ch = points
                             .iter()
-                            .find(|p| {
-                                p.strategy == strategy && p.t == t && p.phi == phi
-                            })
+                            .find(|p| p.strategy == strategy && p.t == t && p.phi == phi)
                             .map(|p| if pos(p.overhead) == level { mark } else { ' ' })
                             .unwrap_or(' ');
                         let _ = write!(out, "{ch}");
@@ -182,7 +174,10 @@ pub fn render_figure(data: &TableData, with_failures: bool) -> String {
 /// Renders the paper's Fig. 1: the queue-state evolution over iterations
 /// for a checkpoint interval `t`, with the rollback target per iteration.
 pub fn render_figure1(t: usize) -> String {
-    assert!(t >= 3, "ESRP requires T >= 3 (T = 1 is ESR, T = 2 is rejected)");
+    assert!(
+        t >= 3,
+        "ESRP requires T >= 3 (T = 1 is ESR, T = 2 is rejected)"
+    );
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -298,8 +293,16 @@ mod tests {
         // At j = 10 (= 2T) the queue is [p'(5), p'(6), p'(10)] and the
         // rollback target is 6 — the paper's key observation.
         assert!(s.contains("j =  10  Q = [p'(5), p'(6), p'(10)"), "{s}");
-        assert!(s.lines().find(|l| l.starts_with("j =  10")).unwrap().contains("-> 6"));
+        assert!(s
+            .lines()
+            .find(|l| l.starts_with("j =  10"))
+            .unwrap()
+            .contains("-> 6"));
         // Before the first complete stage, recovery is a restart.
-        assert!(s.lines().find(|l| l.starts_with("j =   5")).unwrap().contains("restart"));
+        assert!(s
+            .lines()
+            .find(|l| l.starts_with("j =   5"))
+            .unwrap()
+            .contains("restart"));
     }
 }

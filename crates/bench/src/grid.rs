@@ -189,9 +189,7 @@ pub fn run_table(spec: &TableSpec) -> TableData {
 
                 // Failure runs at the two paper locations, ψ = φ.
                 let mut failures = Vec::new();
-                for (location, start) in
-                    [("start", 0usize), ("center", spec.n_ranks / 2)]
-                {
+                for (location, start) in [("start", 0usize), ("center", spec.n_ranks / 2)] {
                     let mut ovh = Vec::with_capacity(spec.reps);
                     let mut rec = Vec::with_capacity(spec.reps);
                     let mut wasted = Vec::with_capacity(spec.reps);

@@ -1,0 +1,225 @@
+//! Machine-readable kernel benchmarks: SpMV and dot throughput per backend
+//! and thread count, emitted as `BENCH_kernels.json` to seed the project's
+//! performance trajectory.
+//!
+//! The workload is the paper's: 7-point Poisson-3D matrices (the SpMV that
+//! dominates PCG iterations) at n ∈ {1e4, 1e5, 1e6}, and dot products of
+//! the same lengths. Throughput is reported in GFLOP/s (2 flops per stored
+//! entry for SpMV, 2 per element for dot).
+
+use std::time::Instant;
+
+use esrcg_sparse::gen::poisson3d;
+use esrcg_sparse::{CsrMatrix, KernelBackend};
+
+/// One measured cell.
+#[derive(Debug, Clone)]
+pub struct KernelMeasurement {
+    /// `"spmv"` or `"dot"`.
+    pub kernel: &'static str,
+    /// Problem size (rows or vector length).
+    pub n: usize,
+    /// Stored entries (SpMV only; `n` for dot).
+    pub nnz: usize,
+    /// Worker threads of the backend.
+    pub threads: usize,
+    /// Backend name.
+    pub backend: String,
+    /// Median seconds per kernel invocation.
+    pub secs: f64,
+    /// Throughput in GFLOP/s.
+    pub gflops: f64,
+}
+
+/// The full benchmark outcome.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Detected hardware parallelism of the host.
+    pub host_threads: usize,
+    /// All measurements.
+    pub results: Vec<KernelMeasurement>,
+}
+
+fn median_secs(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Times `f` (which must perform exactly one kernel invocation) with
+/// `warmup` untimed and `samples` timed runs; returns median seconds.
+fn time_kernel(warmup: usize, samples: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        f();
+        times.push(t.elapsed().as_secs_f64());
+    }
+    median_secs(&mut times)
+}
+
+/// Grid edge for an ≈`target`-row Poisson-3D problem.
+pub fn poisson3d_edge(target: usize) -> usize {
+    (target as f64).cbrt().round() as usize
+}
+
+/// Runs the benchmark over `sizes` × `thread_counts` (plus the sequential
+/// backend at every size) with `samples` timed repetitions per cell.
+pub fn run_kernel_bench(sizes: &[usize], thread_counts: &[usize], samples: usize) -> KernelReport {
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut results = Vec::new();
+    for &target in sizes {
+        let edge = poisson3d_edge(target);
+        let a = poisson3d(edge, edge, edge);
+        let n = a.nrows();
+        let nnz = a.nnz();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+        let mut out = vec![0.0; n];
+
+        let mut cell = |backend: KernelBackend, threads: usize| {
+            let spmv_secs = time_kernel(2, samples, || {
+                backend.spmv_into(&a, &x, &mut out);
+            });
+            results.push(KernelMeasurement {
+                kernel: "spmv",
+                n,
+                nnz,
+                threads,
+                backend: backend.name(),
+                secs: spmv_secs,
+                gflops: a.spmv_flops() as f64 / spmv_secs / 1e9,
+            });
+            let mut sink = 0.0;
+            let dot_secs = time_kernel(2, samples, || {
+                sink += backend.dot(&x, &y);
+            });
+            std::hint::black_box(sink);
+            results.push(KernelMeasurement {
+                kernel: "dot",
+                n,
+                nnz: n,
+                threads,
+                backend: backend.name(),
+                secs: dot_secs,
+                gflops: 2.0 * n as f64 / dot_secs / 1e9,
+            });
+        };
+
+        cell(KernelBackend::Sequential, 1);
+        for &t in thread_counts {
+            cell(KernelBackend::parallel(t), t);
+        }
+    }
+    KernelReport {
+        host_threads,
+        results,
+    }
+}
+
+impl KernelReport {
+    /// Speedup of the parallel backend at `threads` over the sequential
+    /// backend, for `kernel` at size `n` (None when either cell is absent).
+    pub fn speedup(&self, kernel: &str, n: usize, threads: usize) -> Option<f64> {
+        let find = |backend_seq: bool, thr: usize| {
+            self.results.iter().find(|m| {
+                m.kernel == kernel
+                    && m.n == n
+                    && ((backend_seq && m.backend == "seq")
+                        || (!backend_seq && m.threads == thr && m.backend != "seq"))
+            })
+        };
+        let seq = find(true, 1)?;
+        let par = find(false, threads)?;
+        Some(seq.secs / par.secs)
+    }
+
+    /// Renders the report as pretty-printed JSON (hand-rolled; the build
+    /// carries no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"schema\": \"esrcg-bench-kernels-v1\",\n");
+        s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        s.push_str("  \"results\": [\n");
+        for (i, m) in self.results.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"n\": {}, \"nnz\": {}, \"backend\": \"{}\", \
+                 \"threads\": {}, \"secs_per_iter\": {:.9}, \"gflops\": {:.4}}}{}\n",
+                m.kernel,
+                m.n,
+                m.nnz,
+                m.backend,
+                m.threads,
+                m.secs,
+                m.gflops,
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"summary\": {\n");
+        let mut lines = Vec::new();
+        let sizes: Vec<usize> = {
+            let mut v: Vec<usize> = self.results.iter().map(|m| m.n).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let threads: Vec<usize> = {
+            let mut v: Vec<usize> = self
+                .results
+                .iter()
+                .filter(|m| m.backend != "seq")
+                .map(|m| m.threads)
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        for kernel in ["spmv", "dot"] {
+            for &n in &sizes {
+                for &t in &threads {
+                    if let Some(sp) = self.speedup(kernel, n, t) {
+                        lines.push(format!("    \"{kernel}_speedup_{t}t_n{n}\": {sp:.3}"));
+                    }
+                }
+            }
+        }
+        s.push_str(&lines.join(",\n"));
+        s.push_str("\n  }\n}\n");
+        s
+    }
+}
+
+/// Builds the ≈1e6-row matrix used by the acceptance benchmark (here so the
+/// bin and tests agree on the workload).
+pub fn acceptance_matrix() -> CsrMatrix {
+    let edge = poisson3d_edge(1_000_000);
+    poisson3d(edge, edge, edge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_hit_targets() {
+        assert_eq!(poisson3d_edge(1_000_000), 100);
+        let e4 = poisson3d_edge(10_000);
+        assert!((e4 * e4 * e4) as f64 / 1e4 > 0.8 && ((e4 * e4 * e4) as f64 / 1e4) < 1.3);
+    }
+
+    #[test]
+    fn tiny_report_renders_json() {
+        let report = run_kernel_bench(&[1000], &[2], 3);
+        assert!(report.results.len() == 4, "seq + par(2), spmv + dot");
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"esrcg-bench-kernels-v1\""));
+        assert!(json.contains("\"kernel\": \"spmv\""));
+        assert!(json.contains("spmv_speedup_2t_n1000"));
+        assert!(report.speedup("spmv", report.results[0].n, 2).is_some());
+    }
+}

@@ -20,6 +20,8 @@
 pub mod figures;
 pub mod format;
 pub mod grid;
+pub mod kernels;
+pub mod microbench;
 pub mod scale;
 
 pub use grid::{run_table, CellResult, FailureCell, TableData, TableRow, TableSpec};

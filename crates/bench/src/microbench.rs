@@ -1,0 +1,260 @@
+//! A minimal, dependency-free micro-benchmark harness with a
+//! Criterion-compatible surface (the subset this project's benches use).
+//!
+//! The container this project builds in has no network access, so Criterion
+//! cannot be vendored; bench targets instead run with `harness = false` and
+//! drive this module. The API mirrors Criterion's so the bench sources stay
+//! portable: swap the `use` line back to `criterion` and they compile
+//! unchanged against the real thing.
+//!
+//! Measurement model: a warm-up phase estimates the per-iteration cost,
+//! then `sample_size` samples each run a fixed iteration count; the
+//! reported figure is the median over samples of (sample time / iters).
+
+use std::time::{Duration, Instant};
+
+/// Criterion-compatible entry point. Holds global defaults.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            label: name.into(),
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+        }
+    }
+}
+
+/// Batch size hint for [`Bencher::iter_batched`] (accepted for
+/// compatibility; the harness always times per batch of one input).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup {
+    label: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its median time per iteration.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut bencher);
+        let median = bencher.median_ns();
+        println!(
+            "{}/{:<32} median {:>12}  ({} samples × {} iters)",
+            self.label,
+            name.into(),
+            format_ns(median),
+            bencher.samples_ns.len(),
+            bencher.iters_per_sample,
+        );
+        self
+    }
+
+    /// Ends the group (separator line, for Criterion parity).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, Criterion-style: warm up, pick an iteration count, then
+    /// collect samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up doubles as cost estimation.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < self.warm_up {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = (start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+        let per_sample_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let iters = ((per_sample_ns / est_ns).floor() as u64).max(1);
+        self.iters_per_sample = iters;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Times `f` with a fresh setup value per call, excluding setup time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut f: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Warm-up/estimation.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut spent = Duration::ZERO;
+        while start.elapsed() < self.warm_up {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(f(input));
+            spent += t.elapsed();
+            warm_iters += 1;
+        }
+        let est_ns = (spent.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+        let per_sample_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let iters = ((per_sample_ns / est_ns).floor() as u64).max(1);
+        self.iters_per_sample = iters;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let mut sample = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                std::hint::black_box(f(input));
+                sample += t.elapsed();
+            }
+            self.samples_ns
+                .push(sample.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        let mut s = self.samples_ns.clone();
+        if s.is_empty() {
+            return 0.0;
+        }
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        s[s.len() / 2]
+    }
+}
+
+/// Formats nanoseconds human-readably (ns/µs/ms/s per iteration).
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1e6 {
+        format!("{:.2} µs/iter", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms/iter", ns / 1e6)
+    } else {
+        format!("{:.3} s/iter", ns / 1e9)
+    }
+}
+
+/// Criterion-compatible group registration.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::microbench::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Criterion-compatible main entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($name:ident),+ $(,)?) => {
+        fn main() {
+            $( $name(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion {
+            sample_size: 3,
+            warm_up: Duration::from_millis(5),
+            measurement: Duration::from_millis(15),
+        };
+        let mut g = c.benchmark_group("test");
+        g.sample_size(3);
+        let mut ran = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0);
+        g.finish();
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(format_ns(5.0).contains("ns"));
+        assert!(format_ns(5.0e3).contains("µs"));
+        assert!(format_ns(5.0e6).contains("ms"));
+        assert!(format_ns(5.0e9).contains("s/iter"));
+    }
+}

@@ -2,8 +2,7 @@
 //! plus deterministic tree collectives, with cost-model instrumentation.
 
 use std::collections::{HashMap, VecDeque};
-
-use crossbeam::channel::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, Sender};
 
 use crate::cost::CostModel;
 use crate::msg::{Message, Payload, Tag};

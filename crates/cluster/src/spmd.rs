@@ -1,8 +1,7 @@
 //! The SPMD runner: executes one closure per rank on its own OS thread.
 
+use std::sync::mpsc::channel;
 use std::time::{Duration, Instant};
-
-use crossbeam::channel::unbounded;
 
 use crate::comm::Ctx;
 use crate::cost::CostModel;
@@ -55,7 +54,7 @@ where
     let mut receivers: Vec<Vec<_>> = (0..n_ranks).map(|_| Vec::with_capacity(n_ranks)).collect();
     for src_senders in senders.iter_mut() {
         for dst_receivers in receivers.iter_mut() {
-            let (tx, rx) = unbounded::<Message>();
+            let (tx, rx) = channel::<Message>();
             src_senders.push(tx);
             dst_receivers.push(rx);
         }
@@ -66,10 +65,7 @@ where
     let mut per_rank: Vec<Option<(T, RankStats, f64)>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_ranks);
         // Hand each rank its row of senders and column of receivers.
-        let rank_channels: Vec<_> = senders
-            .into_iter()
-            .zip(receivers)
-            .collect();
+        let rank_channels: Vec<_> = senders.into_iter().zip(receivers).collect();
         for (rank, (tx_row, rx_col)) in rank_channels.into_iter().enumerate() {
             handles.push(scope.spawn(move || {
                 let mut ctx = Ctx::new(rank, n_ranks, tx_row, rx_col, cost);
@@ -184,8 +180,8 @@ mod tests {
         for n in SIZES {
             for root in [0, n / 2, n - 1] {
                 let out = run_spmd(n, CostModel::default(), move |ctx| {
-                    let payload = (ctx.rank() == root)
-                        .then(|| Payload::F64s(vec![42.0, root as f64]));
+                    let payload =
+                        (ctx.rank() == root).then(|| Payload::F64s(vec![42.0, root as f64]));
                     ctx.bcast(root, payload).into_f64s()
                 });
                 for r in &out.results {

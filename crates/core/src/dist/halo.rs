@@ -1,0 +1,130 @@
+//! The halo exchange: materializes a full-length input vector on every rank
+//! before a distributed SpMV, following a [`CommPlan`].
+
+use esrcg_cluster::{Ctx, Payload, Tag};
+use esrcg_sparse::Partition;
+
+use crate::dist::plan::CommPlan;
+
+/// Exchanges halo entries of a distributed vector and scatters them into
+/// `full`, a full-length scratch vector.
+///
+/// * `local` is this rank's owned chunk; it is copied into `full` at the
+///   rank's own range.
+/// * Every `(dst, indices)` pair of the plan sends the owned values at
+///   `indices` under `Tag::Halo.with(tag_sub)`; receives mirror this.
+///   `tag_sub` is typically the iteration number, so halo rounds of
+///   different iterations can never be confused.
+/// * When `captured` is provided, every received `(global index, value)`
+///   pair is appended to it, in (source rank, index) order — this is how the
+///   ASpMV records the redundant copies it stores in the
+///   [`crate::queue::RedundancyQueue`].
+///
+/// Entries of `full` that are neither owned nor received keep their previous
+/// contents; callers must only read positions their rows actually touch
+/// (which is exactly what the plan guarantees to have filled).
+///
+/// # Panics
+/// Panics if `local` does not match the rank's range length, or on protocol
+/// violations surfaced by the communication layer.
+pub fn exchange_halo(
+    ctx: &mut Ctx,
+    plan: &CommPlan,
+    part: &Partition,
+    local: &[f64],
+    tag_sub: u32,
+    full: &mut [f64],
+    mut captured: Option<&mut Vec<(usize, f64)>>,
+) {
+    let me = ctx.rank();
+    let range = part.range(me);
+    assert_eq!(local.len(), range.len(), "halo: local chunk length");
+    assert_eq!(full.len(), part.n(), "halo: full vector length");
+    full[range.clone()].copy_from_slice(local);
+
+    let tag = Tag::Halo.with(tag_sub);
+    // Sends never block; fire them all before receiving.
+    for (dst, gidx) in plan.sends_of(me) {
+        let vals: Vec<f64> = gidx.iter().map(|&g| local[g - range.start]).collect();
+        ctx.send(*dst, tag, Payload::F64s(vals));
+    }
+    // Receives in source-rank order: deterministic capture order.
+    for (src, gidx) in plan.recvs_of(me) {
+        let vals = ctx.recv(*src, tag).into_f64s();
+        debug_assert_eq!(vals.len(), gidx.len(), "halo: payload length");
+        for (&g, &v) in gidx.iter().zip(vals.iter()) {
+            full[g] = v;
+            if let Some(cap) = captured.as_deref_mut() {
+                cap.push((g, v));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esrcg_cluster::{run_spmd, CostModel};
+    use esrcg_sparse::gen::poisson2d;
+    use std::sync::Arc;
+
+    #[test]
+    fn distributed_spmv_matches_sequential() {
+        let a = Arc::new(poisson2d(9, 9));
+        let n = a.nrows();
+        let x: Arc<Vec<f64>> = Arc::new((0..n).map(|i| (i as f64 * 0.17).sin()).collect());
+        let expected = a.spmv(&x);
+        for n_ranks in [1usize, 2, 3, 5] {
+            let part = Arc::new(Partition::balanced(n, n_ranks));
+            let plan = Arc::new(CommPlan::build(&a, &part));
+            let out = run_spmd(n_ranks, CostModel::default(), {
+                let (a, x, part, plan) = (a.clone(), x.clone(), part.clone(), plan.clone());
+                move |ctx| {
+                    let range = part.range(ctx.rank());
+                    let mut full = vec![0.0; part.n()];
+                    exchange_halo(ctx, &plan, &part, &x[range.clone()], 0, &mut full, None);
+                    let mut y = vec![0.0; range.len()];
+                    a.spmv_rows_into(range, &full, &mut y);
+                    y
+                }
+            });
+            let got: Vec<f64> = out.results.into_iter().flatten().collect();
+            assert_eq!(got, expected, "{n_ranks} ranks");
+        }
+    }
+
+    #[test]
+    fn captured_pairs_record_received_halo() {
+        let a = Arc::new(poisson2d(6, 6));
+        let n = a.nrows();
+        let x: Arc<Vec<f64>> = Arc::new((0..n).map(|i| i as f64).collect());
+        let part = Arc::new(Partition::balanced(n, 3));
+        let plan = Arc::new(CommPlan::build(&a, &part));
+        let out = run_spmd(3, CostModel::default(), {
+            let (x, part, plan) = (x.clone(), part.clone(), plan.clone());
+            move |ctx| {
+                let range = part.range(ctx.rank());
+                let mut full = vec![0.0; part.n()];
+                let mut captured = Vec::new();
+                exchange_halo(
+                    ctx,
+                    &plan,
+                    &part,
+                    &x[range.clone()],
+                    7,
+                    &mut full,
+                    Some(&mut captured),
+                );
+                captured
+            }
+        });
+        for (l, captured) in out.results.iter().enumerate() {
+            let expected: usize = plan.recvs_of(l).iter().map(|(_, idx)| idx.len()).sum();
+            assert_eq!(captured.len(), expected, "rank {l}");
+            for &(g, v) in captured {
+                assert_eq!(v, g as f64, "captured value is the owner's entry");
+                assert_ne!(part.owner_of(g), l, "captured entries are foreign");
+            }
+        }
+    }
+}

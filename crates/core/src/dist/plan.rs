@@ -1,0 +1,220 @@
+//! The SpMV communication plan: who sends which input-vector entries to
+//! whom, derived once from the sparsity pattern and the partition.
+
+use esrcg_sparse::{CsrMatrix, Partition};
+
+/// Per-rank send/receive index lists for the halo exchange of a distributed
+/// SpMV, plus the entry multiplicities the ASpMV augmentation needs.
+///
+/// For ranks `s ≠ l`, the index list `I(s, l)` (paper §2.2) contains the
+/// global indices owned by `s` that appear as columns in rows owned by `l` —
+/// exactly the entries `l` must receive from `s` before computing its rows.
+/// All lists are sorted; iteration orders are therefore deterministic.
+#[derive(Debug, Clone)]
+pub struct CommPlan {
+    n_ranks: usize,
+    /// `sends[s]` = `(dst, sorted global indices)` pairs, sorted by `dst`,
+    /// empty lists omitted.
+    sends: Vec<Vec<(usize, Vec<usize>)>>,
+    /// `recvs[l]` = `(src, sorted global indices)` pairs, sorted by `src`,
+    /// empty lists omitted.
+    recvs: Vec<Vec<(usize, Vec<usize>)>>,
+    /// `multiplicity[i]` = number of distinct non-owner ranks that receive
+    /// entry `i` during one SpMV (the paper's `m(i)`).
+    multiplicity: Vec<u32>,
+}
+
+impl CommPlan {
+    /// Derives the plan for `a` distributed by `partition`.
+    ///
+    /// # Panics
+    /// Panics if the partition size does not match the matrix dimensions.
+    pub fn build(a: &CsrMatrix, partition: &Partition) -> Self {
+        assert_eq!(partition.n(), a.nrows(), "partition must cover all rows");
+        assert_eq!(
+            a.nrows(),
+            a.ncols(),
+            "distributed SpMV needs a square matrix"
+        );
+        let n_ranks = partition.n_ranks();
+        let n = a.nrows();
+
+        // For each receiving rank, the set of foreign columns its rows
+        // touch, grouped by owner. A flat dedup per rank keeps this O(nnz +
+        // n log n) without hash maps.
+        let mut recvs: Vec<Vec<(usize, Vec<usize>)>> = Vec::with_capacity(n_ranks);
+        let mut sends: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); n_ranks];
+        let mut multiplicity = vec![0u32; n];
+        for (l, range) in partition.iter() {
+            let mut foreign: Vec<usize> = Vec::new();
+            for r in range.clone() {
+                let (cols, _) = a.row(r);
+                foreign.extend(cols.iter().copied().filter(|c| !range.contains(c)));
+            }
+            foreign.sort_unstable();
+            foreign.dedup();
+            let mut per_src: Vec<(usize, Vec<usize>)> = Vec::new();
+            for g in foreign {
+                let owner = partition.owner_of(g);
+                multiplicity[g] += 1;
+                match per_src.last_mut() {
+                    Some((src, idx)) if *src == owner => idx.push(g),
+                    _ => per_src.push((owner, vec![g])),
+                }
+            }
+            // `foreign` is globally sorted and ownership ranges are
+            // contiguous, so `per_src` is already sorted by source rank.
+            for (src, idx) in &per_src {
+                sends[*src].push((l, idx.clone()));
+            }
+            recvs.push(per_src);
+        }
+        for s in sends.iter_mut() {
+            s.sort_by_key(|(dst, _)| *dst);
+        }
+        CommPlan {
+            n_ranks,
+            sends,
+            recvs,
+            multiplicity,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// The sends of `rank`: `(destination, sorted global indices)`, sorted
+    /// by destination.
+    pub fn sends_of(&self, rank: usize) -> &[(usize, Vec<usize>)] {
+        &self.sends[rank]
+    }
+
+    /// The receives of `rank`: `(source, sorted global indices)`, sorted by
+    /// source.
+    pub fn recvs_of(&self, rank: usize) -> &[(usize, Vec<usize>)] {
+        &self.recvs[rank]
+    }
+
+    /// The sorted indices `I(s, d)` that `s` sends to `d`; empty if no SpMV
+    /// traffic flows between them.
+    pub fn indices_to(&self, s: usize, d: usize) -> &[usize] {
+        match self.sends[s].binary_search_by_key(&d, |(dst, _)| *dst) {
+            Ok(k) => &self.sends[s][k].1,
+            Err(_) => &[],
+        }
+    }
+
+    /// The paper's `m(i)`: how many distinct non-owner ranks receive entry
+    /// `i` during one regular SpMV.
+    pub fn multiplicity(&self, i: usize) -> u32 {
+        self.multiplicity[i]
+    }
+
+    /// Total entries communicated per SpMV (halo traffic volume).
+    pub fn total_traffic(&self) -> usize {
+        self.multiplicity.iter().map(|&m| m as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esrcg_sparse::gen::{banded_spd, poisson1d, poisson2d};
+
+    #[test]
+    fn tridiagonal_neighbors_exchange_boundary_entries() {
+        // poisson1d(8) over 4 ranks of 2 rows each: each rank needs one
+        // entry from each neighbor.
+        let a = poisson1d(8);
+        let part = Partition::balanced(8, 4);
+        let plan = CommPlan::build(&a, &part);
+        assert_eq!(plan.n_ranks(), 4);
+        assert_eq!(plan.indices_to(0, 1), &[1]);
+        assert_eq!(plan.indices_to(1, 0), &[2]);
+        assert_eq!(plan.indices_to(1, 2), &[3]);
+        assert_eq!(plan.indices_to(0, 2), &[] as &[usize]);
+        assert_eq!(plan.indices_to(0, 3), &[] as &[usize]);
+        // Boundary entries travel to exactly one neighbor; interior to none.
+        assert_eq!(plan.multiplicity(0), 0);
+        assert_eq!(plan.multiplicity(1), 1);
+        assert_eq!(plan.multiplicity(2), 1);
+    }
+
+    #[test]
+    fn sends_and_recvs_mirror() {
+        let a = banded_spd(60, 7, 0.6, 5);
+        let part = Partition::balanced(60, 5);
+        let plan = CommPlan::build(&a, &part);
+        for s in 0..5 {
+            for (d, idx) in plan.sends_of(s) {
+                assert_ne!(*d, s, "no self-sends");
+                let back: Vec<usize> = plan
+                    .recvs_of(*d)
+                    .iter()
+                    .find(|(src, _)| *src == s)
+                    .map(|(_, i)| i.clone())
+                    .expect("receive list exists");
+                assert_eq!(&back, idx);
+                assert!(idx.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+                for &g in idx {
+                    assert_eq!(part.owner_of(g), s, "senders own what they send");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recv_lists_cover_exactly_the_foreign_columns() {
+        let a = poisson2d(8, 8);
+        let part = Partition::balanced(64, 4);
+        let plan = CommPlan::build(&a, &part);
+        for (l, range) in part.iter() {
+            let mut needed: Vec<usize> = (range.clone())
+                .flat_map(|r| a.row(r).0.iter().copied())
+                .filter(|c| !range.contains(c))
+                .collect();
+            needed.sort_unstable();
+            needed.dedup();
+            let mut got: Vec<usize> = plan
+                .recvs_of(l)
+                .iter()
+                .flat_map(|(_, idx)| idx.iter().copied())
+                .collect();
+            got.sort_unstable();
+            assert_eq!(got, needed, "rank {l}");
+        }
+    }
+
+    #[test]
+    fn multiplicity_counts_receivers() {
+        let a = poisson2d(6, 6);
+        let part = Partition::balanced(36, 3);
+        let plan = CommPlan::build(&a, &part);
+        for i in 0..36 {
+            let count = (0..3)
+                .filter(|&l| {
+                    plan.recvs_of(l)
+                        .iter()
+                        .any(|(_, idx)| idx.binary_search(&i).is_ok())
+                })
+                .count();
+            assert_eq!(plan.multiplicity(i) as usize, count, "entry {i}");
+        }
+        assert_eq!(
+            plan.total_traffic(),
+            (0..36).map(|i| plan.multiplicity(i) as usize).sum()
+        );
+    }
+
+    #[test]
+    fn single_rank_has_no_traffic() {
+        let a = poisson2d(5, 5);
+        let part = Partition::balanced(25, 1);
+        let plan = CommPlan::build(&a, &part);
+        assert!(plan.sends_of(0).is_empty());
+        assert!(plan.recvs_of(0).is_empty());
+        assert_eq!(plan.total_traffic(), 0);
+    }
+}

@@ -21,7 +21,7 @@ use std::time::Duration;
 use esrcg_cluster::{run_spmd, CostModel, FailureSpec, Phase, RankStats};
 use esrcg_precond::PrecondSpec;
 use esrcg_sparse::gen;
-use esrcg_sparse::CsrMatrix;
+use esrcg_sparse::{CsrMatrix, KernelBackend};
 
 use crate::solver::recovery::RecoveryOutcome;
 use crate::solver::{solve_node, SharedProblem, SolverConfig};
@@ -163,6 +163,7 @@ pub struct Experiment {
     failure_blocks: Vec<(usize, usize, usize)>,
     failure_explicit: Vec<FailureSpec>,
     cost: CostModel,
+    backend: KernelBackend,
 }
 
 impl Experiment {
@@ -181,6 +182,7 @@ impl Experiment {
             failure_blocks: Vec::new(),
             failure_explicit: Vec::new(),
             cost: CostModel::default(),
+            backend: KernelBackend::default(),
         }
     }
 
@@ -252,6 +254,13 @@ impl Experiment {
         self
     }
 
+    /// Selects the kernel backend. All backends are bitwise identical (see
+    /// [`esrcg_sparse::backend`]); this only changes wall-clock speed.
+    pub fn backend(mut self, b: KernelBackend) -> Self {
+        self.backend = b;
+        self
+    }
+
     /// Builds the shared problem and runs the SPMD solve.
     ///
     /// # Errors
@@ -266,9 +275,8 @@ impl Experiment {
             }
             RhsSpec::Ones => vec![1.0; n],
             RhsSpec::Random { seed } => {
-                use rand::{Rng, SeedableRng};
-                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-                (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+                let mut rng = esrcg_sparse::rng::SplitMix64::new(seed);
+                (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect()
             }
         };
         let mut failures = self.failure_explicit.clone();
@@ -282,6 +290,7 @@ impl Experiment {
         cfg.rtol = self.rtol;
         cfg.max_iters = self.max_iters;
         cfg.failures = failures;
+        cfg.backend = self.backend;
         let shared = Arc::new(SharedProblem::assemble(
             a,
             b,

@@ -7,8 +7,7 @@
 //! them to the cost model.
 
 use esrcg_precond::Preconditioner;
-use esrcg_sparse::vector::{axpby, axpy, dot};
-use esrcg_sparse::CsrMatrix;
+use esrcg_sparse::{CsrMatrix, KernelBackend};
 
 /// Result of a sequential PCG solve.
 #[derive(Debug, Clone)]
@@ -25,7 +24,68 @@ pub struct PcgResult {
     pub flops: u64,
 }
 
+/// The four working vectors of one PCG solve, reusable across solves of the
+/// same (or any — buffers are resized) dimension, so repeated solves (e.g.
+/// benchmark repetitions or the recovery path's inner systems) allocate
+/// nothing after the first.
+#[derive(Debug, Default, Clone)]
+pub struct PcgWorkspace {
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    q: Vec<f64>,
+}
+
+impl PcgWorkspace {
+    /// A workspace pre-sized for problems of dimension `n`.
+    pub fn new(n: usize) -> Self {
+        PcgWorkspace {
+            r: vec![0.0; n],
+            z: vec![0.0; n],
+            p: vec![0.0; n],
+            q: vec![0.0; n],
+        }
+    }
+
+    fn prepare(&mut self, n: usize) {
+        for buf in [&mut self.r, &mut self.z, &mut self.p, &mut self.q] {
+            buf.clear();
+            buf.resize(n, 0.0);
+        }
+    }
+}
+
 /// Solves `A x = b` with PCG, starting from `x0`.
+///
+/// Convenience wrapper over [`pcg_with`] using the default (parallel)
+/// backend and a fresh workspace — results are bitwise identical to any
+/// other backend/workspace combination (see
+/// [`esrcg_sparse::backend`]'s determinism guarantee).
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn pcg(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    precond: &dyn Preconditioner,
+    rtol: f64,
+    max_iters: usize,
+) -> PcgResult {
+    pcg_with(
+        a,
+        b,
+        x0,
+        precond,
+        rtol,
+        max_iters,
+        KernelBackend::default(),
+        &mut PcgWorkspace::default(),
+    )
+}
+
+/// Solves `A x = b` with PCG on an explicit kernel backend, reusing the
+/// caller's workspace buffers (no allocation beyond the returned solution).
 ///
 /// Follows the paper's Alg. 1 exactly: `α = rᵀz / pᵀAp`, `x += αp`,
 /// `r -= αAp`, `z = Pr`, `β = r'ᵀz' / rᵀz`, `p = z + βp`, until
@@ -38,13 +98,16 @@ pub struct PcgResult {
 ///
 /// # Panics
 /// Panics on dimension mismatches.
-pub fn pcg(
+#[allow(clippy::too_many_arguments)]
+pub fn pcg_with(
     a: &CsrMatrix,
     b: &[f64],
     x0: &[f64],
     precond: &dyn Preconditioner,
     rtol: f64,
     max_iters: usize,
+    backend: KernelBackend,
+    ws: &mut PcgWorkspace,
 ) -> PcgResult {
     let n = a.nrows();
     assert_eq!(a.ncols(), n, "pcg: matrix must be square");
@@ -56,17 +119,19 @@ pub fn pcg(
     let spmv_flops = a.spmv_flops();
     let precond_flops = precond.apply_flops(0..n);
 
+    ws.prepare(n);
+    let PcgWorkspace { r, z, p, q } = ws;
+
     let mut x = x0.to_vec();
     // r = b - A x0
-    let mut r = vec![0.0; n];
-    a.spmv_into(&x, &mut r);
+    backend.spmv_into(a, &x, r);
     flops += spmv_flops;
     for (ri, bi) in r.iter_mut().zip(b.iter()) {
         *ri = bi - *ri;
     }
     flops += n as u64;
 
-    let bnorm = dot(b, b).sqrt();
+    let bnorm = backend.dot(b, b).sqrt();
     flops += 2 * n as u64;
     if bnorm == 0.0 {
         return PcgResult {
@@ -78,21 +143,19 @@ pub fn pcg(
         };
     }
 
-    let mut z = vec![0.0; n];
-    precond.apply_into(&r, &mut z);
+    precond.apply_into(r, z);
     flops += precond_flops;
-    let mut p = z.clone();
-    let mut rz = dot(&r, &z);
+    p.copy_from_slice(z);
+    let mut rz = backend.dot(r, z);
     flops += 2 * n as u64;
 
-    let mut q = vec![0.0; n]; // A p
-    let mut relres = dot(&r, &r).sqrt() / bnorm;
+    let mut relres = backend.dot(r, r).sqrt() / bnorm;
     flops += 2 * n as u64;
     let mut iterations = 0;
 
     while relres >= rtol && iterations < max_iters {
-        a.spmv_into(&p, &mut q);
-        let pap = dot(&p, &q);
+        backend.spmv_into(a, p, q);
+        let pap = backend.dot(p, q);
         flops += spmv_flops + 2 * n as u64;
         if pap <= 0.0 {
             // Numerical breakdown (A not SPD to working precision); stop
@@ -100,17 +163,16 @@ pub fn pcg(
             break;
         }
         let alpha = rz / pap;
-        axpy(alpha, &p, &mut x);
-        axpy(-alpha, &q, &mut r);
+        backend.fused_axpy2(alpha, p, q, &mut x, r);
         flops += 4 * n as u64;
-        precond.apply_into(&r, &mut z);
+        precond.apply_into(r, z);
         flops += precond_flops;
-        let rz_new = dot(&r, &z);
-        let rr = dot(&r, &r);
+        let rz_new = backend.dot(r, z);
+        let rr = backend.dot(r, r);
         flops += 4 * n as u64;
         let beta = rz_new / rz;
         rz = rz_new;
-        axpby(1.0, &z, beta, &mut p);
+        backend.axpby(1.0, z, beta, p);
         flops += 2 * n as u64;
         iterations += 1;
         relres = rr.sqrt() / bnorm;
@@ -131,7 +193,7 @@ mod tests {
     use esrcg_precond::{BlockJacobiPrecond, IdentityPrecond, JacobiPrecond, PrecondSpec};
     use esrcg_sparse::gen::{poisson1d, poisson2d, poisson3d, random_spd_dense};
     use esrcg_sparse::vector::max_abs_diff;
-    use esrcg_sparse::Partition;
+    use esrcg_sparse::{KernelBackend, Partition};
 
     #[test]
     fn solves_poisson1d_exactly_in_n_iterations() {
@@ -141,14 +203,7 @@ mod tests {
         let a = poisson1d(20);
         let x_true: Vec<f64> = (0..20).map(|i| (i as f64 * 0.37).sin()).collect();
         let b = a.spmv(&x_true);
-        let res = pcg(
-            &a,
-            &b,
-            &[0.0; 20],
-            &IdentityPrecond::new(20),
-            1e-12,
-            40,
-        );
+        let res = pcg(&a, &b, &[0.0; 20], &IdentityPrecond::new(20), 1e-12, 40);
         assert!(res.converged);
         assert!(res.iterations <= 20);
         assert!(max_abs_diff(&res.x, &x_true) < 1e-9);
@@ -160,7 +215,14 @@ mod tests {
         let n = a.nrows();
         let x_true: Vec<f64> = (0..n).map(|i| ((i % 17) as f64) / 17.0).collect();
         let b = a.spmv(&x_true);
-        let plain = pcg(&a, &b, &vec![0.0; n], &IdentityPrecond::new(n), 1e-10, 10_000);
+        let plain = pcg(
+            &a,
+            &b,
+            &vec![0.0; n],
+            &IdentityPrecond::new(n),
+            1e-10,
+            10_000,
+        );
         let part = Partition::balanced(n, 4);
         let bj = BlockJacobiPrecond::new(&a, &part, 10).unwrap();
         let pre = pcg(&a, &b, &vec![0.0; n], &bj, 1e-10, 10_000);
@@ -245,6 +307,30 @@ mod tests {
         assert!(res.converged);
         assert!(res.relres < 1e-14);
         assert!(max_abs_diff(&res.x, &x_true) < 1e-10);
+    }
+
+    #[test]
+    fn backends_and_workspace_reuse_are_bitwise_identical() {
+        let a = poisson2d(16, 16);
+        let n = a.nrows();
+        let b = vec![1.0; n];
+        let p = JacobiPrecond::new(&a).unwrap();
+        let reference = pcg(&a, &b, &vec![0.0; n], &p, 1e-10, 10_000);
+        let mut ws = PcgWorkspace::new(n);
+        for backend in [
+            KernelBackend::Sequential,
+            KernelBackend::parallel(1),
+            KernelBackend::parallel(2),
+            KernelBackend::parallel(8),
+        ] {
+            // Run twice with the same workspace: reuse must not change bits.
+            for round in 0..2 {
+                let res = pcg_with(&a, &b, &vec![0.0; n], &p, 1e-10, 10_000, backend, &mut ws);
+                assert_eq!(res.x, reference.x, "{} round {round}", backend.name());
+                assert_eq!(res.iterations, reference.iterations);
+                assert_eq!(res.relres.to_bits(), reference.relres.to_bits());
+            }
+        }
     }
 
     #[test]

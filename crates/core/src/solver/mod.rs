@@ -9,13 +9,13 @@
 
 pub mod recovery;
 pub mod state;
+pub mod workspace;
 
 use std::sync::Arc;
 
 use esrcg_cluster::{Ctx, Payload, Phase, Tag};
-use esrcg_precond::{Preconditioner, PrecondSpec};
-use esrcg_sparse::vector::{axpby, axpy, dot};
-use esrcg_sparse::{CsrMatrix, Partition, SparseError};
+use esrcg_precond::{PrecondSpec, Preconditioner};
+use esrcg_sparse::{CsrMatrix, KernelBackend, Partition, SparseError};
 
 use crate::aspmv::{AspmvPlan, BuddyMap};
 use crate::dist::halo::exchange_halo;
@@ -23,6 +23,7 @@ use crate::dist::plan::CommPlan;
 use crate::strategy::Strategy;
 use recovery::{recover, RecoveryOutcome};
 use state::{HeldCheckpoint, NodeState};
+pub use workspace::SolverWorkspace;
 
 /// Halo-exchange tag used during (re)initialization.
 const INIT_TAG: u32 = u32::MAX - 1;
@@ -57,6 +58,11 @@ pub struct SolverConfig {
     /// Block size of the inner solve's block Jacobi preconditioner
     /// (paper: 10).
     pub inner_max_block: usize,
+    /// Which kernel backend executes the hot paths (SpMV, reductions,
+    /// vector updates). Defaults to the parallel backend; all backends are
+    /// bitwise identical (see [`esrcg_sparse::backend`]), so this only
+    /// changes speed, never results.
+    pub backend: KernelBackend,
 }
 
 impl SolverConfig {
@@ -71,6 +77,7 @@ impl SolverConfig {
             inner_rtol: 1e-14,
             inner_max_iters: 100_000,
             inner_max_block: 10,
+            backend: KernelBackend::default(),
         }
     }
 
@@ -113,7 +120,11 @@ impl SolverConfig {
                 );
             }
         }
-        if self.rtol <= 0.0 || self.rtol.is_nan() || self.inner_rtol <= 0.0 || self.inner_rtol.is_nan() {
+        if self.rtol <= 0.0
+            || self.rtol.is_nan()
+            || self.inner_rtol <= 0.0
+            || self.inner_rtol.is_nan()
+        {
             return Err("tolerances must be positive".into());
         }
         Ok(())
@@ -229,14 +240,15 @@ pub(crate) fn init_state(
 ) -> f64 {
     let rank = ctx.rank();
     let part = &*shared.part;
+    // Each rank runs on its own OS thread: divide the kernel thread budget
+    // so the ranks together use the machine once over, not n_ranks times.
+    let be = shared.cfg.backend.subdivided(ctx.size());
     let range = part.range(rank);
     let nloc = range.len();
 
     st.x.copy_from_slice(&shared.x0[range.clone()]);
     exchange_halo(ctx, &shared.plan, part, &st.x, INIT_TAG, full, None);
-    shared
-        .a
-        .spmv_rows_into(range.clone(), full, &mut st.q);
+    be.spmv_rows_into(&shared.a, range.clone(), full, &mut st.q);
     ctx.charge_flops(shared.a.spmv_rows_flops(range.clone()));
     for i in 0..nloc {
         st.r[i] = shared.b[range.start + i] - st.q[i];
@@ -246,8 +258,8 @@ pub(crate) fn init_state(
     ctx.charge_flops(shared.precond.apply_flops(range.clone()));
     st.p.copy_from_slice(&st.z);
 
-    let rz_loc = dot(&st.r, &st.z);
-    let rr_loc = dot(&st.r, &st.r);
+    let rz_loc = be.dot(&st.r, &st.z);
+    let rr_loc = be.dot(&st.r, &st.r);
     ctx.charge_flops(4 * nloc as u64);
     let red = ctx.allreduce_sum(&[rz_loc, rr_loc]);
     st.rz = red[0];
@@ -292,13 +304,15 @@ pub fn solve_node(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
     let part = &*shared.part;
     assert_eq!(ctx.size(), part.n_ranks(), "rank count mismatch");
     let rank = ctx.rank();
+    let be = cfg.backend.subdivided(ctx.size());
     let range = part.range(rank);
     let nloc = range.len();
 
     ctx.set_phase(Phase::Setup);
     let mut full = vec![0.0f64; part.n()];
+    let mut ws = SolverWorkspace::new();
     let b_loc = &shared.b[range.clone()];
-    let bb_loc = dot(b_loc, b_loc);
+    let bb_loc = be.dot(b_loc, b_loc);
     ctx.charge_flops(2 * nloc as u64);
     let bnorm2 = ctx.allreduce_sum_scalar(bb_loc);
     assert!(bnorm2 > 0.0, "zero right-hand side: x = 0 is the solution");
@@ -348,7 +362,7 @@ pub fn solve_node(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
         } else {
             exchange_halo(ctx, &shared.plan, part, &st.p, j as u32, &mut full, None);
         }
-        shared.a.spmv_rows_into(range.clone(), &full, &mut st.q);
+        be.spmv_rows_into(&shared.a, range.clone(), &full, &mut st.q);
         ctx.charge_flops(shared.a.spmv_rows_flops(range.clone()));
 
         // --- ESRP storage stage, second iteration: starred copies ---------
@@ -365,7 +379,7 @@ pub fn solve_node(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
                 if event.affects(rank) {
                     st.wipe();
                 }
-                let rec = recover(ctx, shared, &mut st, &mut full, j, &event);
+                let rec = recover(ctx, shared, &mut st, &mut ws, &mut full, j, &event);
                 j = rec.resumed_at;
                 recovery_reports.push(rec);
                 // Not converged; the residual norm is recomputed at the end
@@ -377,7 +391,7 @@ pub fn solve_node(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
 
         // --- α = r·z / p·Ap ------------------------------------------------
         ctx.set_phase(Phase::Reduction);
-        let pq_loc = dot(&st.p, &st.q);
+        let pq_loc = be.dot(&st.p, &st.q);
         ctx.charge_flops(2 * nloc as u64);
         let pap = ctx.allreduce_sum_scalar(pq_loc);
         assert!(
@@ -386,10 +400,9 @@ pub fn solve_node(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
         );
         let alpha = st.rz / pap;
 
-        // --- x += αp, r −= αq ----------------------------------------------
+        // --- x += αp, r −= αq (one fused sweep) ----------------------------
         ctx.set_phase(Phase::VecOps);
-        axpy(alpha, &st.p, &mut st.x);
-        axpy(-alpha, &st.q, &mut st.r);
+        be.fused_axpy2(alpha, &st.p, &st.q, &mut st.x, &mut st.r);
         ctx.charge_flops(4 * nloc as u64);
 
         // --- z = P r --------------------------------------------------------
@@ -399,8 +412,8 @@ pub fn solve_node(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
 
         // --- β and the convergence norm (one fused reduction) -------------
         ctx.set_phase(Phase::Reduction);
-        let rz_loc = dot(&st.r, &st.z);
-        let rr_loc = dot(&st.r, &st.r);
+        let rz_loc = be.dot(&st.r, &st.z);
+        let rr_loc = be.dot(&st.r, &st.r);
         ctx.charge_flops(4 * nloc as u64);
         let red = ctx.allreduce_sum(&[rz_loc, rr_loc]);
         let (rz_new, rr) = (red[0], red[1]);
@@ -415,7 +428,7 @@ pub fn solve_node(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
 
         // --- p = z + βp -----------------------------------------------------
         ctx.set_phase(Phase::VecOps);
-        axpby(1.0, &st.z, beta, &mut st.p);
+        be.axpby(1.0, &st.z, beta, &mut st.p);
         ctx.charge_flops(2 * nloc as u64);
         st.beta_prev = beta;
 
@@ -426,14 +439,14 @@ pub fn solve_node(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
     // --- Accuracy: the paper's residual drift metric (Eq. 2) --------------
     ctx.set_phase(Phase::Other);
     exchange_halo(ctx, &shared.plan, part, &st.x, DRIFT_TAG, &mut full, None);
-    shared.a.spmv_rows_into(range.clone(), &full, &mut st.q);
+    be.spmv_rows_into(&shared.a, range.clone(), &full, &mut st.q);
     ctx.charge_flops(shared.a.spmv_rows_flops(range.clone()));
     let mut tr_loc = 0.0f64;
     for i in 0..nloc {
         let tri = shared.b[range.start + i] - st.q[i];
         tr_loc += tri * tri;
     }
-    let rr_loc = dot(&st.r, &st.r);
+    let rr_loc = be.dot(&st.r, &st.r);
     ctx.charge_flops(5 * nloc as u64);
     let red = ctx.allreduce_sum(&[rr_loc, tr_loc]);
     let rnorm = red[0].sqrt();
@@ -484,10 +497,7 @@ fn aspmv_extras(
 /// One IMCR checkpoint round (paper §3.1): every rank sends its dynamic
 /// vectors to its φ buddies and keeps a local rollback copy.
 fn checkpoint_exchange(ctx: &mut Ctx, shared: &SharedProblem, st: &mut NodeState, j: usize) {
-    let buddies = shared
-        .buddies
-        .as_ref()
-        .expect("IMCR requires a buddy map");
+    let buddies = shared.buddies.as_ref().expect("IMCR requires a buddy map");
     let rank = ctx.rank();
     ctx.set_phase(Phase::Checkpoint);
     let tag = Tag::Checkpoint.with(j as u32);
@@ -549,7 +559,9 @@ mod tests {
     }
 
     fn gather_x(outs: &[NodeOutcome]) -> Vec<f64> {
-        outs.iter().flat_map(|o| o.x_local.iter().copied()).collect()
+        outs.iter()
+            .flat_map(|o| o.x_local.iter().copied())
+            .collect()
     }
 
     #[test]
@@ -616,7 +628,10 @@ mod tests {
         let (outs, _) = run(shared_for(4, Strategy::esr(), 1, Some(failure)), 4);
         assert!(outs.iter().all(|o| o.converged));
         let rec = outs[0].recoveries.first().unwrap();
-        assert_eq!(rec.wasted_iterations, 0, "ESR reconstructs the current iteration");
+        assert_eq!(
+            rec.wasted_iterations, 0,
+            "ESR reconstructs the current iteration"
+        );
         assert_eq!(outs[0].iterations, c);
     }
 
@@ -642,10 +657,7 @@ mod tests {
         let c = ref_outs[0].iterations;
         let ref_x = gather_x(&ref_outs);
         let failure = FailureSpec::contiguous(c / 2, 2, 3, 6);
-        let (outs, _) = run(
-            shared_for(6, Strategy::Esrp { t: 4 }, 3, Some(failure)),
-            6,
-        );
+        let (outs, _) = run(shared_for(6, Strategy::Esrp { t: 4 }, 3, Some(failure)), 6);
         assert!(outs.iter().all(|o| o.converged));
         assert_eq!(outs[0].iterations, c);
         let x = gather_x(&outs);
@@ -655,10 +667,7 @@ mod tests {
     #[test]
     fn failure_before_first_checkpoint_restarts() {
         let failure = FailureSpec::contiguous(3, 0, 1, 4);
-        let (outs, _) = run(
-            shared_for(4, Strategy::Esrp { t: 50 }, 1, Some(failure)),
-            4,
-        );
+        let (outs, _) = run(shared_for(4, Strategy::Esrp { t: 50 }, 1, Some(failure)), 4);
         assert!(outs.iter().all(|o| o.converged));
         let rec = outs[0].recoveries.first().unwrap();
         assert!(rec.full_restart);
@@ -728,6 +737,9 @@ mod tests {
         assert!(bad.validate(8).is_err(), "phi >= n_ranks rejected");
         let mut bad = SolverConfig::new(Strategy::None, 0);
         bad.failures = vec![FailureSpec::contiguous(10, 0, 1, 8)];
-        assert!(bad.validate(8).is_err(), "failure without strategy rejected");
+        assert!(
+            bad.validate(8).is_err(),
+            "failure without strategy rejected"
+        );
     }
 }

@@ -11,10 +11,9 @@
 
 use esrcg_cluster::{Ctx, Payload, Phase, Tag};
 use esrcg_precond::{BlockJacobiPrecond, Preconditioner};
-use esrcg_sparse::vector::dot;
-use esrcg_sparse::Partition;
 
 use crate::solver::state::{NodeState, OwnCheckpoint};
+use crate::solver::workspace::{DomainCache, LocalInnerSolve, RecoveryScratch, SolverWorkspace};
 use crate::solver::{init_state, SharedProblem};
 use crate::strategy::Strategy;
 
@@ -48,6 +47,7 @@ pub(crate) fn recover(
     ctx: &mut Ctx,
     shared: &SharedProblem,
     st: &mut NodeState,
+    ws: &mut SolverWorkspace,
     full: &mut [f64],
     j_f: usize,
     event: &esrcg_cluster::FailureSpec,
@@ -58,7 +58,7 @@ pub(crate) fn recover(
             "node failure injected into a run without a resilience strategy — \
              an unprotected solver loses all progress (the paper's motivating case)"
         ),
-        Strategy::Esrp { t } => recover_esrp(ctx, shared, st, full, j_f, t, &event.ranks),
+        Strategy::Esrp { t } => recover_esrp(ctx, shared, st, ws, full, j_f, t, &event.ranks),
         Strategy::Imcr { t } => recover_imcr(ctx, shared, st, full, j_f, t, &event.ranks),
     };
     let t_end = ctx.barrier_sync_clock();
@@ -98,10 +98,12 @@ pub fn imcr_rollback_target(j_f: usize, t: usize) -> Option<usize> {
 }
 
 /// ESR/ESRP recovery (paper Alg. 2 + the ESRP rollback of §3).
+#[allow(clippy::too_many_arguments)]
 fn recover_esrp(
     ctx: &mut Ctx,
     shared: &SharedProblem,
     st: &mut NodeState,
+    ws: &mut SolverWorkspace,
     full: &mut [f64],
     j_f: usize,
     t: usize,
@@ -110,6 +112,7 @@ fn recover_esrp(
     let part = &*shared.part;
     let me = ctx.rank();
     let n_ranks = ctx.size();
+    let be = shared.cfg.backend.subdivided(n_ranks);
     let mut failed_sorted = failed.to_vec();
     failed_sorted.sort_unstable();
     let am_failed = failed_sorted.binary_search(&me).is_ok();
@@ -157,9 +160,16 @@ fn recover_esrp(
 
     // --- Redundant copies of p^(ĵ−1), p^(ĵ) flow to the replacements ------
     // Every survivor scans its queue for entries owned by each failed rank;
-    // replacements assemble their chunks and verify full coverage.
-    let mut p_prev = vec![0.0f64; st.p.len()];
-    let mut p_cur = vec![0.0f64; st.p.len()];
+    // replacements assemble their chunks (in reusable workspace buffers) and
+    // verify full coverage.
+    let SolverWorkspace {
+        scratch,
+        domains,
+        local_inner,
+    } = ws;
+    if am_failed {
+        scratch.prepare(part.local_len(me), part.n());
+    }
     if !am_failed {
         for &f in &failed_sorted {
             let fr = part.range(f);
@@ -170,15 +180,13 @@ fn recover_esrp(
         }
     } else {
         let range = part.range(me);
-        let mut cov_prev = vec![false; range.len()];
-        let mut cov_cur = vec![false; range.len()];
         for src in 0..n_ranks {
             if src == me || is_failed(src) {
                 continue;
             }
             for (sel, target, cov) in [
-                (0u32, &mut p_prev, &mut cov_prev),
-                (1u32, &mut p_cur, &mut cov_cur),
+                (0u32, &mut scratch.p_prev, &mut scratch.cov_prev),
+                (1u32, &mut scratch.p_cur, &mut scratch.cov_cur),
             ] {
                 let pairs = ctx.recv(src, Tag::RecoveryCopies.with(sel)).into_pairs();
                 for (g, v) in pairs {
@@ -189,7 +197,7 @@ fn recover_esrp(
             }
         }
         assert!(
-            cov_prev.iter().all(|&c| c) && cov_cur.iter().all(|&c| c),
+            scratch.cov_prev.iter().all(|&c| c) && scratch.cov_cur.iter().all(|&c| c),
             "insufficient redundancy: some entries of the lost search directions \
              survive on no rank (phi too small for this failure?)"
         );
@@ -241,39 +249,60 @@ fn recover_esrp(
         let nloc = range.len();
         let my_idx: Vec<usize> = range.clone().collect();
 
+        // Per-failure-domain cache: the I_f membership mask and the two
+        // column-split extractions of my rows. Built once per domain
+        // (static-data access, uncharged like the paper's safe-storage
+        // reloads), reused by every later event with the same failure set.
+        let cache = domains
+            .entry(failed_sorted.clone())
+            .or_insert_with(|| DomainCache::build(&shared.a, part, &my_idx, &failed_sorted));
+        debug_assert!(
+            range.is_empty() || cache.in_failed_idx[range.start],
+            "my own indices must be inside the failure domain"
+        );
+
         // Line 4: z_f = p^(ĵ)_f − β^(ĵ−1) p^(ĵ−1)_f.
         for i in 0..nloc {
-            st.z[i] = p_cur[i] - beta * p_prev[i];
+            st.z[i] = scratch.p_cur[i] - beta * scratch.p_prev[i];
         }
         ctx.charge_flops(2 * nloc as u64);
 
         // Line 5: v = z_f − P[f, s] r_s (zero for node-local preconditioners).
-        let mut v = st.z.clone();
+        scratch.v.copy_from_slice(&st.z);
         if let Some(rf) = r_full.as_ref() {
             let off = shared.precond.apply_offdiag(&my_idx, rf);
-            for (vi, oi) in v.iter_mut().zip(off.iter()) {
+            for (vi, oi) in scratch.v.iter_mut().zip(off.iter()) {
                 *vi -= oi;
             }
             ctx.charge_flops(nloc as u64);
         }
 
         // Line 6: solve P[f, f] r_f = v — exact for block-local operators.
-        st.r = shared.precond.solve_restricted(&my_idx, &v);
+        st.r = shared.precond.solve_restricted(&my_idx, &scratch.v);
         ctx.charge_flops(shared.precond.solve_restricted_flops(nloc));
 
         // Line 7: w = b_f − r_f − A[f, s] x_s. `full` carries the surviving
-        // x at exactly the halo positions my rows read; columns owned by
-        // failed ranks are masked out and handled by the inner solve.
-        let in_failed_idx = build_failed_mask(part, &failed_sorted);
-        let ax = shared
-            .a
-            .spmv_rows_masked(&my_idx, full, |c| in_failed_idx[c]);
-        ctx.charge_flops(shared.a.spmv_rows_flops(range.clone()));
-        let mut w = vec![0.0f64; nloc];
+        // x at exactly the halo positions my rows read; the cached
+        // column-split `a_off` is `A[f, s]` as a branch-free SpMV.
+        be.spmv_into(&cache.a_off, full, &mut scratch.ax);
+        ctx.charge_flops(cache.a_off.spmv_flops());
         for i in 0..nloc {
-            w[i] = shared.b[range.start + i] - st.r[i] - ax[i];
+            scratch.w[i] = shared.b[range.start + i] - st.r[i] - scratch.ax[i];
         }
         ctx.charge_flops(2 * nloc as u64);
+
+        // The inner preconditioner depends only on my own rows; the
+        // simulator factors it at most once per solve (the factorization is
+        // deterministic, so reuse cannot change results). The *model* still
+        // charges the factorization on every event: a real replacement node
+        // is fresh hardware and must re-factor.
+        if local_inner.is_none() {
+            *local_inner = Some(LocalInnerSolve::build(shared, range.clone()));
+        }
+        ctx.charge_flops(
+            (shared.cfg.inner_max_block * shared.cfg.inner_max_block) as u64 * nloc as u64,
+        );
+        let inner_pre = &local_inner.as_ref().expect("just built").precond;
 
         // Line 8: solve A[I_f, I_f] x_f = w. The failed ranks' rows couple,
         // so the union system is solved by a *distributed* PCG over the
@@ -283,13 +312,12 @@ fn recover_esrp(
         // lowest failed rank. This mirrors the paper's recovery running on
         // the replacement nodes (and is why its recovery cost scales with
         // the inner system rather than with the whole machine).
-        let (x_f, iters) =
-            distributed_inner_solve(ctx, shared, &failed_sorted, &w, &in_failed_idx);
-        inner_iterations = iters;
-        st.x.copy_from_slice(&x_f);
+        inner_iterations =
+            distributed_inner_solve(ctx, shared, &failed_sorted, scratch, cache, inner_pre);
+        st.x.copy_from_slice(&scratch.ix);
 
         // Restore the rest of the replacement's state for iteration ĵ.
-        st.p.copy_from_slice(&p_cur);
+        st.p.copy_from_slice(&scratch.p_cur);
         st.beta_prev = beta;
         if t > 1 {
             // ĵ = mT+1 is a storage-stage end: re-establish the starred
@@ -302,7 +330,7 @@ fn recover_esrp(
 
     // --- All ranks: recompute the replicated r·z for iteration ĵ ----------
     ctx.set_phase(Phase::RecoveryReset);
-    let rz_loc = dot(&st.r, &st.z);
+    let rz_loc = be.dot(&st.r, &st.z);
     ctx.charge_flops(2 * st.r.len() as u64);
     st.rz = ctx.allreduce_sum_scalar(rz_loc);
 
@@ -330,10 +358,7 @@ fn recover_imcr(
         return (0, true, 0);
     };
 
-    let buddies = shared
-        .buddies
-        .as_ref()
-        .expect("IMCR requires a buddy map");
+    let buddies = shared.buddies.as_ref().expect("IMCR requires a buddy map");
 
     ctx.set_phase(Phase::RecoveryGather);
     if !am_failed {
@@ -383,7 +408,7 @@ fn recover_imcr(
         // the data just restored; newer held data cannot exist.
     }
 
-    let rz_loc = dot(&st.r, &st.z);
+    let rz_loc = shared.cfg.backend.subdivided(ctx.size()).dot(&st.r, &st.z);
     ctx.charge_flops(2 * st.r.len() as u64);
     st.rz = ctx.allreduce_sum_scalar(rz_loc);
 
@@ -400,23 +425,28 @@ fn recover_imcr(
 ///   `I_{f1,f2}` lists — masking columns only removes non-failed owners).
 /// * Dot products reduce linearly through the lowest failed rank (ψ ≤ 8,
 ///   so a tree buys nothing).
-/// * Each replacement preconditions its own diagonal block with block
-///   Jacobi (max block size per the config), matching the paper's choice of
-///   the same preconditioner for the inner systems.
+/// * Each replacement preconditions its own diagonal block with the cached
+///   block Jacobi factorization (max block size per the config), matching
+///   the paper's choice of the same preconditioner for the inner systems.
+/// * The inner operator `A[I_own, I_f]` is the cached column split
+///   `cache.a_in`; every vector lives in [`RecoveryScratch`] — the loop
+///   allocates nothing beyond message payloads.
 ///
-/// Returns `(x_f local chunk, inner iterations)`.
+/// The right-hand side is read from `scratch.w`; the solution is left in
+/// `scratch.ix`. Returns the inner iteration count.
 fn distributed_inner_solve(
     ctx: &mut Ctx,
     shared: &SharedProblem,
     failed_sorted: &[usize],
-    w: &[f64],
-    in_failed_idx: &[bool],
-) -> (Vec<f64>, usize) {
+    scratch: &mut RecoveryScratch,
+    cache: &DomainCache,
+    inner_pre: &BlockJacobiPrecond,
+) -> usize {
     let me = ctx.rank();
     let part = &*shared.part;
+    let be = shared.cfg.backend.subdivided(ctx.size());
     let range = part.range(me);
     let nloc = range.len();
-    let my_rows: Vec<usize> = range.clone().collect();
     let designated = failed_sorted[0];
     let is_failed = |r: usize| failed_sorted.binary_search(&r).is_ok();
 
@@ -459,19 +489,17 @@ fn distributed_inner_solve(
     }
 
     // Halo exchange of the search direction among replacements, scattering
-    // into a full-length scratch vector (only `I_f` positions are read by
-    // the masked SpMV).
-    let mut p_full = vec![0.0f64; part.n()];
+    // into the reusable full-length gather buffer (only `I_f` positions are
+    // read by the column-split SpMV).
     macro_rules! exchange_inner_halo {
-        ($p_local:expr) => {{
+        () => {{
             seq += 1;
             let tag = Tag::RecoveryInner.with(seq);
-            let p_local: &[f64] = $p_local;
-            p_full[range.clone()].copy_from_slice(p_local);
+            scratch.p_full[range.clone()].copy_from_slice(&scratch.ip);
             for (dst, gidx) in shared.plan.sends_of(me) {
                 if is_failed(*dst) {
                     let vals: Vec<f64> =
-                        gidx.iter().map(|&g| p_local[g - range.start]).collect();
+                        gidx.iter().map(|&g| scratch.ip[g - range.start]).collect();
                     ctx.send(*dst, tag, Payload::F64s(vals));
                 }
             }
@@ -479,37 +507,25 @@ fn distributed_inner_solve(
                 if is_failed(*src) {
                     let vals = ctx.recv(*src, tag).into_f64s();
                     for (&g, &v) in gidx.iter().zip(vals.iter()) {
-                        p_full[g] = v;
+                        scratch.p_full[g] = v;
                     }
                 }
             }
         }};
     }
 
-    // Per-replacement preconditioner on the own diagonal block. Extracting
-    // the block is static-data access (excluded from overheads, like the
-    // paper's static reloads); factoring it is recovery work.
-    let a_local = shared.a.principal_submatrix(&my_rows);
-    let local_part = Partition::balanced(nloc, 1);
-    let inner_precond =
-        BlockJacobiPrecond::new(&a_local, &local_part, shared.cfg.inner_max_block)
-            .expect("principal submatrix of an SPD matrix is SPD");
-    ctx.charge_flops(
-        (shared.cfg.inner_max_block * shared.cfg.inner_max_block) as u64 * nloc as u64,
-    );
-    let spmv_flops = shared.a.spmv_rows_flops(range.clone());
+    let spmv_flops = cache.a_in.spmv_flops();
 
-    // PCG on the inner system, distributed over the replacements.
-    let mut x = vec![0.0f64; nloc];
-    let mut r = w.to_vec();
-    let mut z = vec![0.0f64; nloc];
-    inner_precond.apply_local(0..nloc, &r, &mut z);
-    ctx.charge_flops(inner_precond.apply_flops(0..nloc));
-    let mut p = z.clone();
+    // PCG on the inner system, distributed over the replacements. All
+    // vectors are workspace buffers (`ix`, `ir`, `iz`, `ip`, `iq`).
+    scratch.ir.copy_from_slice(&scratch.w);
+    inner_pre.apply_local(0..nloc, &scratch.ir, &mut scratch.iz);
+    ctx.charge_flops(inner_pre.apply_flops(0..nloc));
+    scratch.ip.copy_from_slice(&scratch.iz);
     let reduced = subreduce!(vec![
-        dot(&r, &z),
-        dot(w, w),
-        dot(&r, &r)
+        be.dot(&scratch.ir, &scratch.iz),
+        be.dot(&scratch.w, &scratch.w),
+        be.dot(&scratch.ir, &scratch.ir)
     ]);
     ctx.charge_flops(6 * nloc as u64);
     let mut rz = reduced[0];
@@ -522,32 +538,34 @@ fn distributed_inner_solve(
 
     let mut iterations = 0usize;
     while relres >= shared.cfg.inner_rtol && iterations < shared.cfg.inner_max_iters {
-        exchange_inner_halo!(&p);
-        let q = shared
-            .a
-            .spmv_rows_masked(&my_rows, &p_full, |c| !in_failed_idx[c]);
+        exchange_inner_halo!();
+        be.spmv_into(&cache.a_in, &scratch.p_full, &mut scratch.iq);
         ctx.charge_flops(spmv_flops);
-        let pap = subreduce!(vec![dot(&p, &q)])[0];
+        let pap = subreduce!(vec![be.dot(&scratch.ip, &scratch.iq)])[0];
         ctx.charge_flops(2 * nloc as u64);
         if pap <= 0.0 {
             break; // numerical breakdown; accept the current iterate
         }
         let alpha = rz / pap;
-        for i in 0..nloc {
-            x[i] += alpha * p[i];
-            r[i] -= alpha * q[i];
-        }
+        be.fused_axpy2(
+            alpha,
+            &scratch.ip,
+            &scratch.iq,
+            &mut scratch.ix,
+            &mut scratch.ir,
+        );
         ctx.charge_flops(4 * nloc as u64);
-        inner_precond.apply_local(0..nloc, &r, &mut z);
-        ctx.charge_flops(inner_precond.apply_flops(0..nloc));
-        let reduced = subreduce!(vec![dot(&r, &z), dot(&r, &r)]);
+        inner_pre.apply_local(0..nloc, &scratch.ir, &mut scratch.iz);
+        ctx.charge_flops(inner_pre.apply_flops(0..nloc));
+        let reduced = subreduce!(vec![
+            be.dot(&scratch.ir, &scratch.iz),
+            be.dot(&scratch.ir, &scratch.ir)
+        ]);
         ctx.charge_flops(4 * nloc as u64);
         let rz_new = reduced[0];
         let beta = rz_new / rz;
         rz = rz_new;
-        for i in 0..nloc {
-            p[i] = z[i] + beta * p[i];
-        }
+        be.axpby(1.0, &scratch.iz, beta, &mut scratch.ip);
         ctx.charge_flops(2 * nloc as u64);
         iterations += 1;
         relres = if wnorm > 0.0 {
@@ -556,7 +574,7 @@ fn distributed_inner_solve(
             0.0
         };
     }
-    (x, iterations)
+    iterations
 }
 
 /// Restart from scratch: re-initialize every rank from the static data.
@@ -565,18 +583,6 @@ fn full_restart(ctx: &mut Ctx, shared: &SharedProblem, st: &mut NodeState, full:
     let nloc = shared.part.local_len(ctx.rank());
     *st = NodeState::new(nloc);
     init_state(ctx, shared, st, full);
-}
-
-/// Bitmask over global indices: true where the index is owned by a failed
-/// rank.
-fn build_failed_mask(part: &Partition, failed_sorted: &[usize]) -> Vec<bool> {
-    let mut mask = vec![false; part.n()];
-    for &f in failed_sorted {
-        for i in part.range(f) {
-            mask[i] = true;
-        }
-    }
-    mask
 }
 
 #[cfg(test)]
@@ -621,15 +627,5 @@ mod tests {
         assert_eq!(imcr_rollback_target(20, 20), Some(20));
         assert_eq!(imcr_rollback_target(39, 20), Some(20));
         assert_eq!(imcr_rollback_target(40, 20), Some(40));
-    }
-
-    #[test]
-    fn failed_mask_marks_ranges() {
-        let part = Partition::balanced(12, 4);
-        let mask = build_failed_mask(&part, &[1, 3]);
-        for (i, &m) in mask.iter().enumerate() {
-            let expect = (3..6).contains(&i) || (9..12).contains(&i);
-            assert_eq!(m, expect, "index {i}");
-        }
     }
 }

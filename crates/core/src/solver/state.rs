@@ -133,7 +133,10 @@ impl NodeState {
     /// Panics if no starred copies exist — callers must have established
     /// that a storage stage completed.
     pub fn rollback_to_star(&mut self) {
-        let star = self.star.as_ref().expect("rollback requires starred copies");
+        let star = self
+            .star
+            .as_ref()
+            .expect("rollback requires starred copies");
         self.x.copy_from_slice(&star.x);
         self.r.copy_from_slice(&star.r);
         self.z.copy_from_slice(&star.z);

@@ -1,0 +1,197 @@
+//! Reusable buffers and per-failure-domain caches for the solver and its
+//! recovery path.
+//!
+//! The solver loop itself keeps its dynamic vectors in
+//! [`NodeState`](crate::solver::state::NodeState); everything here is
+//! *scratch* — memory whose contents never survive a call, but whose
+//! allocations used to happen on every recovery event and every inner PCG
+//! iteration. One [`SolverWorkspace`] per rank eliminates those:
+//!
+//! * [`RecoveryScratch`] — the reconstruction vectors of paper Alg. 2
+//!   (`p^(ĵ−1)`, `p^(ĵ)`, coverage flags, `v`, `w`, the masked-SpMV output,
+//!   and the inner solve's five vectors plus its full-length gather buffer),
+//!   resized once and reused across failure events,
+//! * [`DomainCache`] — per failure domain (the sorted set of failed ranks):
+//!   the membership mask of `I_f` and the two column-split row extractions
+//!   `A[I_own, I\I_f]` / `A[I_own, I_f]`, which turn every masked SpMV of
+//!   the recovery into a plain CSR SpMV with no per-entry branch,
+//! * [`LocalInnerSolve`] — the rank's own principal submatrix block-Jacobi
+//!   preconditioner for the inner system, which depends only on the rank's
+//!   row range and is therefore factored at most once per solve.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use esrcg_precond::BlockJacobiPrecond;
+use esrcg_sparse::{CsrMatrix, Partition};
+
+use crate::solver::SharedProblem;
+
+/// Per-rank scratch memory for the solver's recovery path. Create once per
+/// [`solve_node`](crate::solver::solve_node) call; all recoveries reuse it.
+#[derive(Default)]
+pub struct SolverWorkspace {
+    /// Reusable reconstruction buffers.
+    pub(crate) scratch: RecoveryScratch,
+    /// Cached structures keyed by the sorted failed-rank set.
+    pub(crate) domains: HashMap<Vec<usize>, DomainCache>,
+    /// The rank-local inner-solve preconditioner (built on first use).
+    pub(crate) local_inner: Option<LocalInnerSolve>,
+}
+
+impl SolverWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        SolverWorkspace::default()
+    }
+}
+
+/// The recovery path's reusable vectors (see module docs).
+#[derive(Default)]
+pub(crate) struct RecoveryScratch {
+    pub p_prev: Vec<f64>,
+    pub p_cur: Vec<f64>,
+    pub cov_prev: Vec<bool>,
+    pub cov_cur: Vec<bool>,
+    pub v: Vec<f64>,
+    pub w: Vec<f64>,
+    pub ax: Vec<f64>,
+    /// Inner-solve vectors (`x`, `r`, `z`, `p`, `q`) over the local rows.
+    pub ix: Vec<f64>,
+    pub ir: Vec<f64>,
+    pub iz: Vec<f64>,
+    pub ip: Vec<f64>,
+    pub iq: Vec<f64>,
+    /// Full-length gather buffer for the inner halo exchange.
+    pub p_full: Vec<f64>,
+}
+
+impl RecoveryScratch {
+    /// Sizes every buffer for a rank owning `nloc` rows of an `n`-row
+    /// problem and zeroes the ones recovery reads before writing.
+    pub fn prepare(&mut self, nloc: usize, n: usize) {
+        resize_zeroed(&mut self.p_prev, nloc);
+        resize_zeroed(&mut self.p_cur, nloc);
+        self.cov_prev.clear();
+        self.cov_prev.resize(nloc, false);
+        self.cov_cur.clear();
+        self.cov_cur.resize(nloc, false);
+        resize_zeroed(&mut self.v, nloc);
+        resize_zeroed(&mut self.w, nloc);
+        resize_zeroed(&mut self.ax, nloc);
+        resize_zeroed(&mut self.ix, nloc);
+        resize_zeroed(&mut self.ir, nloc);
+        resize_zeroed(&mut self.iz, nloc);
+        resize_zeroed(&mut self.ip, nloc);
+        resize_zeroed(&mut self.iq, nloc);
+        resize_zeroed(&mut self.p_full, n);
+    }
+}
+
+fn resize_zeroed(v: &mut Vec<f64>, n: usize) {
+    v.clear();
+    v.resize(n, 0.0);
+}
+
+/// Cached per-failure-domain structures (see module docs).
+pub(crate) struct DomainCache {
+    /// `in_failed_idx[g]` ⇔ global index `g` is owned by a failed rank.
+    pub in_failed_idx: Vec<bool>,
+    /// `A[I_own, I \ I_f]` with global columns — the off-diagonal term of
+    /// Alg. 2 line 7 as a branch-free SpMV.
+    pub a_off: CsrMatrix,
+    /// `A[I_own, I_f]` with global columns — the inner-system operator
+    /// applied every inner iteration as a branch-free SpMV.
+    pub a_in: CsrMatrix,
+}
+
+impl DomainCache {
+    /// Builds the cache for this rank's `own_rows` under the failure domain
+    /// `failed_sorted`. Pure static-data extraction (the paper treats static
+    /// reloads as free), so no flops are charged.
+    pub fn build(
+        a: &CsrMatrix,
+        part: &Partition,
+        own_rows: &[usize],
+        failed_sorted: &[usize],
+    ) -> Self {
+        let mut in_failed_idx = vec![false; part.n()];
+        for &f in failed_sorted {
+            for i in part.range(f) {
+                in_failed_idx[i] = true;
+            }
+        }
+        let a_off = a.extract_rows_filtered(own_rows, |c| !in_failed_idx[c]);
+        let a_in = a.extract_rows_filtered(own_rows, |c| in_failed_idx[c]);
+        DomainCache {
+            in_failed_idx,
+            a_off,
+            a_in,
+        }
+    }
+}
+
+/// The factored block-Jacobi preconditioner of the rank's own principal
+/// submatrix, reused by every inner solve this rank participates in.
+pub(crate) struct LocalInnerSolve {
+    pub precond: BlockJacobiPrecond,
+}
+
+impl LocalInnerSolve {
+    /// Factors the preconditioner for the own-rows principal submatrix.
+    ///
+    /// # Panics
+    /// Panics if the principal submatrix is not SPD (impossible for an SPD
+    /// system matrix).
+    pub fn build(shared: &SharedProblem, own_range: Range<usize>) -> Self {
+        let my_rows: Vec<usize> = own_range.collect();
+        let a_local = shared.a.principal_submatrix(&my_rows);
+        let local_part = Partition::balanced(my_rows.len(), 1);
+        let precond = BlockJacobiPrecond::new(&a_local, &local_part, shared.cfg.inner_max_block)
+            .expect("principal submatrix of an SPD matrix is SPD");
+        LocalInnerSolve { precond }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esrcg_sparse::gen::poisson2d;
+
+    #[test]
+    fn scratch_prepare_sizes_and_zeroes() {
+        let mut s = RecoveryScratch::default();
+        s.prepare(5, 20);
+        assert_eq!(s.p_prev.len(), 5);
+        assert_eq!(s.p_full.len(), 20);
+        s.p_prev[0] = 3.0;
+        s.cov_cur[4] = true;
+        s.prepare(5, 20);
+        assert_eq!(s.p_prev[0], 0.0, "re-prepared buffers are zeroed");
+        assert!(!s.cov_cur[4]);
+        s.prepare(7, 10);
+        assert_eq!(s.ax.len(), 7);
+        assert_eq!(s.p_full.len(), 10);
+    }
+
+    #[test]
+    fn domain_cache_splits_columns_exactly() {
+        let a = poisson2d(6, 6);
+        let part = Partition::balanced(36, 4); // 9 rows per rank
+        let own_rows: Vec<usize> = part.range(1).collect();
+        let cache = DomainCache::build(&a, &part, &own_rows, &[1, 3]);
+        // Mask marks exactly the rows of ranks 1 and 3.
+        let marked: Vec<usize> = (0..36).filter(|&i| cache.in_failed_idx[i]).collect();
+        let expected: Vec<usize> = (9..18).chain(27..36).collect();
+        assert_eq!(marked, expected);
+        // The split partitions each row's entries.
+        let total: usize = own_rows.iter().map(|&r| a.row_nnz(r)).sum();
+        assert_eq!(cache.a_off.nnz() + cache.a_in.nnz(), total);
+        // SpMV equivalence with the masked kernel.
+        let x: Vec<f64> = (0..36).map(|i| (i as f64 * 0.31).cos()).collect();
+        let off = a.spmv_rows_masked(&own_rows, &x, |c| cache.in_failed_idx[c]);
+        assert_eq!(cache.a_off.spmv(&x), off);
+        let inn = a.spmv_rows_masked(&own_rows, &x, |c| !cache.in_failed_idx[c]);
+        assert_eq!(cache.a_in.spmv(&x), inn);
+    }
+}

@@ -64,7 +64,10 @@ impl Preconditioner for JacobiPrecond {
     fn solve_restricted(&self, idx: &[usize], v: &[f64]) -> Vec<f64> {
         assert_eq!(idx.len(), v.len(), "jacobi: restricted lengths");
         // P_ff r_f = v  with  P = D⁻¹  ⇒  r_f = D_ff v.
-        idx.iter().zip(v.iter()).map(|(&i, &vi)| self.diag[i] * vi).collect()
+        idx.iter()
+            .zip(v.iter())
+            .map(|(&i, &vi)| self.diag[i] * vi)
+            .collect()
     }
 
     fn solve_restricted_flops(&self, idx_len: usize) -> u64 {

@@ -25,12 +25,12 @@ pub mod block_jacobi;
 pub mod ic0;
 pub mod jacobi;
 pub mod spec;
-pub mod traits;
 pub mod ssor;
+pub mod traits;
 
 pub use block_jacobi::BlockJacobiPrecond;
 pub use ic0::Ic0Precond;
 pub use jacobi::JacobiPrecond;
 pub use spec::PrecondSpec;
-pub use traits::{IdentityPrecond, Preconditioner};
 pub use ssor::SsorPrecond;
+pub use traits::{IdentityPrecond, Preconditioner};

@@ -1,0 +1,602 @@
+//! The kernel backend: one switch selecting how the hot kernels execute.
+//!
+//! Every hot path of the solver — SpMV, the restricted/masked SpMV variants
+//! used by the ESR recovery, and the dense vector kernels — routes through a
+//! [`KernelBackend`] value. Two implementations exist:
+//!
+//! * [`KernelBackend::Sequential`] — the single-threaded reference kernels
+//!   from [`crate::csr`] and [`crate::vector`],
+//! * [`KernelBackend::Parallel`] — multithreaded kernels built on
+//!   `std::thread::scope` (dependency-free; the container this project is
+//!   developed in has no network access, so rayon cannot be vendored — the
+//!   design keeps the same shape so a rayon pool can be slotted in later).
+//!
+//! # Determinism guarantee
+//!
+//! The parallel backend is **bitwise identical** to the sequential backend,
+//! for every kernel, at every thread count:
+//!
+//! * SpMV parallelism is over *rows*; each output row is one sequential
+//!   accumulation, exactly as in the reference kernel, so splitting rows
+//!   across threads cannot change any bit. Chunks are nnz-balanced so the
+//!   split is also load-balanced.
+//! * Reductions (`dot`, `norm2`) use the fixed-block tree of
+//!   [`crate::vector::REDUCTION_BLOCK`]: threads compute the partial sums of
+//!   whole blocks (the same partials the sequential kernel forms), and the
+//!   final combine adds block partials in ascending block order on one
+//!   thread. The grouping depends only on the compile-time block size, never
+//!   on the thread count.
+//! * Elementwise kernels (`axpy`, `axpby`, `scale`) have no cross-element
+//!   data flow at all.
+//!
+//! This is what lets `tests/determinism.rs` and
+//! `tests/trajectory_exactness.rs` pass identically under either backend,
+//! and what makes `Parallel` safe as the default.
+
+use std::ops::Range;
+
+use crate::csr::CsrMatrix;
+use crate::vector::{self, REDUCTION_BLOCK};
+
+/// Minimum problem size (vector elements or matrix rows) before the parallel
+/// backend actually spawns threads. Below this, thread startup dominates and
+/// the sequential path is used — which is safe precisely because both paths
+/// are bit-identical.
+pub const PARALLEL_CUTOFF: usize = 8192;
+
+/// Detected hardware parallelism, queried once per process (the kernels
+/// consult it on every call at auto settings).
+fn auto_threads() -> usize {
+    static N: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *N.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Which kernel implementation the solver uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// Single-threaded reference kernels.
+    Sequential,
+    /// Multithreaded kernels with the deterministic fixed-block reduction.
+    Parallel {
+        /// Worker thread count; `0` means auto-detect
+        /// (`std::thread::available_parallelism`).
+        threads: usize,
+    },
+}
+
+impl Default for KernelBackend {
+    /// The default is parallel with auto-detected threads — safe because of
+    /// the bitwise-identity guarantee (see module docs).
+    fn default() -> Self {
+        KernelBackend::Parallel { threads: 0 }
+    }
+}
+
+impl KernelBackend {
+    /// The sequential reference backend.
+    pub fn sequential() -> Self {
+        KernelBackend::Sequential
+    }
+
+    /// The parallel backend with an explicit thread count (`0` = auto).
+    pub fn parallel(threads: usize) -> Self {
+        KernelBackend::Parallel { threads }
+    }
+
+    /// The number of worker threads this backend will use (`1` for
+    /// [`KernelBackend::Sequential`]; auto-detection resolved and cached
+    /// process-wide).
+    pub fn threads(&self) -> usize {
+        match *self {
+            KernelBackend::Sequential => 1,
+            KernelBackend::Parallel { threads: 0 } => auto_threads(),
+            KernelBackend::Parallel { threads } => threads,
+        }
+    }
+
+    /// This backend with its thread budget divided across `parts`
+    /// concurrent users — e.g. the SPMD solver runs one OS thread per rank,
+    /// so each rank's kernels get `threads / n_ranks` workers instead of
+    /// oversubscribing the machine by a factor of the rank count. Thread
+    /// count never affects results (the determinism guarantee), so this is
+    /// purely a scheduling decision.
+    pub fn subdivided(self, parts: usize) -> KernelBackend {
+        match self {
+            KernelBackend::Sequential => KernelBackend::Sequential,
+            KernelBackend::Parallel { .. } => KernelBackend::Parallel {
+                threads: (self.threads() / parts.max(1)).max(1),
+            },
+        }
+    }
+
+    /// Short name for reports: `seq` or `par(N)`.
+    pub fn name(&self) -> String {
+        match *self {
+            KernelBackend::Sequential => "seq".to_string(),
+            KernelBackend::Parallel { threads: 0 } => "par(auto)".to_string(),
+            KernelBackend::Parallel { threads } => format!("par({threads})"),
+        }
+    }
+
+    /// Threads to actually use for a workload of `n` independent items.
+    #[inline]
+    fn threads_for(&self, n: usize) -> usize {
+        if n < PARALLEL_CUTOFF {
+            return 1;
+        }
+        self.threads().min(n).max(1)
+    }
+
+    // --- SpMV ---------------------------------------------------------------
+
+    /// `y ← A x`. Parallel over nnz-balanced row chunks.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches.
+    pub fn spmv_into(&self, a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), a.ncols(), "spmv: x length != ncols");
+        assert_eq!(y.len(), a.nrows(), "spmv: y length != nrows");
+        self.spmv_rows_into(a, 0..a.nrows(), x, y);
+    }
+
+    /// `y = A x` (allocating convenience wrapper).
+    pub fn spmv(&self, a: &CsrMatrix, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; a.nrows()];
+        self.spmv_into(a, x, &mut y);
+        y
+    }
+
+    /// `y[i - rows.start] = Σ_k A[i, k] x[k]` for `i` in `rows` — the
+    /// node-local part of a distributed SpMV.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches or an out-of-range row range.
+    pub fn spmv_rows_into(&self, a: &CsrMatrix, rows: Range<usize>, x: &[f64], y: &mut [f64]) {
+        assert!(rows.end <= a.nrows(), "spmv_rows: row range out of range");
+        assert_eq!(x.len(), a.ncols(), "spmv_rows: x length != ncols");
+        assert_eq!(y.len(), rows.len(), "spmv_rows: y length != rows.len()");
+        let nthreads = self.threads_for(rows.len());
+        if nthreads <= 1 {
+            a.spmv_rows_into(rows, x, y);
+            return;
+        }
+        let bounds = nnz_balanced_bounds(a.row_ptr(), rows.clone(), nthreads);
+        std::thread::scope(|scope| {
+            let mut rest = y;
+            for c in 0..nthreads {
+                let (lo, hi) = (bounds[c], bounds[c + 1]);
+                let (head, tail) = rest.split_at_mut(hi - lo);
+                rest = tail;
+                let chunk = rows.start + lo..rows.start + hi;
+                if c + 1 == nthreads {
+                    a.spmv_rows_into(chunk, x, head);
+                } else {
+                    scope.spawn(move || a.spmv_rows_into(chunk, x, head));
+                }
+            }
+        });
+    }
+
+    /// For each row `i` in `rows` (sorted global indices), computes
+    /// `Σ_{k ∉ masked} A[i, k] x_full[k]` into `y` — the allocation-free,
+    /// backend-routed form of [`CsrMatrix::spmv_rows_masked`].
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches.
+    pub fn spmv_rows_masked_into<M>(
+        &self,
+        a: &CsrMatrix,
+        rows: &[usize],
+        x_full: &[f64],
+        masked: M,
+        y: &mut [f64],
+    ) where
+        M: Fn(usize) -> bool + Sync,
+    {
+        assert_eq!(x_full.len(), a.ncols(), "spmv_rows_masked: x length");
+        assert_eq!(y.len(), rows.len(), "spmv_rows_masked: y length");
+        let nthreads = self.threads_for(rows.len());
+        if nthreads <= 1 {
+            a.spmv_rows_masked_into(rows, x_full, &masked, y);
+            return;
+        }
+        let bounds = nnz_balanced_bounds_list(a, rows, nthreads);
+        std::thread::scope(|scope| {
+            let mut rest = y;
+            let masked = &masked;
+            for c in 0..nthreads {
+                let (lo, hi) = (bounds[c], bounds[c + 1]);
+                let (head, tail) = rest.split_at_mut(hi - lo);
+                rest = tail;
+                let row_chunk = &rows[lo..hi];
+                if c + 1 == nthreads {
+                    a.spmv_rows_masked_into(row_chunk, x_full, masked, head);
+                } else {
+                    scope.spawn(move || a.spmv_rows_masked_into(row_chunk, x_full, masked, head));
+                }
+            }
+        });
+    }
+
+    // --- Reductions ---------------------------------------------------------
+
+    /// Dot product `a · b` with the fixed-block deterministic reduction —
+    /// bitwise equal to [`vector::dot`] at any thread count.
+    ///
+    /// # Panics
+    /// Panics if `a.len() != b.len()`.
+    pub fn dot(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "dot: length mismatch");
+        let nthreads = self.threads_for(a.len());
+        if nthreads <= 1 {
+            return vector::dot(a, b);
+        }
+        let nblocks = a.len().div_ceil(REDUCTION_BLOCK);
+        let mut partials = vec![0.0f64; nblocks];
+        // Threads own contiguous runs of whole blocks; each writes the same
+        // per-block partial the sequential kernel would form.
+        let per_thread = nblocks.div_ceil(nthreads);
+        std::thread::scope(|scope| {
+            let mut rest = partials.as_mut_slice();
+            let mut block0 = 0usize;
+            while !rest.is_empty() {
+                let take = per_thread.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let start = block0 * REDUCTION_BLOCK;
+                let end = ((block0 + take) * REDUCTION_BLOCK).min(a.len());
+                let (ca, cb) = (&a[start..end], &b[start..end]);
+                let mut work = move || {
+                    for (k, p) in head.iter_mut().enumerate() {
+                        let lo = k * REDUCTION_BLOCK;
+                        let hi = (lo + REDUCTION_BLOCK).min(ca.len());
+                        let mut acc = 0.0;
+                        for (x, y) in ca[lo..hi].iter().zip(cb[lo..hi].iter()) {
+                            acc += x * y;
+                        }
+                        *p = acc;
+                    }
+                };
+                block0 += take;
+                if rest.is_empty() {
+                    work();
+                } else {
+                    scope.spawn(work);
+                }
+            }
+        });
+        // Final combine: block order, one thread — the sequential grouping.
+        let mut total = 0.0;
+        for p in partials {
+            total += p;
+        }
+        total
+    }
+
+    /// Euclidean norm `‖a‖₂` (via [`KernelBackend::dot`]).
+    pub fn norm2(&self, a: &[f64]) -> f64 {
+        self.dot(a, a).sqrt()
+    }
+
+    // --- Elementwise kernels ------------------------------------------------
+
+    /// `y ← y + alpha·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != y.len()`.
+    pub fn axpy(&self, alpha: f64, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+        let n = y.len();
+        self.par_zip(n, x, &[], y, &mut [], move |xc, _, yc, _| {
+            vector::axpy(alpha, xc, yc)
+        });
+    }
+
+    /// `y ← alpha·x + beta·y`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != y.len()`.
+    pub fn axpby(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        assert_eq!(x.len(), y.len(), "axpby: length mismatch");
+        let n = y.len();
+        self.par_zip(n, x, &[], y, &mut [], move |xc, _, yc, _| {
+            vector::axpby(alpha, xc, beta, yc)
+        });
+    }
+
+    /// The fused PCG iterate update: `x ← x + alpha·p`, `r ← r − alpha·q`
+    /// in one sweep (see [`vector::fused_axpy2`]). Elementwise, so
+    /// chunk-parallel without any reduction.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn fused_axpy2(&self, alpha: f64, p: &[f64], q: &[f64], x: &mut [f64], r: &mut [f64]) {
+        let n = x.len();
+        assert_eq!(p.len(), n, "fused_axpy2: p length mismatch");
+        assert_eq!(q.len(), n, "fused_axpy2: q length mismatch");
+        assert_eq!(r.len(), n, "fused_axpy2: r length mismatch");
+        self.par_zip(n, p, q, x, r, move |pc, qc, xc, rc| {
+            vector::fused_axpy2(alpha, pc, qc, xc, rc)
+        });
+    }
+
+    /// `x ← alpha·x`.
+    pub fn scale(&self, alpha: f64, x: &mut [f64]) {
+        let n = x.len();
+        self.par_zip(n, &[], &[], x, &mut [], move |_, _, xc, _| {
+            vector::scale(alpha, xc)
+        });
+    }
+
+    /// `out ← a - b`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn sub_into(&self, a: &[f64], b: &[f64], out: &mut [f64]) {
+        assert_eq!(a.len(), b.len(), "sub_into: length mismatch");
+        assert_eq!(a.len(), out.len(), "sub_into: output length mismatch");
+        let n = out.len();
+        self.par_zip(n, a, b, out, &mut [], |ac, bc, oc, _| {
+            vector::sub_into(ac, bc, oc)
+        });
+    }
+
+    /// The one elementwise chunking primitive: runs `op` over lock-step
+    /// chunks of up to two read-only and two mutable slices, in parallel
+    /// when worthwhile. Slices not used by the operation are passed empty
+    /// and stay empty in every chunk; used slices must have length `n`.
+    /// Chunk boundaries depend only on `n` and the thread count, and the
+    /// operation is elementwise, so any split is bitwise equal to the
+    /// sequential call.
+    fn par_zip<F>(&self, n: usize, a: &[f64], b: &[f64], x: &mut [f64], y: &mut [f64], op: F)
+    where
+        F: Fn(&[f64], &[f64], &mut [f64], &mut [f64]) + Sync,
+    {
+        let nthreads = self.threads_for(n);
+        if nthreads <= 1 {
+            op(a, b, x, y);
+            return;
+        }
+        let per = n.div_ceil(nthreads);
+        fn read_chunk(s: &[f64], off: usize, take: usize) -> &[f64] {
+            if s.is_empty() {
+                s
+            } else {
+                &s[off..off + take]
+            }
+        }
+        std::thread::scope(|scope| {
+            let mut rest_x = x;
+            let mut rest_y = y;
+            let mut off = 0usize;
+            let op = &op;
+            while off < n {
+                let take = per.min(n - off);
+                let (hx, tx) = rest_x.split_at_mut(take.min(rest_x.len()));
+                let (hy, ty) = rest_y.split_at_mut(take.min(rest_y.len()));
+                rest_x = tx;
+                rest_y = ty;
+                let ca = read_chunk(a, off, take);
+                let cb = read_chunk(b, off, take);
+                off += take;
+                if off >= n {
+                    op(ca, cb, hx, hy);
+                } else {
+                    scope.spawn(move || op(ca, cb, hx, hy));
+                }
+            }
+        });
+    }
+}
+
+/// Splits the row range `rows` into `nchunks` contiguous chunks with roughly
+/// equal stored-entry counts, using the CSR row pointer. Returns `nchunks+1`
+/// boundaries *relative to* `rows.start`. Chunks may be empty for very
+/// skewed matrices; every row lands in exactly one chunk.
+fn nnz_balanced_bounds(row_ptr: &[usize], rows: Range<usize>, nchunks: usize) -> Vec<usize> {
+    let nnz_lo = row_ptr[rows.start];
+    let nnz_hi = row_ptr[rows.end];
+    let total = nnz_hi - nnz_lo;
+    let mut bounds = Vec::with_capacity(nchunks + 1);
+    bounds.push(0);
+    for c in 1..nchunks {
+        let target = nnz_lo + total * c / nchunks;
+        // First row whose end passes the target nnz.
+        let r = row_ptr[rows.start..=rows.end].partition_point(|&p| p < target);
+        bounds.push(r.min(rows.len()).max(bounds[c - 1]));
+    }
+    bounds.push(rows.len());
+    bounds
+}
+
+/// Same as [`nnz_balanced_bounds`] for an explicit (sorted) row list.
+fn nnz_balanced_bounds_list(a: &CsrMatrix, rows: &[usize], nchunks: usize) -> Vec<usize> {
+    let total: usize = rows.iter().map(|&r| a.row_nnz(r)).sum();
+    let mut bounds = Vec::with_capacity(nchunks + 1);
+    bounds.push(0);
+    let mut acc = 0usize;
+    let mut c = 1usize;
+    for (k, &r) in rows.iter().enumerate() {
+        if c == nchunks {
+            break;
+        }
+        if acc >= total * c / nchunks {
+            bounds.push(k);
+            c += 1;
+        }
+        acc += a.row_nnz(r);
+    }
+    while bounds.len() < nchunks {
+        bounds.push(rows.len());
+    }
+    bounds.push(rows.len());
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{banded_spd, poisson2d};
+    use crate::rng::SplitMix64;
+
+    fn vecs(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = SplitMix64::new(seed);
+        let a = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let b = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn default_is_parallel_auto() {
+        assert_eq!(
+            KernelBackend::default(),
+            KernelBackend::Parallel { threads: 0 }
+        );
+        assert!(KernelBackend::default().threads() >= 1);
+        assert_eq!(KernelBackend::Sequential.threads(), 1);
+        assert_eq!(KernelBackend::parallel(3).threads(), 3);
+    }
+
+    #[test]
+    fn dot_bitwise_identical_across_backends() {
+        // Sizes straddling block and cutoff boundaries.
+        for n in [
+            0usize,
+            1,
+            100,
+            REDUCTION_BLOCK - 1,
+            REDUCTION_BLOCK + 1,
+            50_000,
+        ] {
+            let (a, b) = vecs(n, 42);
+            let reference = vector::dot(&a, &b);
+            for t in [1usize, 2, 3, 8] {
+                let got = KernelBackend::parallel(t).dot(&a, &b);
+                assert_eq!(got.to_bits(), reference.to_bits(), "n={n} t={t}");
+            }
+            assert_eq!(
+                KernelBackend::Sequential.dot(&a, &b).to_bits(),
+                reference.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn spmv_bitwise_identical_across_backends() {
+        let a = poisson2d(120, 120); // 14_400 rows: above the cutoff
+        let x: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.1).sin()).collect();
+        let reference = a.spmv(&x);
+        for t in [1usize, 2, 5, 8] {
+            let be = KernelBackend::parallel(t);
+            let got = be.spmv(&a, &x);
+            assert_eq!(got, reference, "t={t}");
+        }
+        assert_eq!(KernelBackend::Sequential.spmv(&a, &x), reference);
+    }
+
+    #[test]
+    fn spmv_rows_matches_reference() {
+        let a = banded_spd(10_000, 6, 0.7, 3);
+        let x: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.3).cos()).collect();
+        let rows = 1234..9876;
+        let mut reference = vec![0.0; rows.len()];
+        a.spmv_rows_into(rows.clone(), &x, &mut reference);
+        for t in [2usize, 7] {
+            let mut y = vec![0.0; rows.len()];
+            KernelBackend::parallel(t).spmv_rows_into(&a, rows.clone(), &x, &mut y);
+            assert_eq!(y, reference, "t={t}");
+        }
+    }
+
+    #[test]
+    fn spmv_rows_masked_matches_reference() {
+        let a = banded_spd(9_000, 5, 0.8, 9);
+        let x: Vec<f64> = (0..a.nrows()).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let rows: Vec<usize> = (0..a.nrows()).step_by(1).collect();
+        let masked = |c: usize| c.is_multiple_of(7);
+        let reference = a.spmv_rows_masked(&rows, &x, masked);
+        for t in [2usize, 8] {
+            let mut y = vec![0.0; rows.len()];
+            KernelBackend::parallel(t).spmv_rows_masked_into(&a, &rows, &x, masked, &mut y);
+            assert_eq!(y, reference, "t={t}");
+        }
+    }
+
+    #[test]
+    fn elementwise_kernels_match() {
+        let n = 30_000;
+        let (x, y0) = vecs(n, 7);
+        for t in [1usize, 2, 8] {
+            let be = KernelBackend::parallel(t);
+            let mut y1 = y0.clone();
+            let mut y2 = y0.clone();
+            vector::axpy(0.37, &x, &mut y1);
+            be.axpy(0.37, &x, &mut y2);
+            assert_eq!(y1, y2, "axpy t={t}");
+            vector::axpby(1.5, &x, -0.25, &mut y1);
+            be.axpby(1.5, &x, -0.25, &mut y2);
+            assert_eq!(y1, y2, "axpby t={t}");
+            vector::scale(0.9, &mut y1);
+            be.scale(0.9, &mut y2);
+            assert_eq!(y1, y2, "scale t={t}");
+            let mut o1 = vec![0.0; n];
+            let mut o2 = vec![0.0; n];
+            vector::sub_into(&x, &y1, &mut o1);
+            be.sub_into(&x, &y2, &mut o2);
+            assert_eq!(o1, o2, "sub_into t={t}");
+            let (p, q) = vecs(n, 13);
+            let (mut x1, mut r1) = vecs(n, 17);
+            let (mut x2, mut r2) = (x1.clone(), r1.clone());
+            vector::fused_axpy2(0.6, &p, &q, &mut x1, &mut r1);
+            be.fused_axpy2(0.6, &p, &q, &mut x2, &mut r2);
+            assert_eq!(x1, x2, "fused_axpy2 x t={t}");
+            assert_eq!(r1, r2, "fused_axpy2 r t={t}");
+        }
+    }
+
+    #[test]
+    fn nnz_bounds_cover_rows_exactly() {
+        let a = banded_spd(5_000, 8, 0.5, 11);
+        for nchunks in [1usize, 2, 3, 7, 16] {
+            let b = nnz_balanced_bounds(a.row_ptr(), 0..a.nrows(), nchunks);
+            assert_eq!(b.len(), nchunks + 1);
+            assert_eq!(b[0], 0);
+            assert_eq!(*b.last().unwrap(), a.nrows());
+            assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn subdivided_splits_thread_budget() {
+        assert_eq!(
+            KernelBackend::Sequential.subdivided(8),
+            KernelBackend::Sequential
+        );
+        assert_eq!(
+            KernelBackend::parallel(8).subdivided(4),
+            KernelBackend::parallel(2)
+        );
+        // Never drops to zero threads, never panics on parts = 0.
+        assert_eq!(
+            KernelBackend::parallel(2).subdivided(8),
+            KernelBackend::parallel(1)
+        );
+        assert_eq!(
+            KernelBackend::parallel(4).subdivided(0),
+            KernelBackend::parallel(4)
+        );
+        // Auto resolves before dividing.
+        assert!(KernelBackend::parallel(0).subdivided(1).threads() >= 1);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(KernelBackend::Sequential.name(), "seq");
+        assert_eq!(KernelBackend::parallel(4).name(), "par(4)");
+        assert_eq!(KernelBackend::parallel(0).name(), "par(auto)");
+    }
+}

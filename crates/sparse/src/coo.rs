@@ -98,8 +98,7 @@ impl CooMatrix {
         // Sort by (row, col); stable sort keeps duplicate summation
         // order-independent because addition order within a duplicate run is
         // insertion order, which we then fold left-to-right.
-        self.entries
-            .sort_by_key(|a| (a.0, a.1));
+        self.entries.sort_by_key(|a| (a.0, a.1));
 
         let mut row_ptr = vec![0usize; self.nrows + 1];
         let mut col_idx = Vec::with_capacity(self.entries.len());

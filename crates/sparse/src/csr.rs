@@ -264,8 +264,25 @@ impl CsrMatrix {
         x_full: &[f64],
         masked: impl Fn(usize) -> bool,
     ) -> Vec<f64> {
-        assert_eq!(x_full.len(), self.ncols, "spmv_rows_masked: x length");
         let mut y = vec![0.0; rows.len()];
+        self.spmv_rows_masked_into(rows, x_full, masked, &mut y);
+        y
+    }
+
+    /// Allocation-free variant of [`CsrMatrix::spmv_rows_masked`]: writes the
+    /// masked products into a caller-provided buffer.
+    ///
+    /// # Panics
+    /// Panics if `x_full.len() != ncols` or `y.len() != rows.len()`.
+    pub fn spmv_rows_masked_into(
+        &self,
+        rows: &[usize],
+        x_full: &[f64],
+        masked: impl Fn(usize) -> bool,
+        y: &mut [f64],
+    ) {
+        assert_eq!(x_full.len(), self.ncols, "spmv_rows_masked: x length");
+        assert_eq!(y.len(), rows.len(), "spmv_rows_masked: y length");
         for (out, &r) in y.iter_mut().zip(rows.iter()) {
             let (cols, vals) = self.row(r);
             let mut acc = 0.0;
@@ -276,7 +293,37 @@ impl CsrMatrix {
             }
             *out = acc;
         }
-        y
+    }
+
+    /// Extracts the rows `rows` restricted to the columns selected by
+    /// `keep`, as a `rows.len() × ncols` matrix with **global** column
+    /// indices. Entry order within a row is preserved, so an SpMV with the
+    /// result accumulates in exactly the same order as a masked SpMV with
+    /// `masked = |c| !keep(c)` — bitwise identical, but without the
+    /// per-entry branch. The recovery path builds these once per failure
+    /// domain and reuses them across all inner iterations.
+    pub fn extract_rows_filtered(&self, rows: &[usize], keep: impl Fn(usize) -> bool) -> CsrMatrix {
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for &r in rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                if keep(c) {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            nrows: rows.len(),
+            ncols: self.ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Extracts the rows `rows` (sorted global indices) as a new
@@ -537,6 +584,31 @@ mod tests {
         // Mask column 1: row 0 -> 4*1, row 2 -> 4*3
         let y = a.spmv_rows_masked(&[0, 2], &x, |c| c == 1);
         assert_eq!(y, vec![4.0, 12.0]);
+    }
+
+    #[test]
+    fn spmv_rows_masked_into_matches_allocating_variant() {
+        let a = small();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = vec![0.0; 2];
+        a.spmv_rows_masked_into(&[0, 2], &x, |c| c == 1, &mut y);
+        assert_eq!(y, a.spmv_rows_masked(&[0, 2], &x, |c| c == 1));
+    }
+
+    #[test]
+    fn extract_rows_filtered_splits_masked_spmv() {
+        let a = small();
+        let x = [1.0, 2.0, 3.0];
+        let rows = [0usize, 1, 2];
+        let keep_odd = a.extract_rows_filtered(&rows, |c| c % 2 == 1);
+        keep_odd.validate().unwrap();
+        assert_eq!(keep_odd.ncols(), 3, "columns stay global");
+        // SpMV over the filtered rows equals the masked SpMV.
+        let masked = a.spmv_rows_masked(&rows, &x, |c| c % 2 == 0);
+        assert_eq!(keep_odd.spmv(&x), masked);
+        // The two complementary filters partition the entries.
+        let keep_even = a.extract_rows_filtered(&rows, |c| c % 2 == 0);
+        assert_eq!(keep_odd.nnz() + keep_even.nnz(), a.nnz());
     }
 
     #[test]

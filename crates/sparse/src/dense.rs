@@ -225,10 +225,7 @@ mod tests {
     use crate::vector::max_abs_diff;
 
     fn spd3() -> DenseMatrix {
-        DenseMatrix::from_row_major(
-            3,
-            vec![4.0, 1.0, 0.0, 1.0, 3.0, -1.0, 0.0, -1.0, 5.0],
-        )
+        DenseMatrix::from_row_major(3, vec![4.0, 1.0, 0.0, 1.0, 3.0, -1.0, 0.0, -1.0, 5.0])
     }
 
     #[test]

@@ -107,8 +107,14 @@ pub fn elasticity3d_params(nx: usize, ny: usize, nz: usize, p: ElasticityParams)
         nx > 0 && ny > 0 && nz > 0,
         "elasticity3d: grid dims must be positive"
     );
-    assert!(p.contrast >= 0.0, "elasticity3d: contrast must be non-negative");
-    assert!(p.layer_nz > 0, "elasticity3d: layer thickness must be positive");
+    assert!(
+        p.contrast >= 0.0,
+        "elasticity3d: contrast must be non-negative"
+    );
+    assert!(
+        p.layer_nz > 0,
+        "elasticity3d: layer thickness must be positive"
+    );
     assert!(
         p.aniso.iter().all(|&a| a > 0.0),
         "elasticity3d: anisotropy coefficients must be positive"
@@ -146,8 +152,7 @@ pub fn elasticity3d_params(nx: usize, ny: usize, nz: usize, p: ElasticityParams)
                                 continue;
                             }
                             let b = offdiag_block(&p, dx, dy, dz);
-                            let (xx, yy, zz) =
-                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            let (xx, yy, zz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
                             let in_domain = xx >= 0
                                 && yy >= 0
                                 && zz >= 0
@@ -172,8 +177,7 @@ pub fn elasticity3d_params(nx: usize, ny: usize, nz: usize, p: ElasticityParams)
                             let z_crossing = zz < 0 || zz >= nz as i64;
                             if in_domain || z_crossing {
                                 for i in 0..3 {
-                                    let rowsum: f64 =
-                                        b[i].iter().map(|v| v.abs()).sum();
+                                    let rowsum: f64 = b[i].iter().map(|v| v.abs()).sum();
                                     diag[i][i] += scale * rowsum;
                                 }
                             }

@@ -1,11 +1,9 @@
 //! Random SPD matrix generators for tests and ablations.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
 use crate::dense::DenseMatrix;
+use crate::rng::SplitMix64;
 
 /// Random banded symmetric positive definite matrix: `n × n`, off-diagonal
 /// entries only within `|i - j| <= bandwidth`, each present with probability
@@ -24,14 +22,14 @@ pub fn banded_spd(n: usize, bandwidth: usize, density: f64, seed: u64) -> CsrMat
         (0.0..=1.0).contains(&density),
         "banded_spd: density must be in [0, 1]"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut coo = CooMatrix::new(n, n);
     let mut dominance = vec![0.0f64; n];
     for i in 0..n {
         let hi = (i + bandwidth).min(n - 1);
         for j in (i + 1)..=hi {
-            if rng.gen::<f64>() < density {
-                let v = -rng.gen::<f64>(); // in (-1, 0]
+            if rng.next_f64() < density {
+                let v = -rng.next_f64(); // in (-1, 0]
                 coo.push_sym(i, j, v).expect("in range");
                 dominance[i] += v.abs();
                 dominance[j] += v.abs();
@@ -52,11 +50,11 @@ pub fn banded_spd(n: usize, bandwidth: usize, density: f64, seed: u64) -> CsrMat
 /// Panics if `n == 0`.
 pub fn random_spd_dense(n: usize, seed: u64) -> CsrMatrix {
     assert!(n > 0, "random_spd_dense: n must be positive");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut b = DenseMatrix::zeros(n);
     for r in 0..n {
         for c in 0..n {
-            b.set(r, c, rng.gen_range(-1.0..1.0));
+            b.set(r, c, rng.range_f64(-1.0, 1.0));
         }
     }
     // A = B Bᵀ + n·I (dense, then convert).

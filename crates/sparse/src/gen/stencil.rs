@@ -124,8 +124,14 @@ pub fn stencil27_params(nx: usize, ny: usize, nz: usize, p: StencilParams) -> Cs
         nx > 0 && ny > 0 && nz > 0,
         "stencil27: grid dims must be positive"
     );
-    assert!(p.contrast >= 0.0, "stencil27: contrast must be non-negative");
-    assert!(p.layer_nz > 0, "stencil27: layer thickness must be positive");
+    assert!(
+        p.contrast >= 0.0,
+        "stencil27: contrast must be non-negative"
+    );
+    assert!(
+        p.layer_nz > 0,
+        "stencil27: layer thickness must be positive"
+    );
     assert!(
         p.aniso.iter().all(|&a| a > 0.0),
         "stencil27: anisotropy coefficients must be positive"
@@ -154,8 +160,7 @@ pub fn stencil27_params(nx: usize, ny: usize, nz: usize, p: StencilParams) -> Cs
                             if dx == 0 && dy == 0 && dz == 0 {
                                 continue;
                             }
-                            let (xx, yy, zz) =
-                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            let (xx, yy, zz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
                             if xx < 0
                                 || yy < 0
                                 || zz < 0
@@ -177,8 +182,7 @@ pub fn stencil27_params(nx: usize, ny: usize, nz: usize, p: StencilParams) -> Cs
                             let j = idx(xx as usize, yy as usize, zz as usize);
                             // Geometric mean of the endpoint coefficients
                             // keeps the matrix symmetric.
-                            let w = weight(&p.aniso, dx, dy, dz)
-                                * (kappa[i] * kappa[j]).sqrt();
+                            let w = weight(&p.aniso, dx, dy, dz) * (kappa[i] * kappa[j]).sqrt();
                             diag += w.abs();
                             coo.push(i, j, w).expect("in range");
                         }

@@ -7,6 +7,10 @@
 //! * [`CsrMatrix`] — compressed sparse row storage with the kernels used by the
 //!   solver (SpMV, row extraction, principal submatrices, transpose, symmetry
 //!   checks),
+//! * [`backend`] / [`KernelBackend`] — the kernel execution switch: the
+//!   sequential reference kernels and a multithreaded backend that is
+//!   **bitwise identical** to them at any thread count (fixed-block
+//!   deterministic reductions, row-parallel SpMV),
 //! * [`DenseMatrix`] and [`Cholesky`] — small dense matrices and Cholesky
 //!   factorization for block Jacobi preconditioner blocks,
 //! * [`Partition`] — the contiguous block-row distribution of matrix rows and
@@ -16,10 +20,15 @@
 //!   argument),
 //! * [`mm`] — Matrix Market I/O so the genuine matrices can be used when
 //!   available,
-//! * [`vector`] — the dense vector kernels (dot, axpy, norms) used by PCG.
+//! * [`rng`] — a tiny seeded PRNG (SplitMix64) for reproducible synthetic
+//!   workloads (the build carries no external dependencies),
+//! * [`vector`] — the dense vector kernels (dot, axpy, norms, the fused PCG
+//!   update) used by PCG, all following the fixed-block deterministic
+//!   reduction contract documented there.
 //!
 //! All numeric code is `f64`; indices are `usize`.
 
+pub mod backend;
 pub mod coo;
 pub mod csr;
 pub mod dense;
@@ -27,8 +36,10 @@ pub mod error;
 pub mod gen;
 pub mod mm;
 pub mod partition;
+pub mod rng;
 pub mod vector;
 
+pub use backend::KernelBackend;
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::{Cholesky, DenseMatrix};

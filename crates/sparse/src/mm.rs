@@ -65,12 +65,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix, SparseError> 
     let buf = BufReader::new(reader);
     let mut lines = buf.lines().enumerate();
 
-    let (_, first) = lines
-        .next()
-        .ok_or_else(|| SparseError::MatrixMarket {
-            line: 1,
-            msg: "empty file".into(),
-        })?;
+    let (_, first) = lines.next().ok_or_else(|| SparseError::MatrixMarket {
+        line: 1,
+        msg: "empty file".into(),
+    })?;
     let (field, sym) = parse_header(&first?)?;
 
     // Skip comment lines, find the size line.
@@ -106,7 +104,11 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix, SparseError> 
     }
     let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
 
-    let cap = if sym == Symmetry::Symmetric { 2 * nnz } else { nnz };
+    let cap = if sym == Symmetry::Symmetric {
+        2 * nnz
+    } else {
+        nnz
+    };
     let mut coo = CooMatrix::with_capacity(nrows, ncols, cap);
     let mut seen = 0usize;
     for (no, line) in lines {
@@ -192,10 +194,7 @@ pub fn write_matrix_market<W: Write>(a: &CsrMatrix, writer: W) -> Result<(), Spa
 ///
 /// # Errors
 /// See [`write_matrix_market`].
-pub fn write_matrix_market_file<P: AsRef<Path>>(
-    a: &CsrMatrix,
-    path: P,
-) -> Result<(), SparseError> {
+pub fn write_matrix_market_file<P: AsRef<Path>>(a: &CsrMatrix, path: P) -> Result<(), SparseError> {
     let f = std::fs::File::create(path)?;
     write_matrix_market(a, f)
 }

@@ -85,7 +85,11 @@ impl Partition {
     /// # Panics
     /// Panics if `i >= n()`.
     pub fn owner_of(&self, i: usize) -> usize {
-        assert!(i < self.n(), "owner_of: index {i} out of range {}", self.n());
+        assert!(
+            i < self.n(),
+            "owner_of: index {i} out of range {}",
+            self.n()
+        );
         // partition_point returns the first offset > i, i.e. (owner + 1).
         let p = self.offsets.partition_point(|&o| o <= i);
         p - 1

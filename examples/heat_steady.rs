@@ -14,11 +14,7 @@
 
 use esrcg::prelude::*;
 
-fn run(
-    strategy: Strategy,
-    phi: usize,
-    failure: Option<(usize, usize, usize)>,
-) -> RunReport {
+fn run(strategy: Strategy, phi: usize, failure: Option<(usize, usize, usize)>) -> RunReport {
     let mut e = Experiment::builder()
         .matrix(MatrixSource::Poisson3d {
             nx: 10,
@@ -39,7 +35,11 @@ fn main() {
     let reference = run(Strategy::None, 0, None);
     let c = reference.iterations;
     let t0 = reference.modeled_time;
-    println!("steady-state heat conduction: n = {}, C = {c}, t0 = {:.3} ms\n", 10 * 10 * 96, t0 * 1e3);
+    println!(
+        "steady-state heat conduction: n = {}, C = {c}, t0 = {:.3} ms\n",
+        10 * 10 * 96,
+        t0 * 1e3
+    );
 
     // Keep intervals meaningful for this problem's iteration count: the
     // failure must land inside a completed interval.
@@ -51,13 +51,19 @@ fn main() {
         ("imcr(25) ", Strategy::Imcr { t: 25 }),
     ];
 
-    println!("{:<10} {:>14} {:>16} {:>16} {:>8}", "strategy", "failure-free %", "with failure %", "reconstruct %", "wasted");
+    println!(
+        "{:<10} {:>14} {:>16} {:>16} {:>8}",
+        "strategy", "failure-free %", "with failure %", "reconstruct %", "wasted"
+    );
     for (name, strategy) in strategies {
         let phi = 1;
         let t = strategy.interval().unwrap_or(1);
         let ff = run(strategy, phi, None);
         assert!(ff.converged);
-        assert_eq!(ff.iterations, c, "resilience must not change the trajectory");
+        assert_eq!(
+            ff.iterations, c,
+            "resilience must not change the trajectory"
+        );
         let j_f = paper_failure_iteration(c, t);
         let withf = run(strategy, phi, Some((j_f, 0, 1)));
         assert!(withf.converged);

@@ -37,7 +37,11 @@ fn main() {
     let c = reference.iterations;
     let t0 = reference.modeled_time;
     let iter_time = t0 / c as f64;
-    println!("emilia-like: C = {c}, t0 = {:.3} ms, {:.3} µs/iteration\n", t0 * 1e3, iter_time * 1e6);
+    println!(
+        "emilia-like: C = {c}, t0 = {:.3} ms, {:.3} µs/iteration\n",
+        t0 * 1e3,
+        iter_time * 1e6
+    );
 
     println!(
         "{:>5} {:>16} {:>16} {:>14}",
@@ -45,7 +49,9 @@ fn main() {
     );
     let mut storage_cost_per_stage = 0.0f64;
     for t in [1usize, 5, 10, 20, 50, 100] {
-        if esrcg::core::solver::recovery::esrp_rollback_target(paper_failure_iteration(c, t), t).is_none() {
+        if esrcg::core::solver::recovery::esrp_rollback_target(paper_failure_iteration(c, t), t)
+            .is_none()
+        {
             println!("{t:>5}  (skipped: no complete storage stage before the failure at this C)");
             continue;
         }
@@ -85,8 +91,14 @@ fn main() {
 
     // Young/Daly with the measured per-stage cost, for a hypothetical MTBF.
     // (The paper cites MTBF ≈ 9 h at 100k nodes and 53 min at 1M nodes.)
-    println!("\nYoung/Daly optimal intervals for the measured per-stage cost δ = {:.2} µs:", storage_cost_per_stage * 1e6);
-    for (label, mtbf_s) in [("9 hours (100k nodes)", 9.0 * 3600.0), ("53 minutes (1M nodes)", 53.0 * 60.0)] {
+    println!(
+        "\nYoung/Daly optimal intervals for the measured per-stage cost δ = {:.2} µs:",
+        storage_cost_per_stage * 1e6
+    );
+    for (label, mtbf_s) in [
+        ("9 hours (100k nodes)", 9.0 * 3600.0),
+        ("53 minutes (1M nodes)", 53.0 * 60.0),
+    ] {
         let t_opt_seconds = (2.0 * storage_cost_per_stage * mtbf_s).sqrt();
         let t_opt_iters = (t_opt_seconds / iter_time).round();
         println!("  MTBF {label}: T_opt ≈ {t_opt_iters:.0} iterations");

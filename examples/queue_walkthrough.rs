@@ -25,10 +25,7 @@ fn fmt_queue(q: &RedundancyQueue) -> String {
 fn main() {
     let t = 5usize; // the paper draws T in the abstract; we use T = 5
     println!("ESRP redundancy queue evolution, T = {t} (paper Fig. 1)\n");
-    println!(
-        "{:>4}  {:<22} {:>10}  note",
-        "j", "queue", "rollback"
-    );
+    println!("{:>4}  {:<22} {:>10}  note", "j", "queue", "rollback");
 
     let mut q = RedundancyQueue::new();
     for j in 0..=(2 * t + 2) {

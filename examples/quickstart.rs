@@ -30,7 +30,10 @@ fn main() {
     assert!(reference.converged);
     let c = reference.iterations;
     let t0 = reference.modeled_time;
-    println!("reference:  C = {c} iterations, t0 = {:.3} ms (modeled)", t0 * 1e3);
+    println!(
+        "reference:  C = {c} iterations, t0 = {:.3} ms (modeled)",
+        t0 * 1e3
+    );
 
     // --- 2. Resilient run with an injected node failure --------------------
     let t = 20; // checkpointing interval (the paper's T)

@@ -35,7 +35,9 @@ fn main() {
         8 * 8 * 8 * 3,
         t0 * 1e3
     );
-    println!("injecting ψ = {phi} simultaneous failures (contiguous block, as from a switch fault)\n");
+    println!(
+        "injecting ψ = {phi} simultaneous failures (contiguous block, as from a switch fault)\n"
+    );
 
     let t = 20;
     let j_f = paper_failure_iteration(c, t);

@@ -54,5 +54,5 @@ pub mod prelude {
     pub use esrcg_core::pcg::pcg;
     pub use esrcg_core::strategy::Strategy;
     pub use esrcg_precond::PrecondSpec;
-    pub use esrcg_sparse::{CooMatrix, CsrMatrix, Partition};
+    pub use esrcg_sparse::{CooMatrix, CsrMatrix, KernelBackend, Partition};
 }

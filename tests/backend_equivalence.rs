@@ -1,0 +1,188 @@
+//! The deterministic-backend contract, end to end: the parallel backend
+//! must be **bitwise identical** to the sequential reference — for the raw
+//! kernels, for whole PCG trajectories, and for full distributed resilient
+//! runs — at 1, 2, and 8 threads.
+
+use esrcg::core::pcg::{pcg_with, PcgWorkspace};
+use esrcg::prelude::*;
+use esrcg::sparse::backend::PARALLEL_CUTOFF;
+use esrcg::sparse::gen::{audikw_like, poisson3d};
+use esrcg::sparse::rng::SplitMix64;
+use esrcg::sparse::vector;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn backends() -> Vec<KernelBackend> {
+    let mut v = vec![KernelBackend::Sequential];
+    v.extend(THREAD_COUNTS.map(KernelBackend::parallel));
+    v
+}
+
+#[test]
+fn kernel_results_bit_identical_across_thread_counts() {
+    // Sizes chosen to straddle the parallel cutoff and block boundaries.
+    let mut rng = SplitMix64::new(99);
+    for n in [1000usize, PARALLEL_CUTOFF, 3 * PARALLEL_CUTOFF + 17] {
+        let a: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let dot_ref = vector::dot(&a, &b);
+        let norm_ref = vector::norm2(&a);
+        for be in backends() {
+            assert_eq!(
+                be.dot(&a, &b).to_bits(),
+                dot_ref.to_bits(),
+                "dot {} n={n}",
+                be.name()
+            );
+            assert_eq!(
+                be.norm2(&a).to_bits(),
+                norm_ref.to_bits(),
+                "norm2 {} n={n}",
+                be.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn spmv_bit_identical_on_poisson_and_elasticity() {
+    for (label, m) in [
+        ("poisson3d", poisson3d(22, 22, 22)),     // 10_648 rows
+        ("audikw-like", audikw_like(14, 14, 18)), // 10_584 rows
+    ] {
+        let n = m.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.113).sin()).collect();
+        let reference = m.spmv(&x);
+        for be in backends() {
+            assert_eq!(be.spmv(&m, &x), reference, "{label} {}", be.name());
+        }
+    }
+}
+
+#[test]
+fn pcg_trajectories_bit_identical_on_poisson() {
+    let a = poisson3d(16, 16, 16); // 4096 rows
+    let n = a.nrows();
+    let part = Partition::balanced(n, 1);
+    let precond = PrecondSpec::paper_default()
+        .build(&a, &part)
+        .expect("precond");
+    let b: Vec<f64> = (0..n).map(|i| ((i % 13) as f64 - 6.0) / 13.0).collect();
+    let mut reference = None;
+    for be in backends() {
+        let mut ws = PcgWorkspace::new(n);
+        let res = pcg_with(
+            &a,
+            &b,
+            &vec![0.0; n],
+            precond.as_ref(),
+            1e-9,
+            50_000,
+            be,
+            &mut ws,
+        );
+        assert!(res.converged, "{}", be.name());
+        match &reference {
+            None => reference = Some(res),
+            Some(r) => {
+                assert_eq!(res.iterations, r.iterations, "{}", be.name());
+                assert_eq!(res.x, r.x, "{}: bitwise trajectory", be.name());
+                assert_eq!(res.relres.to_bits(), r.relres.to_bits(), "{}", be.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn pcg_trajectories_bit_identical_on_elasticity() {
+    let a = audikw_like(8, 8, 8); // 1536 rows
+    let n = a.nrows();
+    let part = Partition::balanced(n, 1);
+    let precond = PrecondSpec::paper_default()
+        .build(&a, &part)
+        .expect("precond");
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).cos()).collect();
+    let mut reference = None;
+    for be in backends() {
+        let mut ws = PcgWorkspace::new(n);
+        let res = pcg_with(
+            &a,
+            &b,
+            &vec![0.0; n],
+            precond.as_ref(),
+            1e-8,
+            50_000,
+            be,
+            &mut ws,
+        );
+        assert!(res.converged, "{}", be.name());
+        match &reference {
+            None => reference = Some(res),
+            Some(r) => {
+                assert_eq!(res.iterations, r.iterations, "{}", be.name());
+                assert_eq!(res.x, r.x, "{}: bitwise trajectory", be.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn distributed_resilient_run_bit_identical_across_backends() {
+    // A full ESRP run with a two-rank failure: the recovery path (masked
+    // SpMV splits, inner distributed solve, workspace reuse) must also be
+    // backend-invariant, bit for bit.
+    let run = |backend: KernelBackend| {
+        Experiment::builder()
+            .matrix(MatrixSource::Poisson3d {
+                nx: 8,
+                ny: 8,
+                nz: 8,
+            })
+            .n_ranks(5)
+            .strategy(Strategy::Esrp { t: 5 })
+            .phi(2)
+            .failure_at(12, 1, 2)
+            .backend(backend)
+            .run()
+            .expect("run")
+    };
+    let reference = run(KernelBackend::Sequential);
+    assert!(reference.converged);
+    for t in THREAD_COUNTS {
+        let r = run(KernelBackend::parallel(t));
+        assert_eq!(r.iterations, reference.iterations, "par({t})");
+        assert_eq!(r.x, reference.x, "par({t}): bitwise solution");
+        assert_eq!(
+            r.modeled_time.to_bits(),
+            reference.modeled_time.to_bits(),
+            "par({t}): modeled time"
+        );
+        assert_eq!(r.recovery, reference.recovery, "par({t})");
+    }
+}
+
+#[test]
+fn imcr_run_bit_identical_across_backends() {
+    let run = |backend: KernelBackend| {
+        Experiment::builder()
+            .matrix(MatrixSource::EmiliaLike {
+                nx: 6,
+                ny: 6,
+                nz: 6,
+            })
+            .n_ranks(4)
+            .strategy(Strategy::Imcr { t: 5 })
+            .phi(1)
+            .failure_at(11, 2, 1)
+            .backend(backend)
+            .run()
+            .expect("run")
+    };
+    let reference = run(KernelBackend::Sequential);
+    assert!(reference.converged);
+    for t in THREAD_COUNTS {
+        let r = run(KernelBackend::parallel(t));
+        assert_eq!(r.x, reference.x, "par({t})");
+        assert_eq!(r.iterations, reference.iterations, "par({t})");
+    }
+}

@@ -46,7 +46,9 @@ fn distributed_solution_matches_sequential_pcg() {
     let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.137).sin() + 0.5).collect();
     let b = m.spmv(&x_true);
     let part = Partition::balanced(n, 1);
-    let precond = PrecondSpec::paper_default().build(&m, &part).expect("precond");
+    let precond = PrecondSpec::paper_default()
+        .build(&m, &part)
+        .expect("precond");
     let seq = pcg(&m, &b, &vec![0.0; n], precond.as_ref(), 1e-8, 100_000);
     assert!(seq.converged);
 
@@ -59,7 +61,10 @@ fn distributed_solution_matches_sequential_pcg() {
         .run()
         .expect("single-rank run");
     assert_eq!(dist1.iterations, seq.iterations);
-    assert_eq!(dist1.x, seq.x, "single rank is bitwise the sequential solver");
+    assert_eq!(
+        dist1.x, seq.x,
+        "single rank is bitwise the sequential solver"
+    );
 
     for n_ranks in [2usize, 3, 7] {
         let dist = Experiment::builder()
@@ -128,7 +133,10 @@ fn phase_accounting_is_consistent() {
     assert!(total.flops[Phase::SpMV as usize] > 0);
     assert!(total.flops[Phase::Precond as usize] > 0);
     assert!(total.msgs_sent[Phase::Reduction as usize] > 0);
-    assert!(total.msgs_sent[Phase::Storage as usize] > 0, "ASpMV extras flowed");
+    assert!(
+        total.msgs_sent[Phase::Storage as usize] > 0,
+        "ASpMV extras flowed"
+    );
 }
 
 #[test]

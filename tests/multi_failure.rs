@@ -40,7 +40,10 @@ fn esrp_tolerates_psi_equals_phi_blocks() {
     for (phi, start) in [(1usize, 0usize), (2, 0), (3, 0), (3, 4), (3, 3)] {
         let (reference, run) = run_case(Strategy::Esrp { t: 8 }, 8, phi, start, phi);
         assert!(run.converged, "phi={phi} start={start}");
-        assert_eq!(run.iterations, reference.iterations, "phi={phi} start={start}");
+        assert_eq!(
+            run.iterations, reference.iterations,
+            "phi={phi} start={start}"
+        );
         assert!(
             max_abs_diff(&run.x, &reference.x) < 1e-6,
             "phi={phi} start={start}"

@@ -44,7 +44,10 @@ fn esrp_survives_two_failures() {
     assert_eq!(run.recoveries[0].failed_at, c / 4);
     assert_eq!(run.recoveries[1].failed_at, c / 2);
     assert!(run.recoveries.iter().all(|r| !r.full_restart));
-    assert_eq!(run.iterations, c, "trajectory preserved through both recoveries");
+    assert_eq!(
+        run.iterations, c,
+        "trajectory preserved through both recoveries"
+    );
     assert!(max_abs_diff(&run.x, &reference.x) < 1e-5);
 }
 

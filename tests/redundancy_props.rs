@@ -1,32 +1,40 @@
 //! Property-based tests of the redundancy machinery: the ASpMV coverage
 //! invariant (the heart of the method's correctness), queue behaviour, and
 //! the distributed SpMV's equivalence to the sequential one.
-
-use proptest::prelude::*;
+//!
+//! Cases are drawn from a seeded in-repo PRNG rather than an external
+//! property-testing framework (the build carries no dependencies): every
+//! run explores the same deterministic case set, and a failing case prints
+//! its parameters for direct reproduction.
 
 use esrcg::core::aspmv::{AspmvPlan, BuddyMap};
 use esrcg::core::dist::plan::CommPlan;
 use esrcg::core::queue::RedundancyQueue;
 use esrcg::sparse::gen::banded_spd;
+use esrcg::sparse::rng::SplitMix64;
 use esrcg::sparse::{CsrMatrix, Partition};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    /// The invariant the whole method rests on: after one ASpMV, every
-    /// input-vector entry has at least φ + 1 holders (owner + φ others),
-    /// so any ψ ≤ φ simultaneous failures leave a live copy.
-    #[test]
-    fn every_entry_survives_any_phi_failures(
-        n in 8usize..60,
-        bandwidth in 0usize..8,
-        density in 0.0f64..1.0,
-        n_ranks in 2usize..9,
-        phi_raw in 1usize..8,
-        seed in 0u64..1000,
-        fail_start_raw in 0usize..8,
-    ) {
-        let phi = phi_raw.min(n_ranks - 1);
+/// The invariant the whole method rests on: after one ASpMV, every
+/// input-vector entry has at least φ + 1 holders (owner + φ others), so any
+/// ψ ≤ φ simultaneous failures leave a live copy.
+#[test]
+fn every_entry_survives_any_phi_failures() {
+    let mut rng = SplitMix64::new(0xA5);
+    for case in 0..CASES {
+        let n = rng.range_usize(8, 60);
+        let bandwidth = rng.range_usize(0, 8);
+        let density = rng.next_f64();
+        let n_ranks = rng.range_usize(2, 9);
+        let phi = rng.range_usize(1, 8).min(n_ranks - 1);
+        let seed = rng.next_u64() % 1000;
+        let fail_start = rng.range_usize(0, 8) % n_ranks;
+        let ctx = format!(
+            "case {case}: n={n} bw={bandwidth} density={density:.3} ranks={n_ranks} \
+             phi={phi} seed={seed} fail_start={fail_start}"
+        );
+
         let a = banded_spd(n, bandwidth, density, seed);
         let part = Partition::balanced(n, n_ranks);
         let plan = CommPlan::build(&a, &part);
@@ -35,85 +43,99 @@ proptest! {
         // Coverage invariant.
         for i in 0..n {
             let holders = aspmv.holders_of(i, &plan, &part);
-            prop_assert!(
+            assert!(
                 holders.len() > phi,
-                "entry {i} has only {} holders (phi = {phi}, ranks = {n_ranks})",
+                "{ctx}: entry {i} has only {} holders",
                 holders.len()
             );
         }
 
         // Survival under an arbitrary contiguous block of phi failures.
-        let fail_start = fail_start_raw % n_ranks;
         let failed: Vec<usize> = (0..phi).map(|k| (fail_start + k) % n_ranks).collect();
         for i in 0..n {
             let holders = aspmv.holders_of(i, &plan, &part);
             let survivors = holders.iter().filter(|h| !failed.contains(h)).count();
-            prop_assert!(
+            assert!(
                 survivors >= 1,
-                "entry {i} lost all copies when ranks {failed:?} failed"
+                "{ctx}: entry {i} lost all copies when ranks {failed:?} failed"
             );
         }
     }
+}
 
-    /// Eq. 1 destinations are always φ distinct non-self ranks, and the
-    /// in/out relations mirror each other.
-    #[test]
-    fn buddy_map_laws(n_ranks in 2usize..20, phi_raw in 1usize..10) {
-        let phi = phi_raw.min(n_ranks - 1);
+/// Eq. 1 destinations are always φ distinct non-self ranks, and the in/out
+/// relations mirror each other.
+#[test]
+fn buddy_map_laws() {
+    let mut rng = SplitMix64::new(0xB6);
+    for case in 0..CASES {
+        let n_ranks = rng.range_usize(2, 20);
+        let phi = rng.range_usize(1, 10).min(n_ranks - 1);
         let map = BuddyMap::new(n_ranks, phi);
         for s in 0..n_ranks {
             let out = map.out_buddies(s);
-            prop_assert_eq!(out.len(), phi);
+            assert_eq!(out.len(), phi, "case {case}");
             let mut sorted = out.to_vec();
             sorted.sort_unstable();
             sorted.dedup();
-            prop_assert_eq!(sorted.len(), phi, "duplicates in out_buddies({})", s);
-            prop_assert!(!out.contains(&s));
+            assert_eq!(
+                sorted.len(),
+                phi,
+                "case {case}: duplicates in out_buddies({s})"
+            );
+            assert!(!out.contains(&s));
             for &d in out {
-                prop_assert!(map.in_buddies(d).contains(&s));
+                assert!(map.in_buddies(d).contains(&s));
             }
         }
         // Total degree is conserved.
         let total_in: usize = (0..n_ranks).map(|l| map.in_buddies(l).len()).sum();
-        prop_assert_eq!(total_in, n_ranks * phi);
+        assert_eq!(total_in, n_ranks * phi);
     }
+}
 
-    /// The queue holds at most three slots, keeps them ordered, and its
-    /// consecutive-pair search matches a brute-force scan.
-    #[test]
-    fn queue_laws(iters in proptest::collection::vec(0usize..40, 1..24)) {
-        let mut sorted = iters.clone();
-        sorted.sort_unstable();
-        sorted.dedup();
+/// The queue holds at most three slots, keeps them ordered, and its
+/// consecutive-pair search matches a brute-force scan.
+#[test]
+fn queue_laws() {
+    let mut rng = SplitMix64::new(0xC7);
+    for _case in 0..CASES {
+        let len = rng.range_usize(1, 24);
+        let mut iters: Vec<usize> = (0..len).map(|_| rng.range_usize(0, 40)).collect();
+        iters.sort_unstable();
+        iters.dedup();
         let mut q = RedundancyQueue::new();
-        for &j in &sorted {
+        for &j in &iters {
             q.push(j, vec![(j, j as f64)]);
-            prop_assert!(q.len() <= 3);
+            assert!(q.len() <= 3);
             let held = q.iters();
-            prop_assert!(held.windows(2).all(|w| w[0] < w[1]), "unsorted: {held:?}");
+            assert!(held.windows(2).all(|w| w[0] < w[1]), "unsorted: {held:?}");
             // Brute-force consecutive pair.
             let expect = held
                 .windows(2)
                 .rev()
                 .find(|w| w[0] + 1 == w[1])
                 .map(|w| w[1]);
-            prop_assert_eq!(q.latest_consecutive_pair(), expect);
+            assert_eq!(q.latest_consecutive_pair(), expect);
         }
     }
+}
 
-    /// Distributed SpMV (halo exchange + local rows) is bitwise equal to
-    /// the sequential product for any rank count.
-    #[test]
-    fn distributed_spmv_equals_sequential(
-        n in 4usize..40,
-        bandwidth in 0usize..6,
-        density in 0.0f64..1.0,
-        seed in 0u64..500,
-        n_ranks in 1usize..7,
-    ) {
-        use esrcg::cluster::{run_spmd, CostModel};
-        use esrcg::core::dist::halo::exchange_halo;
-        use std::sync::Arc;
+/// Distributed SpMV (halo exchange + local rows) is bitwise equal to the
+/// sequential product for any rank count.
+#[test]
+fn distributed_spmv_equals_sequential() {
+    use esrcg::cluster::{run_spmd, CostModel};
+    use esrcg::core::dist::halo::exchange_halo;
+    use std::sync::Arc;
+
+    let mut rng = SplitMix64::new(0xD8);
+    for case in 0..CASES {
+        let n = rng.range_usize(4, 40);
+        let bandwidth = rng.range_usize(0, 6);
+        let density = rng.next_f64();
+        let seed = rng.next_u64() % 500;
+        let n_ranks = rng.range_usize(1, 7);
 
         let a = Arc::new(banded_spd(n, bandwidth, density, seed));
         let x: Arc<Vec<f64>> = Arc::new((0..n).map(|i| (i as f64 * 0.7).sin()).collect());
@@ -132,53 +154,62 @@ proptest! {
             }
         });
         let got: Vec<f64> = out.results.into_iter().flatten().collect();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}: n={n} ranks={n_ranks}");
     }
+}
 
-    /// CSR transpose is an involution and preserves the entry set.
-    #[test]
-    fn transpose_involution(
-        n in 1usize..30,
-        bandwidth in 0usize..6,
-        density in 0.0f64..1.0,
-        seed in 0u64..500,
-    ) {
+/// CSR transpose is an involution and preserves the entry set.
+#[test]
+fn transpose_involution() {
+    let mut rng = SplitMix64::new(0xE9);
+    for _case in 0..CASES {
+        let n = rng.range_usize(1, 30);
+        let bandwidth = rng.range_usize(0, 6);
+        let density = rng.next_f64();
+        let seed = rng.next_u64() % 500;
         let a = banded_spd(n, bandwidth, density, seed);
         let tt = a.transpose().transpose();
-        prop_assert_eq!(&tt, &a);
+        assert_eq!(tt, a);
     }
+}
 
-    /// Matrix Market write→read round-trips exactly.
-    #[test]
-    fn matrix_market_round_trip(
-        n in 1usize..20,
-        bandwidth in 0usize..5,
-        density in 0.0f64..1.0,
-        seed in 0u64..500,
-    ) {
+/// Matrix Market write→read round-trips exactly.
+#[test]
+fn matrix_market_round_trip() {
+    let mut rng = SplitMix64::new(0xFA);
+    for _case in 0..CASES {
+        let n = rng.range_usize(1, 20);
+        let bandwidth = rng.range_usize(0, 5);
+        let density = rng.next_f64();
+        let seed = rng.next_u64() % 500;
         let a = banded_spd(n, bandwidth, density, seed);
         let mut buf = Vec::new();
         esrcg::sparse::mm::write_matrix_market(&a, &mut buf).expect("write");
         let b = esrcg::sparse::mm::read_matrix_market(&buf[..]).expect("read");
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// Partition laws: ranges tile 0..n, owner lookup is consistent.
-    #[test]
-    fn partition_laws(n in 0usize..200, n_ranks in 1usize..17) {
+/// Partition laws: ranges tile 0..n, owner lookup is consistent.
+#[test]
+fn partition_laws() {
+    let mut rng = SplitMix64::new(0x1B);
+    for _case in 0..CASES {
+        let n = rng.range_usize(0, 200);
+        let n_ranks = rng.range_usize(1, 17);
         let part = Partition::balanced(n, n_ranks);
-        prop_assert_eq!(part.n(), n);
+        assert_eq!(part.n(), n);
         let mut covered = 0usize;
         for (s, range) in part.iter() {
             for i in range.clone() {
-                prop_assert_eq!(part.owner_of(i), s);
+                assert_eq!(part.owner_of(i), s);
             }
             covered += range.len();
             // Balanced: sizes differ by at most one.
-            prop_assert!(range.len() + 1 >= n / n_ranks);
-            prop_assert!(range.len() <= n / n_ranks + 1);
+            assert!(range.len() + 1 >= n / n_ranks);
+            assert!(range.len() <= n / n_ranks + 1);
         }
-        prop_assert_eq!(covered, n);
+        assert_eq!(covered, n);
     }
 }
 
@@ -193,7 +224,10 @@ fn extra_traffic_is_monotone_in_phi() {
     for phi in 1..8 {
         let extra = AspmvPlan::build(&plan, &part, phi).total_extra_traffic();
         assert!(extra >= last, "phi={phi}");
-        assert!(extra >= 64 * phi.min(7), "diagonal matrix needs phi copies each");
+        assert!(
+            extra >= 64 * phi.min(7),
+            "diagonal matrix needs phi copies each"
+        );
         last = extra;
     }
 }

@@ -57,7 +57,10 @@ fn esrp_recovery_rejoins_the_reference_trajectory() {
     let m = matrix();
     let reference = reference(&m);
     let c = reference.iterations;
-    assert!(c > 30, "need enough iterations for interesting failures (C = {c})");
+    assert!(
+        c > 30,
+        "need enough iterations for interesting failures (C = {c})"
+    );
 
     for t in [1usize, 5, 10] {
         let j_f = paper_failure_iteration(c, t);
@@ -126,7 +129,11 @@ fn esr_reconstruction_wastes_no_iterations() {
         "ESR reconstructs the failure iteration itself"
     );
     assert_eq!(run.iterations, c);
-    assert_eq!(run.total_loop_trips, c + 1, "only the failure iteration re-runs");
+    assert_eq!(
+        run.total_loop_trips,
+        c + 1,
+        "only the failure iteration re-runs"
+    );
 }
 
 #[test]
