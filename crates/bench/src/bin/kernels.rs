@@ -82,6 +82,18 @@ fn main() {
             m.gflops
         );
     }
+    eprintln!("dispatch overhead (pooled worker pool vs spawn-per-call):");
+    for m in &report.overhead {
+        eprintln!(
+            "  {:<8} n={:<8} par({}) {:>10.3} µs pooled  {:>10.3} µs spawn  ({:.2}x)",
+            m.kernel,
+            m.n,
+            m.threads,
+            m.pooled_secs * 1e6,
+            m.spawn_secs * 1e6,
+            m.spawn_over_pooled()
+        );
+    }
     let json = report.to_json();
     std::fs::write(&opt.out, &json).expect("write output file");
     eprintln!("wrote {}", opt.out);

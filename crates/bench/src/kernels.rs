@@ -6,10 +6,19 @@
 //! dominates PCG iterations) at n ∈ {1e4, 1e5, 1e6}, and dot products of
 //! the same lengths. Throughput is reported in GFLOP/s (2 flops per stored
 //! entry for SpMV, 2 per element for dot).
+//!
+//! A second sweep quantifies **dispatch overhead**: the same parallel
+//! kernels timed under the persistent worker pool
+//! ([`esrcg_sparse::pool::DispatchMode::Pooled`]) versus the old
+//! spawn-threads-per-call scheme (`DispatchMode::Spawn`), at the small
+//! sizes (n ≤ 1e5) where per-call overhead is a visible fraction of the
+//! kernel — plus a bare no-op broadcast isolating the dispatch cost itself.
 
 use std::time::Instant;
 
+use esrcg_sparse::backend::PARALLEL_CUTOFF;
 use esrcg_sparse::gen::poisson3d;
+use esrcg_sparse::pool::{self, DispatchMode};
 use esrcg_sparse::{CsrMatrix, KernelBackend};
 
 /// One measured cell.
@@ -31,6 +40,31 @@ pub struct KernelMeasurement {
     pub gflops: f64,
 }
 
+/// One cell of the dispatch-overhead sweep: the same parallel kernel timed
+/// under both dispatch schemes. `kernel == "dispatch"` rows (n = 0) time a
+/// bare no-op broadcast — the pure per-call dispatch cost.
+#[derive(Debug, Clone)]
+pub struct OverheadMeasurement {
+    /// `"spmv"`, `"dot"`, or `"dispatch"` (no-op broadcast).
+    pub kernel: &'static str,
+    /// Problem size (0 for the bare dispatch rows).
+    pub n: usize,
+    /// Worker threads of the parallel backend.
+    pub threads: usize,
+    /// Median seconds per call with the persistent pool.
+    pub pooled_secs: f64,
+    /// Median seconds per call with spawn-per-call threads (PR 1 baseline).
+    pub spawn_secs: f64,
+}
+
+impl OverheadMeasurement {
+    /// How many times slower the spawn-per-call baseline is (> 1 means the
+    /// pool wins).
+    pub fn spawn_over_pooled(&self) -> f64 {
+        self.spawn_secs / self.pooled_secs
+    }
+}
+
 /// The full benchmark outcome.
 #[derive(Debug, Clone)]
 pub struct KernelReport {
@@ -38,6 +72,8 @@ pub struct KernelReport {
     pub host_threads: usize,
     /// All measurements.
     pub results: Vec<KernelMeasurement>,
+    /// Dispatch-overhead sweep (pooled vs spawn-per-call), small sizes only.
+    pub overhead: Vec<OverheadMeasurement>,
 }
 
 fn median_secs(samples: &mut [f64]) -> f64 {
@@ -115,10 +151,89 @@ pub fn run_kernel_bench(sizes: &[usize], thread_counts: &[usize], samples: usize
             cell(KernelBackend::parallel(t), t);
         }
     }
+    let small: Vec<usize> = sizes.iter().copied().filter(|&s| s <= 100_000).collect();
+    let overhead = run_overhead_sweep(&small, thread_counts, samples);
     KernelReport {
         host_threads,
         results,
+        overhead,
     }
+}
+
+/// Times the parallel kernels under both dispatch modes at the given sizes
+/// (sizes below [`PARALLEL_CUTOFF`] are skipped: neither mode dispatches
+/// there), plus one bare no-op broadcast row per thread count. Restores
+/// [`DispatchMode::Pooled`] before returning.
+pub fn run_overhead_sweep(
+    sizes: &[usize],
+    thread_counts: &[usize],
+    samples: usize,
+) -> Vec<OverheadMeasurement> {
+    let mut out = Vec::new();
+    // Both-mode timing helper: pooled first (warms this thread's pool),
+    // then the spawn baseline.
+    let time_both = |f: &mut dyn FnMut()| {
+        pool::set_dispatch_mode(DispatchMode::Pooled);
+        let pooled = time_kernel(3, samples, &mut *f);
+        pool::set_dispatch_mode(DispatchMode::Spawn);
+        let spawn = time_kernel(3, samples, &mut *f);
+        pool::set_dispatch_mode(DispatchMode::Pooled);
+        (pooled, spawn)
+    };
+    for &t in thread_counts {
+        if t < 2 {
+            continue; // a 1-thread backend never dispatches
+        }
+        let backend = KernelBackend::parallel(t);
+        let (pooled_secs, spawn_secs) = time_both(&mut || {
+            // What `dispatch` does for a parallel kernel, minus the kernel.
+            match pool::dispatch_mode() {
+                DispatchMode::Pooled => pool::with_local_pool(t, |p| p.broadcast(t, |_| {})),
+                DispatchMode::Spawn => pool::broadcast_scoped(t, |_| {}),
+            }
+        });
+        out.push(OverheadMeasurement {
+            kernel: "dispatch",
+            n: 0,
+            threads: t,
+            pooled_secs,
+            spawn_secs,
+        });
+        for &target in sizes {
+            let edge = poisson3d_edge(target);
+            let a = poisson3d(edge, edge, edge);
+            let n = a.nrows();
+            if n < PARALLEL_CUTOFF {
+                continue;
+            }
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+            let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+            let mut outv = vec![0.0; n];
+            let (pooled_secs, spawn_secs) = time_both(&mut || {
+                backend.spmv_into(&a, &x, &mut outv);
+            });
+            out.push(OverheadMeasurement {
+                kernel: "spmv",
+                n,
+                threads: t,
+                pooled_secs,
+                spawn_secs,
+            });
+            let mut sink = 0.0;
+            let (pooled_secs, spawn_secs) = time_both(&mut || {
+                sink += backend.dot(&x, &y);
+            });
+            std::hint::black_box(sink);
+            out.push(OverheadMeasurement {
+                kernel: "dot",
+                n,
+                threads: t,
+                pooled_secs,
+                spawn_secs,
+            });
+        }
+    }
+    out
 }
 
 impl KernelReport {
@@ -142,7 +257,7 @@ impl KernelReport {
     /// carries no serde).
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
-        s.push_str("  \"schema\": \"esrcg-bench-kernels-v1\",\n");
+        s.push_str("  \"schema\": \"esrcg-bench-kernels-v2\",\n");
         s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
         s.push_str("  \"results\": [\n");
         for (i, m) in self.results.iter().enumerate() {
@@ -157,6 +272,26 @@ impl KernelReport {
                 m.secs,
                 m.gflops,
                 if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"overhead\": [\n");
+        for (i, m) in self.overhead.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"n\": {}, \"threads\": {}, \
+                 \"pooled_secs\": {:.9}, \"spawn_secs\": {:.9}, \
+                 \"spawn_over_pooled\": {:.3}}}{}\n",
+                m.kernel,
+                m.n,
+                m.threads,
+                m.pooled_secs,
+                m.spawn_secs,
+                m.spawn_over_pooled(),
+                if i + 1 == self.overhead.len() {
+                    ""
+                } else {
+                    ","
+                }
             ));
         }
         s.push_str("  ],\n");
@@ -188,6 +323,15 @@ impl KernelReport {
                 }
             }
         }
+        for m in &self.overhead {
+            lines.push(format!(
+                "    \"overhead_spawn_over_pooled_{}_{}t_n{}\": {:.3}",
+                m.kernel,
+                m.threads,
+                m.n,
+                m.spawn_over_pooled()
+            ));
+        }
         s.push_str(&lines.join(",\n"));
         s.push_str("\n  }\n}\n");
         s
@@ -204,6 +348,12 @@ pub fn acceptance_matrix() -> CsrMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes the tests that flip the process-global dispatch mode —
+    /// without this, `run_kernel_bench`'s sweep and the mode assertion
+    /// below race on multicore test runners.
+    static DISPATCH_MODE_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn edges_hit_targets() {
@@ -214,12 +364,38 @@ mod tests {
 
     #[test]
     fn tiny_report_renders_json() {
+        let _guard = DISPATCH_MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let report = run_kernel_bench(&[1000], &[2], 3);
         assert!(report.results.len() == 4, "seq + par(2), spmv + dot");
+        // n = 1000 is below the parallel cutoff, so the overhead sweep only
+        // carries the bare dispatch row.
+        assert_eq!(report.overhead.len(), 1);
+        assert_eq!(report.overhead[0].kernel, "dispatch");
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"esrcg-bench-kernels-v1\""));
+        assert!(json.contains("\"schema\": \"esrcg-bench-kernels-v2\""));
         assert!(json.contains("\"kernel\": \"spmv\""));
         assert!(json.contains("spmv_speedup_2t_n1000"));
+        assert!(json.contains("overhead_spawn_over_pooled_dispatch_2t_n0"));
         assert!(report.speedup("spmv", report.results[0].n, 2).is_some());
+    }
+
+    #[test]
+    fn overhead_sweep_covers_small_sizes_under_both_modes() {
+        let _guard = DISPATCH_MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let rows = run_overhead_sweep(&[10_000], &[1, 2], 3);
+        assert_eq!(
+            pool::dispatch_mode(),
+            DispatchMode::Pooled,
+            "sweep restores the default dispatch mode"
+        );
+        // t = 1 contributes nothing; t = 2 gives dispatch + spmv + dot.
+        let kernels: Vec<&str> = rows.iter().map(|m| m.kernel).collect();
+        assert_eq!(kernels, vec!["dispatch", "spmv", "dot"]);
+        for m in &rows {
+            assert_eq!(m.threads, 2);
+            assert!(m.pooled_secs > 0.0 && m.spawn_secs > 0.0);
+            assert!(m.spawn_over_pooled() > 0.0);
+        }
+        assert!(rows[1].n >= PARALLEL_CUTOFF);
     }
 }

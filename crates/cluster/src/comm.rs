@@ -1,11 +1,12 @@
 //! The per-rank communication context: tag-matched point-to-point messaging
-//! plus deterministic tree collectives, with cost-model instrumentation.
+//! plus deterministic tree collectives, with cost-model instrumentation and
+//! a per-rank [`BufferPool`] so steady-state traffic allocates nothing.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, Sender};
 
 use crate::cost::CostModel;
-use crate::msg::{Message, Payload, Tag};
+use crate::msg::{BufferPool, BufferPoolStats, Message, Payload, Tag};
 use crate::stats::{Phase, RankStats};
 
 /// Reduction operators for [`Ctx::allreduce`].
@@ -51,6 +52,8 @@ pub struct Ctx {
     receivers: Vec<Receiver<Message>>,
     /// Out-of-order messages parked per `(src, tag)` until requested.
     pending: Vec<HashMap<u64, VecDeque<Message>>>,
+    /// Recycled payload backing buffers (see [`BufferPool`]).
+    buffers: BufferPool,
     cost: CostModel,
     clock: f64,
     phase: Phase,
@@ -76,6 +79,7 @@ impl Ctx {
             senders,
             receivers,
             pending,
+            buffers: BufferPool::new(),
             cost,
             clock: 0.0,
             phase: Phase::Setup,
@@ -123,6 +127,43 @@ impl Ctx {
     /// Immutable view of this rank's counters.
     pub fn stats(&self) -> &RankStats {
         &self.stats
+    }
+
+    /// This rank's payload buffer pool. Protocol code takes send buffers
+    /// from here and recycles consumed receive buffers back into it; the
+    /// collectives below do so automatically.
+    pub fn buffers(&mut self) -> &mut BufferPool {
+        &mut self.buffers
+    }
+
+    /// Shorthand for [`BufferPool::take_f64s`] on this rank's pool.
+    pub fn take_f64s(&mut self) -> Vec<f64> {
+        self.buffers.take_f64s()
+    }
+
+    /// Shorthand for [`BufferPool::recycle_f64s`] on this rank's pool.
+    pub fn recycle_f64s(&mut self, v: Vec<f64>) {
+        self.buffers.recycle_f64s(v);
+    }
+
+    /// Shorthand for [`BufferPool::take_pairs`] on this rank's pool.
+    pub fn take_pairs(&mut self) -> Vec<(usize, f64)> {
+        self.buffers.take_pairs()
+    }
+
+    /// Shorthand for [`BufferPool::recycle_pairs`] on this rank's pool.
+    pub fn recycle_pairs(&mut self, v: Vec<(usize, f64)>) {
+        self.buffers.recycle_pairs(v);
+    }
+
+    /// Shorthand for [`BufferPool::recycle`] on this rank's pool.
+    pub fn recycle(&mut self, payload: Payload) {
+        self.buffers.recycle(payload);
+    }
+
+    /// Buffer-reuse counters of this rank's pool.
+    pub fn buffer_stats(&self) -> BufferPoolStats {
+        self.buffers.stats()
     }
 
     /// Consumes the context, returning the final counters. Called by the
@@ -237,28 +278,37 @@ impl Ctx {
         self.allreduce(vals, ReduceOp::Sum)
     }
 
-    /// Convenience scalar sum-all-reduce.
+    /// Convenience scalar sum-all-reduce (result buffer recycled in place).
     pub fn allreduce_sum_scalar(&mut self, val: f64) -> f64 {
-        self.allreduce(&[val], ReduceOp::Sum)[0]
+        let out = self.allreduce(&[val], ReduceOp::Sum);
+        let v = out[0];
+        self.buffers.recycle_f64s(out);
+        v
     }
 
-    /// Convenience scalar max-all-reduce.
+    /// Convenience scalar max-all-reduce (result buffer recycled in place).
     pub fn allreduce_max_scalar(&mut self, val: f64) -> f64 {
-        self.allreduce(&[val], ReduceOp::Max)[0]
+        let out = self.allreduce(&[val], ReduceOp::Max);
+        let v = out[0];
+        self.buffers.recycle_f64s(out);
+        v
     }
 
     /// Binomial-tree reduce to rank 0. Returns the combined vector on rank 0
-    /// and the partial accumulator elsewhere (callers must not use it off
-    /// the root).
+    /// and an empty vector elsewhere (off-root callers must not use it).
+    /// The accumulator is a pooled buffer; a rank that forwards it *moves*
+    /// it into the message — the old implementation cloned here, paying one
+    /// allocation plus a copy per tree hop.
     fn reduce_to_root(&mut self, vals: &[f64], op: ReduceOp, seq: u32) -> Vec<f64> {
         let tag = Tag::Reduce.with(seq);
-        let mut acc = vals.to_vec();
+        let mut acc = self.buffers.take_f64s();
+        acc.extend_from_slice(vals);
         let mut mask = 1usize;
         while mask < self.size {
             if self.rank & mask != 0 {
                 let dst = self.rank ^ mask; // clears the bit: dst < rank
-                self.send(dst, tag, Payload::F64s(acc.clone()));
-                break;
+                self.send(dst, tag, Payload::F64s(acc));
+                return Vec::new();
             }
             let partner = self.rank | mask;
             if partner < self.size {
@@ -267,6 +317,7 @@ impl Ctx {
                 self.stats.flops[self.phase as usize] += incoming.len() as u64;
                 self.advance(self.cost.compute_time(incoming.len() as u64));
                 op.combine(&mut acc, &incoming);
+                self.buffers.recycle_f64s(incoming);
             }
             mask <<= 1;
         }
@@ -274,6 +325,8 @@ impl Ctx {
     }
 
     /// Binomial-tree broadcast from rank 0 of a vector of length `len`.
+    /// Child forwards copy into pooled buffers; the final vector is returned
+    /// to the caller (who may recycle it via [`Ctx::recycle_f64s`]).
     fn bcast_from_root(&mut self, mut data: Vec<f64>, len: usize, seq: u32) -> Vec<f64> {
         let tag = Tag::Bcast.with(seq);
         // Lowest set bit of the rank determines when it receives; rank 0
@@ -286,6 +339,7 @@ impl Ctx {
         };
         if self.rank != 0 {
             let src = self.rank ^ lowbit;
+            self.buffers.recycle_f64s(data);
             data = self.recv(src, tag).into_f64s();
             debug_assert_eq!(data.len(), len, "bcast: length mismatch");
         }
@@ -294,7 +348,9 @@ impl Ctx {
         while m > 0 {
             let dst = self.rank + m;
             if dst < self.size {
-                self.send(dst, tag, Payload::F64s(data.clone()));
+                let mut copy = self.buffers.take_f64s();
+                copy.extend_from_slice(&data);
+                self.send(dst, tag, Payload::F64s(copy));
             }
             m >>= 1;
         }
@@ -326,7 +382,8 @@ impl Ctx {
             let vdst = vrank + m;
             if vdst < self.size {
                 let dst = (vdst + root) % self.size;
-                self.send(dst, tag, data.clone());
+                let copy = self.buffers.clone_payload(&data);
+                self.send(dst, tag, copy);
             }
             m >>= 1;
         }
@@ -365,7 +422,8 @@ impl Ctx {
 
     /// Plain barrier (no payload beyond the collective itself).
     pub fn barrier(&mut self) {
-        self.allreduce(&[], ReduceOp::Sum);
+        let out = self.allreduce(&[], ReduceOp::Sum);
+        self.buffers.recycle_f64s(out);
     }
 }
 

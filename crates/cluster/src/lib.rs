@@ -19,6 +19,10 @@
 //! Node failures are simulated exactly as in the paper (§4): at a marked
 //! iteration the failing ranks zero out their dynamic data and then act as
 //! their own replacement nodes ([`FailureSpec`]).
+//!
+//! Message payloads move by value through the channels; each rank's
+//! [`BufferPool`] recycles consumed payload buffers so steady-state traffic
+//! (halo rounds, collectives, checkpoints) allocates nothing per message.
 
 pub mod comm;
 pub mod cost;
@@ -30,6 +34,6 @@ pub mod stats;
 pub use comm::{Ctx, ReduceOp};
 pub use cost::CostModel;
 pub use failure::FailureSpec;
-pub use msg::{Payload, Tag};
+pub use msg::{BufferPool, BufferPoolStats, Payload, Tag};
 pub use spmd::{run_spmd, SpmdOutcome};
 pub use stats::{Phase, RankStats, N_PHASES};

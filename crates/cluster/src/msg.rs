@@ -1,4 +1,12 @@
-//! Message payloads and tag construction.
+//! Message payloads, tag construction, and the per-rank [`BufferPool`].
+//!
+//! Payloads own their backing `Vec`s and move through the channels by
+//! value, so a buffer allocated by the sender is *owned by the receiver*
+//! after delivery. The [`BufferPool`] closes that loop: receivers recycle
+//! consumed payload buffers into their rank-local pool, senders take
+//! pre-allocated buffers back out of it, and after a warm-up round the
+//! steady-state solver exchanges halos, redundant copies, checkpoints, and
+//! reduction partials without allocating per message.
 
 /// Typed message payloads exchanged between ranks.
 ///
@@ -76,6 +84,137 @@ impl Payload {
             Payload::Usizes(v) => v,
             other => panic!("protocol error: expected Usizes, got {other:?}"),
         }
+    }
+}
+
+/// Most parked buffers a [`BufferPool`] keeps per shape; beyond this,
+/// recycled buffers are simply dropped (a backstop against pathological
+/// protocols hoarding memory, not a limit any solver phase reaches).
+const MAX_POOLED: usize = 64;
+
+/// Reuse counters of a [`BufferPool`] (see [`BufferPool::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferPoolStats {
+    /// Buffers requested via the `take_*` methods.
+    pub takes: u64,
+    /// Takes served from the free list (the rest allocated fresh).
+    pub hits: u64,
+}
+
+/// Per-rank free lists of payload backing buffers.
+///
+/// `take_*` hands out an **empty** buffer (pooled capacity when available,
+/// fresh otherwise); `recycle*` parks a consumed buffer for the next take.
+/// Every [`crate::Ctx`] owns one, so the hot communication paths — halo
+/// exchange, tree collectives, redundant-copy and checkpoint traffic —
+/// reuse payload storage instead of allocating per message.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    f64s: Vec<Vec<f64>>,
+    usizes: Vec<Vec<usize>>,
+    pairs: Vec<Vec<(usize, f64)>>,
+    stats: BufferPoolStats,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn take<T>(list: &mut Vec<Vec<T>>, stats: &mut BufferPoolStats) -> Vec<T> {
+        stats.takes += 1;
+        match list.pop() {
+            Some(mut v) => {
+                stats.hits += 1;
+                v.clear();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn park<T>(list: &mut Vec<Vec<T>>, mut v: Vec<T>) {
+        if list.len() < MAX_POOLED && v.capacity() > 0 {
+            v.clear();
+            list.push(v);
+        }
+    }
+
+    /// An empty `f64` buffer (pooled capacity when available).
+    pub fn take_f64s(&mut self) -> Vec<f64> {
+        Self::take(&mut self.f64s, &mut self.stats)
+    }
+
+    /// An empty index buffer.
+    pub fn take_usizes(&mut self) -> Vec<usize> {
+        Self::take(&mut self.usizes, &mut self.stats)
+    }
+
+    /// An empty `(index, value)` pair buffer.
+    pub fn take_pairs(&mut self) -> Vec<(usize, f64)> {
+        Self::take(&mut self.pairs, &mut self.stats)
+    }
+
+    /// Parks a consumed `f64` buffer for reuse.
+    pub fn recycle_f64s(&mut self, v: Vec<f64>) {
+        Self::park(&mut self.f64s, v);
+    }
+
+    /// Parks a consumed index buffer for reuse.
+    pub fn recycle_usizes(&mut self, v: Vec<usize>) {
+        Self::park(&mut self.usizes, v);
+    }
+
+    /// Parks a consumed pair buffer for reuse.
+    pub fn recycle_pairs(&mut self, v: Vec<(usize, f64)>) {
+        Self::park(&mut self.pairs, v);
+    }
+
+    /// Parks whatever backing buffer `payload` carries (no-op for the
+    /// bufferless shapes).
+    pub fn recycle(&mut self, payload: Payload) {
+        match payload {
+            Payload::Empty | Payload::Scalar(_) => {}
+            Payload::F64s(v) => self.recycle_f64s(v),
+            Payload::Usizes(v) => self.recycle_usizes(v),
+            Payload::Pairs(v) => self.recycle_pairs(v),
+        }
+    }
+
+    /// A deep copy of `payload` backed by pooled storage — what the
+    /// tree collectives use to forward one payload to several children
+    /// without allocating per child.
+    pub fn clone_payload(&mut self, payload: &Payload) -> Payload {
+        match payload {
+            Payload::Empty => Payload::Empty,
+            Payload::Scalar(s) => Payload::Scalar(*s),
+            Payload::F64s(v) => {
+                let mut c = self.take_f64s();
+                c.extend_from_slice(v);
+                Payload::F64s(c)
+            }
+            Payload::Usizes(v) => {
+                let mut c = self.take_usizes();
+                c.extend_from_slice(v);
+                Payload::Usizes(c)
+            }
+            Payload::Pairs(v) => {
+                let mut c = self.take_pairs();
+                c.extend_from_slice(v);
+                Payload::Pairs(c)
+            }
+        }
+    }
+
+    /// Buffers currently parked across all shapes.
+    pub fn parked(&self) -> usize {
+        self.f64s.len() + self.usizes.len() + self.pairs.len()
+    }
+
+    /// Reuse counters since construction.
+    pub fn stats(&self) -> BufferPoolStats {
+        self.stats
     }
 }
 
@@ -187,6 +326,77 @@ mod tests {
         for k in kinds {
             assert!(seen.insert(k.with(42)));
         }
+    }
+
+    #[test]
+    fn buffer_pool_reuses_capacity() {
+        let mut pool = BufferPool::new();
+        let first = pool.take_f64s();
+        assert_eq!(pool.stats().takes, 1);
+        assert_eq!(pool.stats().hits, 0);
+
+        let mut v = first;
+        v.extend_from_slice(&[1.0, 2.0, 3.0]);
+        let cap = v.capacity();
+        let ptr = v.as_ptr();
+        pool.recycle_f64s(v);
+        assert_eq!(pool.parked(), 1);
+
+        let again = pool.take_f64s();
+        assert!(again.is_empty(), "pooled buffers come back cleared");
+        assert_eq!(again.capacity(), cap);
+        assert_eq!(again.as_ptr(), ptr, "same allocation handed back");
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(pool.parked(), 0);
+    }
+
+    #[test]
+    fn buffer_pool_recycles_every_payload_shape() {
+        let mut pool = BufferPool::new();
+        pool.recycle(Payload::Empty);
+        pool.recycle(Payload::Scalar(1.0));
+        assert_eq!(pool.parked(), 0, "bufferless shapes park nothing");
+        pool.recycle(Payload::F64s(vec![1.0]));
+        pool.recycle(Payload::Usizes(vec![2]));
+        pool.recycle(Payload::Pairs(vec![(3, 4.0)]));
+        assert_eq!(pool.parked(), 3);
+        assert!(pool.take_usizes().is_empty());
+        assert!(pool.take_pairs().is_empty());
+        assert_eq!(pool.stats().hits, 2);
+    }
+
+    #[test]
+    fn buffer_pool_drops_zero_capacity_and_overflow() {
+        let mut pool = BufferPool::new();
+        pool.recycle_f64s(Vec::new());
+        assert_eq!(pool.parked(), 0, "capacity-less buffers are not parked");
+        for _ in 0..200 {
+            pool.recycle_f64s(vec![0.0; 4]);
+        }
+        assert!(pool.parked() <= super::MAX_POOLED, "free list is bounded");
+    }
+
+    #[test]
+    fn clone_payload_is_deep_and_pooled() {
+        let mut pool = BufferPool::new();
+        pool.recycle_f64s(vec![0.0; 16]);
+        let original = Payload::F64s(vec![1.0, 2.0]);
+        let copy = pool.clone_payload(&original);
+        assert_eq!(copy, original);
+        assert_eq!(pool.stats().hits, 1, "copy storage came from the pool");
+        assert_eq!(
+            pool.clone_payload(&Payload::Scalar(5.0)),
+            Payload::Scalar(5.0)
+        );
+        assert_eq!(
+            pool.clone_payload(&Payload::Pairs(vec![(1, 2.0)])),
+            Payload::Pairs(vec![(1, 2.0)])
+        );
+        assert_eq!(
+            pool.clone_payload(&Payload::Usizes(vec![7])),
+            Payload::Usizes(vec![7])
+        );
+        assert_eq!(pool.clone_payload(&Payload::Empty), Payload::Empty);
     }
 
     #[test]

@@ -1,4 +1,10 @@
 //! The SPMD runner: executes one closure per rank on its own OS thread.
+//!
+//! Each rank's [`Ctx`] is built here with its own
+//! [`crate::msg::BufferPool`]; kernel calls inside the rank body hit the
+//! rank thread's own persistent worker pool (`esrcg_sparse::pool`), so
+//! neither message buffers nor kernel dispatch state is shared across
+//! ranks.
 
 use std::sync::mpsc::channel;
 use std::time::{Duration, Instant};
@@ -290,6 +296,69 @@ mod tests {
         assert_eq!(out.stats[1].msgs_sent[Phase::Checkpoint as usize], 0);
         let total = out.total_stats();
         assert_eq!(total.total_msgs(), 1);
+    }
+
+    #[test]
+    fn collectives_recycle_buffers_after_warmup() {
+        // After a warm-up round, repeated collectives must be served from
+        // the per-rank buffer pool: takes keep growing, but parked-buffer
+        // count stays flat (steady state allocates nothing per message).
+        let out = run_spmd(4, CostModel::default(), |ctx| {
+            for round in 0..50 {
+                let s = ctx.allreduce_sum_scalar(round as f64);
+                assert_eq!(s, 4.0 * round as f64);
+                let v = ctx.allreduce(&[1.0, 2.0, 3.0], ReduceOp::Sum);
+                assert_eq!(v, vec![4.0, 8.0, 12.0]);
+                ctx.recycle_f64s(v);
+                let b = ctx
+                    .bcast(
+                        round % ctx.size(),
+                        (ctx.rank() == round % ctx.size())
+                            .then(|| Payload::F64s(vec![round as f64])),
+                    )
+                    .into_f64s();
+                ctx.recycle_f64s(b);
+            }
+            let stats = ctx.buffer_stats();
+            (stats, ctx.buffers().parked())
+        });
+        for (rank, (stats, parked)) in out.results.iter().enumerate() {
+            assert!(stats.takes > 0, "rank {rank} took buffers");
+            assert!(
+                stats.hits * 10 >= stats.takes * 9,
+                "rank {rank}: only {}/{} takes were pool hits",
+                stats.hits,
+                stats.takes
+            );
+            assert!(
+                *parked <= 16,
+                "rank {rank}: {parked} parked buffers (pool should stay small)"
+            );
+        }
+    }
+
+    #[test]
+    fn point_to_point_buffers_circulate() {
+        // A ring where each hop recycles the received buffer and takes a
+        // pooled one for the next send: after warm-up, zero fresh
+        // allocations per round trip.
+        let out = run_spmd(3, CostModel::default(), |ctx| {
+            let next = (ctx.rank() + 1) % ctx.size();
+            let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            for round in 0..40u32 {
+                let mut buf = ctx.take_f64s();
+                buf.extend_from_slice(&[ctx.rank() as f64, round as f64]);
+                ctx.send(next, Tag::Halo.with(round), Payload::F64s(buf));
+                let got = ctx.recv(prev, Tag::Halo.with(round)).into_f64s();
+                assert_eq!(got[0], prev as f64);
+                ctx.recycle_f64s(got);
+            }
+            ctx.buffer_stats()
+        });
+        for (rank, stats) in out.results.iter().enumerate() {
+            assert_eq!(stats.takes, 40, "rank {rank}");
+            assert!(stats.hits >= 38, "rank {rank}: hits {}", stats.hits);
+        }
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! The halo exchange: materializes a full-length input vector on every rank
-//! before a distributed SpMV, following a [`CommPlan`].
+//! before a distributed SpMV, following a [`CommPlan`]. Payload buffers are
+//! pooled ([`esrcg_cluster::BufferPool`]): each send takes a recycled
+//! buffer, each receive returns one, so the per-iteration exchange is
+//! allocation-free at steady state.
 
 use esrcg_cluster::{Ctx, Payload, Tag};
 use esrcg_sparse::Partition;
@@ -43,9 +46,13 @@ pub fn exchange_halo(
     full[range.clone()].copy_from_slice(local);
 
     let tag = Tag::Halo.with(tag_sub);
-    // Sends never block; fire them all before receiving.
+    // Sends never block; fire them all before receiving. Send buffers come
+    // from the rank's pool, so after the first few rounds the per-iteration
+    // halo exchange allocates nothing (buffers circulate between ranks:
+    // the receiver recycles what this send hands over, and vice versa).
     for (dst, gidx) in plan.sends_of(me) {
-        let vals: Vec<f64> = gidx.iter().map(|&g| local[g - range.start]).collect();
+        let mut vals = ctx.take_f64s();
+        vals.extend(gidx.iter().map(|&g| local[g - range.start]));
         ctx.send(*dst, tag, Payload::F64s(vals));
     }
     // Receives in source-rank order: deterministic capture order.
@@ -58,6 +65,7 @@ pub fn exchange_halo(
                 cap.push((g, v));
             }
         }
+        ctx.recycle_f64s(vals);
     }
 }
 
@@ -90,6 +98,37 @@ mod tests {
             });
             let got: Vec<f64> = out.results.into_iter().flatten().collect();
             assert_eq!(got, expected, "{n_ranks} ranks");
+        }
+    }
+
+    #[test]
+    fn repeated_exchanges_reuse_payload_buffers() {
+        let a = Arc::new(poisson2d(8, 8));
+        let n = a.nrows();
+        let x: Arc<Vec<f64>> = Arc::new((0..n).map(|i| i as f64).collect());
+        let part = Arc::new(Partition::balanced(n, 4));
+        let plan = Arc::new(CommPlan::build(&a, &part));
+        let out = run_spmd(4, CostModel::default(), {
+            let (x, part, plan) = (x.clone(), part.clone(), plan.clone());
+            move |ctx| {
+                let range = part.range(ctx.rank());
+                let mut full = vec![0.0; part.n()];
+                for round in 0..30u32 {
+                    exchange_halo(ctx, &plan, &part, &x[range.clone()], round, &mut full, None);
+                }
+                ctx.buffer_stats()
+            }
+        });
+        for (rank, stats) in out.results.iter().enumerate() {
+            // Each rank sends to its neighbors every round; after warm-up,
+            // every take must be a pool hit.
+            assert!(stats.takes >= 30, "rank {rank}: takes {}", stats.takes);
+            assert!(
+                stats.hits * 10 >= stats.takes * 9,
+                "rank {rank}: hits {}/{}",
+                stats.hits,
+                stats.takes
+            );
         }
     }
 

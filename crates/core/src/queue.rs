@@ -109,14 +109,27 @@ impl RedundancyQueue {
     /// `lo..hi` — what a survivor contributes when the ranks owning
     /// `lo..hi` failed.
     pub fn entries_in_range(&self, iter: usize, lo: usize, hi: usize) -> Vec<(usize, f64)> {
-        match self.slot(iter) {
-            None => Vec::new(),
-            Some(s) => s
-                .entries
-                .iter()
-                .copied()
-                .filter(|&(g, _)| g >= lo && g < hi)
-                .collect(),
+        let mut out = Vec::new();
+        self.entries_in_range_into(iter, lo, hi, &mut out);
+        out
+    }
+
+    /// [`Self::entries_in_range`] appending into a caller-supplied buffer
+    /// (typically a pooled payload buffer) instead of allocating.
+    pub fn entries_in_range_into(
+        &self,
+        iter: usize,
+        lo: usize,
+        hi: usize,
+        out: &mut Vec<(usize, f64)>,
+    ) {
+        if let Some(s) = self.slot(iter) {
+            out.extend(
+                s.entries
+                    .iter()
+                    .copied()
+                    .filter(|&(g, _)| g >= lo && g < hi),
+            );
         }
     }
 

@@ -264,7 +264,9 @@ pub(crate) fn init_state(
     let red = ctx.allreduce_sum(&[rz_loc, rr_loc]);
     st.rz = red[0];
     st.beta_prev = 0.0;
-    red[1]
+    let rr = red[1];
+    ctx.recycle_f64s(red);
+    rr
 }
 
 /// True when iteration `j` runs the *augmented* SpMV under `strategy`.
@@ -417,6 +419,7 @@ pub fn solve_node(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
         ctx.charge_flops(4 * nloc as u64);
         let red = ctx.allreduce_sum(&[rz_loc, rr_loc]);
         let (rz_new, rr) = (red[0], red[1]);
+        ctx.recycle_f64s(red);
         let beta = rz_new / st.rz;
         st.rz = rz_new;
 
@@ -451,6 +454,7 @@ pub fn solve_node(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
     let red = ctx.allreduce_sum(&[rr_loc, tr_loc]);
     let rnorm = red[0].sqrt();
     let true_rnorm = red[1].sqrt();
+    ctx.recycle_f64s(red);
     let bnorm = bnorm2.sqrt();
 
     NodeOutcome {
@@ -483,14 +487,14 @@ fn aspmv_extras(
     ctx.set_phase(Phase::Storage);
     let tag = Tag::Redundant.with(j as u32);
     for (dst, gidx) in aspmv.extras_of(rank) {
-        let pairs: Vec<(usize, f64)> = gidx
-            .iter()
-            .map(|&g| (g, p_local[g - range_start]))
-            .collect();
+        let mut pairs = ctx.take_pairs();
+        pairs.extend(gidx.iter().map(|&g| (g, p_local[g - range_start])));
         ctx.send(*dst, tag, Payload::Pairs(pairs));
     }
     for &src in aspmv.extra_sources_of(rank) {
-        captured.extend(ctx.recv(src, tag).into_pairs());
+        let pairs = ctx.recv(src, tag).into_pairs();
+        captured.extend_from_slice(&pairs);
+        ctx.recycle_pairs(pairs);
     }
 }
 
@@ -501,19 +505,28 @@ fn checkpoint_exchange(ctx: &mut Ctx, shared: &SharedProblem, st: &mut NodeState
     let rank = ctx.rank();
     ctx.set_phase(Phase::Checkpoint);
     let tag = Tag::Checkpoint.with(j as u32);
-    let blob = st.checkpoint_blob();
+    // Stage the blob in a pooled buffer: the whole round allocates nothing
+    // at steady state.
+    let mut blob = ctx.take_f64s();
+    st.checkpoint_blob_into(&mut blob);
     for &d in buddies.out_buddies(rank) {
-        ctx.send(d, tag, Payload::F64s(blob.clone()));
+        let mut copy = ctx.take_f64s();
+        copy.extend_from_slice(&blob);
+        ctx.send(d, tag, Payload::F64s(copy));
     }
+    ctx.recycle_f64s(blob);
     for &s in buddies.in_buddies(rank) {
         let data = ctx.recv(s, tag).into_f64s();
-        st.held_ckpts.insert(
+        let replaced = st.held_ckpts.insert(
             s,
             HeldCheckpoint {
                 iter: j,
                 blob: data,
             },
         );
+        if let Some(old) = replaced {
+            ctx.recycle_f64s(old.blob);
+        }
     }
     st.take_own_checkpoint(j);
 }

@@ -173,9 +173,13 @@ fn recover_esrp(
     if !am_failed {
         for &f in &failed_sorted {
             let fr = part.range(f);
-            let prev = st.queue.entries_in_range(jhat - 1, fr.start, fr.end);
-            let cur = st.queue.entries_in_range(jhat, fr.start, fr.end);
+            let mut prev = ctx.take_pairs();
+            st.queue
+                .entries_in_range_into(jhat - 1, fr.start, fr.end, &mut prev);
             ctx.send(f, Tag::RecoveryCopies.with(0), Payload::Pairs(prev));
+            let mut cur = ctx.take_pairs();
+            st.queue
+                .entries_in_range_into(jhat, fr.start, fr.end, &mut cur);
             ctx.send(f, Tag::RecoveryCopies.with(1), Payload::Pairs(cur));
         }
     } else {
@@ -189,11 +193,12 @@ fn recover_esrp(
                 (1u32, &mut scratch.p_cur, &mut scratch.cov_cur),
             ] {
                 let pairs = ctx.recv(src, Tag::RecoveryCopies.with(sel)).into_pairs();
-                for (g, v) in pairs {
+                for &(g, v) in &pairs {
                     debug_assert!(range.contains(&g), "copy outside my range");
                     target[g - range.start] = v;
                     cov[g - range.start] = true;
                 }
+                ctx.recycle_pairs(pairs);
             }
         }
         assert!(
@@ -209,10 +214,12 @@ fn recover_esrp(
         let range = part.range(me);
         for (dst, gidx) in shared.plan.sends_of(me) {
             if is_failed(*dst) {
-                let xs: Vec<f64> = gidx.iter().map(|&g| st.x[g - range.start]).collect();
+                let mut xs = ctx.take_f64s();
+                xs.extend(gidx.iter().map(|&g| st.x[g - range.start]));
                 ctx.send(*dst, Tag::RecoveryHalo.with(0), Payload::F64s(xs));
                 if coupling {
-                    let rs: Vec<f64> = gidx.iter().map(|&g| st.r[g - range.start]).collect();
+                    let mut rs = ctx.take_f64s();
+                    rs.extend(gidx.iter().map(|&g| st.r[g - range.start]));
                     ctx.send(*dst, Tag::RecoveryHalo.with(1), Payload::F64s(rs));
                 }
             }
@@ -232,11 +239,13 @@ fn recover_esrp(
             for (&g, &v) in gidx.iter().zip(xs.iter()) {
                 full[g] = v;
             }
+            ctx.recycle_f64s(xs);
             if let Some(rf) = r_full.as_mut() {
                 let rs = ctx.recv(*src, Tag::RecoveryHalo.with(1)).into_f64s();
                 for (&g, &v) in gidx.iter().zip(rs.iter()) {
                     rf[g] = v;
                 }
+                ctx.recycle_f64s(rs);
             }
         }
     }
@@ -370,11 +379,9 @@ fn recover_imcr(
                     .get(&f)
                     .expect("buddy holds the owner's checkpoint");
                 assert_eq!(held.iter, jc, "held checkpoint must be the newest");
-                ctx.send(
-                    f,
-                    Tag::RecoveryCkpt.with(f as u32),
-                    Payload::F64s(held.blob.clone()),
-                );
+                let mut copy = ctx.take_f64s();
+                copy.extend_from_slice(&held.blob);
+                ctx.send(f, Tag::RecoveryCkpt.with(f as u32), Payload::F64s(copy));
             }
         }
     } else {
@@ -385,6 +392,7 @@ fn recover_imcr(
             .recv(sender, Tag::RecoveryCkpt.with(me as u32))
             .into_f64s();
         st.restore_from_blob(&blob);
+        ctx.recycle_f64s(blob);
         // The replacement's own rollback copy is its restored state.
         st.own_ckpt = Some(OwnCheckpoint {
             iter: jc,
@@ -469,6 +477,7 @@ fn distributed_inner_solve(
                     for (a, b) in acc.iter_mut().zip(incoming.iter()) {
                         *a += b;
                     }
+                    ctx.recycle_f64s(incoming);
                 }
                 seq += 1;
                 let tag2 = Tag::RecoveryInner.with(seq);
@@ -476,7 +485,9 @@ fn distributed_inner_solve(
                     if f == designated {
                         continue;
                     }
-                    ctx.send(f, tag2, Payload::F64s(acc.clone()));
+                    let mut copy = ctx.take_f64s();
+                    copy.extend_from_slice(&acc);
+                    ctx.send(f, tag2, Payload::F64s(copy));
                 }
                 acc
             } else {
@@ -498,8 +509,8 @@ fn distributed_inner_solve(
             scratch.p_full[range.clone()].copy_from_slice(&scratch.ip);
             for (dst, gidx) in shared.plan.sends_of(me) {
                 if is_failed(*dst) {
-                    let vals: Vec<f64> =
-                        gidx.iter().map(|&g| scratch.ip[g - range.start]).collect();
+                    let mut vals = ctx.take_f64s();
+                    vals.extend(gidx.iter().map(|&g| scratch.ip[g - range.start]));
                     ctx.send(*dst, tag, Payload::F64s(vals));
                 }
             }
@@ -509,6 +520,7 @@ fn distributed_inner_solve(
                     for (&g, &v) in gidx.iter().zip(vals.iter()) {
                         scratch.p_full[g] = v;
                     }
+                    ctx.recycle_f64s(vals);
                 }
             }
         }};
@@ -522,26 +534,31 @@ fn distributed_inner_solve(
     inner_pre.apply_local(0..nloc, &scratch.ir, &mut scratch.iz);
     ctx.charge_flops(inner_pre.apply_flops(0..nloc));
     scratch.ip.copy_from_slice(&scratch.iz);
-    let reduced = subreduce!(vec![
-        be.dot(&scratch.ir, &scratch.iz),
-        be.dot(&scratch.w, &scratch.w),
-        be.dot(&scratch.ir, &scratch.ir)
-    ]);
+    let reduced = subreduce!({
+        let mut v = ctx.take_f64s();
+        v.push(be.dot(&scratch.ir, &scratch.iz));
+        v.push(be.dot(&scratch.w, &scratch.w));
+        v.push(be.dot(&scratch.ir, &scratch.ir));
+        v
+    });
     ctx.charge_flops(6 * nloc as u64);
-    let mut rz = reduced[0];
-    let wnorm = reduced[1].sqrt();
-    let mut relres = if wnorm > 0.0 {
-        reduced[2].sqrt() / wnorm
-    } else {
-        0.0
-    };
+    let (mut rz, wnorm2, rr0) = (reduced[0], reduced[1], reduced[2]);
+    ctx.recycle_f64s(reduced);
+    let wnorm = wnorm2.sqrt();
+    let mut relres = if wnorm > 0.0 { rr0.sqrt() / wnorm } else { 0.0 };
 
     let mut iterations = 0usize;
     while relres >= shared.cfg.inner_rtol && iterations < shared.cfg.inner_max_iters {
         exchange_inner_halo!();
         be.spmv_into(&cache.a_in, &scratch.p_full, &mut scratch.iq);
         ctx.charge_flops(spmv_flops);
-        let pap = subreduce!(vec![be.dot(&scratch.ip, &scratch.iq)])[0];
+        let pap_red = subreduce!({
+            let mut v = ctx.take_f64s();
+            v.push(be.dot(&scratch.ip, &scratch.iq));
+            v
+        });
+        let pap = pap_red[0];
+        ctx.recycle_f64s(pap_red);
         ctx.charge_flops(2 * nloc as u64);
         if pap <= 0.0 {
             break; // numerical breakdown; accept the current iterate
@@ -557,22 +574,21 @@ fn distributed_inner_solve(
         ctx.charge_flops(4 * nloc as u64);
         inner_pre.apply_local(0..nloc, &scratch.ir, &mut scratch.iz);
         ctx.charge_flops(inner_pre.apply_flops(0..nloc));
-        let reduced = subreduce!(vec![
-            be.dot(&scratch.ir, &scratch.iz),
-            be.dot(&scratch.ir, &scratch.ir)
-        ]);
+        let reduced = subreduce!({
+            let mut v = ctx.take_f64s();
+            v.push(be.dot(&scratch.ir, &scratch.iz));
+            v.push(be.dot(&scratch.ir, &scratch.ir));
+            v
+        });
         ctx.charge_flops(4 * nloc as u64);
-        let rz_new = reduced[0];
+        let (rz_new, rr) = (reduced[0], reduced[1]);
+        ctx.recycle_f64s(reduced);
         let beta = rz_new / rz;
         rz = rz_new;
         be.axpby(1.0, &scratch.iz, beta, &mut scratch.ip);
         ctx.charge_flops(2 * nloc as u64);
         iterations += 1;
-        relres = if wnorm > 0.0 {
-            reduced[1].sqrt() / wnorm
-        } else {
-            0.0
-        };
+        relres = if wnorm > 0.0 { rr.sqrt() / wnorm } else { 0.0 };
     }
     iterations
 }

@@ -172,16 +172,18 @@ impl NodeState {
         self.beta_prev = c.beta_prev;
     }
 
-    /// Serializes `[x; r; z; p; beta_prev]` for buddy checkpointing.
-    pub fn checkpoint_blob(&self) -> Vec<f64> {
+    /// Serializes `[x; r; z; p; beta_prev]` for buddy checkpointing into a
+    /// caller-supplied buffer (cleared first) — lets the checkpoint path
+    /// stage into a pooled payload buffer instead of allocating per event.
+    pub fn checkpoint_blob_into(&self, blob: &mut Vec<f64>) {
         let nloc = self.x.len();
-        let mut blob = Vec::with_capacity(4 * nloc + 1);
+        blob.clear();
+        blob.reserve(4 * nloc + 1);
         blob.extend_from_slice(&self.x);
         blob.extend_from_slice(&self.r);
         blob.extend_from_slice(&self.z);
         blob.extend_from_slice(&self.p);
         blob.push(self.beta_prev);
-        blob
     }
 
     /// Restores the node's vectors and β from a checkpoint blob.
@@ -263,7 +265,8 @@ mod tests {
     #[test]
     fn checkpoint_blob_round_trip() {
         let st = filled(3);
-        let blob = st.checkpoint_blob();
+        let mut blob = vec![99.0; 2]; // stale contents must be cleared
+        st.checkpoint_blob_into(&mut blob);
         assert_eq!(blob.len(), 13);
         let mut st2 = NodeState::new(3);
         st2.restore_from_blob(&blob);

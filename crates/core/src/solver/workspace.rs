@@ -2,20 +2,21 @@
 //! recovery path.
 //!
 //! The solver loop itself keeps its dynamic vectors in
-//! [`NodeState`](crate::solver::state::NodeState); everything here is
+//! `NodeState` (see [`crate::solver::state`]); everything here is
 //! *scratch* — memory whose contents never survive a call, but whose
 //! allocations used to happen on every recovery event and every inner PCG
-//! iteration. One [`SolverWorkspace`] per rank eliminates those:
+//! iteration. One [`SolverWorkspace`] per rank eliminates those
+//! (the parts below are crate-internal):
 //!
-//! * [`RecoveryScratch`] — the reconstruction vectors of paper Alg. 2
+//! * `RecoveryScratch` — the reconstruction vectors of paper Alg. 2
 //!   (`p^(ĵ−1)`, `p^(ĵ)`, coverage flags, `v`, `w`, the masked-SpMV output,
 //!   and the inner solve's five vectors plus its full-length gather buffer),
 //!   resized once and reused across failure events,
-//! * [`DomainCache`] — per failure domain (the sorted set of failed ranks):
+//! * `DomainCache` — per failure domain (the sorted set of failed ranks):
 //!   the membership mask of `I_f` and the two column-split row extractions
 //!   `A[I_own, I\I_f]` / `A[I_own, I_f]`, which turn every masked SpMV of
 //!   the recovery into a plain CSR SpMV with no per-entry branch,
-//! * [`LocalInnerSolve`] — the rank's own principal submatrix block-Jacobi
+//! * `LocalInnerSolve` — the rank's own principal submatrix block-Jacobi
 //!   preconditioner for the inner system, which depends only on the rank's
 //!   row range and is therefore factored at most once per solve.
 

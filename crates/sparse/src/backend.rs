@@ -6,10 +6,14 @@
 //!
 //! * [`KernelBackend::Sequential`] — the single-threaded reference kernels
 //!   from [`crate::csr`] and [`crate::vector`],
-//! * [`KernelBackend::Parallel`] — multithreaded kernels built on
-//!   `std::thread::scope` (dependency-free; the container this project is
-//!   developed in has no network access, so rayon cannot be vendored — the
-//!   design keeps the same shape so a rayon pool can be slotted in later).
+//! * [`KernelBackend::Parallel`] — multithreaded kernels dispatched to the
+//!   persistent thread-local [`crate::pool::WorkerPool`] (dependency-free;
+//!   the container this project is developed in has no network access, so
+//!   rayon cannot be vendored — the pool plays rayon's role and keeps the
+//!   same shape so rayon could be slotted in later). Every parallel kernel
+//!   broadcasts one job closure over precomputed disjoint chunks; the old
+//!   spawn-per-call dispatch survives as a benchmark baseline behind
+//!   [`crate::pool::DispatchMode::Spawn`].
 //!
 //! # Determinism guarantee
 //!
@@ -36,7 +40,47 @@
 use std::ops::Range;
 
 use crate::csr::CsrMatrix;
+use crate::pool::{self, DispatchMode};
 use crate::vector::{self, REDUCTION_BLOCK};
+
+/// A `Send + Sync` wrapper around a raw mutable pointer, used to hand
+/// *disjoint* output chunks of one slice to pool workers. Soundness is the
+/// caller's obligation: every worker must touch a distinct index range, and
+/// the broadcast joins all workers before the underlying borrow ends.
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+
+// SAFETY: the pointer is only dereferenced at worker-disjoint offsets while
+// the owning slice outlives the broadcast (see `SendPtr` docs).
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    fn new(slice: &mut [T]) -> Self {
+        SendPtr(slice.as_mut_ptr())
+    }
+
+    /// The chunk `[lo, hi)` of the wrapped slice.
+    ///
+    /// # Safety
+    /// `lo..hi` must lie within the original slice, be disjoint from every
+    /// other chunk handed out for the same broadcast, and not outlive the
+    /// wrapped slice's borrow (the broadcast join guarantees this).
+    unsafe fn chunk<'a>(self, lo: usize, hi: usize) -> &'a mut [T] {
+        std::slice::from_raw_parts_mut(self.0.add(lo), hi - lo)
+    }
+}
+
+/// Runs `job(w)` for `w` in `0..active` — on the persistent thread-local
+/// pool, or via scoped spawn-per-call threads when the process-wide
+/// [`DispatchMode`] says so. The worker *indices* a job observes are
+/// identical under both modes, so dispatch can never affect results.
+fn dispatch<F: Fn(usize) + Sync>(active: usize, job: F) {
+    match pool::dispatch_mode() {
+        DispatchMode::Pooled => pool::with_local_pool(active, |p| p.broadcast(active, job)),
+        DispatchMode::Spawn => pool::broadcast_scoped(active, job),
+    }
+}
 
 /// Minimum problem size (vector elements or matrix rows) before the parallel
 /// backend actually spawns threads. Below this, thread startup dominates and
@@ -165,19 +209,13 @@ impl KernelBackend {
             return;
         }
         let bounds = nnz_balanced_bounds(a.row_ptr(), rows.clone(), nthreads);
-        std::thread::scope(|scope| {
-            let mut rest = y;
-            for c in 0..nthreads {
-                let (lo, hi) = (bounds[c], bounds[c + 1]);
-                let (head, tail) = rest.split_at_mut(hi - lo);
-                rest = tail;
-                let chunk = rows.start + lo..rows.start + hi;
-                if c + 1 == nthreads {
-                    a.spmv_rows_into(chunk, x, head);
-                } else {
-                    scope.spawn(move || a.spmv_rows_into(chunk, x, head));
-                }
-            }
+        let y_out = SendPtr::new(y);
+        dispatch(nthreads, |c| {
+            let (lo, hi) = (bounds[c], bounds[c + 1]);
+            // SAFETY: `bounds` is monotone with `bounds[nthreads] == y.len()`,
+            // so chunks are in-range and worker-disjoint.
+            let head = unsafe { y_out.chunk(lo, hi) };
+            a.spmv_rows_into(rows.start + lo..rows.start + hi, x, head);
         });
     }
 
@@ -205,20 +243,13 @@ impl KernelBackend {
             return;
         }
         let bounds = nnz_balanced_bounds_list(a, rows, nthreads);
-        std::thread::scope(|scope| {
-            let mut rest = y;
-            let masked = &masked;
-            for c in 0..nthreads {
-                let (lo, hi) = (bounds[c], bounds[c + 1]);
-                let (head, tail) = rest.split_at_mut(hi - lo);
-                rest = tail;
-                let row_chunk = &rows[lo..hi];
-                if c + 1 == nthreads {
-                    a.spmv_rows_masked_into(row_chunk, x_full, masked, head);
-                } else {
-                    scope.spawn(move || a.spmv_rows_masked_into(row_chunk, x_full, masked, head));
-                }
-            }
+        let y_out = SendPtr::new(y);
+        let masked = &masked;
+        dispatch(nthreads, |c| {
+            let (lo, hi) = (bounds[c], bounds[c + 1]);
+            // SAFETY: monotone bounds ending at `rows.len() == y.len()`.
+            let head = unsafe { y_out.chunk(lo, hi) };
+            a.spmv_rows_masked_into(&rows[lo..hi], x_full, masked, head);
         });
     }
 
@@ -240,33 +271,20 @@ impl KernelBackend {
         // Threads own contiguous runs of whole blocks; each writes the same
         // per-block partial the sequential kernel would form.
         let per_thread = nblocks.div_ceil(nthreads);
-        std::thread::scope(|scope| {
-            let mut rest = partials.as_mut_slice();
-            let mut block0 = 0usize;
-            while !rest.is_empty() {
-                let take = per_thread.min(rest.len());
-                let (head, tail) = rest.split_at_mut(take);
-                rest = tail;
-                let start = block0 * REDUCTION_BLOCK;
-                let end = ((block0 + take) * REDUCTION_BLOCK).min(a.len());
-                let (ca, cb) = (&a[start..end], &b[start..end]);
-                let mut work = move || {
-                    for (k, p) in head.iter_mut().enumerate() {
-                        let lo = k * REDUCTION_BLOCK;
-                        let hi = (lo + REDUCTION_BLOCK).min(ca.len());
-                        let mut acc = 0.0;
-                        for (x, y) in ca[lo..hi].iter().zip(cb[lo..hi].iter()) {
-                            acc += x * y;
-                        }
-                        *p = acc;
-                    }
-                };
-                block0 += take;
-                if rest.is_empty() {
-                    work();
-                } else {
-                    scope.spawn(work);
+        let parts = SendPtr::new(&mut partials);
+        dispatch(nthreads, |t| {
+            let b0 = (t * per_thread).min(nblocks);
+            let b1 = ((t + 1) * per_thread).min(nblocks);
+            // SAFETY: worker `t` owns exactly blocks `[b0, b1) ⊆ [0, nblocks)`.
+            let head = unsafe { parts.chunk(b0, b1) };
+            for (k, p) in head.iter_mut().enumerate() {
+                let lo = (b0 + k) * REDUCTION_BLOCK;
+                let hi = (lo + REDUCTION_BLOCK).min(a.len());
+                let mut acc = 0.0;
+                for (x, y) in a[lo..hi].iter().zip(b[lo..hi].iter()) {
+                    acc += x * y;
                 }
+                *p = acc;
             }
         });
         // Final combine: block order, one thread — the sequential grouping.
@@ -362,33 +380,34 @@ impl KernelBackend {
             return;
         }
         let per = n.div_ceil(nthreads);
-        fn read_chunk(s: &[f64], off: usize, take: usize) -> &[f64] {
+        fn read_chunk(s: &[f64], lo: usize, hi: usize) -> &[f64] {
             if s.is_empty() {
                 s
             } else {
-                &s[off..off + take]
+                &s[lo..hi]
             }
         }
-        std::thread::scope(|scope| {
-            let mut rest_x = x;
-            let mut rest_y = y;
-            let mut off = 0usize;
-            let op = &op;
-            while off < n {
-                let take = per.min(n - off);
-                let (hx, tx) = rest_x.split_at_mut(take.min(rest_x.len()));
-                let (hy, ty) = rest_y.split_at_mut(take.min(rest_y.len()));
-                rest_x = tx;
-                rest_y = ty;
-                let ca = read_chunk(a, off, take);
-                let cb = read_chunk(b, off, take);
-                off += take;
-                if off >= n {
-                    op(ca, cb, hx, hy);
-                } else {
-                    scope.spawn(move || op(ca, cb, hx, hy));
-                }
+        let (x_used, y_used) = (!x.is_empty(), !y.is_empty());
+        let (x_out, y_out) = (SendPtr::new(x), SendPtr::new(y));
+        dispatch(nthreads, |c| {
+            let lo = (c * per).min(n);
+            let hi = ((c + 1) * per).min(n);
+            if lo >= hi {
+                return;
             }
+            // SAFETY: chunk `[lo, hi)` is worker-disjoint and within every
+            // used (length-`n`) slice; unused slices stay empty.
+            let hx = if x_used {
+                unsafe { x_out.chunk(lo, hi) }
+            } else {
+                &mut []
+            };
+            let hy = if y_used {
+                unsafe { y_out.chunk(lo, hi) }
+            } else {
+                &mut []
+            };
+            op(read_chunk(a, lo, hi), read_chunk(b, lo, hi), hx, hy);
         });
     }
 }

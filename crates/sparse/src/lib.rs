@@ -11,6 +11,8 @@
 //!   sequential reference kernels and a multithreaded backend that is
 //!   **bitwise identical** to them at any thread count (fixed-block
 //!   deterministic reductions, row-parallel SpMV),
+//! * [`pool`] — the persistent worker pool the parallel backend dispatches
+//!   to (one pool per calling OS thread; replaces spawn-per-call threads),
 //! * [`DenseMatrix`] and [`Cholesky`] — small dense matrices and Cholesky
 //!   factorization for block Jacobi preconditioner blocks,
 //! * [`Partition`] — the contiguous block-row distribution of matrix rows and
@@ -36,6 +38,7 @@ pub mod error;
 pub mod gen;
 pub mod mm;
 pub mod partition;
+pub mod pool;
 pub mod rng;
 pub mod vector;
 

@@ -45,6 +45,13 @@ pub use esrcg_core as core;
 pub use esrcg_precond as precond;
 pub use esrcg_sparse as sparse;
 
+/// Compiles and runs the README's code blocks as doctests (`cargo test
+/// --doc`), so the quickstart in `README.md` can never drift from the API.
+/// The item only exists while rustdoc collects doctests.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
+
 /// The types most applications need.
 pub mod prelude {
     pub use esrcg_cluster::{CostModel, FailureSpec, Phase};
