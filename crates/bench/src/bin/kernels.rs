@@ -5,19 +5,25 @@
 //! cargo run --release -p esrcg-bench --bin kernels -- [options]
 //!
 //! options:
-//!   --out PATH       output file (default: BENCH_kernels.json)
-//!   --sizes LIST     comma-separated row counts (default: 10000,100000,1000000)
-//!   --threads LIST   comma-separated thread counts (default: 1,4)
-//!   --samples N      timed repetitions per cell (default: 10)
+//!   --out PATH            output file (default: BENCH_kernels.json)
+//!   --sizes LIST          comma-separated row counts (default: 10000,100000,1000000)
+//!   --threads LIST        comma-separated thread counts (default: 1,4)
+//!   --samples N           timed repetitions per cell (default: 10)
+//!   --overlap-ranks LIST  rank counts for the halo-overlap sweep
+//!                         (default: 4,8,16; empty list skips the sweep)
+//!   --overlap-grid N      grid edge of the sweep's 2-D Poisson problem
+//!                         (default: 128, i.e. 16384 rows)
 //! ```
 
-use esrcg_bench::kernels::run_kernel_bench;
+use esrcg_bench::kernels::{run_kernel_bench, run_overlap_sweep};
 
 struct Options {
     out: String,
     sizes: Vec<usize>,
     threads: Vec<usize>,
     samples: usize,
+    overlap_ranks: Vec<usize>,
+    overlap_grid: usize,
 }
 
 fn parse_list(v: &str) -> Result<Vec<usize>, String> {
@@ -32,6 +38,8 @@ fn parse_args() -> Result<Options, String> {
         sizes: vec![10_000, 100_000, 1_000_000],
         threads: vec![1, 4],
         samples: 10,
+        overlap_ranks: vec![4, 8, 16],
+        overlap_grid: 128,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -47,6 +55,21 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or("missing value for --samples")?
                     .parse()
                     .map_err(|_| "bad --samples")?
+            }
+            "--overlap-ranks" => {
+                let v = args.next().ok_or("missing value for --overlap-ranks")?;
+                opt.overlap_ranks = if v.trim().is_empty() {
+                    Vec::new()
+                } else {
+                    parse_list(&v)?
+                }
+            }
+            "--overlap-grid" => {
+                opt.overlap_grid = args
+                    .next()
+                    .ok_or("missing value for --overlap-grid")?
+                    .parse()
+                    .map_err(|_| "bad --overlap-grid")?
             }
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -71,7 +94,10 @@ fn main() {
             .map(|n| n.get())
             .unwrap_or(1)
     );
-    let report = run_kernel_bench(&opt.sizes, &opt.threads, opt.samples);
+    let mut report = run_kernel_bench(&opt.sizes, &opt.threads, opt.samples);
+    if !opt.overlap_ranks.is_empty() {
+        report.overlap = run_overlap_sweep(&opt.overlap_ranks, opt.overlap_grid, opt.overlap_grid);
+    }
     for m in &report.results {
         eprintln!(
             "  {:<5} n={:<8} {:<9} {:>10.3} ms/iter  {:>8.3} GFLOP/s",
@@ -93,6 +119,23 @@ fn main() {
             m.spawn_secs * 1e6,
             m.spawn_over_pooled()
         );
+    }
+    if !report.overlap.is_empty() {
+        eprintln!("halo overlap (modeled clock, blocking vs split-phase SpMV):");
+        for m in &report.overlap {
+            eprintln!(
+                "  {} n={} ranks={:<3} {:>9.3} µs/iter blocking  {:>9.3} µs/iter split  \
+                 ({:.3}x, interior {} / boundary {})",
+                m.matrix,
+                m.n,
+                m.n_ranks,
+                m.blocking_per_iter() * 1e6,
+                m.split_per_iter() * 1e6,
+                m.blocking_over_split(),
+                m.interior_rows,
+                m.boundary_rows
+            );
+        }
     }
     let json = report.to_json();
     std::fs::write(&opt.out, &json).expect("write output file");

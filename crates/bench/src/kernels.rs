@@ -13,9 +13,19 @@
 //! spawn-threads-per-call scheme (`DispatchMode::Spawn`), at the small
 //! sizes (n ≤ 1e5) where per-call overhead is a visible fraction of the
 //! kernel — plus a bare no-op broadcast isolating the dispatch cost itself.
+//!
+//! A third sweep quantifies the **halo overlap**: the full distributed PCG
+//! loop under the blocking SpMV schedule versus the split-phase schedule
+//! ([`esrcg_core::solver::SpmvMode`]), on the deterministic modeled clock —
+//! which is exactly what makes the win measurable on a 1-core container
+//! (the logical clocks do not depend on host parallelism; only wall-clock
+//! numbers need a multicore re-run, see `ROADMAP.md` follow-up (a)).
 
 use std::time::Instant;
 
+use esrcg_cluster::Phase;
+use esrcg_core::driver::{Experiment, MatrixSource};
+use esrcg_core::solver::SpmvMode;
 use esrcg_sparse::backend::PARALLEL_CUTOFF;
 use esrcg_sparse::gen::poisson3d;
 use esrcg_sparse::pool::{self, DispatchMode};
@@ -65,6 +75,52 @@ impl OverheadMeasurement {
     }
 }
 
+/// One cell of the halo-overlap sweep: the distributed PCG loop solved
+/// under both SpMV schedules, on the deterministic modeled clock.
+#[derive(Debug, Clone)]
+pub struct OverlapMeasurement {
+    /// Matrix family (`"poisson2d"`).
+    pub matrix: &'static str,
+    /// Problem size (rows).
+    pub n: usize,
+    /// Simulated ranks.
+    pub n_ranks: usize,
+    /// PCG iterations to convergence (identical under both schedules — the
+    /// trajectories are bitwise equal).
+    pub iterations: usize,
+    /// Modeled seconds of the whole solve, blocking schedule.
+    pub blocking_time: f64,
+    /// Modeled seconds of the whole solve, split-phase schedule.
+    pub split_time: f64,
+    /// Summed SpMV-phase receive wait across ranks, blocking schedule —
+    /// the time the split-phase schedule exists to hide.
+    pub blocking_spmv_wait: f64,
+    /// Summed SpMV-phase receive wait across ranks, split-phase schedule.
+    pub split_spmv_wait: f64,
+    /// Rows classified interior (cluster-wide, from the `RowSplitSet`).
+    pub interior_rows: usize,
+    /// Rows classified boundary.
+    pub boundary_rows: usize,
+}
+
+impl OverlapMeasurement {
+    /// Modeled seconds per PCG iteration under the blocking schedule.
+    pub fn blocking_per_iter(&self) -> f64 {
+        self.blocking_time / self.iterations.max(1) as f64
+    }
+
+    /// Modeled seconds per PCG iteration under the split-phase schedule.
+    pub fn split_per_iter(&self) -> f64 {
+        self.split_time / self.iterations.max(1) as f64
+    }
+
+    /// How many times slower the blocking schedule is (> 1 means the
+    /// overlap wins).
+    pub fn blocking_over_split(&self) -> f64 {
+        self.blocking_time / self.split_time
+    }
+}
+
 /// The full benchmark outcome.
 #[derive(Debug, Clone)]
 pub struct KernelReport {
@@ -74,6 +130,8 @@ pub struct KernelReport {
     pub results: Vec<KernelMeasurement>,
     /// Dispatch-overhead sweep (pooled vs spawn-per-call), small sizes only.
     pub overhead: Vec<OverheadMeasurement>,
+    /// Halo-overlap sweep (blocking vs split-phase distributed SpMV).
+    pub overlap: Vec<OverlapMeasurement>,
 }
 
 fn median_secs(samples: &mut [f64]) -> f64 {
@@ -157,7 +215,52 @@ pub fn run_kernel_bench(sizes: &[usize], thread_counts: &[usize], samples: usize
         host_threads,
         results,
         overhead,
+        overlap: Vec::new(),
     }
+}
+
+/// Runs the halo-overlap sweep: one distributed PCG solve per rank count
+/// and SpMV schedule on a 2-D Poisson problem (`nx × ny` grid), comparing
+/// modeled times. The two schedules are bitwise identical in every result
+/// (asserted here — a benchmark must not report a win for a wrong answer),
+/// so the only difference is where the halo wait lands on the clock.
+pub fn run_overlap_sweep(rank_counts: &[usize], nx: usize, ny: usize) -> Vec<OverlapMeasurement> {
+    let mut out = Vec::new();
+    for &n_ranks in rank_counts {
+        let run = |mode: SpmvMode| {
+            Experiment::builder()
+                .matrix(MatrixSource::Poisson2d { nx, ny })
+                .n_ranks(n_ranks)
+                .spmv_mode(mode)
+                .run()
+                .expect("overlap sweep run")
+        };
+        let blocking = run(SpmvMode::Blocking);
+        let split = run(SpmvMode::SplitPhase);
+        assert_eq!(blocking.x, split.x, "schedules must agree bitwise");
+        assert_eq!(blocking.iterations, split.iterations);
+        let spmv_wait = |r: &esrcg_core::driver::RunReport| {
+            r.per_rank_stats
+                .iter()
+                .map(|s| s.recv_wait[Phase::SpMV as usize])
+                .sum::<f64>()
+        };
+        out.push(OverlapMeasurement {
+            matrix: "poisson2d",
+            n: split.x.len(),
+            n_ranks,
+            iterations: blocking.iterations,
+            blocking_time: blocking.modeled_time,
+            split_time: split.modeled_time,
+            blocking_spmv_wait: spmv_wait(&blocking),
+            split_spmv_wait: spmv_wait(&split),
+            // Read back from the run itself, so the reported counts are by
+            // construction the split the solver actually used.
+            interior_rows: split.interior_rows,
+            boundary_rows: split.boundary_rows,
+        });
+    }
+    out
 }
 
 /// Times the parallel kernels under both dispatch modes at the given sizes
@@ -257,7 +360,7 @@ impl KernelReport {
     /// carries no serde).
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
-        s.push_str("  \"schema\": \"esrcg-bench-kernels-v2\",\n");
+        s.push_str("  \"schema\": \"esrcg-bench-kernels-v3\",\n");
         s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
         s.push_str("  \"results\": [\n");
         for (i, m) in self.results.iter().enumerate() {
@@ -292,6 +395,35 @@ impl KernelReport {
                 } else {
                     ","
                 }
+            ));
+        }
+        s.push_str("  ],\n");
+        // Modeled-clock numbers: valid on any host, including the 1-core
+        // dev container (the logical clocks never see host parallelism).
+        s.push_str("  \"overlap\": [\n");
+        for (i, m) in self.overlap.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"matrix\": \"{}\", \"n\": {}, \"n_ranks\": {}, \
+                 \"iterations\": {}, \
+                 \"modeled_blocking_secs\": {:.9}, \"modeled_split_secs\": {:.9}, \
+                 \"per_iter_blocking_secs\": {:.9}, \"per_iter_split_secs\": {:.9}, \
+                 \"spmv_wait_blocking_secs\": {:.9}, \"spmv_wait_split_secs\": {:.9}, \
+                 \"interior_rows\": {}, \"boundary_rows\": {}, \
+                 \"blocking_over_split\": {:.4}}}{}\n",
+                m.matrix,
+                m.n,
+                m.n_ranks,
+                m.iterations,
+                m.blocking_time,
+                m.split_time,
+                m.blocking_per_iter(),
+                m.split_per_iter(),
+                m.blocking_spmv_wait,
+                m.split_spmv_wait,
+                m.interior_rows,
+                m.boundary_rows,
+                m.blocking_over_split(),
+                if i + 1 == self.overlap.len() { "" } else { "," }
             ));
         }
         s.push_str("  ],\n");
@@ -330,6 +462,14 @@ impl KernelReport {
                 m.threads,
                 m.n,
                 m.spawn_over_pooled()
+            ));
+        }
+        for m in &self.overlap {
+            lines.push(format!(
+                "    \"overlap_blocking_over_split_{}r_n{}\": {:.4}",
+                m.n_ranks,
+                m.n,
+                m.blocking_over_split()
             ));
         }
         s.push_str(&lines.join(",\n"));
@@ -372,11 +512,52 @@ mod tests {
         assert_eq!(report.overhead.len(), 1);
         assert_eq!(report.overhead[0].kernel, "dispatch");
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"esrcg-bench-kernels-v2\""));
+        assert!(json.contains("\"schema\": \"esrcg-bench-kernels-v3\""));
         assert!(json.contains("\"kernel\": \"spmv\""));
         assert!(json.contains("spmv_speedup_2t_n1000"));
         assert!(json.contains("overhead_spawn_over_pooled_dispatch_2t_n0"));
         assert!(report.speedup("spmv", report.results[0].n, 2).is_some());
+        assert!(
+            json.contains("\"overlap\": ["),
+            "v3 carries the overlap section"
+        );
+    }
+
+    #[test]
+    fn overlap_sweep_reports_a_split_phase_win() {
+        // Small grid so the debug-mode sweep stays cheap; the modeled-clock
+        // comparison is deterministic, so strict inequality is a stable
+        // assertion, not a flaky benchmark.
+        let rows = run_overlap_sweep(&[4], 24, 24);
+        assert_eq!(rows.len(), 1);
+        let m = &rows[0];
+        assert_eq!((m.matrix, m.n, m.n_ranks), ("poisson2d", 576, 4));
+        assert!(m.iterations > 0);
+        assert_eq!(m.interior_rows + m.boundary_rows, m.n);
+        assert!(m.boundary_rows > 0, "4 ranks couple across block edges");
+        assert!(
+            m.split_time < m.blocking_time,
+            "split {} vs blocking {}",
+            m.split_time,
+            m.blocking_time
+        );
+        assert!(m.blocking_over_split() > 1.0);
+        assert!(
+            m.split_spmv_wait < m.blocking_spmv_wait,
+            "the overlap hides halo wait: {} vs {}",
+            m.split_spmv_wait,
+            m.blocking_spmv_wait
+        );
+        // Rendering a report carrying overlap rows includes the summary key.
+        let report = KernelReport {
+            host_threads: 1,
+            results: Vec::new(),
+            overhead: Vec::new(),
+            overlap: rows,
+        };
+        assert!(report
+            .to_json()
+            .contains("overlap_blocking_over_split_4r_n576"));
     }
 
     #[test]

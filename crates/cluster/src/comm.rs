@@ -222,9 +222,22 @@ impl Ctx {
             .expect("receiver hung up: a rank exited early");
     }
 
+    /// Completes a receive on the modeled clock: waits (if needed) until
+    /// the message's arrival time, attributing the wait to the current
+    /// phase's `recv_wait` counter.
+    #[inline]
+    fn complete_recv(&mut self, arrival: f64) {
+        if arrival > self.clock {
+            self.stats.recv_wait[self.phase as usize] += arrival - self.clock;
+            self.advance_to(arrival);
+        }
+    }
+
     /// Receives the next message from rank `from` with matching `tag`,
     /// blocking until it arrives. Non-matching messages from the same
-    /// source are parked and delivered to later receives.
+    /// source are parked and delivered to later receives. Time spent
+    /// waiting for the arrival (on the modeled clock) is recorded in
+    /// [`RankStats::recv_wait`].
     ///
     /// # Panics
     /// Panics if the sending rank's thread exited without sending (protocol
@@ -235,7 +248,7 @@ impl Ctx {
         // Check parked messages first.
         if let Some(queue) = self.pending[from].get_mut(&tag) {
             if let Some(msg) = queue.pop_front() {
-                self.advance_to(msg.arrival);
+                self.complete_recv(msg.arrival);
                 return msg.payload;
             }
         }
@@ -244,7 +257,7 @@ impl Ctx {
                 .recv()
                 .expect("sender hung up: a rank exited early");
             if msg.tag == tag {
-                self.advance_to(msg.arrival);
+                self.complete_recv(msg.arrival);
                 return msg.payload;
             }
             self.pending[from]
@@ -252,6 +265,60 @@ impl Ctx {
                 .or_default()
                 .push_back(msg);
         }
+    }
+
+    /// Parks every message from `from` that has already been physically
+    /// delivered, without blocking.
+    fn drain_channel(&mut self, from: usize) {
+        while let Ok(msg) = self.receivers[from].try_recv() {
+            self.pending[from]
+                .entry(msg.tag)
+                .or_default()
+                .push_back(msg);
+        }
+    }
+
+    /// Nonblocking receive: returns the next message from `(from, tag)` if
+    /// it has been physically delivered **and** has already arrived on this
+    /// rank's modeled clock (see [`Message::has_arrived`]), so completing
+    /// it costs no modeled time. Returns `None` otherwise.
+    ///
+    /// FIFO order per `(source, tag)` is preserved across `try_recv` and
+    /// [`Ctx::recv`], so mixing the two can never reorder payloads.
+    /// Whether a probe hits depends on real thread scheduling, but a hit
+    /// never advances the clock — a deterministic protocol that eventually
+    /// `recv`s every message it is owed therefore yields
+    /// schedule-independent results *and* modeled times, with `try_recv`
+    /// acting purely as a zero-cost fast path (this is how the split-phase
+    /// halo exchange drains its receives).
+    ///
+    /// # Panics
+    /// Panics on self-receives and unknown source ranks.
+    pub fn try_recv(&mut self, from: usize, tag: u64) -> Option<Payload> {
+        assert_ne!(from, self.rank, "self-receive is a protocol bug");
+        assert!(from < self.size, "try_recv: unknown source rank {from}");
+        self.drain_channel(from);
+        let queue = self.pending[from].get_mut(&tag)?;
+        if queue.front().is_some_and(|m| m.has_arrived(self.clock)) {
+            return queue.pop_front().map(|m| m.payload);
+        }
+        None
+    }
+
+    /// Nonblocking probe: true if a message from `(from, tag)` has been
+    /// physically delivered (regardless of its modeled arrival time — a
+    /// matching [`Ctx::recv`] would return without OS-level blocking,
+    /// though it may still advance the modeled clock). Like
+    /// [`Ctx::try_recv`], the answer depends on real thread scheduling and
+    /// must only steer opportunistic work, never protocol decisions.
+    ///
+    /// # Panics
+    /// Panics on self-receives and unknown source ranks.
+    pub fn has_pending(&mut self, from: usize, tag: u64) -> bool {
+        assert_ne!(from, self.rank, "self-receive is a protocol bug");
+        assert!(from < self.size, "has_pending: unknown source rank {from}");
+        self.drain_channel(from);
+        self.pending[from].get(&tag).is_some_and(|q| !q.is_empty())
     }
 
     /// Fresh sub-identifier for a collective round.

@@ -68,6 +68,18 @@ impl CostModel {
     pub fn compute_time(&self, flops: u64) -> f64 {
         flops as f64 * self.seconds_per_flop
     }
+
+    /// Modeled duration of an *overlapped* (split-phase) stage: a transfer
+    /// of `bytes` hidden under `flops` of independent compute costs the
+    /// maximum of the two, not their sum. The logical clock realizes this
+    /// naturally — receives synchronize to an arrival time
+    /// (`advance_to`) instead of adding a wait — and the cluster tests
+    /// check the clock against this closed form
+    /// (`overlapped_stage_cost_matches_the_closed_form` in `spmd.rs`).
+    #[inline]
+    pub fn overlapped_time(&self, bytes: usize, flops: u64) -> f64 {
+        self.transfer_time(bytes).max(self.compute_time(flops))
+    }
 }
 
 #[cfg(test)]
@@ -102,5 +114,23 @@ mod tests {
     fn transfer_scales_with_bytes() {
         let c = CostModel::default();
         assert!(c.transfer_time(2000) > c.transfer_time(1000));
+    }
+
+    #[test]
+    fn overlapped_time_is_max_not_sum() {
+        let c = CostModel::default();
+        // Compute-dominated: the transfer hides entirely.
+        let big_compute = 10_000_000u64;
+        assert_eq!(
+            c.overlapped_time(100, big_compute),
+            c.compute_time(big_compute)
+        );
+        // Communication-dominated: compute hides under the transfer.
+        assert_eq!(c.overlapped_time(1 << 28, 10), c.transfer_time(1 << 28));
+        // Always at most the blocking sum, at least each component.
+        let (b, f) = (4096usize, 50_000u64);
+        let t = c.overlapped_time(b, f);
+        assert!(t <= c.transfer_time(b) + c.compute_time(f));
+        assert!(t >= c.transfer_time(b) && t >= c.compute_time(f));
     }
 }

@@ -230,6 +230,17 @@ pub struct Message {
     pub payload: Payload,
 }
 
+impl Message {
+    /// True once the receiver's modeled clock `now` has reached this
+    /// message's arrival time — a receive would complete without waiting.
+    /// This is the condition `Ctx::try_recv` checks before handing a
+    /// physically delivered message over at zero modeled cost.
+    #[inline]
+    pub fn has_arrived(&self, now: f64) -> bool {
+        self.arrival <= now
+    }
+}
+
 /// Tag namespaces for the solver's protocols.
 ///
 /// A tag is `(kind << 32) | sub`, where `sub` disambiguates concurrent

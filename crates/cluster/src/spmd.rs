@@ -226,6 +226,153 @@ mod tests {
     }
 
     #[test]
+    fn try_recv_is_a_zero_cost_fast_path() {
+        // Rank 0 sends, then both ranks sync clocks; rank 1 then spins until
+        // the probe sees the message and drains it with try_recv. The
+        // payload and clock must match what a blocking recv would produce.
+        let out = run_spmd(2, CostModel::default(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, Tag::Halo.with(3), Payload::Scalar(42.0));
+                ctx.barrier_sync_clock();
+                (0.0, 0.0)
+            } else {
+                // The barrier synchronizes past the sender's injection time,
+                // so the message has both physically and logically arrived
+                // once the spin observes it.
+                ctx.barrier_sync_clock();
+                while !ctx.has_pending(0, Tag::Halo.with(3)) {
+                    std::hint::spin_loop();
+                }
+                let before = ctx.clock();
+                let v = ctx
+                    .try_recv(0, Tag::Halo.with(3))
+                    .expect("probe saw the message")
+                    .into_scalar();
+                assert_eq!(ctx.clock(), before, "try_recv never advances the clock");
+                (v, ctx.stats().total_recv_wait())
+            }
+        });
+        assert_eq!(out.results[1].0, 42.0);
+        // The only wait was inside the barrier collective, not the halo.
+        assert_eq!(
+            out.stats[1].recv_wait[Phase::Setup as usize],
+            out.results[1].1
+        );
+    }
+
+    #[test]
+    fn try_recv_returns_none_for_future_arrivals() {
+        // A message whose modeled arrival lies ahead of the receiver's
+        // clock must not be handed over by try_recv, even once physically
+        // delivered; the blocking recv then waits exactly the gap.
+        let out = run_spmd(2, CostModel::default(), |ctx| {
+            if ctx.rank() == 0 {
+                // Run the clock forward so the arrival is far in rank 1's
+                // future.
+                ctx.charge_flops(10_000_000);
+                ctx.send(1, Tag::Halo.with(9), Payload::Scalar(7.0));
+                ctx.barrier();
+                0.0
+            } else {
+                // Wait until delivery is certain (rank 0 sent before its
+                // barrier call), then probe.
+                while !ctx.has_pending(0, Tag::Halo.with(9)) {
+                    std::hint::spin_loop();
+                }
+                assert!(
+                    ctx.try_recv(0, Tag::Halo.with(9)).is_none(),
+                    "arrival is in the modeled future"
+                );
+                let before = ctx.clock();
+                let v = ctx.recv(0, Tag::Halo.with(9)).into_scalar();
+                assert!(ctx.clock() > before, "blocking recv waited");
+                assert!(ctx.stats().total_recv_wait() > 0.0);
+                ctx.barrier();
+                v
+            }
+        });
+        assert_eq!(out.results[1], 7.0);
+    }
+
+    #[test]
+    fn mixing_try_recv_and_recv_preserves_fifo_order() {
+        let out = run_spmd(2, CostModel::default(), |ctx| {
+            let tag = Tag::Halo.with(1);
+            if ctx.rank() == 0 {
+                for v in 1..=3 {
+                    ctx.send(1, tag, Payload::Scalar(v as f64));
+                }
+                ctx.barrier_sync_clock();
+                Vec::new()
+            } else {
+                ctx.barrier_sync_clock();
+                let mut got = Vec::new();
+                while got.len() < 3 {
+                    match ctx.try_recv(0, tag) {
+                        Some(p) => got.push(p.into_scalar()),
+                        None => got.push(ctx.recv(0, tag).into_scalar()),
+                    }
+                }
+                got
+            }
+        });
+        assert_eq!(out.results[1], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn overlapped_stage_cost_matches_the_closed_form() {
+        // The split-phase SpMV's cost claim, at the primitive level: a
+        // stage that computes `flops` while a message is in flight and
+        // then receives it must cost max(transfer, compute) on the clock —
+        // exactly `CostModel::overlapped_time`. α = 0 removes the
+        // sender-side injection so the closed form is exact and bitwise.
+        let cost = CostModel {
+            alpha: 0.0,
+            seconds_per_byte: 1e-9,
+            seconds_per_flop: 5e-10,
+        };
+        // One compute-dominated and one communication-dominated stage.
+        for flops in [1_000u64, 100_000_000] {
+            let out = run_spmd(2, cost, move |ctx| {
+                ctx.set_phase(Phase::SpMV);
+                if ctx.rank() == 0 {
+                    ctx.send(1, Tag::Halo.bare(), Payload::F64s(vec![0.0; 1000]));
+                    0.0
+                } else {
+                    ctx.charge_flops(flops); // "interior rows"
+                    ctx.recv(0, Tag::Halo.bare()); // drain the halo
+                    ctx.clock()
+                }
+            });
+            let expected = cost.overlapped_time(8 * 1000, flops);
+            assert_eq!(
+                out.results[1].to_bits(),
+                expected.to_bits(),
+                "flops = {flops}"
+            );
+        }
+    }
+
+    #[test]
+    fn recv_wait_accounts_the_blocked_time() {
+        let cost = CostModel::default();
+        let out = run_spmd(2, cost, |ctx| {
+            ctx.set_phase(Phase::SpMV);
+            if ctx.rank() == 0 {
+                ctx.send(1, Tag::Halo.bare(), Payload::F64s(vec![0.0; 1000]));
+            } else {
+                ctx.recv(0, Tag::Halo.bare());
+            }
+            ctx.clock()
+        });
+        let wait = out.stats[1].recv_wait[Phase::SpMV as usize];
+        // Rank 1 did nothing else, so its whole clock is recv wait.
+        assert!(wait > 0.0);
+        assert!((wait - out.results[1]).abs() < 1e-15);
+        assert_eq!(out.stats[0].recv_wait[Phase::SpMV as usize], 0.0);
+    }
+
+    #[test]
     fn modeled_time_advances_with_flops_and_messages() {
         let cost = CostModel::default();
         let out = run_spmd(2, cost, |ctx| {

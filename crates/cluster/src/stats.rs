@@ -107,6 +107,11 @@ pub struct RankStats {
     pub bytes_sent: [u64; N_PHASES],
     /// Modeled seconds the rank's logical clock advanced per phase.
     pub modeled_time: [f64; N_PHASES],
+    /// Modeled seconds spent blocked in `recv` waiting for a message to
+    /// arrive, per phase — a subset of `modeled_time`. This is the wait the
+    /// split-phase SpMV hides under interior compute: blocking exchanges
+    /// accumulate it, overlapped ones drive it toward zero.
+    pub recv_wait: [f64; N_PHASES],
 }
 
 impl Default for RankStats {
@@ -116,6 +121,7 @@ impl Default for RankStats {
             msgs_sent: [0; N_PHASES],
             bytes_sent: [0; N_PHASES],
             modeled_time: [0.0; N_PHASES],
+            recv_wait: [0.0; N_PHASES],
         }
     }
 }
@@ -141,6 +147,12 @@ impl RankStats {
         self.modeled_time.iter().sum()
     }
 
+    /// Total modeled time spent waiting for message arrival in `recv`,
+    /// over all phases.
+    pub fn total_recv_wait(&self) -> f64 {
+        self.recv_wait.iter().sum()
+    }
+
     /// Modeled time spent in recovery phases.
     pub fn recovery_time(&self) -> f64 {
         Phase::ALL
@@ -157,6 +169,7 @@ impl RankStats {
             self.msgs_sent[i] += other.msgs_sent[i];
             self.bytes_sent[i] += other.bytes_sent[i];
             self.modeled_time[i] += other.modeled_time[i];
+            self.recv_wait[i] += other.recv_wait[i];
         }
     }
 }
@@ -196,17 +209,20 @@ mod tests {
         a.bytes_sent[Phase::Reduction as usize] = 16;
         a.modeled_time[Phase::RecoveryInner as usize] = 0.5;
         a.modeled_time[Phase::SpMV as usize] = 1.0;
+        a.recv_wait[Phase::SpMV as usize] = 0.25;
 
         assert_eq!(a.total_flops(), 10);
         assert_eq!(a.total_msgs(), 2);
         assert_eq!(a.total_bytes(), 16);
         assert!((a.total_time() - 1.5).abs() < 1e-15);
         assert!((a.recovery_time() - 0.5).abs() < 1e-15);
+        assert!((a.total_recv_wait() - 0.25).abs() < 1e-15);
 
         let mut b = RankStats::default();
         b.flops[Phase::SpMV as usize] = 5;
         b.merge(&a);
         assert_eq!(b.flops[Phase::SpMV as usize], 15);
+        assert!((b.total_recv_wait() - 0.25).abs() < 1e-15);
     }
 
     #[test]

@@ -3,29 +3,128 @@
 //! pooled ([`esrcg_cluster::BufferPool`]): each send takes a recycled
 //! buffer, each receive returns one, so the per-iteration exchange is
 //! allocation-free at steady state.
+//!
+//! The exchange is **split-phase**: [`HaloExchange::start`] copies the
+//! owned chunk into the gather buffer and fires all sends, then the caller
+//! computes whatever does not depend on the halo (interior SpMV rows, see
+//! [`esrcg_sparse::RowSplit`]), then [`HaloExchange::finish`] drains the
+//! receives. On the modeled clock, receives synchronize to each message's
+//! arrival time instead of adding a wait, so a split-phase SpMV pays
+//! `max(halo transfer, interior compute)` where the blocking form pays the
+//! sum. [`exchange_halo`] remains as the blocking composition of the two
+//! halves — the baseline the overlap is measured against, and the form the
+//! recovery protocols use where there is nothing to overlap.
 
 use esrcg_cluster::{Ctx, Payload, Tag};
 use esrcg_sparse::Partition;
 
 use crate::dist::plan::CommPlan;
 
+/// An in-flight halo exchange: [`HaloExchange::start`] has fired the sends,
+/// [`HaloExchange::finish`] must drain the receives before any boundary row
+/// is computed. Holds no borrows — only the wire tag — so the caller is
+/// free to use the context and the gather buffer in between.
+#[must_use = "a started halo exchange must be finished, or its receives leak into later iterations"]
+#[derive(Debug)]
+pub struct HaloExchange {
+    tag: u64,
+}
+
+impl HaloExchange {
+    /// Starts the exchange: copies `local` (this rank's owned chunk) into
+    /// `full` at the rank's own range and sends every `(dst, indices)` pair
+    /// of the plan under `Tag::Halo.with(tag_sub)`. Sends never block.
+    /// `tag_sub` is typically the iteration number, so halo rounds of
+    /// different iterations can never be confused.
+    ///
+    /// Send buffers come from the rank's pool, so after the first few
+    /// rounds the per-iteration exchange allocates nothing (buffers
+    /// circulate between ranks: the receiver recycles what this send hands
+    /// over, and vice versa).
+    ///
+    /// # Panics
+    /// Panics if `local` does not match the rank's range length or `full`
+    /// the global size.
+    pub fn start(
+        ctx: &mut Ctx,
+        plan: &CommPlan,
+        part: &Partition,
+        local: &[f64],
+        tag_sub: u32,
+        full: &mut [f64],
+    ) -> HaloExchange {
+        let me = ctx.rank();
+        let range = part.range(me);
+        assert_eq!(local.len(), range.len(), "halo: local chunk length");
+        assert_eq!(full.len(), part.n(), "halo: full vector length");
+        full[range.clone()].copy_from_slice(local);
+
+        let tag = Tag::Halo.with(tag_sub);
+        for (dst, gidx) in plan.sends_of(me) {
+            let mut vals = ctx.take_f64s();
+            vals.extend(gidx.iter().map(|&g| local[g - range.start]));
+            ctx.send(*dst, tag, Payload::F64s(vals));
+        }
+        HaloExchange { tag }
+    }
+
+    /// Finishes the exchange: drains the receives in source-rank order
+    /// (deterministic capture order) and scatters them into `full`.
+    ///
+    /// * Each receive first probes [`Ctx::try_recv`] — a message that
+    ///   arrived (physically and on the modeled clock) while the caller was
+    ///   computing interior rows is handed over at zero modeled cost — and
+    ///   falls back to the blocking [`Ctx::recv`] otherwise. Both paths
+    ///   yield the same payload and the same clock, so the fast path can
+    ///   never change a result or a modeled time.
+    /// * When `captured` is provided, every received `(global index,
+    ///   value)` pair is appended to it, in (source rank, index) order —
+    ///   this is how the ASpMV records the redundant copies it stores in
+    ///   the [`crate::queue::RedundancyQueue`].
+    ///
+    /// Entries of `full` that are neither owned nor received keep their
+    /// previous contents; callers must only read positions their rows
+    /// actually touch (which is exactly what the plan guarantees to have
+    /// filled).
+    ///
+    /// # Panics
+    /// Panics if a received payload does not match the plan's index list —
+    /// a wrong-length halo payload is a protocol violation, checked in
+    /// release builds too.
+    pub fn finish(
+        self,
+        ctx: &mut Ctx,
+        plan: &CommPlan,
+        full: &mut [f64],
+        mut captured: Option<&mut Vec<(usize, f64)>>,
+    ) {
+        let me = ctx.rank();
+        for (src, gidx) in plan.recvs_of(me) {
+            let vals = match ctx.try_recv(*src, self.tag) {
+                Some(payload) => payload.into_f64s(),
+                None => ctx.recv(*src, self.tag).into_f64s(),
+            };
+            assert_eq!(
+                vals.len(),
+                gidx.len(),
+                "halo: payload length mismatch from rank {src} (protocol violation)"
+            );
+            for (&g, &v) in gidx.iter().zip(vals.iter()) {
+                full[g] = v;
+                if let Some(cap) = captured.as_deref_mut() {
+                    cap.push((g, v));
+                }
+            }
+            ctx.recycle_f64s(vals);
+        }
+    }
+}
+
 /// Exchanges halo entries of a distributed vector and scatters them into
-/// `full`, a full-length scratch vector.
-///
-/// * `local` is this rank's owned chunk; it is copied into `full` at the
-///   rank's own range.
-/// * Every `(dst, indices)` pair of the plan sends the owned values at
-///   `indices` under `Tag::Halo.with(tag_sub)`; receives mirror this.
-///   `tag_sub` is typically the iteration number, so halo rounds of
-///   different iterations can never be confused.
-/// * When `captured` is provided, every received `(global index, value)`
-///   pair is appended to it, in (source rank, index) order — this is how the
-///   ASpMV records the redundant copies it stores in the
-///   [`crate::queue::RedundancyQueue`].
-///
-/// Entries of `full` that are neither owned nor received keep their previous
-/// contents; callers must only read positions their rows actually touch
-/// (which is exactly what the plan guarantees to have filled).
+/// `full`, a full-length scratch vector — the blocking composition of
+/// [`HaloExchange::start`] and [`HaloExchange::finish`] (see there for the
+/// protocol details). Kept as the measurable baseline of the split-phase
+/// path and for call sites with no compute to overlap.
 ///
 /// # Panics
 /// Panics if `local` does not match the rank's range length, or on protocol
@@ -37,36 +136,9 @@ pub fn exchange_halo(
     local: &[f64],
     tag_sub: u32,
     full: &mut [f64],
-    mut captured: Option<&mut Vec<(usize, f64)>>,
+    captured: Option<&mut Vec<(usize, f64)>>,
 ) {
-    let me = ctx.rank();
-    let range = part.range(me);
-    assert_eq!(local.len(), range.len(), "halo: local chunk length");
-    assert_eq!(full.len(), part.n(), "halo: full vector length");
-    full[range.clone()].copy_from_slice(local);
-
-    let tag = Tag::Halo.with(tag_sub);
-    // Sends never block; fire them all before receiving. Send buffers come
-    // from the rank's pool, so after the first few rounds the per-iteration
-    // halo exchange allocates nothing (buffers circulate between ranks:
-    // the receiver recycles what this send hands over, and vice versa).
-    for (dst, gidx) in plan.sends_of(me) {
-        let mut vals = ctx.take_f64s();
-        vals.extend(gidx.iter().map(|&g| local[g - range.start]));
-        ctx.send(*dst, tag, Payload::F64s(vals));
-    }
-    // Receives in source-rank order: deterministic capture order.
-    for (src, gidx) in plan.recvs_of(me) {
-        let vals = ctx.recv(*src, tag).into_f64s();
-        debug_assert_eq!(vals.len(), gidx.len(), "halo: payload length");
-        for (&g, &v) in gidx.iter().zip(vals.iter()) {
-            full[g] = v;
-            if let Some(cap) = captured.as_deref_mut() {
-                cap.push((g, v));
-            }
-        }
-        ctx.recycle_f64s(vals);
-    }
+    HaloExchange::start(ctx, plan, part, local, tag_sub, full).finish(ctx, plan, full, captured);
 }
 
 #[cfg(test)]
@@ -98,6 +170,86 @@ mod tests {
             });
             let got: Vec<f64> = out.results.into_iter().flatten().collect();
             assert_eq!(got, expected, "{n_ranks} ranks");
+        }
+    }
+
+    #[test]
+    fn split_phase_spmv_is_bitwise_identical_to_blocking() {
+        let a = Arc::new(poisson2d(9, 9));
+        let n = a.nrows();
+        let x: Arc<Vec<f64>> = Arc::new((0..n).map(|i| (i as f64 * 0.17).sin()).collect());
+        let expected = a.spmv(&x);
+        for n_ranks in [1usize, 2, 3, 5] {
+            let part = Arc::new(Partition::balanced(n, n_ranks));
+            let plan = Arc::new(CommPlan::build(&a, &part));
+            let split = Arc::new(esrcg_sparse::RowSplitSet::build(&a, &part));
+            let out = run_spmd(n_ranks, CostModel::default(), {
+                let (a, x, part, plan, split) = (
+                    a.clone(),
+                    x.clone(),
+                    part.clone(),
+                    plan.clone(),
+                    split.clone(),
+                );
+                move |ctx| {
+                    let range = part.range(ctx.rank());
+                    let rs = split.of(ctx.rank());
+                    let mut full = vec![0.0; part.n()];
+                    let mut y = vec![0.0; range.len()];
+                    let hx =
+                        HaloExchange::start(ctx, &plan, &part, &x[range.clone()], 0, &mut full);
+                    a.spmv_rows_subset_into(rs.interior(), range.start, &full, &mut y);
+                    hx.finish(ctx, &plan, &mut full, None);
+                    a.spmv_rows_subset_into(rs.boundary(), range.start, &full, &mut y);
+                    y
+                }
+            });
+            let got: Vec<f64> = out.results.into_iter().flatten().collect();
+            assert_eq!(got, expected, "{n_ranks} ranks");
+        }
+    }
+
+    #[test]
+    fn more_ranks_than_rows_exchange_through_both_paths() {
+        // n < n_ranks: trailing ranks own nothing, send nothing, receive
+        // nothing — but still participate without deadlock in both the
+        // blocking and the split-phase form.
+        use esrcg_sparse::gen::poisson1d;
+        let a = Arc::new(poisson1d(3));
+        let x: Arc<Vec<f64>> = Arc::new(vec![1.0, 2.0, 3.0]);
+        let expected = a.spmv(&x);
+        let part = Arc::new(Partition::balanced(3, 5));
+        let plan = Arc::new(CommPlan::build(&a, &part));
+        let split = Arc::new(esrcg_sparse::RowSplitSet::build(&a, &part));
+        for split_phase in [false, true] {
+            let out = run_spmd(5, CostModel::default(), {
+                let (a, x, part, plan, split) = (
+                    a.clone(),
+                    x.clone(),
+                    part.clone(),
+                    plan.clone(),
+                    split.clone(),
+                );
+                move |ctx| {
+                    let range = part.range(ctx.rank());
+                    let mut full = vec![0.0; part.n()];
+                    let mut y = vec![0.0; range.len()];
+                    if split_phase {
+                        let rs = split.of(ctx.rank());
+                        let hx =
+                            HaloExchange::start(ctx, &plan, &part, &x[range.clone()], 0, &mut full);
+                        a.spmv_rows_subset_into(rs.interior(), range.start, &full, &mut y);
+                        hx.finish(ctx, &plan, &mut full, None);
+                        a.spmv_rows_subset_into(rs.boundary(), range.start, &full, &mut y);
+                    } else {
+                        exchange_halo(ctx, &plan, &part, &x[range.clone()], 0, &mut full, None);
+                        a.spmv_rows_into(range.clone(), &full, &mut y);
+                    }
+                    y
+                }
+            });
+            let got: Vec<f64> = out.results.into_iter().flatten().collect();
+            assert_eq!(got, expected, "split_phase = {split_phase}");
         }
     }
 

@@ -217,4 +217,46 @@ mod tests {
         assert!(plan.recvs_of(0).is_empty());
         assert_eq!(plan.total_traffic(), 0);
     }
+
+    #[test]
+    fn more_ranks_than_rows_leaves_empty_ranks_silent() {
+        // n < n_ranks: the trailing ranks own empty ranges and must appear
+        // in nobody's send or receive lists.
+        let a = poisson1d(3);
+        let part = Partition::balanced(3, 5);
+        let plan = CommPlan::build(&a, &part);
+        assert_eq!(plan.n_ranks(), 5);
+        for s in 3..5 {
+            assert!(plan.sends_of(s).is_empty(), "empty rank {s} sends");
+            assert!(plan.recvs_of(s).is_empty(), "empty rank {s} receives");
+        }
+        for s in 0..5 {
+            for (d, idx) in plan.sends_of(s) {
+                assert!(*d < 3, "traffic only between non-empty ranks");
+                assert!(!idx.is_empty());
+            }
+        }
+        // The tridiagonal coupling between the three owners is still there.
+        assert_eq!(plan.indices_to(0, 1), &[0]);
+        assert_eq!(plan.indices_to(1, 0), &[1]);
+        assert_eq!(plan.total_traffic(), 4);
+    }
+
+    #[test]
+    fn block_diagonal_matrix_yields_an_empty_plan() {
+        // A rank whose rows are all interior has empty send and receive
+        // lists; with a (block-)diagonal matrix that is every rank.
+        use esrcg_sparse::CsrMatrix;
+        let a = CsrMatrix::identity(20);
+        let part = Partition::balanced(20, 4);
+        let plan = CommPlan::build(&a, &part);
+        for s in 0..4 {
+            assert!(plan.sends_of(s).is_empty(), "rank {s}");
+            assert!(plan.recvs_of(s).is_empty(), "rank {s}");
+        }
+        assert_eq!(plan.total_traffic(), 0);
+        for i in 0..20 {
+            assert_eq!(plan.multiplicity(i), 0);
+        }
+    }
 }

@@ -24,7 +24,7 @@ use esrcg_sparse::gen;
 use esrcg_sparse::{CsrMatrix, KernelBackend};
 
 use crate::solver::recovery::RecoveryOutcome;
-use crate::solver::{solve_node, SharedProblem, SolverConfig};
+use crate::solver::{solve_node, SharedProblem, SolverConfig, SpmvMode};
 use crate::strategy::Strategy;
 
 /// Where the system matrix comes from.
@@ -164,6 +164,7 @@ pub struct Experiment {
     failure_explicit: Vec<FailureSpec>,
     cost: CostModel,
     backend: KernelBackend,
+    spmv_mode: SpmvMode,
 }
 
 impl Experiment {
@@ -183,6 +184,7 @@ impl Experiment {
             failure_explicit: Vec::new(),
             cost: CostModel::default(),
             backend: KernelBackend::default(),
+            spmv_mode: SpmvMode::default(),
         }
     }
 
@@ -261,6 +263,15 @@ impl Experiment {
         self
     }
 
+    /// Selects how the distributed SpMV schedules its halo exchange
+    /// (default: [`SpmvMode::SplitPhase`]). Both modes are bitwise
+    /// identical in every result; blocking is kept as the measurable
+    /// baseline of the communication/computation overlap.
+    pub fn spmv_mode(mut self, m: SpmvMode) -> Self {
+        self.spmv_mode = m;
+        self
+    }
+
     /// Builds the shared problem and runs the SPMD solve.
     ///
     /// # Errors
@@ -291,6 +302,7 @@ impl Experiment {
         cfg.max_iters = self.max_iters;
         cfg.failures = failures;
         cfg.backend = self.backend;
+        cfg.spmv_mode = self.spmv_mode;
         let shared = Arc::new(SharedProblem::assemble(
             a,
             b,
@@ -299,6 +311,9 @@ impl Experiment {
             self.precond,
             cfg,
         )?);
+
+        let interior_rows = shared.row_split.total_interior();
+        let boundary_rows = shared.row_split.total_boundary();
 
         let outcome = run_spmd(self.n_ranks, self.cost, {
             let shared = shared.clone();
@@ -352,6 +367,8 @@ impl Experiment {
             strategy: self.strategy,
             phi: self.phi,
             n_ranks: self.n_ranks,
+            interior_rows,
+            boundary_rows,
         })
     }
 }
@@ -392,6 +409,11 @@ pub struct RunReport {
     pub phi: usize,
     /// Echo of the rank count.
     pub n_ranks: usize,
+    /// Cluster-wide interior rows of the solve's [`esrcg_sparse::RowSplitSet`]
+    /// (rows the split-phase SpMV computes while the halo is in flight).
+    pub interior_rows: usize,
+    /// Cluster-wide boundary rows (rows that wait for the halo).
+    pub boundary_rows: usize,
 }
 
 impl RunReport {

@@ -8,7 +8,9 @@
 //! * [`pcg`] — the sequential PCG reference solver (paper Alg. 1), also used
 //!   for the inner solves of the recovery path,
 //! * [`dist`] — the distributed solver substrate: communication plans derived
-//!   from the matrix sparsity pattern and the halo-exchange SpMV,
+//!   from the matrix sparsity pattern and the split-phase halo-exchange SpMV
+//!   (`HaloExchange::start`/`finish` overlapping communication with interior
+//!   rows; a blocking wrapper remains as the measurable baseline),
 //! * [`aspmv`] — the *augmented* sparse matrix–vector product (paper §2.2):
 //!   redundant-copy destinations d(s,k) (Eq. 1), entry multiplicities m(i),
 //!   g(i), and the extra-send sets Rc(s,k),

@@ -5,6 +5,13 @@
 //! Alg. 2, lines 6 and 8, solved to a relative residual of 1e-14 in the
 //! paper's setup). It counts its own flops so the recovery path can charge
 //! them to the cost model.
+//!
+//! Everything here runs in a single address space — there is no halo
+//! exchange, so the split-phase SpMV scheduling of the distributed solver
+//! ([`crate::solver::SpmvMode`]) does not apply; its SpMV call sites go
+//! straight to the backend. The *distributed* inner solve of the recovery
+//! path (which does exchange halos between replacement ranks) lives in
+//! [`crate::solver::recovery`] and is split-phase like the outer loop.
 
 use esrcg_precond::Preconditioner;
 use esrcg_sparse::{CsrMatrix, KernelBackend};

@@ -15,10 +15,10 @@ use std::sync::Arc;
 
 use esrcg_cluster::{Ctx, Payload, Phase, Tag};
 use esrcg_precond::{PrecondSpec, Preconditioner};
-use esrcg_sparse::{CsrMatrix, KernelBackend, Partition, SparseError};
+use esrcg_sparse::{CsrMatrix, KernelBackend, Partition, RowSplitSet, SparseError};
 
 use crate::aspmv::{AspmvPlan, BuddyMap};
-use crate::dist::halo::exchange_halo;
+use crate::dist::halo::{exchange_halo, HaloExchange};
 use crate::dist::plan::CommPlan;
 use crate::strategy::Strategy;
 use recovery::{recover, RecoveryOutcome};
@@ -29,6 +29,35 @@ pub use workspace::SolverWorkspace;
 const INIT_TAG: u32 = u32::MAX - 1;
 /// Halo-exchange tag used by the post-convergence drift computation.
 const DRIFT_TAG: u32 = u32::MAX;
+
+/// How the distributed SpMV schedules its halo exchange.
+///
+/// Both modes are **bitwise identical** in every result: per-row
+/// floating-point order never changes, only *when* the communication
+/// completes relative to the compute. They differ (deterministically) in
+/// modeled time — split-phase hides the halo wait under the interior rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpmvMode {
+    /// Full halo exchange, then all owned rows — the classic form, kept as
+    /// the measurable baseline of the overlap.
+    Blocking,
+    /// Split-phase: fire the halo sends, compute the interior rows (which
+    /// read only owned entries) while the messages fly, drain the receives,
+    /// then compute the boundary rows. Per split-phase stage the modeled
+    /// clock pays `max(comm, interior compute)` instead of the sum.
+    #[default]
+    SplitPhase,
+}
+
+impl SpmvMode {
+    /// Short name for reports: `blocking` or `split-phase`.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpmvMode::Blocking => "blocking",
+            SpmvMode::SplitPhase => "split-phase",
+        }
+    }
+}
 
 /// Solver configuration: strategy, redundancy level, tolerances, and the
 /// injected failure events.
@@ -63,6 +92,10 @@ pub struct SolverConfig {
     /// bitwise identical (see [`esrcg_sparse::backend`]), so this only
     /// changes speed, never results.
     pub backend: KernelBackend,
+    /// How the distributed SpMV schedules its halo exchange. Defaults to
+    /// [`SpmvMode::SplitPhase`]; both modes are bitwise identical in every
+    /// result (see [`SpmvMode`]), so this only changes modeled/wall time.
+    pub spmv_mode: SpmvMode,
 }
 
 impl SolverConfig {
@@ -78,6 +111,7 @@ impl SolverConfig {
             inner_max_iters: 100_000,
             inner_max_block: 10,
             backend: KernelBackend::default(),
+            spmv_mode: SpmvMode::default(),
         }
     }
 
@@ -146,6 +180,10 @@ pub struct SharedProblem {
     pub precond: Arc<dyn Preconditioner>,
     /// The SpMV communication plan.
     pub plan: Arc<CommPlan>,
+    /// Per-rank interior/boundary row classification (built once per
+    /// matrix + partition, alongside the plan) — what the split-phase SpMV
+    /// computes while the halo is in flight.
+    pub row_split: Arc<RowSplitSet>,
     /// The ASpMV augmentation plan (ESR/ESRP strategies).
     pub aspmv: Option<Arc<AspmvPlan>>,
     /// The buddy map (IMCR strategy).
@@ -179,6 +217,7 @@ impl SharedProblem {
         cfg.validate(n_ranks)?;
         let part = Arc::new(Partition::balanced(a.nrows(), n_ranks));
         let plan = Arc::new(CommPlan::build(&a, &part));
+        let row_split = Arc::new(RowSplitSet::build(&a, &part));
         let precond = precond_spec
             .build(&a, &part)
             .map_err(|e: SparseError| e.to_string())?;
@@ -197,6 +236,7 @@ impl SharedProblem {
             part,
             precond,
             plan,
+            row_split,
             aspmv,
             buddies,
             cfg,
@@ -228,6 +268,95 @@ pub struct NodeOutcome {
     pub recoveries: Vec<RecoveryOutcome>,
 }
 
+/// One distributed SpMV `q = (A x)[range]` of the vector whose owned chunk
+/// is `local`, scheduled per the configured [`SpmvMode`]:
+///
+/// * `Blocking` — full halo exchange, then all owned rows (the PR 2
+///   pipeline, kept as the measurable baseline),
+/// * `SplitPhase` — halo sends fire, *interior* rows (whose columns all lie
+///   in the owned range, see [`RowSplitSet`]) compute while the messages
+///   fly, receives drain, *boundary* rows finish.
+///
+/// `captured` is forwarded to the halo receive path (ASpMV redundant-copy
+/// capture); its (source rank, index) order is identical under both modes.
+/// The two schedules write bit-identical `q`/`full`/`captured` — only the
+/// modeled clock differs, by exactly the halo wait the interior rows hide.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dist_spmv(
+    ctx: &mut Ctx,
+    shared: &SharedProblem,
+    be: KernelBackend,
+    local: &[f64],
+    tag_sub: u32,
+    full: &mut [f64],
+    q: &mut [f64],
+    captured: Option<&mut Vec<(usize, f64)>>,
+) {
+    dist_spmv_hooked(
+        ctx,
+        shared,
+        be,
+        local,
+        tag_sub,
+        full,
+        q,
+        captured,
+        |_, _| {},
+    );
+}
+
+/// [`dist_spmv`] with an `after_comm` hook, called once the halo receives
+/// (and thus `captured`) are complete but before the remaining rows are
+/// computed — under `Blocking` that is before the whole product, under
+/// `SplitPhase` between `finish` and the boundary rows. The augmented
+/// ASpMV hangs its extra redundant-copy traffic here, so both scheduling
+/// arms live in exactly one place and cannot drift apart. The hook may
+/// change the attributed phase; it must restore it if the remaining rows
+/// should stay accounted as SpMV.
+#[allow(clippy::too_many_arguments)]
+fn dist_spmv_hooked<F>(
+    ctx: &mut Ctx,
+    shared: &SharedProblem,
+    be: KernelBackend,
+    local: &[f64],
+    tag_sub: u32,
+    full: &mut [f64],
+    q: &mut [f64],
+    mut captured: Option<&mut Vec<(usize, f64)>>,
+    after_comm: F,
+) where
+    F: FnOnce(&mut Ctx, Option<&mut Vec<(usize, f64)>>),
+{
+    let rank = ctx.rank();
+    let range = shared.part.range(rank);
+    match shared.cfg.spmv_mode {
+        SpmvMode::Blocking => {
+            exchange_halo(
+                ctx,
+                &shared.plan,
+                &shared.part,
+                local,
+                tag_sub,
+                full,
+                captured.as_deref_mut(),
+            );
+            after_comm(ctx, captured);
+            be.spmv_rows_into(&shared.a, range.clone(), full, q);
+            ctx.charge_flops(shared.a.spmv_rows_flops(range));
+        }
+        SpmvMode::SplitPhase => {
+            let split = shared.row_split.of(rank);
+            let hx = HaloExchange::start(ctx, &shared.plan, &shared.part, local, tag_sub, full);
+            be.spmv_rows_subset_into(&shared.a, split.interior(), range.start, full, q);
+            ctx.charge_flops(split.interior_flops());
+            hx.finish(ctx, &shared.plan, full, captured.as_deref_mut());
+            after_comm(ctx, captured);
+            be.spmv_rows_subset_into(&shared.a, split.boundary(), range.start, full, q);
+            ctx.charge_flops(split.boundary_flops());
+        }
+    }
+}
+
 /// Initializes (or re-initializes) the PCG state from the static data:
 /// `x = x0`, `r = b − A x`, `z = P r`, `p = z`, plus the replicated `r·z`.
 /// Returns the global `r·r` for the initial convergence check. Charges its
@@ -247,9 +376,8 @@ pub(crate) fn init_state(
     let nloc = range.len();
 
     st.x.copy_from_slice(&shared.x0[range.clone()]);
-    exchange_halo(ctx, &shared.plan, part, &st.x, INIT_TAG, full, None);
-    be.spmv_rows_into(&shared.a, range.clone(), full, &mut st.q);
-    ctx.charge_flops(shared.a.spmv_rows_flops(range.clone()));
+    let NodeState { x, q, .. } = st;
+    dist_spmv(ctx, shared, be, x, INIT_TAG, full, q, None);
     for i in 0..nloc {
         st.r[i] = shared.b[range.start + i] - st.q[i];
     }
@@ -348,24 +476,33 @@ pub fn solve_node(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
         let augmented = aspmv_iteration(cfg.strategy, j);
         ctx.set_phase(Phase::SpMV);
         if augmented {
+            // Both modes preserve the blocking capture order — halo
+            // receives in source order (complete when the hook runs), then
+            // the extras — so the redundancy queue is bit-identical under
+            // either schedule.
             let mut captured: Vec<(usize, f64)> = Vec::new();
-            exchange_halo(
+            let NodeState { p, q, .. } = &mut st;
+            let p_ref: &[f64] = p;
+            dist_spmv_hooked(
                 ctx,
-                &shared.plan,
-                part,
-                &st.p,
+                shared,
+                be,
+                p_ref,
                 j as u32,
                 &mut full,
+                q,
                 Some(&mut captured),
+                |ctx, cap| {
+                    let cap = cap.expect("augmented SpMV always captures");
+                    aspmv_extras(ctx, shared, p_ref, range.start, j, cap);
+                    ctx.set_phase(Phase::SpMV);
+                },
             );
-            aspmv_extras(ctx, shared, &st.p, range.start, j, &mut captured);
             st.queue.push(j, captured);
-            ctx.set_phase(Phase::SpMV);
         } else {
-            exchange_halo(ctx, &shared.plan, part, &st.p, j as u32, &mut full, None);
+            let NodeState { p, q, .. } = &mut st;
+            dist_spmv(ctx, shared, be, p, j as u32, &mut full, q, None);
         }
-        be.spmv_rows_into(&shared.a, range.clone(), &full, &mut st.q);
-        ctx.charge_flops(shared.a.spmv_rows_flops(range.clone()));
 
         // --- ESRP storage stage, second iteration: starred copies ---------
         if storage_second(cfg.strategy, j) {
@@ -441,9 +578,10 @@ pub fn solve_node(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
 
     // --- Accuracy: the paper's residual drift metric (Eq. 2) --------------
     ctx.set_phase(Phase::Other);
-    exchange_halo(ctx, &shared.plan, part, &st.x, DRIFT_TAG, &mut full, None);
-    be.spmv_rows_into(&shared.a, range.clone(), &full, &mut st.q);
-    ctx.charge_flops(shared.a.spmv_rows_flops(range.clone()));
+    {
+        let NodeState { x, q, .. } = &mut st;
+        dist_spmv(ctx, shared, be, x, DRIFT_TAG, &mut full, q, None);
+    }
     let mut tr_loc = 0.0f64;
     for i in 0..nloc {
         let tri = shared.b[range.start + i] - st.q[i];
@@ -695,6 +833,29 @@ mod tests {
             assert!(o.residual_drift.abs() < 1.0);
             assert!(o.true_relres < 1e-6);
         }
+    }
+
+    #[test]
+    fn split_phase_is_bitwise_identical_and_faster_on_the_modeled_clock() {
+        let mk = |mode| {
+            let mut s = shared_for(4, Strategy::None, 0, None);
+            s.cfg.spmv_mode = mode;
+            s
+        };
+        let (b_outs, t_blocking) = run(mk(SpmvMode::Blocking), 4);
+        let (s_outs, t_split) = run(mk(SpmvMode::SplitPhase), 4);
+        assert_eq!(b_outs[0].iterations, s_outs[0].iterations);
+        assert_eq!(gather_x(&b_outs), gather_x(&s_outs), "bitwise identical");
+        assert_eq!(
+            b_outs[0].final_relres.to_bits(),
+            s_outs[0].final_relres.to_bits()
+        );
+        // The overlap hides halo wait under interior rows: the modeled
+        // clock (deterministic) must be strictly better.
+        assert!(
+            t_split < t_blocking,
+            "split-phase {t_split} vs blocking {t_blocking}"
+        );
     }
 
     #[test]

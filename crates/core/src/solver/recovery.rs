@@ -14,7 +14,7 @@ use esrcg_precond::{BlockJacobiPrecond, Preconditioner};
 
 use crate::solver::state::{NodeState, OwnCheckpoint};
 use crate::solver::workspace::{DomainCache, LocalInnerSolve, RecoveryScratch, SolverWorkspace};
-use crate::solver::{init_state, SharedProblem};
+use crate::solver::{init_state, SharedProblem, SpmvMode};
 use crate::strategy::Strategy;
 
 /// What a recovery did, as reported by every rank (identical everywhere
@@ -501,8 +501,11 @@ fn distributed_inner_solve(
 
     // Halo exchange of the search direction among replacements, scattering
     // into the reusable full-length gather buffer (only `I_f` positions are
-    // read by the column-split SpMV).
-    macro_rules! exchange_inner_halo {
+    // read by the column-split SpMV). Split into a start (own copy + sends)
+    // and a finish (receives) so the split-phase mode can compute the
+    // interior rows of `a_in` while the subgroup halo is in flight — the
+    // same overlap the outer SpMV gets from `HaloExchange`.
+    macro_rules! start_inner_halo {
         () => {{
             seq += 1;
             let tag = Tag::RecoveryInner.with(seq);
@@ -514,9 +517,25 @@ fn distributed_inner_solve(
                     ctx.send(*dst, tag, Payload::F64s(vals));
                 }
             }
+            tag
+        }};
+    }
+    macro_rules! finish_inner_halo {
+        ($tag:expr) => {{
+            let tag = $tag;
             for (src, gidx) in shared.plan.recvs_of(me) {
                 if is_failed(*src) {
-                    let vals = ctx.recv(*src, tag).into_f64s();
+                    // Same zero-cost fast path as HaloExchange::finish.
+                    let vals = match ctx.try_recv(*src, tag) {
+                        Some(payload) => payload.into_f64s(),
+                        None => ctx.recv(*src, tag).into_f64s(),
+                    };
+                    assert_eq!(
+                        vals.len(),
+                        gidx.len(),
+                        "inner halo: payload length mismatch from rank {src} \
+                         (protocol violation)"
+                    );
                     for (&g, &v) in gidx.iter().zip(vals.iter()) {
                         scratch.p_full[g] = v;
                     }
@@ -549,9 +568,37 @@ fn distributed_inner_solve(
 
     let mut iterations = 0usize;
     while relres >= shared.cfg.inner_rtol && iterations < shared.cfg.inner_max_iters {
-        exchange_inner_halo!();
-        be.spmv_into(&cache.a_in, &scratch.p_full, &mut scratch.iq);
-        ctx.charge_flops(spmv_flops);
+        // The inner operator application, scheduled like the outer SpMV
+        // (bitwise identical under both modes; see `SpmvMode`).
+        match shared.cfg.spmv_mode {
+            SpmvMode::Blocking => {
+                let tag = start_inner_halo!();
+                finish_inner_halo!(tag);
+                be.spmv_into(&cache.a_in, &scratch.p_full, &mut scratch.iq);
+                ctx.charge_flops(spmv_flops);
+            }
+            SpmvMode::SplitPhase => {
+                let split = &cache.inner_split;
+                let tag = start_inner_halo!();
+                be.spmv_rows_subset_into(
+                    &cache.a_in,
+                    split.interior(),
+                    0,
+                    &scratch.p_full,
+                    &mut scratch.iq,
+                );
+                ctx.charge_flops(split.interior_flops());
+                finish_inner_halo!(tag);
+                be.spmv_rows_subset_into(
+                    &cache.a_in,
+                    split.boundary(),
+                    0,
+                    &scratch.p_full,
+                    &mut scratch.iq,
+                );
+                ctx.charge_flops(split.boundary_flops());
+            }
+        }
         let pap_red = subreduce!({
             let mut v = ctx.take_f64s();
             v.push(be.dot(&scratch.ip, &scratch.iq));

@@ -24,7 +24,7 @@ use std::collections::HashMap;
 use std::ops::Range;
 
 use esrcg_precond::BlockJacobiPrecond;
-use esrcg_sparse::{CsrMatrix, Partition};
+use esrcg_sparse::{CsrMatrix, Partition, RowSplit};
 
 use crate::solver::SharedProblem;
 
@@ -104,6 +104,11 @@ pub(crate) struct DomainCache {
     /// `A[I_own, I_f]` with global columns — the inner-system operator
     /// applied every inner iteration as a branch-free SpMV.
     pub a_in: CsrMatrix,
+    /// Interior/boundary split of `a_in`'s (local) rows with respect to
+    /// this rank's own global column range: interior rows of the inner
+    /// SpMV read only the rank's own `p` chunk and can compute while the
+    /// replacement-subgroup halo is in flight.
+    pub inner_split: RowSplit,
 }
 
 impl DomainCache {
@@ -124,10 +129,26 @@ impl DomainCache {
         }
         let a_off = a.extract_rows_filtered(own_rows, |c| !in_failed_idx[c]);
         let a_in = a.extract_rows_filtered(own_rows, |c| in_failed_idx[c]);
+        // `a_in` keeps global column indices but compacts rows to
+        // 0..own_rows.len(); the owned rows are contiguous (a rank's
+        // partition range), so the owned column range is just the list's
+        // endpoints. A gap would silently misclassify rows as interior —
+        // wrong recovery results, not a panic — so check in release builds
+        // too (once per failure domain, O(own_rows)).
+        assert!(
+            own_rows.windows(2).all(|w| w[1] == w[0] + 1),
+            "DomainCache assumes a contiguous own_rows range"
+        );
+        let own_cols = match (own_rows.first(), own_rows.last()) {
+            (Some(&lo), Some(&hi)) => lo..hi + 1,
+            _ => 0..0,
+        };
+        let inner_split = RowSplit::build(&a_in, 0..a_in.nrows(), own_cols);
         DomainCache {
             in_failed_idx,
             a_off,
             a_in,
+            inner_split,
         }
     }
 }
@@ -194,5 +215,22 @@ mod tests {
         assert_eq!(cache.a_off.spmv(&x), off);
         let inn = a.spmv_rows_masked(&own_rows, &x, |c| !cache.in_failed_idx[c]);
         assert_eq!(cache.a_in.spmv(&x), inn);
+        // The inner split partitions a_in's rows, and interior rows read
+        // only this rank's own column range.
+        let split = &cache.inner_split;
+        assert_eq!(split.interior().len() + split.boundary().len(), 9);
+        assert_eq!(
+            split.interior_flops() + split.boundary_flops(),
+            cache.a_in.spmv_flops()
+        );
+        let own = own_rows[0]..own_rows[8] + 1;
+        for &lr in split.interior() {
+            let (cols, _) = cache.a_in.row(lr);
+            assert!(cols.iter().all(|c| own.contains(c)), "interior row {lr}");
+        }
+        for &lr in split.boundary() {
+            let (cols, _) = cache.a_in.row(lr);
+            assert!(cols.iter().any(|c| !own.contains(c)), "boundary row {lr}");
+        }
     }
 }

@@ -219,6 +219,68 @@ impl KernelBackend {
         });
     }
 
+    /// Computes `y[i - offset] = Σ_k A[i, k] x[k]` for each global row `i`
+    /// in `rows` (strictly increasing) — the subset kernel of the
+    /// split-phase distributed SpMV. Interior rows run while the halo is in
+    /// flight, boundary rows afterwards; together the two calls write
+    /// exactly what [`KernelBackend::spmv_rows_into`] over the whole owned
+    /// range writes, bit for bit, because every row is the same sequential
+    /// accumulation. Unlisted positions of `y` keep their contents.
+    ///
+    /// Parallelism is over nnz-balanced chunks of the row list; since the
+    /// list is sorted, each chunk's outputs form a contiguous, worker-
+    /// disjoint slice of `y`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches, rows that do not map into `y`, or a
+    /// row list that is not strictly increasing.
+    pub fn spmv_rows_subset_into(
+        &self,
+        a: &CsrMatrix,
+        rows: &[usize],
+        offset: usize,
+        x: &[f64],
+        y: &mut [f64],
+    ) {
+        assert_eq!(x.len(), a.ncols(), "spmv_rows_subset: x length != ncols");
+        let (Some(&first), Some(&last)) = (rows.first(), rows.last()) else {
+            return;
+        };
+        assert!(
+            first >= offset && last - offset < y.len(),
+            "spmv_rows_subset: rows do not map into y"
+        );
+        // The disjointness of the parallel worker output chunks below hinges
+        // on the list being strictly increasing; a duplicate or out-of-order
+        // row would hand two threads overlapping slices. Check it in release
+        // builds and on every path — sequential too, so the documented
+        // contract does not depend on host core count (O(rows), negligible
+        // next to the SpMV itself).
+        assert!(
+            rows.windows(2).all(|w| w[0] < w[1]),
+            "spmv_rows_subset: rows must be strictly increasing"
+        );
+        let nthreads = self.threads_for(rows.len());
+        if nthreads <= 1 {
+            a.spmv_rows_subset_into(rows, offset, x, y);
+            return;
+        }
+        let bounds = nnz_balanced_bounds_list(a, rows, nthreads);
+        let y_out = SendPtr::new(y);
+        dispatch(nthreads, |c| {
+            let (lo, hi) = (bounds[c], bounds[c + 1]);
+            if lo >= hi {
+                return;
+            }
+            let (y_lo, y_hi) = (rows[lo] - offset, rows[hi - 1] - offset + 1);
+            // SAFETY: rows are strictly increasing, so chunk `c`'s output
+            // positions lie in `[y_lo, y_hi)`, disjoint from every other
+            // chunk's, and within `y` (asserted above).
+            let head = unsafe { y_out.chunk(y_lo, y_hi) };
+            a.spmv_rows_subset_into(&rows[lo..hi], rows[lo], x, head);
+        });
+    }
+
     /// For each row `i` in `rows` (sorted global indices), computes
     /// `Σ_{k ∉ masked} A[i, k] x_full[k]` into `y` — the allocation-free,
     /// backend-routed form of [`CsrMatrix::spmv_rows_masked`].
@@ -528,6 +590,29 @@ mod tests {
             let mut y = vec![0.0; rows.len()];
             KernelBackend::parallel(t).spmv_rows_into(&a, rows.clone(), &x, &mut y);
             assert_eq!(y, reference, "t={t}");
+        }
+    }
+
+    #[test]
+    fn spmv_rows_subset_matches_reference_above_cutoff() {
+        let a = banded_spd(20_000, 6, 0.7, 5);
+        let x: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.3).cos()).collect();
+        let range = 1000..19_000;
+        let mut reference = vec![0.0; range.len()];
+        a.spmv_rows_into(range.clone(), &x, &mut reference);
+        // Split the range into two interleaved sorted subsets (both large
+        // enough to dispatch in parallel).
+        let evens: Vec<usize> = range.clone().filter(|r| r % 2 == 0).collect();
+        let odds: Vec<usize> = range.clone().filter(|r| r % 2 == 1).collect();
+        for t in [2usize, 7] {
+            let be = KernelBackend::parallel(t);
+            let mut y = vec![0.0; range.len()];
+            be.spmv_rows_subset_into(&a, &evens, range.start, &x, &mut y);
+            be.spmv_rows_subset_into(&a, &odds, range.start, &x, &mut y);
+            assert_eq!(y, reference, "t={t}");
+            // Empty subset: no-op, no panic.
+            be.spmv_rows_subset_into(&a, &[], range.start, &x, &mut y);
+            assert_eq!(y, reference);
         }
     }
 

@@ -251,6 +251,36 @@ impl CsrMatrix {
         }
     }
 
+    /// Computes `y[i - offset] = Σ_k A[i, k] x[k]` for each global row `i`
+    /// in `rows` (a strictly increasing list), scattering into `y` at the
+    /// same positions a full [`CsrMatrix::spmv_rows_into`] over
+    /// `offset..offset + y.len()` would use. This is the subset kernel of
+    /// the split-phase distributed SpMV: interior rows run while the halo
+    /// is in flight, boundary rows afterwards, and together they write
+    /// exactly the output of the blocking kernel — bit for bit, since each
+    /// row is the same sequential accumulation.
+    ///
+    /// Entries of `y` whose rows are not listed keep their previous
+    /// contents.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches or rows that do not map into `y`.
+    pub fn spmv_rows_subset_into(&self, rows: &[usize], offset: usize, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "spmv_rows_subset: x length != ncols");
+        debug_assert!(
+            rows.windows(2).all(|w| w[0] < w[1]),
+            "spmv_rows_subset: rows must be strictly increasing"
+        );
+        for &r in rows {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r - offset] = acc;
+        }
+    }
+
     /// For each row `i` in `rows` (a sorted list of global row indices),
     /// computes `Σ_{k ∉ masked} A[i, k] x_full[k]` — the off-diagonal product
     /// `A[I_f, I\I_f] x[I\I_f]` from Alg. 2 of the paper, where `masked`
@@ -530,6 +560,12 @@ impl CsrMatrix {
     pub fn spmv_rows_flops(&self, rows: std::ops::Range<usize>) -> u64 {
         2 * (self.row_ptr[rows.end] - self.row_ptr[rows.start]) as u64
     }
+
+    /// Flop count of applying exactly the rows in `rows` (an explicit
+    /// list, as used by [`CsrMatrix::spmv_rows_subset_into`]).
+    pub fn spmv_rows_list_flops(&self, rows: &[usize]) -> u64 {
+        2 * rows.iter().map(|&r| self.row_nnz(r)).sum::<usize>() as u64
+    }
 }
 
 #[cfg(test)]
@@ -575,6 +611,26 @@ mod tests {
         let mut y = vec![0.0; 2];
         a.spmv_rows_into(1..3, &x, &mut y);
         assert_eq!(y, vec![4.0, 10.0]);
+    }
+
+    #[test]
+    fn spmv_rows_subset_scatters_at_offset_positions() {
+        let a = small();
+        let x = [1.0, 2.0, 3.0];
+        // Full reference over rows 1..3.
+        let mut reference = vec![0.0; 2];
+        a.spmv_rows_into(1..3, &x, &mut reference);
+        // The same range computed as two disjoint subsets.
+        let mut y = vec![f64::NAN; 2];
+        a.spmv_rows_subset_into(&[2], 1, &x, &mut y);
+        assert!(y[0].is_nan(), "unlisted rows are untouched");
+        a.spmv_rows_subset_into(&[1], 1, &x, &mut y);
+        assert_eq!(y, reference);
+        // Empty subset is a no-op.
+        a.spmv_rows_subset_into(&[], 1, &x, &mut y);
+        assert_eq!(y, reference);
+        assert_eq!(a.spmv_rows_list_flops(&[1, 2]), a.spmv_rows_flops(1..3));
+        assert_eq!(a.spmv_rows_list_flops(&[]), 0);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   factorization for block Jacobi preconditioner blocks,
 //! * [`Partition`] — the contiguous block-row distribution of matrix rows and
 //!   vector entries over cluster ranks used throughout the paper,
+//! * [`split`] / [`RowSplit`] — the interior/boundary row classification the
+//!   split-phase distributed SpMV uses to overlap communication with
+//!   interior compute (cached per matrix + partition),
 //! * [`gen`] — synthetic SPD problem generators standing in for the paper's
 //!   SuiteSparse test matrices (see `DESIGN.md` §4 for the substitution
 //!   argument),
@@ -40,6 +43,7 @@ pub mod mm;
 pub mod partition;
 pub mod pool;
 pub mod rng;
+pub mod split;
 pub mod vector;
 
 pub use backend::KernelBackend;
@@ -48,3 +52,4 @@ pub use csr::CsrMatrix;
 pub use dense::{Cholesky, DenseMatrix};
 pub use error::SparseError;
 pub use partition::Partition;
+pub use split::{RowSplit, RowSplitSet};

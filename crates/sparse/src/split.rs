@@ -1,0 +1,244 @@
+//! Interior/boundary row classification for the split-phase distributed
+//! SpMV.
+//!
+//! A row owned by a rank is *interior* when every column it touches lies in
+//! the rank's own index range — its output depends on the local vector
+//! chunk alone and can be computed while the halo exchange is still in
+//! flight. The remaining *boundary* rows read received halo entries and
+//! must wait for the exchange to finish. [`RowSplit`] classifies one row
+//! range; [`RowSplitSet`] caches the classification for every rank of a
+//! [`Partition`], built once per matrix + partition exactly like the
+//! communication plan it complements.
+//!
+//! Splitting changes nothing about the arithmetic: each row is still one
+//! sequential accumulation over ascending columns, so
+//! interior-then-boundary via
+//! [`crate::KernelBackend::spmv_rows_subset_into`] is **bitwise
+//! identical** to the blocking [`crate::KernelBackend::spmv_rows_into`]
+//! over the whole range.
+
+use std::ops::Range;
+
+use crate::csr::CsrMatrix;
+use crate::partition::Partition;
+
+/// One contiguous row range classified into interior and boundary rows
+/// with respect to an owned column range.
+#[derive(Debug, Clone)]
+pub struct RowSplit {
+    rows: Range<usize>,
+    /// Global indices of rows whose columns all lie in the owned range
+    /// (strictly increasing).
+    interior: Vec<usize>,
+    /// Global indices of rows touching at least one foreign column
+    /// (strictly increasing).
+    boundary: Vec<usize>,
+    interior_flops: u64,
+    boundary_flops: u64,
+}
+
+impl RowSplit {
+    /// Classifies each row in `rows` of `a`: *interior* iff every stored
+    /// column lies in `owned_cols` (an empty row is interior — it reads
+    /// nothing).
+    ///
+    /// # Panics
+    /// Panics if `rows` exceeds the matrix dimensions.
+    pub fn build(a: &CsrMatrix, rows: Range<usize>, owned_cols: Range<usize>) -> Self {
+        assert!(rows.end <= a.nrows(), "row split: row range out of range");
+        let mut interior = Vec::new();
+        let mut boundary = Vec::new();
+        let (mut interior_flops, mut boundary_flops) = (0u64, 0u64);
+        for r in rows.clone() {
+            let (cols, _) = a.row(r);
+            // Columns are strictly increasing, so the endpoints decide.
+            let is_interior = match (cols.first(), cols.last()) {
+                (Some(lo), Some(hi)) => owned_cols.contains(lo) && owned_cols.contains(hi),
+                _ => true,
+            };
+            let flops = 2 * cols.len() as u64;
+            if is_interior {
+                interior.push(r);
+                interior_flops += flops;
+            } else {
+                boundary.push(r);
+                boundary_flops += flops;
+            }
+        }
+        RowSplit {
+            rows,
+            interior,
+            boundary,
+            interior_flops,
+            boundary_flops,
+        }
+    }
+
+    /// The classified row range.
+    pub fn rows(&self) -> Range<usize> {
+        self.rows.clone()
+    }
+
+    /// Interior rows (global indices, strictly increasing).
+    pub fn interior(&self) -> &[usize] {
+        &self.interior
+    }
+
+    /// Boundary rows (global indices, strictly increasing).
+    pub fn boundary(&self) -> &[usize] {
+        &self.boundary
+    }
+
+    /// SpMV flops of the interior rows (2 per stored entry).
+    pub fn interior_flops(&self) -> u64 {
+        self.interior_flops
+    }
+
+    /// SpMV flops of the boundary rows.
+    pub fn boundary_flops(&self) -> u64 {
+        self.boundary_flops
+    }
+}
+
+/// Per-rank [`RowSplit`]s of a block-row distributed square matrix — the
+/// cached companion of a communication plan.
+#[derive(Debug, Clone)]
+pub struct RowSplitSet {
+    splits: Vec<RowSplit>,
+}
+
+impl RowSplitSet {
+    /// Classifies every rank's rows of `a` under `partition` (owned columns
+    /// = owned rows, the block-row distribution of the paper).
+    ///
+    /// # Panics
+    /// Panics if the partition does not cover a square matrix.
+    pub fn build(a: &CsrMatrix, partition: &Partition) -> Self {
+        assert_eq!(partition.n(), a.nrows(), "partition must cover all rows");
+        assert_eq!(a.nrows(), a.ncols(), "row split needs a square matrix");
+        let splits = partition
+            .iter()
+            .map(|(_, range)| RowSplit::build(a, range.clone(), range))
+            .collect();
+        RowSplitSet { splits }
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.splits.len()
+    }
+
+    /// The split of `rank`'s rows.
+    pub fn of(&self, rank: usize) -> &RowSplit {
+        &self.splits[rank]
+    }
+
+    /// Total interior rows across all ranks.
+    pub fn total_interior(&self) -> usize {
+        self.splits.iter().map(|s| s.interior.len()).sum()
+    }
+
+    /// Total boundary rows across all ranks.
+    pub fn total_boundary(&self) -> usize {
+        self.splits.iter().map(|s| s.boundary.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{banded_spd, poisson1d, poisson2d};
+    use crate::KernelBackend;
+
+    #[test]
+    fn classification_matches_brute_force() {
+        let a = banded_spd(60, 7, 0.6, 5);
+        let part = Partition::balanced(60, 5);
+        let set = RowSplitSet::build(&a, &part);
+        assert_eq!(set.n_ranks(), 5);
+        for (s, range) in part.iter() {
+            let split = set.of(s);
+            assert_eq!(split.rows(), range);
+            for r in range.clone() {
+                let (cols, _) = a.row(r);
+                let interior = cols.iter().all(|c| range.contains(c));
+                assert_eq!(split.interior().contains(&r), interior, "rank {s} row {r}");
+                assert_eq!(split.boundary().contains(&r), !interior);
+            }
+            // Flops partition the range's flops exactly.
+            assert_eq!(
+                split.interior_flops() + split.boundary_flops(),
+                a.spmv_rows_flops(range)
+            );
+            assert_eq!(
+                split.interior_flops(),
+                a.spmv_rows_list_flops(split.interior())
+            );
+        }
+        assert_eq!(set.total_interior() + set.total_boundary(), 60);
+    }
+
+    #[test]
+    fn tridiagonal_boundary_is_the_block_edges() {
+        // poisson1d over equal blocks: exactly the first and last row of
+        // every interior block touch a neighbor.
+        let a = poisson1d(12);
+        let part = Partition::balanced(12, 3);
+        let set = RowSplitSet::build(&a, &part);
+        assert_eq!(set.of(0).boundary(), &[3]);
+        assert_eq!(set.of(1).boundary(), &[4, 7]);
+        assert_eq!(set.of(2).boundary(), &[8]);
+        assert_eq!(set.of(0).interior(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn block_diagonal_matrix_is_all_interior() {
+        let a = CsrMatrix::identity(20);
+        let part = Partition::balanced(20, 4);
+        let set = RowSplitSet::build(&a, &part);
+        assert_eq!(set.total_boundary(), 0);
+        assert_eq!(set.total_interior(), 20);
+        for s in 0..4 {
+            assert!(set.of(s).boundary().is_empty());
+            assert_eq!(set.of(s).boundary_flops(), 0);
+        }
+    }
+
+    #[test]
+    fn single_rank_is_all_interior_and_empty_ranks_split_empty() {
+        let a = poisson2d(5, 5);
+        let single = RowSplitSet::build(&a, &Partition::balanced(25, 1));
+        assert_eq!(single.of(0).interior().len(), 25);
+        assert!(single.of(0).boundary().is_empty());
+        // More ranks than rows: trailing ranks own nothing.
+        let b = poisson1d(3);
+        let many = RowSplitSet::build(&b, &Partition::balanced(3, 5));
+        for s in 3..5 {
+            assert!(many.of(s).interior().is_empty());
+            assert!(many.of(s).boundary().is_empty());
+            assert_eq!(many.of(s).rows().len(), 0);
+        }
+    }
+
+    #[test]
+    fn interior_then_boundary_reproduces_blocking_spmv_bitwise() {
+        let a = poisson2d(9, 9);
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin()).collect();
+        for n_ranks in [1usize, 2, 3, 5] {
+            let part = Partition::balanced(n, n_ranks);
+            let set = RowSplitSet::build(&a, &part);
+            for be in [KernelBackend::Sequential, KernelBackend::parallel(4)] {
+                for (s, range) in part.iter() {
+                    let mut blocking = vec![0.0; range.len()];
+                    be.spmv_rows_into(&a, range.clone(), &x, &mut blocking);
+                    let split = set.of(s);
+                    let mut y = vec![0.0; range.len()];
+                    be.spmv_rows_subset_into(&a, split.interior(), range.start, &x, &mut y);
+                    be.spmv_rows_subset_into(&a, split.boundary(), range.start, &x, &mut y);
+                    assert_eq!(y, blocking, "rank {s} of {n_ranks}, {}", be.name());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The split-phase contract, end to end: the overlapped SpMV schedule must
+//! be **bitwise identical** to the blocking baseline — for failure-free
+//! runs, for full ESR/ESRP reconstructions and IMCR rollbacks, at every
+//! rank count and thread count — while strictly improving the modeled time
+//! whenever there is communication to hide.
+
+use esrcg::prelude::*;
+use esrcg::sparse::CsrMatrix;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn experiment(n_ranks: usize, mode: SpmvMode, threads: usize) -> Experiment {
+    Experiment::builder()
+        .matrix(MatrixSource::Poisson2d { nx: 12, ny: 12 })
+        .n_ranks(n_ranks)
+        .backend(KernelBackend::parallel(threads))
+        .spmv_mode(mode)
+}
+
+fn assert_same_solve(blocking: &RunReport, split: &RunReport, label: &str) {
+    assert!(blocking.converged && split.converged, "{label}");
+    assert_eq!(blocking.iterations, split.iterations, "{label}");
+    assert_eq!(blocking.total_loop_trips, split.total_loop_trips, "{label}");
+    assert_eq!(blocking.x, split.x, "{label}: bitwise identical solution");
+    assert_eq!(
+        blocking.final_relres.to_bits(),
+        split.final_relres.to_bits(),
+        "{label}"
+    );
+    assert_eq!(
+        blocking.residual_drift.to_bits(),
+        split.residual_drift.to_bits(),
+        "{label}"
+    );
+}
+
+#[test]
+fn failure_free_runs_bit_identical_across_ranks_and_threads() {
+    for n_ranks in [1usize, 2, 3, 5] {
+        let mut reference: Option<RunReport> = None;
+        for threads in THREAD_COUNTS {
+            let blocking = experiment(n_ranks, SpmvMode::Blocking, threads)
+                .run()
+                .expect("blocking run");
+            let split = experiment(n_ranks, SpmvMode::SplitPhase, threads)
+                .run()
+                .expect("split run");
+            let label = format!("{n_ranks} ranks, {threads} threads");
+            assert_same_solve(&blocking, &split, &label);
+            // And identical across thread counts too (the PR 1/2 guarantee
+            // must compose with the new schedule).
+            match &reference {
+                None => reference = Some(split),
+                Some(r) => assert_eq!(r.x, split.x, "{label} vs 1 thread"),
+            }
+        }
+    }
+}
+
+#[test]
+fn esr_failure_recovery_bit_identical() {
+    // ESR (T = 1): every iteration runs the augmented SpMV with captured
+    // redundant copies, and the recovery runs the distributed inner solve —
+    // both paths must be schedule-independent.
+    let c = experiment(4, SpmvMode::Blocking, 2)
+        .run()
+        .expect("reference")
+        .iterations;
+    let run = |mode| {
+        experiment(4, mode, 2)
+            .strategy(Strategy::esr())
+            .phi(2)
+            .failure_at(c / 2, 1, 2)
+            .run()
+            .expect("failure run")
+    };
+    let blocking = run(SpmvMode::Blocking);
+    let split = run(SpmvMode::SplitPhase);
+    assert_same_solve(&blocking, &split, "ESR failure run");
+    let (b, s) = (
+        blocking.recovery.expect("recovered"),
+        split.recovery.expect("recovered"),
+    );
+    assert_eq!(b.failed_at, s.failed_at);
+    assert_eq!(b.resumed_at, s.resumed_at);
+    assert_eq!(b.wasted_iterations, s.wasted_iterations);
+    assert_eq!(b.full_restart, s.full_restart);
+    assert_eq!(
+        b.inner_iterations, s.inner_iterations,
+        "inner solve trajectory is schedule-independent"
+    );
+}
+
+#[test]
+fn esrp_failure_recovery_bit_identical() {
+    let c = experiment(5, SpmvMode::Blocking, 1)
+        .run()
+        .expect("reference")
+        .iterations;
+    let t = 5;
+    let jf = paper_failure_iteration(c, t);
+    let run = |mode| {
+        experiment(5, mode, 1)
+            .strategy(Strategy::Esrp { t })
+            .phi(2)
+            .failure_at(jf, 2, 2)
+            .run()
+            .expect("failure run")
+    };
+    let blocking = run(SpmvMode::Blocking);
+    let split = run(SpmvMode::SplitPhase);
+    assert_same_solve(&blocking, &split, "ESRP failure run");
+    assert_eq!(
+        blocking.recovery.expect("recovered").resumed_at,
+        split.recovery.expect("recovered").resumed_at
+    );
+}
+
+#[test]
+fn imcr_failure_recovery_bit_identical() {
+    let c = experiment(4, SpmvMode::Blocking, 8)
+        .run()
+        .expect("reference")
+        .iterations;
+    let run = |mode| {
+        experiment(4, mode, 8)
+            .strategy(Strategy::Imcr { t: 5 })
+            .phi(1)
+            .failure_at(c / 2, 0, 1)
+            .run()
+            .expect("failure run")
+    };
+    let blocking = run(SpmvMode::Blocking);
+    let split = run(SpmvMode::SplitPhase);
+    assert_same_solve(&blocking, &split, "IMCR failure run");
+    assert_eq!(
+        blocking.recovery.expect("recovered").resumed_at,
+        split.recovery.expect("recovered").resumed_at
+    );
+}
+
+#[test]
+fn split_phase_improves_modeled_time_at_four_plus_ranks() {
+    for n_ranks in [4usize, 8] {
+        let blocking = experiment(n_ranks, SpmvMode::Blocking, 1)
+            .run()
+            .expect("blocking");
+        let split = experiment(n_ranks, SpmvMode::SplitPhase, 1)
+            .run()
+            .expect("split");
+        assert_same_solve(&blocking, &split, &format!("{n_ranks} ranks"));
+        assert!(
+            split.modeled_time < blocking.modeled_time,
+            "{n_ranks} ranks: split {} vs blocking {}",
+            split.modeled_time,
+            blocking.modeled_time
+        );
+        // The mechanism: halo wait attributed to the SpMV phase shrinks.
+        let wait = |r: &RunReport| {
+            r.per_rank_stats
+                .iter()
+                .map(|s| s.recv_wait[Phase::SpMV as usize])
+                .sum::<f64>()
+        };
+        assert!(
+            wait(&split) < wait(&blocking),
+            "{n_ranks} ranks: SpMV recv wait {} vs {}",
+            wait(&split),
+            wait(&blocking)
+        );
+    }
+}
+
+#[test]
+fn more_ranks_than_rows_solves_under_both_modes() {
+    // n < n_ranks: ranks 4..6 own empty ranges; both schedules must agree
+    // bit for bit and not deadlock.
+    let run = |mode| {
+        Experiment::builder()
+            .matrix(MatrixSource::Poisson2d { nx: 2, ny: 2 })
+            .n_ranks(6)
+            .spmv_mode(mode)
+            .run()
+            .expect("tiny run")
+    };
+    let blocking = run(SpmvMode::Blocking);
+    let split = run(SpmvMode::SplitPhase);
+    assert_same_solve(&blocking, &split, "n < n_ranks");
+    assert_eq!(split.x.len(), 4);
+}
+
+#[test]
+fn all_interior_ranks_solve_under_both_modes() {
+    // A block-diagonal (here: diagonal) matrix has an empty communication
+    // plan: every rank's rows are interior, the split boundary pass is a
+    // no-op, and both modes still agree.
+    let n = 24;
+    let diag = CsrMatrix::from_dense(
+        n,
+        n,
+        &(0..n * n)
+            .map(|k| {
+                if k % (n + 1) == 0 {
+                    2.0 + (k / (n + 1)) as f64 * 0.1
+                } else {
+                    0.0
+                }
+            })
+            .collect::<Vec<f64>>(),
+    );
+    let run = |mode| {
+        Experiment::builder()
+            .matrix(MatrixSource::Custom(diag.clone()))
+            .rhs(RhsSpec::Ones)
+            .n_ranks(4)
+            .spmv_mode(mode)
+            .run()
+            .expect("diagonal run")
+    };
+    let blocking = run(SpmvMode::Blocking);
+    let split = run(SpmvMode::SplitPhase);
+    assert_same_solve(&blocking, &split, "all-interior ranks");
+    // No communication to hide: the schedules are not just bitwise equal
+    // but cost-identical.
+    assert_eq!(
+        blocking.modeled_time.to_bits(),
+        split.modeled_time.to_bits(),
+        "empty plan: overlap changes nothing"
+    );
+}
