@@ -1,0 +1,121 @@
+//! Emits `BENCH_campaign.json`: per-cell resilience statistics of a
+//! stochastic failure campaign, plus a Markdown summary on stdout.
+//!
+//! ```text
+//! cargo run --release -p esrcg-campaign --bin campaign -- [options]
+//!
+//! options:
+//!   --smoke           the CI/acceptance matrix (one small Poisson problem,
+//!                     ESR/ESRP/IMCR × phi {1,2} × 4 fault processes,
+//!                     2 seeds) — also the default when no sizing flag is
+//!                     given
+//!   --grid N          edge of the 2-D Poisson problem (default 16)
+//!   --ranks LIST      comma-separated rank counts (default 4)
+//!   --seeds LIST      comma-separated trace seeds (default 11,17)
+//!   --max-runs N      budget: cap the number of measured runs
+//!   --workers N       fleet worker threads (default 4); the artifact is
+//!                     byte-identical for any value
+//!   --out PATH        output file (default BENCH_campaign.json)
+//!   --quiet           suppress progress lines on stderr
+//! ```
+
+use esrcg_campaign::{CampaignRunner, CampaignSpec};
+use esrcg_core::driver::MatrixSource;
+
+struct Options {
+    grid: usize,
+    ranks: Vec<usize>,
+    seeds: Vec<u64>,
+    max_runs: Option<usize>,
+    workers: usize,
+    out: String,
+    quiet: bool,
+}
+
+fn parse_list<T: std::str::FromStr>(v: &str) -> Result<Vec<T>, String> {
+    v.split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad number '{s}'")))
+        .collect()
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opt = Options {
+        grid: 16,
+        ranks: vec![4],
+        seeds: vec![11, 17],
+        max_runs: None,
+        workers: 4,
+        out: "BENCH_campaign.json".to_string(),
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--smoke" => {} // the defaults *are* the smoke matrix
+            "--grid" => {
+                opt.grid = args
+                    .next()
+                    .ok_or("missing value for --grid")?
+                    .parse()
+                    .map_err(|_| "bad --grid")?
+            }
+            "--ranks" => opt.ranks = parse_list(&args.next().ok_or("missing value for --ranks")?)?,
+            "--seeds" => opt.seeds = parse_list(&args.next().ok_or("missing value for --seeds")?)?,
+            "--max-runs" => {
+                opt.max_runs = Some(
+                    args.next()
+                        .ok_or("missing value for --max-runs")?
+                        .parse()
+                        .map_err(|_| "bad --max-runs")?,
+                )
+            }
+            "--workers" => {
+                opt.workers = args
+                    .next()
+                    .ok_or("missing value for --workers")?
+                    .parse()
+                    .map_err(|_| "bad --workers")?
+            }
+            "--out" => opt.out = args.next().ok_or("missing value for --out")?,
+            "--quiet" => opt.quiet = true,
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(opt)
+}
+
+fn main() {
+    let opt = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let mut spec = CampaignSpec::smoke();
+    spec.problems[0].name = format!("poisson2d-{0}x{0}", opt.grid);
+    spec.problems[0].source = MatrixSource::Poisson2d {
+        nx: opt.grid,
+        ny: opt.grid,
+    };
+    spec.rank_counts = opt.ranks;
+    spec.seeds = opt.seeds;
+    spec.max_runs = opt.max_runs;
+
+    let report = match CampaignRunner::new(opt.workers)
+        .verbose(!opt.quiet)
+        .run(&spec)
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(&opt.out, report.to_json()) {
+        eprintln!("cannot write {}: {e}", opt.out);
+        std::process::exit(1);
+    }
+    println!("{}", report.to_markdown());
+    eprintln!("wrote {}", opt.out);
+}

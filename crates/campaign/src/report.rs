@@ -1,0 +1,405 @@
+//! Campaign aggregation and rendering: per-cell resilience statistics
+//! against the matched failure-free baseline, emitted as schema-versioned
+//! JSON (`BENCH_campaign.json`) and a Markdown summary table.
+//!
+//! Everything in a report derives from deterministic inputs — modeled
+//! clocks, iteration counts, recovery outcomes, and the enumeration order —
+//! and the renderers use fixed-precision formatting, so the emitted bytes
+//! are identical across repeated runs and across fleet worker counts. Wall
+//! time and host facts are deliberately **absent**: they belong on stderr,
+//! not in the artifact.
+
+use std::fmt::Write as _;
+
+/// Schema identifier stamped into the JSON artifact. Bump on any change to
+/// the emitted structure.
+pub const SCHEMA: &str = "esrcg-campaign-v1";
+
+/// Order statistics of one metric over a cell's runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest value.
+    pub min: f64,
+    /// Median (midpoint-averaged for even counts).
+    pub median: f64,
+    /// Largest value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes `values`; `None` when empty. Ordering uses
+    /// [`f64::total_cmp`], so the result is deterministic and the
+    /// aggregation is total — a pathological NaN metric sorts last
+    /// instead of panicking away a whole completed campaign.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v = values.to_vec();
+        v.sort_by(f64::total_cmp);
+        let n = v.len();
+        let median = if n % 2 == 1 {
+            v[n / 2]
+        } else {
+            0.5 * (v[n / 2 - 1] + v[n / 2])
+        };
+        Some(Summary {
+            min: v[0],
+            median,
+            max: v[n - 1],
+        })
+    }
+
+    fn json(&self, precision: usize) -> String {
+        format!(
+            "{{\"min\": {:.p$}, \"median\": {:.p$}, \"max\": {:.p$}}}",
+            self.min,
+            self.median,
+            self.max,
+            p = precision
+        )
+    }
+}
+
+/// One matched failure-free baseline run (`Strategy::None`), shared by
+/// every cell of the same (problem, rank count) pair.
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    /// Problem label.
+    pub problem: String,
+    /// Problem size (rows).
+    pub n: usize,
+    /// Simulated ranks.
+    pub n_ranks: usize,
+    /// Modeled reference time t₀ (seconds).
+    pub t0: f64,
+    /// Reference iteration count C — also the planned iteration budget the
+    /// cell traces were compiled against.
+    pub c: usize,
+}
+
+/// Aggregated resilience statistics of one campaign cell.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// Problem label.
+    pub problem: String,
+    /// Simulated ranks.
+    pub n_ranks: usize,
+    /// Strategy display name (`esr`, `esrp(T=10)`, `imcr(T=10)`).
+    pub strategy: String,
+    /// Redundancy level φ.
+    pub phi: usize,
+    /// Fault-process name (parameterized, see `FaultProcess::name`).
+    pub process: String,
+    /// Trace seeds this cell ran.
+    pub seeds: Vec<u64>,
+    /// Runs executed (= seeds).
+    pub runs: usize,
+    /// Runs that completed without error/panic.
+    pub ok_runs: usize,
+    /// Job errors and panic messages, in seed order (empty when clean).
+    pub errors: Vec<String>,
+    /// Completed runs that failed to reach the tolerance.
+    pub convergence_failures: usize,
+    /// Failure events scheduled across all traces of the cell.
+    pub events_scheduled: usize,
+    /// Failure events that actually triggered (an event past a run's
+    /// convergence point never fires).
+    pub events_triggered: usize,
+    /// Recoveries that had no rollback point and restarted from x⁰.
+    pub full_restarts: usize,
+    /// Total redone iterations across all runs.
+    pub wasted_iterations: usize,
+    /// Logical iterations to convergence. This and the remaining
+    /// summaries cover the cell's **converged** runs only — a run that
+    /// hit the iteration cap is counted in `convergence_failures`
+    /// instead of skewing the distributions with cap-sized values.
+    pub iterations: Option<Summary>,
+    /// Modeled solve time (seconds), over converged runs.
+    pub modeled_time: Option<Summary>,
+    /// Overhead vs the matched baseline: `(t − t₀)/t₀`, over converged
+    /// runs.
+    pub overhead: Option<Summary>,
+    /// Share of modeled time spent in recovery: `Σ recovery_time / t`,
+    /// over converged runs.
+    pub recovery_share: Option<Summary>,
+}
+
+/// The full campaign outcome: baselines, per-cell aggregates, and the
+/// enumeration accounting (what was skipped or cut is part of the record).
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Matched baselines, one per (problem, rank count) pair, in first-use
+    /// order.
+    pub baselines: Vec<BaselineReport>,
+    /// Aggregated cells, in enumeration order.
+    pub cells: Vec<CellReport>,
+    /// Measured runs planned after skipping/truncation.
+    pub planned_runs: usize,
+    /// Combinations skipped as unrunnable (φ ≥ ranks).
+    pub skipped_combos: usize,
+    /// Runs cut by the campaign budget.
+    pub dropped_runs: usize,
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn opt_summary(s: &Option<Summary>, precision: usize) -> String {
+    match s {
+        Some(s) => s.json(precision),
+        None => "null".to_string(),
+    }
+}
+
+impl CampaignReport {
+    /// Renders the schema-versioned JSON artifact. Deterministic bytes for
+    /// deterministic inputs (fixed precision, fixed key order, no host or
+    /// wall-clock facts).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(s, "  \"planned_runs\": {},", self.planned_runs);
+        let _ = writeln!(s, "  \"skipped_combos\": {},", self.skipped_combos);
+        let _ = writeln!(s, "  \"dropped_runs\": {},", self.dropped_runs);
+        s.push_str("  \"baselines\": [\n");
+        for (i, b) in self.baselines.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"problem\": {}, \"n\": {}, \"n_ranks\": {}, \
+                 \"t0_seconds\": {:.9}, \"iterations\": {}}}{}",
+                json_str(&b.problem),
+                b.n,
+                b.n_ranks,
+                b.t0,
+                b.c,
+                if i + 1 == self.baselines.len() {
+                    ""
+                } else {
+                    ","
+                }
+            );
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let seeds = c
+                .seeds
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let errors = c
+                .errors
+                .iter()
+                .map(|e| json_str(e))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(
+                s,
+                "    {{\"problem\": {}, \"n_ranks\": {}, \"strategy\": {}, \
+                 \"phi\": {}, \"process\": {}, \"seeds\": [{}],",
+                json_str(&c.problem),
+                c.n_ranks,
+                json_str(&c.strategy),
+                c.phi,
+                json_str(&c.process),
+                seeds
+            );
+            let _ = writeln!(
+                s,
+                "     \"runs\": {}, \"ok_runs\": {}, \"errors\": [{}], \
+                 \"convergence_failures\": {},",
+                c.runs, c.ok_runs, errors, c.convergence_failures
+            );
+            let _ = writeln!(
+                s,
+                "     \"events_scheduled\": {}, \"events_triggered\": {}, \
+                 \"full_restarts\": {}, \"wasted_iterations\": {},",
+                c.events_scheduled, c.events_triggered, c.full_restarts, c.wasted_iterations
+            );
+            let _ = writeln!(
+                s,
+                "     \"iterations\": {}, \"modeled_seconds\": {}, \
+                 \"overhead\": {}, \"recovery_share\": {}}}{}",
+                opt_summary(&c.iterations, 1),
+                opt_summary(&c.modeled_time, 9),
+                opt_summary(&c.overhead, 6),
+                opt_summary(&c.recovery_share, 6),
+                if i + 1 == self.cells.len() { "" } else { "," }
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Renders the Markdown summary: one table row per cell, grouped under
+    /// the baselines they are measured against.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "# Campaign report ({SCHEMA})");
+        let _ = writeln!(s);
+        let _ = writeln!(
+            s,
+            "{} cells, {} measured runs ({} combos skipped, {} runs cut by budget).",
+            self.cells.len(),
+            self.planned_runs,
+            self.skipped_combos,
+            self.dropped_runs
+        );
+        let _ = writeln!(s);
+        let _ = writeln!(s, "## Baselines (Strategy::None reference runs)");
+        let _ = writeln!(s);
+        let _ = writeln!(s, "| problem | n | ranks | t0 (ms) | C |");
+        let _ = writeln!(s, "|---|---:|---:|---:|---:|");
+        for b in &self.baselines {
+            let _ = writeln!(
+                s,
+                "| {} | {} | {} | {:.3} | {} |",
+                b.problem,
+                b.n,
+                b.n_ranks,
+                b.t0 * 1e3,
+                b.c
+            );
+        }
+        let _ = writeln!(s);
+        let _ = writeln!(s, "## Cells");
+        let _ = writeln!(s);
+        let _ = writeln!(
+            s,
+            "Overhead is `(t − t0)/t0` (modeled); recovery share is the \
+             fraction of modeled time spent in recovery; both are medians \
+             over the cell's runs with [min, max] ranges."
+        );
+        let _ = writeln!(s);
+        let _ = writeln!(
+            s,
+            "| problem | ranks | strategy | φ | process | runs | events | \
+             overhead % | recovery % | wasted | restarts | fails |"
+        );
+        let _ = writeln!(
+            s,
+            "|---|---:|---|---:|---|---:|---:|---:|---:|---:|---:|---:|"
+        );
+        for c in &self.cells {
+            let pct = |s: &Option<Summary>| match s {
+                Some(s) => format!(
+                    "{:.2} [{:.2}, {:.2}]",
+                    100.0 * s.median,
+                    100.0 * s.min,
+                    100.0 * s.max
+                ),
+                None => "-".to_string(),
+            };
+            let fails = c.convergence_failures + (c.runs - c.ok_runs);
+            let _ = writeln!(
+                s,
+                "| {} | {} | {} | {} | {} | {} | {}/{} | {} | {} | {} | {} | {} |",
+                c.problem,
+                c.n_ranks,
+                c.strategy,
+                c.phi,
+                c.process,
+                c.runs,
+                c.events_triggered,
+                c.events_scheduled,
+                pct(&c.overhead),
+                pct(&c.recovery_share),
+                c.wasted_iterations,
+                c.full_restarts,
+                fails
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CampaignReport {
+        CampaignReport {
+            baselines: vec![BaselineReport {
+                problem: "poisson2d-16x16".into(),
+                n: 256,
+                n_ranks: 4,
+                t0: 0.0012345,
+                c: 100,
+            }],
+            cells: vec![CellReport {
+                problem: "poisson2d-16x16".into(),
+                n_ranks: 4,
+                strategy: "esrp(T=10)".into(),
+                phi: 1,
+                process: "exp(mtbf=30)".into(),
+                seeds: vec![11, 17],
+                runs: 2,
+                ok_runs: 2,
+                errors: Vec::new(),
+                convergence_failures: 0,
+                events_scheduled: 3,
+                events_triggered: 3,
+                full_restarts: 0,
+                wasted_iterations: 12,
+                iterations: Summary::of(&[100.0, 100.0]),
+                modeled_time: Summary::of(&[0.0013, 0.0014]),
+                overhead: Summary::of(&[0.05, 0.13]),
+                recovery_share: Summary::of(&[0.02, 0.03]),
+            }],
+            planned_runs: 2,
+            skipped_combos: 0,
+            dropped_runs: 0,
+        }
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!((s.min, s.median, s.max), (1.0, 2.0, 3.0));
+        let e = Summary::of(&[4.0, 1.0]).unwrap();
+        assert_eq!(e.median, 2.5, "even counts average the midpoints");
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn json_is_schema_versioned_and_stable() {
+        let r = sample();
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b, "rendering is pure");
+        assert!(a.contains("\"schema\": \"esrcg-campaign-v1\""));
+        assert!(a.contains("\"t0_seconds\": 0.001234500"));
+        assert!(a.contains("\"overhead\": {\"min\": 0.050000"));
+        assert!(a.contains("\"process\": \"exp(mtbf=30)\""));
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn markdown_carries_the_cell_rows() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| poisson2d-16x16 | 4 | esrp(T=10) | 1 | exp(mtbf=30) | 2 | 3/3 |"));
+        assert!(md.contains("## Baselines"));
+        assert!(md.contains("9.00 [5.00, 13.00]"), "{md}");
+    }
+}

@@ -1,0 +1,388 @@
+//! Campaign orchestration: baseline pairing, trace compilation, fleet
+//! execution, and deterministic aggregation.
+//!
+//! A campaign runs in phases:
+//!
+//! 1. **Baselines** — one `Strategy::None` reference run per distinct
+//!    (problem, rank count) pair, executed concurrently. Each yields the
+//!    paper's `t₀` (modeled) and `C` (iterations): the overhead
+//!    denominator and the planned iteration budget of every cell trace.
+//! 2. **Trace compilation** — every cell × seed compiles its
+//!    [`FaultProcess`](crate::trace::FaultProcess) into a failure
+//!    schedule against the matched
+//!    baseline's budget (main thread: schedules are part of the record
+//!    whether or not the run later succeeds).
+//! 3. **Fleet execution** — all measured runs drain through the bounded
+//!    worker set ([`crate::fleet::run_jobs`]) with per-job panic
+//!    isolation.
+//! 4. **Aggregation** — per-cell statistics in enumeration order; nothing
+//!    scheduling-dependent enters the report, so aggregates are
+//!    byte-identical across worker counts.
+
+use std::sync::Arc;
+
+use esrcg_core::driver::{Experiment, MatrixSource, RunReport};
+use esrcg_sparse::CsrMatrix;
+
+use crate::fleet::run_jobs;
+use crate::report::{BaselineReport, CampaignReport, CellReport, Summary};
+use crate::spec::CampaignSpec;
+use crate::trace::TraceBudget;
+
+/// Executes [`CampaignSpec`]s through a bounded concurrent fleet.
+#[derive(Debug, Clone)]
+pub struct CampaignRunner {
+    workers: usize,
+    verbose: bool,
+}
+
+/// What one measured run contributes to its cell's aggregates.
+#[derive(Debug, Clone)]
+struct RunOutcome {
+    converged: bool,
+    iterations: usize,
+    modeled_time: f64,
+    events_triggered: usize,
+    recovery_time: f64,
+    wasted_iterations: usize,
+    full_restarts: usize,
+}
+
+impl RunOutcome {
+    fn from_report(r: &RunReport) -> Self {
+        RunOutcome {
+            converged: r.converged,
+            iterations: r.iterations,
+            modeled_time: r.modeled_time,
+            events_triggered: r.recoveries.len(),
+            // `+ 0.0` normalizes the empty sum: `Sum for f64` folds from
+            // -0.0, which would otherwise print as "-0.000000".
+            recovery_time: r
+                .recoveries
+                .iter()
+                .map(|rec| rec.recovery_time)
+                .sum::<f64>()
+                + 0.0,
+            wasted_iterations: r.recoveries.iter().map(|rec| rec.wasted_iterations).sum(),
+            full_restarts: r.recoveries.iter().filter(|rec| rec.full_restart).count(),
+        }
+    }
+}
+
+impl CampaignRunner {
+    /// A runner draining the fleet through `workers` worker threads
+    /// (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        CampaignRunner {
+            workers: workers.max(1),
+            verbose: false,
+        }
+    }
+
+    /// Enables progress lines on stderr (never part of the report).
+    pub fn verbose(mut self, on: bool) -> Self {
+        self.verbose = on;
+        self
+    }
+
+    /// Runs the whole campaign and aggregates the report.
+    ///
+    /// # Errors
+    /// Returns spec validation problems, matrix assembly failures, and
+    /// baseline runs that error or fail to converge (without a trusted
+    /// baseline no overhead is meaningful). Measured-run errors and panics
+    /// do **not** abort the campaign; they are recorded per cell.
+    pub fn run(&self, spec: &CampaignSpec) -> Result<CampaignReport, String> {
+        let enumeration = spec.enumerate()?;
+        let cells = &enumeration.cells;
+
+        // Materialize every problem matrix once; every run shares it
+        // through `MatrixSource::Shared` — a refcount bump per job, never
+        // a copy.
+        let mut matrices: Vec<Arc<CsrMatrix>> = Vec::with_capacity(spec.problems.len());
+        for p in &spec.problems {
+            matrices.push(Arc::new(
+                p.source
+                    .build()
+                    .map_err(|e| format!("problem '{}': {e}", p.name))?,
+            ));
+        }
+
+        // --- Phase 1: matched baselines, one per (problem, ranks) --------
+        let mut baseline_keys: Vec<(usize, usize)> = Vec::new();
+        for c in cells {
+            let key = (c.problem, c.n_ranks);
+            if !baseline_keys.contains(&key) {
+                baseline_keys.push(key);
+            }
+        }
+        if self.verbose {
+            eprintln!(
+                "campaign: {} cells, {} measured runs, {} baselines, {} workers",
+                cells.len(),
+                enumeration.planned_runs,
+                baseline_keys.len(),
+                self.workers
+            );
+        }
+        let baseline_results = run_jobs(
+            self.workers,
+            baseline_keys.clone(),
+            |_, &(pi, n_ranks)| {
+                // `reference()` *is* the definition of the matched
+                // baseline: the cell stem with strategy, φ, and failures
+                // stripped. Routing the baseline through it keeps the
+                // pairing correct even if the stem ever grows a
+                // resilience-affecting knob.
+                self.experiment(spec, &matrices, pi, n_ranks)
+                    .reference()
+                    .run()
+                    .map(|r| (r.x.len(), r.converged, r.modeled_time, r.iterations))
+            },
+            |done, total| {
+                if self.verbose {
+                    eprintln!("campaign: baseline {done}/{total}");
+                }
+            },
+        );
+        let mut baselines: Vec<BaselineReport> = Vec::with_capacity(baseline_keys.len());
+        for (&(pi, n_ranks), res) in baseline_keys.iter().zip(baseline_results) {
+            let name = &spec.problems[pi].name;
+            let (n, converged, t0, c) = res
+                .map_err(|e| format!("baseline for '{name}' on {n_ranks} ranks: {e}"))?
+                .map_err(|e| format!("baseline for '{name}' on {n_ranks} ranks: {e}"))?;
+            if !converged {
+                return Err(format!(
+                    "baseline for '{name}' on {n_ranks} ranks did not converge \
+                     within {} iterations — overheads would be meaningless",
+                    spec.max_iters
+                ));
+            }
+            baselines.push(BaselineReport {
+                problem: name.clone(),
+                n,
+                n_ranks,
+                t0,
+                c,
+            });
+        }
+        let baseline_of = |pi: usize, n_ranks: usize| -> &BaselineReport {
+            let k = baseline_keys
+                .iter()
+                .position(|&key| key == (pi, n_ranks))
+                .expect("every cell has a baseline");
+            &baselines[k]
+        };
+
+        // --- Phase 2: compile every trace against its baseline budget ----
+        struct Job {
+            cell: usize,
+            schedule: Vec<esrcg_cluster::FailureSpec>,
+        }
+        let mut jobs: Vec<Job> = Vec::with_capacity(enumeration.planned_runs);
+        let mut cell_scheduled: Vec<usize> = vec![0; cells.len()];
+        for (ci, cell) in cells.iter().enumerate() {
+            let base = baseline_of(cell.problem, cell.n_ranks);
+            let budget = TraceBudget {
+                iterations: base.c,
+                n_ranks: cell.n_ranks,
+                phi: cell.phi,
+                interval: cell.strategy.interval().unwrap_or(1),
+            };
+            for &seed in &cell.seeds {
+                let schedule = cell.process.compile(seed, &budget);
+                cell_scheduled[ci] += schedule.len();
+                jobs.push(Job { cell: ci, schedule });
+            }
+        }
+
+        // --- Phase 3: drain the measured runs through the fleet ----------
+        let verbose = self.verbose;
+        let outcomes = run_jobs(
+            self.workers,
+            jobs,
+            |_, job| {
+                let cell = &cells[job.cell];
+                self.experiment(spec, &matrices, cell.problem, cell.n_ranks)
+                    .strategy(cell.strategy)
+                    .phi(cell.phi)
+                    .failures(job.schedule.clone())
+                    .run()
+                    .map(|r| RunOutcome::from_report(&r))
+            },
+            |done, total| {
+                if verbose && (done % 10 == 0 || done == total) {
+                    eprintln!("campaign: run {done}/{total}");
+                }
+            },
+        );
+
+        // --- Phase 4: aggregate per cell, in enumeration order -----------
+        // `outcomes[k]` corresponds to `jobs[k]`, whose cell indices are
+        // nondecreasing in enumeration order; walk them as one stream.
+        let mut cell_reports: Vec<CellReport> = Vec::with_capacity(cells.len());
+        let mut cursor = 0usize;
+        for (ci, cell) in cells.iter().enumerate() {
+            let base = baseline_of(cell.problem, cell.n_ranks);
+            let mut errors = Vec::new();
+            let mut oks: Vec<RunOutcome> = Vec::new();
+            for &seed in &cell.seeds {
+                match &outcomes[cursor] {
+                    Ok(Ok(o)) => oks.push(o.clone()),
+                    Ok(Err(e)) => errors.push(format!("seed {seed}: {e}")),
+                    Err(e) => errors.push(format!("seed {seed}: {e}")),
+                }
+                cursor += 1;
+            }
+            // Summaries cover *converged* runs only: a run that hit the
+            // iteration cap carries a meaningless (cap-sized) iteration
+            // count and modeled time that would silently dwarf the real
+            // distribution. Non-converged runs are visible instead in
+            // `convergence_failures`.
+            let metric = |f: &dyn Fn(&RunOutcome) -> f64| -> Option<Summary> {
+                let vals: Vec<f64> = oks.iter().filter(|o| o.converged).map(f).collect();
+                Summary::of(&vals)
+            };
+            cell_reports.push(CellReport {
+                problem: base.problem.clone(),
+                n_ranks: cell.n_ranks,
+                strategy: cell.strategy.to_string(),
+                phi: cell.phi,
+                process: cell.process.name(),
+                seeds: cell.seeds.clone(),
+                runs: cell.seeds.len(),
+                ok_runs: oks.len(),
+                errors,
+                convergence_failures: oks.iter().filter(|o| !o.converged).count(),
+                events_scheduled: cell_scheduled[ci],
+                events_triggered: oks.iter().map(|o| o.events_triggered).sum(),
+                full_restarts: oks.iter().map(|o| o.full_restarts).sum(),
+                wasted_iterations: oks.iter().map(|o| o.wasted_iterations).sum(),
+                iterations: metric(&|o| o.iterations as f64),
+                modeled_time: metric(&|o| o.modeled_time),
+                overhead: metric(&|o| (o.modeled_time - base.t0) / base.t0),
+                recovery_share: metric(&|o| o.recovery_time / o.modeled_time),
+            });
+        }
+        debug_assert_eq!(cursor, outcomes.len(), "every run aggregated");
+
+        Ok(CampaignReport {
+            baselines,
+            cells: cell_reports,
+            planned_runs: enumeration.planned_runs,
+            skipped_combos: enumeration.skipped_combos,
+            dropped_runs: enumeration.dropped_runs,
+        })
+    }
+
+    /// The common experiment stem of a (problem, ranks) pair: baseline
+    /// pairing means every cell run is this exact builder plus strategy,
+    /// φ, and the compiled failure schedule.
+    fn experiment(
+        &self,
+        spec: &CampaignSpec,
+        matrices: &[Arc<CsrMatrix>],
+        problem: usize,
+        n_ranks: usize,
+    ) -> Experiment {
+        let p = &spec.problems[problem];
+        Experiment::builder()
+            .matrix(MatrixSource::Shared(matrices[problem].clone()))
+            .rhs(p.rhs)
+            .n_ranks(n_ranks)
+            .rtol(spec.rtol)
+            .max_iters(spec.max_iters)
+            .cost_model(spec.cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ProblemSpec;
+    use crate::trace::FaultProcess;
+    use esrcg_core::driver::RhsSpec;
+    use esrcg_core::strategy::Strategy;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            problems: vec![ProblemSpec::new(
+                "poisson2d-12x12",
+                MatrixSource::Poisson2d { nx: 12, ny: 12 },
+                RhsSpec::FromKnownSolution,
+            )],
+            rank_counts: vec![4],
+            strategies: vec![Strategy::esr(), Strategy::Esrp { t: 5 }],
+            phis: vec![1],
+            processes: vec![FaultProcess::None, FaultProcess::Exponential { mtbf: 20.0 }],
+            seeds: vec![3, 4],
+            rtol: 1e-8,
+            max_iters: 200_000,
+            cost: esrcg_cluster::CostModel::default(),
+            max_runs: None,
+        }
+    }
+
+    #[test]
+    fn campaign_produces_paired_overheads() {
+        let report = CampaignRunner::new(2).run(&tiny_spec()).unwrap();
+        assert_eq!(report.baselines.len(), 1);
+        let base = &report.baselines[0];
+        assert!(base.t0 > 0.0 && base.c > 0);
+        assert_eq!(report.cells.len(), 4);
+        for cell in &report.cells {
+            assert_eq!(cell.ok_runs, cell.runs, "no errors: {:?}", cell.errors);
+            assert_eq!(cell.convergence_failures, 0);
+            let ov = cell.overhead.as_ref().expect("runs happened");
+            assert!(
+                ov.min > 0.0,
+                "resilience always costs something over t0 ({})",
+                cell.process
+            );
+            if cell.process == "none" {
+                assert_eq!(cell.events_scheduled, 0);
+                assert_eq!(cell.events_triggered, 0);
+                assert_eq!(cell.runs, 1, "deterministic process collapsed seeds");
+            }
+        }
+        // A failure cell costs more than its failure-free sibling.
+        let ff = report
+            .cells
+            .iter()
+            .find(|c| c.strategy == "esr" && c.process == "none")
+            .unwrap();
+        let wf = report
+            .cells
+            .iter()
+            .find(|c| c.strategy == "esr" && c.process.starts_with("exp"))
+            .unwrap();
+        assert!(wf.events_triggered > 0, "mtbf 20 triggers events");
+        assert!(
+            wf.overhead.as_ref().unwrap().median > ff.overhead.as_ref().unwrap().median,
+            "failures cost more than failure-free protection"
+        );
+        assert!(wf.recovery_share.as_ref().unwrap().max > 0.0);
+        assert_eq!(
+            wf.wasted_iterations, 0,
+            "ESR reconstructs the failure iteration itself — zero redone work"
+        );
+        // ESRP rolls back to the last storage stage, so its failure cell
+        // generally redoes iterations (and never more than T per event).
+        let esrp_wf = report
+            .cells
+            .iter()
+            .find(|c| c.strategy == "esrp(T=5)" && c.process.starts_with("exp"))
+            .unwrap();
+        assert!(esrp_wf.events_triggered > 0);
+        assert!(esrp_wf.wasted_iterations <= 5 * esrp_wf.events_triggered + esrp_wf.runs);
+    }
+
+    #[test]
+    fn baseline_failure_aborts_with_context() {
+        let mut spec = tiny_spec();
+        spec.max_iters = 3; // nothing converges in 3 iterations
+        let err = CampaignRunner::new(1).run(&spec).unwrap_err();
+        assert!(err.contains("did not converge"), "{err}");
+        assert!(err.contains("poisson2d-12x12"), "{err}");
+    }
+}

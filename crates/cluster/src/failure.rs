@@ -10,15 +10,42 @@
 /// of iteration `at_iteration` (immediately after that iteration's matrix–
 /// vector product, matching the paper's reconstruction pre-conditions — see
 /// `DESIGN.md` §2.5).
+///
+/// The rank set is validated at construction (non-empty, duplicate-free)
+/// and kept **sorted**, so membership tests ([`FailureSpec::affects`]) are
+/// `O(log ψ)` and every consumer can rely on a canonical order — the
+/// recovery protocols derive their designated ranks and deterministic
+/// message schedules directly from it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FailureSpec {
     /// The iteration at which the failure strikes.
-    pub at_iteration: usize,
-    /// The simultaneously failing ranks (ψ in the paper's notation).
-    pub ranks: Vec<usize>,
+    at_iteration: usize,
+    /// The simultaneously failing ranks (ψ in the paper's notation),
+    /// sorted ascending, duplicate-free, non-empty.
+    ranks: Vec<usize>,
 }
 
 impl FailureSpec {
+    /// A failure of the given rank set at iteration `at_iteration`. The
+    /// ranks are sorted; duplicates and empty sets are rejected.
+    ///
+    /// # Errors
+    /// Returns a description of the problem for an empty rank set or a
+    /// duplicated rank.
+    pub fn new(at_iteration: usize, mut ranks: Vec<usize>) -> Result<Self, String> {
+        if ranks.is_empty() {
+            return Err("failure must affect at least one rank".into());
+        }
+        ranks.sort_unstable();
+        if let Some(w) = ranks.windows(2).find(|w| w[0] == w[1]) {
+            return Err(format!("duplicate rank {} in failure set", w[0]));
+        }
+        Ok(FailureSpec {
+            at_iteration,
+            ranks,
+        })
+    }
+
     /// A failure of a contiguous block of `count` ranks starting at `start`
     /// (wrapping modulo `n_ranks`), at iteration `at_iteration`. The paper
     /// justifies contiguous blocks by switch faults in a fat tree taking out
@@ -35,10 +62,17 @@ impl FailureSpec {
         );
         assert!(start < n_ranks, "start rank out of range");
         let ranks = (0..count).map(|k| (start + k) % n_ranks).collect();
-        FailureSpec {
-            at_iteration,
-            ranks,
-        }
+        FailureSpec::new(at_iteration, ranks).expect("contiguous block is duplicate-free")
+    }
+
+    /// The iteration at which the failure strikes.
+    pub fn at_iteration(&self) -> usize {
+        self.at_iteration
+    }
+
+    /// The failing ranks, sorted ascending.
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
     }
 
     /// Number of simultaneously failing ranks (ψ).
@@ -46,9 +80,9 @@ impl FailureSpec {
         self.ranks.len()
     }
 
-    /// True if `rank` is in the failure set.
+    /// True if `rank` is in the failure set (`O(log ψ)`).
     pub fn affects(&self, rank: usize) -> bool {
-        self.ranks.contains(&rank)
+        self.ranks.binary_search(&rank).is_ok()
     }
 
     /// True if the event triggers at iteration `j`.
@@ -64,24 +98,50 @@ mod tests {
     #[test]
     fn contiguous_block() {
         let f = FailureSpec::contiguous(100, 2, 3, 8);
-        assert_eq!(f.ranks, vec![2, 3, 4]);
+        assert_eq!(f.ranks(), &[2, 3, 4]);
         assert_eq!(f.count(), 3);
         assert!(f.affects(3));
         assert!(!f.affects(5));
         assert!(f.triggers_at(100));
         assert!(!f.triggers_at(99));
+        assert_eq!(f.at_iteration(), 100);
     }
 
     #[test]
-    fn contiguous_block_wraps() {
+    fn contiguous_block_wraps_and_is_sorted() {
         let f = FailureSpec::contiguous(10, 6, 4, 8);
-        assert_eq!(f.ranks, vec![6, 7, 0, 1]);
+        assert_eq!(f.ranks(), &[0, 1, 6, 7], "canonical sorted order");
+        for r in [0, 1, 6, 7] {
+            assert!(f.affects(r));
+        }
+        for r in [2, 3, 4, 5] {
+            assert!(!f.affects(r));
+        }
     }
 
     #[test]
     fn single_rank_failure() {
         let f = FailureSpec::contiguous(1, 0, 1, 4);
-        assert_eq!(f.ranks, vec![0]);
+        assert_eq!(f.ranks(), &[0]);
+    }
+
+    #[test]
+    fn explicit_set_is_sorted() {
+        let f = FailureSpec::new(7, vec![5, 1, 3]).unwrap();
+        assert_eq!(f.ranks(), &[1, 3, 5]);
+        assert!(f.affects(3) && !f.affects(2));
+    }
+
+    #[test]
+    fn duplicate_ranks_rejected() {
+        let err = FailureSpec::new(1, vec![2, 4, 2]).unwrap_err();
+        assert!(err.contains("duplicate rank 2"), "{err}");
+    }
+
+    #[test]
+    fn empty_set_rejected() {
+        let err = FailureSpec::new(1, Vec::new()).unwrap_err();
+        assert!(err.contains("at least one rank"), "{err}");
     }
 
     #[test]

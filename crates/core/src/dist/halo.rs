@@ -14,11 +14,71 @@
 //! sum. [`exchange_halo`] remains as the blocking composition of the two
 //! halves — the baseline the overlap is measured against, and the form the
 //! recovery protocols use where there is nothing to overlap.
+//!
+//! The exchange is generic over a [`PlanView`] — the full plan, or the plan
+//! restricted to the peers a predicate accepts — and over the wire tag, so
+//! sub-protocols running the same index sets among a rank subset under
+//! their own tag namespace (the recovery inner solve exchanging between
+//! replacements under `Tag::RecoveryInner`) reuse this exact code path
+//! instead of mirroring it.
 
 use esrcg_cluster::{Ctx, Payload, Tag};
 use esrcg_sparse::Partition;
 
 use crate::dist::plan::CommPlan;
+
+/// A borrowed view of a [`CommPlan`]: either the whole plan, or the plan
+/// restricted to the peers accepted by a filter predicate.
+///
+/// Filtering removes *peers*, never indices: an accepted peer's index list
+/// is used unchanged. That is exactly the structure of the recovery inner
+/// solve — the columns of `A[I_f₂, I_f₁]` are the plan's `I(f₁, f₂)` lists,
+/// and masking columns only removes non-failed owners (see
+/// [`crate::solver::recovery`]).
+pub struct PlanView<'a> {
+    plan: &'a CommPlan,
+    filter: Option<&'a dyn Fn(usize) -> bool>,
+}
+
+impl<'a> PlanView<'a> {
+    /// The unrestricted plan — what the regular SpMV halo uses.
+    pub fn full(plan: &'a CommPlan) -> Self {
+        PlanView { plan, filter: None }
+    }
+
+    /// The plan restricted to peers for which `filter` returns true. The
+    /// calling rank itself never appears as a peer, so the predicate is
+    /// only consulted for remote ranks.
+    pub fn filtered(plan: &'a CommPlan, filter: &'a dyn Fn(usize) -> bool) -> Self {
+        PlanView {
+            plan,
+            filter: Some(filter),
+        }
+    }
+
+    #[inline]
+    fn accepts(&self, peer: usize) -> bool {
+        self.filter.is_none_or(|f| f(peer))
+    }
+
+    /// The accepted sends of `rank`: `(destination, sorted global indices)`
+    /// pairs, in destination order.
+    pub fn sends_of(&self, rank: usize) -> impl Iterator<Item = &'a (usize, Vec<usize>)> + '_ {
+        self.plan
+            .sends_of(rank)
+            .iter()
+            .filter(move |(dst, _)| self.accepts(*dst))
+    }
+
+    /// The accepted receives of `rank`: `(source, sorted global indices)`
+    /// pairs, in source order.
+    pub fn recvs_of(&self, rank: usize) -> impl Iterator<Item = &'a (usize, Vec<usize>)> + '_ {
+        self.plan
+            .recvs_of(rank)
+            .iter()
+            .filter(move |(src, _)| self.accepts(*src))
+    }
+}
 
 /// An in-flight halo exchange: [`HaloExchange::start`] has fired the sends,
 /// [`HaloExchange::finish`] must drain the receives before any boundary row
@@ -53,14 +113,38 @@ impl HaloExchange {
         tag_sub: u32,
         full: &mut [f64],
     ) -> HaloExchange {
+        Self::start_view(
+            ctx,
+            &PlanView::full(plan),
+            part,
+            local,
+            Tag::Halo.with(tag_sub),
+            full,
+        )
+    }
+
+    /// [`HaloExchange::start`], generalized over a [`PlanView`] and a full
+    /// wire `tag`: the caller picks the peer subset and the tag namespace.
+    /// Protocol and cost are otherwise identical to the regular halo start.
+    ///
+    /// # Panics
+    /// Panics if `local` does not match the rank's range length or `full`
+    /// the global size.
+    pub fn start_view(
+        ctx: &mut Ctx,
+        view: &PlanView<'_>,
+        part: &Partition,
+        local: &[f64],
+        tag: u64,
+        full: &mut [f64],
+    ) -> HaloExchange {
         let me = ctx.rank();
         let range = part.range(me);
         assert_eq!(local.len(), range.len(), "halo: local chunk length");
         assert_eq!(full.len(), part.n(), "halo: full vector length");
         full[range.clone()].copy_from_slice(local);
 
-        let tag = Tag::Halo.with(tag_sub);
-        for (dst, gidx) in plan.sends_of(me) {
+        for (dst, gidx) in view.sends_of(me) {
             let mut vals = ctx.take_f64s();
             vals.extend(gidx.iter().map(|&g| local[g - range.start]));
             ctx.send(*dst, tag, Payload::F64s(vals));
@@ -96,10 +180,26 @@ impl HaloExchange {
         ctx: &mut Ctx,
         plan: &CommPlan,
         full: &mut [f64],
+        captured: Option<&mut Vec<(usize, f64)>>,
+    ) {
+        self.finish_view(ctx, &PlanView::full(plan), full, captured);
+    }
+
+    /// [`HaloExchange::finish`], generalized over a [`PlanView`]: drains
+    /// only the accepted sources. The view must accept the same peers the
+    /// matching [`HaloExchange::start_view`] accepted, or receives leak.
+    ///
+    /// # Panics
+    /// Panics if a received payload does not match the plan's index list.
+    pub fn finish_view(
+        self,
+        ctx: &mut Ctx,
+        view: &PlanView<'_>,
+        full: &mut [f64],
         mut captured: Option<&mut Vec<(usize, f64)>>,
     ) {
         let me = ctx.rank();
-        for (src, gidx) in plan.recvs_of(me) {
+        for (src, gidx) in view.recvs_of(me) {
             let vals = match ctx.try_recv(*src, self.tag) {
                 Some(payload) => payload.into_f64s(),
                 None => ctx.recv(*src, self.tag).into_f64s(),
@@ -315,6 +415,87 @@ mod tests {
             for &(g, v) in captured {
                 assert_eq!(v, g as f64, "captured value is the owner's entry");
                 assert_ne!(part.owner_of(g), l, "captured entries are foreign");
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_view_restricts_peers_but_not_indices() {
+        let a = poisson2d(8, 8);
+        let part = Partition::balanced(64, 4);
+        let plan = CommPlan::build(&a, &part);
+        let subgroup = [1usize, 2];
+        let in_group = |r: usize| subgroup.contains(&r);
+        let view = PlanView::filtered(&plan, &in_group);
+        for rank in 0..4 {
+            for (dst, idx) in view.sends_of(rank) {
+                assert!(in_group(*dst));
+                assert_eq!(idx, &plan.indices_to(rank, *dst), "index lists unchanged");
+            }
+            for (src, _) in view.recvs_of(rank) {
+                assert!(in_group(*src));
+            }
+            // The full view is the identity.
+            let full_view = PlanView::full(&plan);
+            assert_eq!(
+                full_view.sends_of(rank).count(),
+                plan.sends_of(rank).len(),
+                "rank {rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn subgroup_exchange_under_a_custom_tag_matches_the_plan_subset() {
+        // A filtered exchange among ranks {0, 1} of a 3-rank cluster under
+        // the RecoveryInner namespace — the recovery inner solve's shape:
+        // only subgroup members run the exchange (with the group predicate
+        // as the peer filter), outsiders are not involved at all. Accepted
+        // peers exchange exactly the plan's index lists; entries owned by
+        // rank 2 stay untouched.
+        let a = Arc::new(poisson2d(6, 6));
+        let n = a.nrows();
+        let x: Arc<Vec<f64>> = Arc::new((0..n).map(|i| i as f64 + 0.5).collect());
+        let part = Arc::new(Partition::balanced(n, 3));
+        let plan = Arc::new(CommPlan::build(&a, &part));
+        let out = run_spmd(3, CostModel::default(), {
+            let (x, part, plan) = (x.clone(), part.clone(), plan.clone());
+            move |ctx| {
+                let me = ctx.rank();
+                let in_group = |r: usize| r < 2;
+                let mut full = vec![f64::NAN; part.n()];
+                if !in_group(me) {
+                    return full; // outsiders sit the sub-protocol out
+                }
+                let range = part.range(me);
+                let view = PlanView::filtered(&plan, &in_group);
+                let hx = HaloExchange::start_view(
+                    ctx,
+                    &view,
+                    &part,
+                    &x[range.clone()],
+                    esrcg_cluster::Tag::RecoveryInner.with(9),
+                    &mut full,
+                );
+                hx.finish_view(ctx, &view, &mut full, None);
+                full
+            }
+        });
+        for rank in 0..2 {
+            let full = &out.results[rank];
+            // Own chunk present.
+            for g in part.range(rank) {
+                assert_eq!(full[g], x[g], "rank {rank} own entry {g}");
+            }
+            // Entries received from the accepted peer present; others NaN.
+            for (src, idx) in plan.recvs_of(rank) {
+                for &g in idx {
+                    if *src < 2 {
+                        assert_eq!(full[g], x[g], "rank {rank} entry {g} from {src}");
+                    } else {
+                        assert!(full[g].is_nan(), "rank {rank} entry {g} from {src}");
+                    }
+                }
             }
         }
     }

@@ -79,6 +79,11 @@ pub enum MatrixSource {
     File(std::path::PathBuf),
     /// A caller-supplied matrix.
     Custom(CsrMatrix),
+    /// A caller-supplied matrix behind a shared handle — what batch
+    /// drivers (the campaign fleet) use so hundreds of runs of the same
+    /// problem share one materialized matrix instead of deep-copying it
+    /// per run ([`MatrixSource::build_arc`] is then a refcount bump).
+    Shared(std::sync::Arc<CsrMatrix>),
 }
 
 impl MatrixSource {
@@ -103,7 +108,23 @@ impl MatrixSource {
                 esrcg_sparse::mm::read_matrix_market_file(path).map_err(|e| e.to_string())?
             }
             MatrixSource::Custom(a) => a.clone(),
+            MatrixSource::Shared(a) => (**a).clone(),
         })
+    }
+
+    /// Materializes the matrix as a shared handle. For
+    /// [`MatrixSource::Shared`] this is a refcount bump — no copy; every
+    /// other source builds once and wraps. [`Experiment::run`] consumes
+    /// this form, so sharing a matrix across many experiments costs
+    /// nothing per run.
+    ///
+    /// # Errors
+    /// Same as [`MatrixSource::build`].
+    pub fn build_arc(&self) -> Result<Arc<CsrMatrix>, String> {
+        match self {
+            MatrixSource::Shared(a) => Ok(a.clone()),
+            other => Ok(Arc::new(other.build()?)),
+        }
     }
 
     /// Short name for reports.
@@ -116,6 +137,7 @@ impl MatrixSource {
             MatrixSource::BandedSpd { .. } => "banded-spd",
             MatrixSource::File(_) => "file",
             MatrixSource::Custom(_) => "custom",
+            MatrixSource::Shared(_) => "shared",
         }
     }
 }
@@ -250,6 +272,31 @@ impl Experiment {
         self
     }
 
+    /// Replaces the whole failure schedule with `specs` — batch
+    /// construction for callers that compile schedules programmatically
+    /// (the campaign engine's fault-trace compiler). Any events previously
+    /// added through [`Experiment::failure_at`] or
+    /// [`Experiment::failure_spec`] are discarded.
+    pub fn failures(mut self, specs: Vec<FailureSpec>) -> Self {
+        self.failure_blocks.clear();
+        self.failure_explicit = specs;
+        self
+    }
+
+    /// The matched failure-free baseline of this experiment: the same
+    /// problem, right-hand side, rank count, preconditioner, tolerances,
+    /// cost model, and kernel configuration, but no resilience strategy and
+    /// no failures — the paper's `t₀` reference run. Campaign cells pair
+    /// each measured run with this baseline to report relative overheads.
+    pub fn reference(&self) -> Experiment {
+        let mut r = self.clone();
+        r.strategy = Strategy::None;
+        r.phi = 0;
+        r.failure_blocks.clear();
+        r.failure_explicit.clear();
+        r
+    }
+
     /// Sets the cost model.
     pub fn cost_model(mut self, c: CostModel) -> Self {
         self.cost = c;
@@ -277,7 +324,7 @@ impl Experiment {
     /// # Errors
     /// Returns configuration/assembly errors as strings.
     pub fn run(self) -> Result<RunReport, String> {
-        let a = self.matrix.build()?;
+        let a = self.matrix.build_arc()?;
         let n = a.nrows();
         let b = match self.rhs {
             RhsSpec::FromKnownSolution => {
@@ -296,14 +343,14 @@ impl Experiment {
                 .iter()
                 .map(|&(at, start, count)| FailureSpec::contiguous(at, start, count, self.n_ranks)),
         );
-        failures.sort_by_key(|f| f.at_iteration);
+        failures.sort_by_key(|f| f.at_iteration());
         let mut cfg = SolverConfig::new(self.strategy, self.phi);
         cfg.rtol = self.rtol;
         cfg.max_iters = self.max_iters;
         cfg.failures = failures;
         cfg.backend = self.backend;
         cfg.spmv_mode = self.spmv_mode;
-        let shared = Arc::new(SharedProblem::assemble(
+        let shared = Arc::new(SharedProblem::assemble_shared(
             a,
             b,
             vec![0.0; n],
@@ -551,6 +598,55 @@ mod tests {
     }
 
     #[test]
+    fn reference_is_the_matched_failure_free_baseline() {
+        let protected = Experiment::builder()
+            .matrix(MatrixSource::Poisson2d { nx: 10, ny: 10 })
+            .n_ranks(4)
+            .strategy(Strategy::Esrp { t: 5 })
+            .phi(1)
+            .failure_at(12, 0, 1);
+        let baseline = protected.reference().run().unwrap();
+        assert!(baseline.converged);
+        assert_eq!(baseline.strategy, Strategy::None);
+        assert!(baseline.recoveries.is_empty(), "no failures in a baseline");
+        // The baseline is the plain reference of the same problem.
+        let plain = Experiment::builder()
+            .matrix(MatrixSource::Poisson2d { nx: 10, ny: 10 })
+            .n_ranks(4)
+            .run()
+            .unwrap();
+        assert_eq!(baseline.iterations, plain.iterations);
+        assert_eq!(baseline.x, plain.x, "bitwise the same reference run");
+    }
+
+    #[test]
+    fn failures_batch_replaces_the_schedule() {
+        let reference = Experiment::builder()
+            .matrix(MatrixSource::Poisson2d { nx: 10, ny: 10 })
+            .n_ranks(4)
+            .run()
+            .unwrap();
+        let c = reference.iterations;
+        let schedule = vec![
+            FailureSpec::contiguous(c / 3, 0, 1, 4),
+            FailureSpec::contiguous(2 * c / 3, 2, 1, 4),
+        ];
+        let report = Experiment::builder()
+            .matrix(MatrixSource::Poisson2d { nx: 10, ny: 10 })
+            .n_ranks(4)
+            .strategy(Strategy::Esrp { t: 5 })
+            .phi(1)
+            .failure_at(1, 3, 1) // discarded by the batch setter
+            .failures(schedule)
+            .run()
+            .unwrap();
+        assert!(report.converged);
+        assert_eq!(report.recoveries.len(), 2, "exactly the batch events ran");
+        assert_eq!(report.recoveries[0].failed_at, c / 3);
+        assert_eq!(report.recoveries[1].failed_at, 2 * c / 3);
+    }
+
+    #[test]
     fn custom_matrix_and_file_round_trip() {
         let a = gen::poisson1d(12);
         let dir = std::env::temp_dir().join("esrcg_driver_test");
@@ -561,5 +657,29 @@ mod tests {
         let custom = MatrixSource::Custom(a.clone()).build().unwrap();
         assert_eq!(from_file, custom);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shared_matrix_source_is_zero_copy() {
+        let a = Arc::new(gen::poisson2d(8, 8));
+        let src = MatrixSource::Shared(a.clone());
+        assert_eq!(src.name(), "shared");
+        let handle = src.build_arc().unwrap();
+        assert!(Arc::ptr_eq(&a, &handle), "build_arc is a refcount bump");
+        assert_eq!(src.build().unwrap(), *a, "build still yields the matrix");
+        // A run from the shared handle matches the owned-matrix run
+        // bitwise (same problem, same trajectory).
+        let shared_run = Experiment::builder()
+            .matrix(MatrixSource::Shared(a.clone()))
+            .n_ranks(4)
+            .run()
+            .unwrap();
+        let custom_run = Experiment::builder()
+            .matrix(MatrixSource::Custom((*a).clone()))
+            .n_ranks(4)
+            .run()
+            .unwrap();
+        assert_eq!(shared_run.x, custom_run.x);
+        assert_eq!(shared_run.iterations, custom_run.iterations);
     }
 }

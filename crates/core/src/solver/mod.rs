@@ -143,12 +143,12 @@ impl SolverConfig {
                     self.phi
                 ));
             }
-            for &r in &f.ranks {
+            for &r in f.ranks() {
                 if r >= n_ranks {
                     return Err(format!("failure rank {r} out of range"));
                 }
             }
-            if i > 0 && f.at_iteration <= self.failures[i - 1].at_iteration {
+            if i > 0 && f.at_iteration() <= self.failures[i - 1].at_iteration() {
                 return Err(
                     "failure events must have strictly increasing trigger iterations".into(),
                 );
@@ -208,6 +208,23 @@ impl SharedProblem {
         precond_spec: PrecondSpec,
         cfg: SolverConfig,
     ) -> Result<Self, String> {
+        Self::assemble_shared(Arc::new(a), b, x0, n_ranks, precond_spec, cfg)
+    }
+
+    /// [`SharedProblem::assemble`] over an already-shared matrix handle —
+    /// no copy is taken, so batch drivers (the campaign fleet) can
+    /// assemble many problems from one materialized matrix.
+    ///
+    /// # Errors
+    /// Same as [`SharedProblem::assemble`].
+    pub fn assemble_shared(
+        a: Arc<CsrMatrix>,
+        b: Vec<f64>,
+        x0: Vec<f64>,
+        n_ranks: usize,
+        precond_spec: PrecondSpec,
+        cfg: SolverConfig,
+    ) -> Result<Self, String> {
         if a.nrows() != a.ncols() {
             return Err("matrix must be square".into());
         }
@@ -230,7 +247,7 @@ impl SharedProblem {
             .uses_checkpoints()
             .then(|| Arc::new(BuddyMap::new(n_ranks, cfg.phi)));
         Ok(SharedProblem {
-            a: Arc::new(a),
+            a,
             b: Arc::new(b),
             x0: Arc::new(x0),
             part,

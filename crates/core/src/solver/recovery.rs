@@ -12,6 +12,7 @@
 use esrcg_cluster::{Ctx, Payload, Phase, Tag};
 use esrcg_precond::{BlockJacobiPrecond, Preconditioner};
 
+use crate::dist::halo::{HaloExchange, PlanView};
 use crate::solver::state::{NodeState, OwnCheckpoint};
 use crate::solver::workspace::{DomainCache, LocalInnerSolve, RecoveryScratch, SolverWorkspace};
 use crate::solver::{init_state, SharedProblem, SpmvMode};
@@ -58,8 +59,8 @@ pub(crate) fn recover(
             "node failure injected into a run without a resilience strategy — \
              an unprotected solver loses all progress (the paper's motivating case)"
         ),
-        Strategy::Esrp { t } => recover_esrp(ctx, shared, st, ws, full, j_f, t, &event.ranks),
-        Strategy::Imcr { t } => recover_imcr(ctx, shared, st, full, j_f, t, &event.ranks),
+        Strategy::Esrp { t } => recover_esrp(ctx, shared, st, ws, full, j_f, t, event.ranks()),
+        Strategy::Imcr { t } => recover_imcr(ctx, shared, st, full, j_f, t, event.ranks()),
     };
     let t_end = ctx.barrier_sync_clock();
     RecoveryOutcome {
@@ -107,14 +108,16 @@ fn recover_esrp(
     full: &mut [f64],
     j_f: usize,
     t: usize,
-    failed: &[usize],
+    failed_sorted: &[usize],
 ) -> (usize, bool, usize) {
     let part = &*shared.part;
     let me = ctx.rank();
     let n_ranks = ctx.size();
     let be = shared.cfg.backend.subdivided(n_ranks);
-    let mut failed_sorted = failed.to_vec();
-    failed_sorted.sort_unstable();
+    debug_assert!(
+        failed_sorted.windows(2).all(|w| w[0] < w[1]),
+        "FailureSpec guarantees a sorted, duplicate-free rank set"
+    );
     let am_failed = failed_sorted.binary_search(&me).is_ok();
     let is_failed = |r: usize| failed_sorted.binary_search(&r).is_ok();
 
@@ -147,7 +150,7 @@ fn recover_esrp(
         .find(|&r| !is_failed(r))
         .expect("at least one rank survives");
     if me == scalar_root {
-        for &f in &failed_sorted {
+        for &f in failed_sorted {
             ctx.send(f, Tag::RecoveryScalar.bare(), Payload::Scalar(st.beta_prev));
         }
     }
@@ -171,7 +174,7 @@ fn recover_esrp(
         scratch.prepare(part.local_len(me), part.n());
     }
     if !am_failed {
-        for &f in &failed_sorted {
+        for &f in failed_sorted {
             let fr = part.range(f);
             let mut prev = ctx.take_pairs();
             st.queue
@@ -263,8 +266,8 @@ fn recover_esrp(
         // (static-data access, uncharged like the paper's safe-storage
         // reloads), reused by every later event with the same failure set.
         let cache = domains
-            .entry(failed_sorted.clone())
-            .or_insert_with(|| DomainCache::build(&shared.a, part, &my_idx, &failed_sorted));
+            .entry(failed_sorted.to_vec())
+            .or_insert_with(|| DomainCache::build(&shared.a, part, &my_idx, failed_sorted));
         debug_assert!(
             range.is_empty() || cache.in_failed_idx[range.start],
             "my own indices must be inside the failure domain"
@@ -322,7 +325,7 @@ fn recover_esrp(
         // the replacement nodes (and is why its recovery cost scales with
         // the inner system rather than with the whole machine).
         inner_iterations =
-            distributed_inner_solve(ctx, shared, &failed_sorted, scratch, cache, inner_pre);
+            distributed_inner_solve(ctx, shared, failed_sorted, scratch, cache, inner_pre);
         st.x.copy_from_slice(&scratch.ix);
 
         // Restore the rest of the replacement's state for iteration ĵ.
@@ -355,11 +358,13 @@ fn recover_imcr(
     full: &mut [f64],
     j_f: usize,
     t: usize,
-    failed: &[usize],
+    failed_sorted: &[usize],
 ) -> (usize, bool, usize) {
     let me = ctx.rank();
-    let mut failed_sorted = failed.to_vec();
-    failed_sorted.sort_unstable();
+    debug_assert!(
+        failed_sorted.windows(2).all(|w| w[0] < w[1]),
+        "FailureSpec guarantees a sorted, duplicate-free rank set"
+    );
     let am_failed = failed_sorted.binary_search(&me).is_ok();
 
     let Some(jc) = imcr_rollback_target(j_f, t) else {
@@ -372,8 +377,8 @@ fn recover_imcr(
     ctx.set_phase(Phase::RecoveryGather);
     if !am_failed {
         // Am I the designated sender for any failed rank?
-        for &f in &failed_sorted {
-            if buddies.first_surviving_buddy(f, &failed_sorted) == Some(me) {
+        for &f in failed_sorted {
+            if buddies.first_surviving_buddy(f, failed_sorted) == Some(me) {
                 let held = st
                     .held_ckpts
                     .get(&f)
@@ -386,7 +391,7 @@ fn recover_imcr(
         }
     } else {
         let sender = buddies
-            .first_surviving_buddy(me, &failed_sorted)
+            .first_surviving_buddy(me, failed_sorted)
             .expect("at least one buddy survives when psi <= phi");
         let blob = ctx
             .recv(sender, Tag::RecoveryCkpt.with(me as u32))
@@ -499,51 +504,16 @@ fn distributed_inner_solve(
         }};
     }
 
-    // Halo exchange of the search direction among replacements, scattering
-    // into the reusable full-length gather buffer (only `I_f` positions are
-    // read by the column-split SpMV). Split into a start (own copy + sends)
-    // and a finish (receives) so the split-phase mode can compute the
-    // interior rows of `a_in` while the subgroup halo is in flight — the
-    // same overlap the outer SpMV gets from `HaloExchange`.
-    macro_rules! start_inner_halo {
-        () => {{
-            seq += 1;
-            let tag = Tag::RecoveryInner.with(seq);
-            scratch.p_full[range.clone()].copy_from_slice(&scratch.ip);
-            for (dst, gidx) in shared.plan.sends_of(me) {
-                if is_failed(*dst) {
-                    let mut vals = ctx.take_f64s();
-                    vals.extend(gidx.iter().map(|&g| scratch.ip[g - range.start]));
-                    ctx.send(*dst, tag, Payload::F64s(vals));
-                }
-            }
-            tag
-        }};
-    }
-    macro_rules! finish_inner_halo {
-        ($tag:expr) => {{
-            let tag = $tag;
-            for (src, gidx) in shared.plan.recvs_of(me) {
-                if is_failed(*src) {
-                    // Same zero-cost fast path as HaloExchange::finish.
-                    let vals = match ctx.try_recv(*src, tag) {
-                        Some(payload) => payload.into_f64s(),
-                        None => ctx.recv(*src, tag).into_f64s(),
-                    };
-                    assert_eq!(
-                        vals.len(),
-                        gidx.len(),
-                        "inner halo: payload length mismatch from rank {src} \
-                         (protocol violation)"
-                    );
-                    for (&g, &v) in gidx.iter().zip(vals.iter()) {
-                        scratch.p_full[g] = v;
-                    }
-                    ctx.recycle_f64s(vals);
-                }
-            }
-        }};
-    }
+    // Halo exchange of the search direction among replacements: the outer
+    // [`HaloExchange`], run over the plan *filtered to the replacement
+    // subgroup* under the `Tag::RecoveryInner` namespace. Masking the
+    // columns of `A[I_own, I_f]` only removes non-failed owners, so an
+    // accepted peer's index list is the outer plan's, unchanged — which is
+    // exactly what [`PlanView::filtered`] expresses. The exchange scatters
+    // into the reusable gather buffer `scratch.p_full` (only `I_f`
+    // positions are read by the column-split SpMV), and its split-phase use
+    // below gives the inner solve the same overlap the outer SpMV gets.
+    let inner_view = PlanView::filtered(&shared.plan, &is_failed);
 
     let spmv_flops = cache.a_in.spmv_flops();
 
@@ -570,16 +540,32 @@ fn distributed_inner_solve(
     while relres >= shared.cfg.inner_rtol && iterations < shared.cfg.inner_max_iters {
         // The inner operator application, scheduled like the outer SpMV
         // (bitwise identical under both modes; see `SpmvMode`).
+        seq += 1;
+        let halo_tag = Tag::RecoveryInner.with(seq);
         match shared.cfg.spmv_mode {
             SpmvMode::Blocking => {
-                let tag = start_inner_halo!();
-                finish_inner_halo!(tag);
+                HaloExchange::start_view(
+                    ctx,
+                    &inner_view,
+                    part,
+                    &scratch.ip,
+                    halo_tag,
+                    &mut scratch.p_full,
+                )
+                .finish_view(ctx, &inner_view, &mut scratch.p_full, None);
                 be.spmv_into(&cache.a_in, &scratch.p_full, &mut scratch.iq);
                 ctx.charge_flops(spmv_flops);
             }
             SpmvMode::SplitPhase => {
                 let split = &cache.inner_split;
-                let tag = start_inner_halo!();
+                let hx = HaloExchange::start_view(
+                    ctx,
+                    &inner_view,
+                    part,
+                    &scratch.ip,
+                    halo_tag,
+                    &mut scratch.p_full,
+                );
                 be.spmv_rows_subset_into(
                     &cache.a_in,
                     split.interior(),
@@ -588,7 +574,7 @@ fn distributed_inner_solve(
                     &mut scratch.iq,
                 );
                 ctx.charge_flops(split.interior_flops());
-                finish_inner_halo!(tag);
+                hx.finish_view(ctx, &inner_view, &mut scratch.p_full, None);
                 be.spmv_rows_subset_into(
                     &cache.a_in,
                     split.boundary(),

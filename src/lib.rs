@@ -17,7 +17,9 @@
 //! * [`cluster`] — the SPMD runtime, cost model, and failure injection,
 //! * [`precond`] — Jacobi / block Jacobi / IC(0) / SSOR preconditioners,
 //! * [`core`] — PCG, ASpMV, the redundancy queue, ESR/ESRP/IMCR, and the
-//!   experiment driver.
+//!   experiment driver,
+//! * [`campaign`] — stochastic fault traces, the concurrent experiment
+//!   fleet, and resilience reports (`BENCH_campaign.json`).
 //!
 //! ## Quick start
 //!
@@ -40,6 +42,7 @@
 //! assert_eq!(recovery.failed_at, 12);
 //! ```
 
+pub use esrcg_campaign as campaign;
 pub use esrcg_cluster as cluster;
 pub use esrcg_core as core;
 pub use esrcg_precond as precond;
@@ -54,6 +57,9 @@ pub struct ReadmeDoctests;
 
 /// The types most applications need.
 pub mod prelude {
+    pub use esrcg_campaign::{
+        CampaignReport, CampaignRunner, CampaignSpec, FaultProcess, ProblemSpec, TraceBudget,
+    };
     pub use esrcg_cluster::{CostModel, FailureSpec, Phase};
     pub use esrcg_core::driver::{
         paper_failure_iteration, Experiment, MatrixSource, RhsSpec, RunReport,
