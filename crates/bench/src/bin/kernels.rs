@@ -13,9 +13,12 @@
 //!                         (default: 4,8,16; empty list skips the sweep)
 //!   --overlap-grid N      grid edge of the sweep's 2-D Poisson problem
 //!                         (default: 128, i.e. 16384 rows)
+//!   --variant V           PCG recurrences of the overlap sweep:
+//!                         classic | pipelined | both (default: both)
 //! ```
 
 use esrcg_bench::kernels::{run_kernel_bench, run_overlap_sweep};
+use esrcg_core::solver::PcgVariant;
 
 struct Options {
     out: String,
@@ -24,6 +27,7 @@ struct Options {
     samples: usize,
     overlap_ranks: Vec<usize>,
     overlap_grid: usize,
+    variants: Vec<PcgVariant>,
 }
 
 fn parse_list(v: &str) -> Result<Vec<usize>, String> {
@@ -40,6 +44,7 @@ fn parse_args() -> Result<Options, String> {
         samples: 10,
         overlap_ranks: vec![4, 8, 16],
         overlap_grid: 128,
+        variants: vec![PcgVariant::Classic, PcgVariant::Pipelined],
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -71,6 +76,14 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "bad --overlap-grid")?
             }
+            "--variant" => {
+                opt.variants = match args.next().ok_or("missing value for --variant")?.as_str() {
+                    "classic" => vec![PcgVariant::Classic],
+                    "pipelined" => vec![PcgVariant::Pipelined],
+                    "both" => vec![PcgVariant::Classic, PcgVariant::Pipelined],
+                    other => return Err(format!("bad --variant '{other}'")),
+                }
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -96,7 +109,12 @@ fn main() {
     );
     let mut report = run_kernel_bench(&opt.sizes, &opt.threads, opt.samples);
     if !opt.overlap_ranks.is_empty() {
-        report.overlap = run_overlap_sweep(&opt.overlap_ranks, opt.overlap_grid, opt.overlap_grid);
+        report.overlap = run_overlap_sweep(
+            &opt.overlap_ranks,
+            opt.overlap_grid,
+            opt.overlap_grid,
+            &opt.variants,
+        );
     }
     for m in &report.results {
         eprintln!(
@@ -121,12 +139,13 @@ fn main() {
         );
     }
     if !report.overlap.is_empty() {
-        eprintln!("halo overlap (modeled clock, blocking vs split-phase SpMV):");
+        eprintln!("overlap (modeled clock, blocking vs split-phase SpMV, per variant):");
         for m in &report.overlap {
             eprintln!(
-                "  {} n={} ranks={:<3} {:>9.3} µs/iter blocking  {:>9.3} µs/iter split  \
+                "  {} [{:<9}] n={} ranks={:<3} {:>9.3} µs/iter blocking  {:>9.3} µs/iter split  \
                  ({:.3}x, interior {} / boundary {})",
                 m.matrix,
+                m.variant,
                 m.n,
                 m.n_ranks,
                 m.blocking_per_iter() * 1e6,

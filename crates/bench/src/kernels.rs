@@ -14,18 +14,22 @@
 //! sizes (n ≤ 1e5) where per-call overhead is a visible fraction of the
 //! kernel — plus a bare no-op broadcast isolating the dispatch cost itself.
 //!
-//! A third sweep quantifies the **halo overlap**: the full distributed PCG
-//! loop under the blocking SpMV schedule versus the split-phase schedule
-//! ([`esrcg_core::solver::SpmvMode`]), on the deterministic modeled clock —
-//! which is exactly what makes the win measurable on a 1-core container
-//! (the logical clocks do not depend on host parallelism; only wall-clock
-//! numbers need a multicore re-run, see `ROADMAP.md` follow-up (a)).
+//! A third sweep quantifies the **overlap**: the full distributed PCG loop
+//! under the blocking SpMV schedule versus the split-phase schedule
+//! ([`esrcg_core::solver::SpmvMode`]), and — since schema v4 — under both
+//! PCG recurrences ([`esrcg_core::solver::PcgVariant`]: the classic loop
+//! versus the pipelined loop whose fused reduction hides under the
+//! preconditioner + SpMV). Everything runs on the deterministic modeled
+//! clock — which is exactly what makes the win measurable on a 1-core
+//! container (the logical clocks do not depend on host parallelism; only
+//! wall-clock numbers need a multicore re-run, see `ROADMAP.md` follow-up
+//! (a)).
 
 use std::time::Instant;
 
 use esrcg_cluster::Phase;
 use esrcg_core::driver::{Experiment, MatrixSource};
-use esrcg_core::solver::SpmvMode;
+use esrcg_core::solver::{PcgVariant, SpmvMode};
 use esrcg_sparse::backend::PARALLEL_CUTOFF;
 use esrcg_sparse::gen::poisson3d;
 use esrcg_sparse::pool::{self, DispatchMode};
@@ -75,18 +79,22 @@ impl OverheadMeasurement {
     }
 }
 
-/// One cell of the halo-overlap sweep: the distributed PCG loop solved
-/// under both SpMV schedules, on the deterministic modeled clock.
+/// One cell of the overlap sweep: the distributed PCG loop of one
+/// [`PcgVariant`] solved under both SpMV schedules, on the deterministic
+/// modeled clock. Rows of different variants at the same `(n, n_ranks)`
+/// compare the recurrences (the pipelined one hides its reduction).
 #[derive(Debug, Clone)]
 pub struct OverlapMeasurement {
     /// Matrix family (`"poisson2d"`).
     pub matrix: &'static str,
+    /// PCG recurrence variant name (`"classic"` or `"pipelined"`).
+    pub variant: &'static str,
     /// Problem size (rows).
     pub n: usize,
     /// Simulated ranks.
     pub n_ranks: usize,
     /// PCG iterations to convergence (identical under both schedules — the
-    /// trajectories are bitwise equal).
+    /// trajectories are bitwise equal *within* a variant).
     pub iterations: usize,
     /// Modeled seconds of the whole solve, blocking schedule.
     pub blocking_time: f64,
@@ -97,6 +105,9 @@ pub struct OverlapMeasurement {
     pub blocking_spmv_wait: f64,
     /// Summed SpMV-phase receive wait across ranks, split-phase schedule.
     pub split_spmv_wait: f64,
+    /// Summed `Phase::Reduction` receive wait across ranks, split-phase
+    /// schedule — the time the *pipelined variant* exists to hide.
+    pub split_reduction_wait: f64,
     /// Rows classified interior (cluster-wide, from the `RowSplitSet`).
     pub interior_rows: usize,
     /// Rows classified boundary.
@@ -219,46 +230,57 @@ pub fn run_kernel_bench(sizes: &[usize], thread_counts: &[usize], samples: usize
     }
 }
 
-/// Runs the halo-overlap sweep: one distributed PCG solve per rank count
-/// and SpMV schedule on a 2-D Poisson problem (`nx × ny` grid), comparing
-/// modeled times. The two schedules are bitwise identical in every result
-/// (asserted here — a benchmark must not report a win for a wrong answer),
-/// so the only difference is where the halo wait lands on the clock.
-pub fn run_overlap_sweep(rank_counts: &[usize], nx: usize, ny: usize) -> Vec<OverlapMeasurement> {
+/// Runs the overlap sweep: one distributed PCG solve per rank count ×
+/// variant × SpMV schedule on a 2-D Poisson problem (`nx × ny` grid),
+/// comparing modeled times. Within a variant the two SpMV schedules are
+/// bitwise identical in every result (asserted here — a benchmark must not
+/// report a win for a wrong answer); across variants only the modeled
+/// clock and the (±5%-equivalent) iteration counts differ.
+pub fn run_overlap_sweep(
+    rank_counts: &[usize],
+    nx: usize,
+    ny: usize,
+    variants: &[PcgVariant],
+) -> Vec<OverlapMeasurement> {
     let mut out = Vec::new();
     for &n_ranks in rank_counts {
-        let run = |mode: SpmvMode| {
-            Experiment::builder()
-                .matrix(MatrixSource::Poisson2d { nx, ny })
-                .n_ranks(n_ranks)
-                .spmv_mode(mode)
-                .run()
-                .expect("overlap sweep run")
-        };
-        let blocking = run(SpmvMode::Blocking);
-        let split = run(SpmvMode::SplitPhase);
-        assert_eq!(blocking.x, split.x, "schedules must agree bitwise");
-        assert_eq!(blocking.iterations, split.iterations);
-        let spmv_wait = |r: &esrcg_core::driver::RunReport| {
-            r.per_rank_stats
-                .iter()
-                .map(|s| s.recv_wait[Phase::SpMV as usize])
-                .sum::<f64>()
-        };
-        out.push(OverlapMeasurement {
-            matrix: "poisson2d",
-            n: split.x.len(),
-            n_ranks,
-            iterations: blocking.iterations,
-            blocking_time: blocking.modeled_time,
-            split_time: split.modeled_time,
-            blocking_spmv_wait: spmv_wait(&blocking),
-            split_spmv_wait: spmv_wait(&split),
-            // Read back from the run itself, so the reported counts are by
-            // construction the split the solver actually used.
-            interior_rows: split.interior_rows,
-            boundary_rows: split.boundary_rows,
-        });
+        for &variant in variants {
+            let run = |mode: SpmvMode| {
+                Experiment::builder()
+                    .matrix(MatrixSource::Poisson2d { nx, ny })
+                    .n_ranks(n_ranks)
+                    .spmv_mode(mode)
+                    .variant(variant)
+                    .run()
+                    .expect("overlap sweep run")
+            };
+            let blocking = run(SpmvMode::Blocking);
+            let split = run(SpmvMode::SplitPhase);
+            assert_eq!(blocking.x, split.x, "schedules must agree bitwise");
+            assert_eq!(blocking.iterations, split.iterations);
+            let phase_wait = |r: &esrcg_core::driver::RunReport, phase: Phase| {
+                r.per_rank_stats
+                    .iter()
+                    .map(|s| s.recv_wait[phase as usize])
+                    .sum::<f64>()
+            };
+            out.push(OverlapMeasurement {
+                matrix: "poisson2d",
+                variant: variant.name(),
+                n: split.x.len(),
+                n_ranks,
+                iterations: blocking.iterations,
+                blocking_time: blocking.modeled_time,
+                split_time: split.modeled_time,
+                blocking_spmv_wait: phase_wait(&blocking, Phase::SpMV),
+                split_spmv_wait: phase_wait(&split, Phase::SpMV),
+                split_reduction_wait: phase_wait(&split, Phase::Reduction),
+                // Read back from the run itself, so the reported counts are
+                // by construction the split the solver actually used.
+                interior_rows: split.interior_rows,
+                boundary_rows: split.boundary_rows,
+            });
+        }
     }
     out
 }
@@ -360,7 +382,7 @@ impl KernelReport {
     /// carries no serde).
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
-        s.push_str("  \"schema\": \"esrcg-bench-kernels-v3\",\n");
+        s.push_str("  \"schema\": \"esrcg-bench-kernels-v4\",\n");
         s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
         s.push_str("  \"results\": [\n");
         for (i, m) in self.results.iter().enumerate() {
@@ -403,14 +425,16 @@ impl KernelReport {
         s.push_str("  \"overlap\": [\n");
         for (i, m) in self.overlap.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"matrix\": \"{}\", \"n\": {}, \"n_ranks\": {}, \
-                 \"iterations\": {}, \
+                "    {{\"matrix\": \"{}\", \"variant\": \"{}\", \"n\": {}, \
+                 \"n_ranks\": {}, \"iterations\": {}, \
                  \"modeled_blocking_secs\": {:.9}, \"modeled_split_secs\": {:.9}, \
                  \"per_iter_blocking_secs\": {:.9}, \"per_iter_split_secs\": {:.9}, \
                  \"spmv_wait_blocking_secs\": {:.9}, \"spmv_wait_split_secs\": {:.9}, \
+                 \"reduction_wait_split_secs\": {:.9}, \
                  \"interior_rows\": {}, \"boundary_rows\": {}, \
                  \"blocking_over_split\": {:.4}}}{}\n",
                 m.matrix,
+                m.variant,
                 m.n,
                 m.n_ranks,
                 m.iterations,
@@ -420,6 +444,7 @@ impl KernelReport {
                 m.split_per_iter(),
                 m.blocking_spmv_wait,
                 m.split_spmv_wait,
+                m.split_reduction_wait,
                 m.interior_rows,
                 m.boundary_rows,
                 m.blocking_over_split(),
@@ -466,11 +491,29 @@ impl KernelReport {
         }
         for m in &self.overlap {
             lines.push(format!(
-                "    \"overlap_blocking_over_split_{}r_n{}\": {:.4}",
+                "    \"overlap_blocking_over_split_{}_{}r_n{}\": {:.4}",
+                m.variant,
                 m.n_ranks,
                 m.n,
                 m.blocking_over_split()
             ));
+        }
+        // Cross-variant comparison at matched (n, ranks) cells, per
+        // iteration so convergence differences cannot fake or mask the win
+        // (> 1 means the pipelined recurrence is faster).
+        for c in self.overlap.iter().filter(|m| m.variant == "classic") {
+            if let Some(p) = self
+                .overlap
+                .iter()
+                .find(|m| m.variant == "pipelined" && m.n == c.n && m.n_ranks == c.n_ranks)
+            {
+                lines.push(format!(
+                    "    \"overlap_classic_over_pipelined_split_{}r_n{}\": {:.4}",
+                    c.n_ranks,
+                    c.n,
+                    c.split_per_iter() / p.split_per_iter()
+                ));
+            }
         }
         s.push_str(&lines.join(",\n"));
         s.push_str("\n  }\n}\n");
@@ -512,14 +555,14 @@ mod tests {
         assert_eq!(report.overhead.len(), 1);
         assert_eq!(report.overhead[0].kernel, "dispatch");
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"esrcg-bench-kernels-v3\""));
+        assert!(json.contains("\"schema\": \"esrcg-bench-kernels-v4\""));
         assert!(json.contains("\"kernel\": \"spmv\""));
         assert!(json.contains("spmv_speedup_2t_n1000"));
         assert!(json.contains("overhead_spawn_over_pooled_dispatch_2t_n0"));
         assert!(report.speedup("spmv", report.results[0].n, 2).is_some());
         assert!(
             json.contains("\"overlap\": ["),
-            "v3 carries the overlap section"
+            "v4 carries the overlap section"
         );
     }
 
@@ -528,10 +571,13 @@ mod tests {
         // Small grid so the debug-mode sweep stays cheap; the modeled-clock
         // comparison is deterministic, so strict inequality is a stable
         // assertion, not a flaky benchmark.
-        let rows = run_overlap_sweep(&[4], 24, 24);
+        let rows = run_overlap_sweep(&[4], 24, 24, &[PcgVariant::Classic]);
         assert_eq!(rows.len(), 1);
         let m = &rows[0];
-        assert_eq!((m.matrix, m.n, m.n_ranks), ("poisson2d", 576, 4));
+        assert_eq!(
+            (m.matrix, m.variant, m.n, m.n_ranks),
+            ("poisson2d", "classic", 576, 4)
+        );
         assert!(m.iterations > 0);
         assert_eq!(m.interior_rows + m.boundary_rows, m.n);
         assert!(m.boundary_rows > 0, "4 ranks couple across block edges");
@@ -557,7 +603,38 @@ mod tests {
         };
         assert!(report
             .to_json()
-            .contains("overlap_blocking_over_split_4r_n576"));
+            .contains("overlap_blocking_over_split_classic_4r_n576"));
+    }
+
+    #[test]
+    fn overlap_sweep_reports_a_pipelined_win() {
+        let rows = run_overlap_sweep(&[8], 24, 24, &[PcgVariant::Classic, PcgVariant::Pipelined]);
+        assert_eq!(rows.len(), 2);
+        let classic = &rows[0];
+        let pipelined = &rows[1];
+        assert_eq!(classic.variant, "classic");
+        assert_eq!(pipelined.variant, "pipelined");
+        assert!(
+            pipelined.split_per_iter() < classic.split_per_iter(),
+            "pipelined {} vs classic {} split-phase seconds per iteration",
+            pipelined.split_per_iter(),
+            classic.split_per_iter()
+        );
+        let classic_wait = classic.split_reduction_wait / classic.iterations as f64;
+        let pipelined_wait = pipelined.split_reduction_wait / pipelined.iterations as f64;
+        assert!(
+            pipelined_wait < classic_wait,
+            "the pipeline hides reduction wait: {pipelined_wait} vs {classic_wait}"
+        );
+        let report = KernelReport {
+            host_threads: 1,
+            results: Vec::new(),
+            overhead: Vec::new(),
+            overlap: rows,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"variant\": \"pipelined\""));
+        assert!(json.contains("overlap_classic_over_pipelined_split_8r_n576"));
     }
 
     #[test]

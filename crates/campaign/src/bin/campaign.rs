@@ -6,9 +6,9 @@
 //!
 //! options:
 //!   --smoke           the CI/acceptance matrix (one small Poisson problem,
-//!                     ESR/ESRP/IMCR × phi {1,2} × 4 fault processes,
-//!                     2 seeds) — also the default when no sizing flag is
-//!                     given
+//!                     classic + pipelined PCG × ESR/ESRP/IMCR × phi {1,2}
+//!                     × 4 fault processes, 2 seeds) — also the default when
+//!                     no sizing flag is given
 //!   --grid N          edge of the 2-D Poisson problem (default 16)
 //!   --ranks LIST      comma-separated rank counts (default 4)
 //!   --seeds LIST      comma-separated trace seeds (default 11,17)

@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 
 /// Schema identifier stamped into the JSON artifact. Bump on any change to
 /// the emitted structure.
-pub const SCHEMA: &str = "esrcg-campaign-v1";
+pub const SCHEMA: &str = "esrcg-campaign-v2";
 
 /// Order statistics of one metric over a cell's runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,7 +62,7 @@ impl Summary {
 }
 
 /// One matched failure-free baseline run (`Strategy::None`), shared by
-/// every cell of the same (problem, rank count) pair.
+/// every cell of the same (problem, rank count, PCG variant) triple.
 #[derive(Debug, Clone)]
 pub struct BaselineReport {
     /// Problem label.
@@ -71,6 +71,8 @@ pub struct BaselineReport {
     pub n: usize,
     /// Simulated ranks.
     pub n_ranks: usize,
+    /// PCG variant name (`classic`, `pipelined`).
+    pub variant: String,
     /// Modeled reference time t₀ (seconds).
     pub t0: f64,
     /// Reference iteration count C — also the planned iteration budget the
@@ -85,6 +87,8 @@ pub struct CellReport {
     pub problem: String,
     /// Simulated ranks.
     pub n_ranks: usize,
+    /// PCG variant name (`classic`, `pipelined`).
+    pub variant: String,
     /// Strategy display name (`esr`, `esrp(T=10)`, `imcr(T=10)`).
     pub strategy: String,
     /// Redundancy level φ.
@@ -129,8 +133,8 @@ pub struct CellReport {
 /// enumeration accounting (what was skipped or cut is part of the record).
 #[derive(Debug, Clone)]
 pub struct CampaignReport {
-    /// Matched baselines, one per (problem, rank count) pair, in first-use
-    /// order.
+    /// Matched baselines, one per (problem, rank count, variant) triple,
+    /// in first-use order.
     pub baselines: Vec<BaselineReport>,
     /// Aggregated cells, in enumeration order.
     pub cells: Vec<CellReport>,
@@ -182,10 +186,11 @@ impl CampaignReport {
             let _ = writeln!(
                 s,
                 "    {{\"problem\": {}, \"n\": {}, \"n_ranks\": {}, \
-                 \"t0_seconds\": {:.9}, \"iterations\": {}}}{}",
+                 \"variant\": {}, \"t0_seconds\": {:.9}, \"iterations\": {}}}{}",
                 json_str(&b.problem),
                 b.n,
                 b.n_ranks,
+                json_str(&b.variant),
                 b.t0,
                 b.c,
                 if i + 1 == self.baselines.len() {
@@ -212,10 +217,11 @@ impl CampaignReport {
                 .join(", ");
             let _ = writeln!(
                 s,
-                "    {{\"problem\": {}, \"n_ranks\": {}, \"strategy\": {}, \
-                 \"phi\": {}, \"process\": {}, \"seeds\": [{}],",
+                "    {{\"problem\": {}, \"n_ranks\": {}, \"variant\": {}, \
+                 \"strategy\": {}, \"phi\": {}, \"process\": {}, \"seeds\": [{}],",
                 json_str(&c.problem),
                 c.n_ranks,
+                json_str(&c.variant),
                 json_str(&c.strategy),
                 c.phi,
                 json_str(&c.process),
@@ -265,15 +271,16 @@ impl CampaignReport {
         let _ = writeln!(s);
         let _ = writeln!(s, "## Baselines (Strategy::None reference runs)");
         let _ = writeln!(s);
-        let _ = writeln!(s, "| problem | n | ranks | t0 (ms) | C |");
-        let _ = writeln!(s, "|---|---:|---:|---:|---:|");
+        let _ = writeln!(s, "| problem | n | ranks | variant | t0 (ms) | C |");
+        let _ = writeln!(s, "|---|---:|---:|---|---:|---:|");
         for b in &self.baselines {
             let _ = writeln!(
                 s,
-                "| {} | {} | {} | {:.3} | {} |",
+                "| {} | {} | {} | {} | {:.3} | {} |",
                 b.problem,
                 b.n,
                 b.n_ranks,
+                b.variant,
                 b.t0 * 1e3,
                 b.c
             );
@@ -290,12 +297,12 @@ impl CampaignReport {
         let _ = writeln!(s);
         let _ = writeln!(
             s,
-            "| problem | ranks | strategy | φ | process | runs | events | \
+            "| problem | ranks | variant | strategy | φ | process | runs | events | \
              overhead % | recovery % | wasted | restarts | fails |"
         );
         let _ = writeln!(
             s,
-            "|---|---:|---|---:|---|---:|---:|---:|---:|---:|---:|---:|"
+            "|---|---:|---|---|---:|---|---:|---:|---:|---:|---:|---:|---:|"
         );
         for c in &self.cells {
             let pct = |s: &Option<Summary>| match s {
@@ -310,9 +317,10 @@ impl CampaignReport {
             let fails = c.convergence_failures + (c.runs - c.ok_runs);
             let _ = writeln!(
                 s,
-                "| {} | {} | {} | {} | {} | {} | {}/{} | {} | {} | {} | {} | {} |",
+                "| {} | {} | {} | {} | {} | {} | {} | {}/{} | {} | {} | {} | {} | {} |",
                 c.problem,
                 c.n_ranks,
+                c.variant,
                 c.strategy,
                 c.phi,
                 c.process,
@@ -340,12 +348,14 @@ mod tests {
                 problem: "poisson2d-16x16".into(),
                 n: 256,
                 n_ranks: 4,
+                variant: "pipelined".into(),
                 t0: 0.0012345,
                 c: 100,
             }],
             cells: vec![CellReport {
                 problem: "poisson2d-16x16".into(),
                 n_ranks: 4,
+                variant: "pipelined".into(),
                 strategy: "esrp(T=10)".into(),
                 phi: 1,
                 process: "exp(mtbf=30)".into(),
@@ -384,10 +394,11 @@ mod tests {
         let a = r.to_json();
         let b = r.to_json();
         assert_eq!(a, b, "rendering is pure");
-        assert!(a.contains("\"schema\": \"esrcg-campaign-v1\""));
+        assert!(a.contains("\"schema\": \"esrcg-campaign-v2\""));
         assert!(a.contains("\"t0_seconds\": 0.001234500"));
         assert!(a.contains("\"overhead\": {\"min\": 0.050000"));
         assert!(a.contains("\"process\": \"exp(mtbf=30)\""));
+        assert!(a.contains("\"variant\": \"pipelined\""));
     }
 
     #[test]
@@ -398,7 +409,9 @@ mod tests {
     #[test]
     fn markdown_carries_the_cell_rows() {
         let md = sample().to_markdown();
-        assert!(md.contains("| poisson2d-16x16 | 4 | esrp(T=10) | 1 | exp(mtbf=30) | 2 | 3/3 |"));
+        assert!(md.contains(
+            "| poisson2d-16x16 | 4 | pipelined | esrp(T=10) | 1 | exp(mtbf=30) | 2 | 3/3 |"
+        ));
         assert!(md.contains("## Baselines"));
         assert!(md.contains("9.00 [5.00, 13.00]"), "{md}");
     }

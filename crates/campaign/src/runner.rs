@@ -4,9 +4,11 @@
 //! A campaign runs in phases:
 //!
 //! 1. **Baselines** — one `Strategy::None` reference run per distinct
-//!    (problem, rank count) pair, executed concurrently. Each yields the
-//!    paper's `t₀` (modeled) and `C` (iterations): the overhead
-//!    denominator and the planned iteration budget of every cell trace.
+//!    (problem, rank count, PCG variant) triple, executed concurrently.
+//!    Each yields the paper's `t₀` (modeled) and `C` (iterations): the
+//!    overhead denominator and the planned iteration budget of every cell
+//!    trace. Matching per variant keeps overheads honest: a pipelined cell
+//!    is measured against the pipelined failure-free clock.
 //! 2. **Trace compilation** — every cell × seed compiles its
 //!    [`FaultProcess`](crate::trace::FaultProcess) into a failure
 //!    schedule against the matched
@@ -22,6 +24,7 @@
 use std::sync::Arc;
 
 use esrcg_core::driver::{Experiment, MatrixSource, RunReport};
+use esrcg_core::solver::PcgVariant;
 use esrcg_sparse::CsrMatrix;
 
 use crate::fleet::run_jobs;
@@ -108,10 +111,10 @@ impl CampaignRunner {
             ));
         }
 
-        // --- Phase 1: matched baselines, one per (problem, ranks) --------
-        let mut baseline_keys: Vec<(usize, usize)> = Vec::new();
+        // --- Phase 1: matched baselines, one per (problem, ranks, variant)
+        let mut baseline_keys: Vec<(usize, usize, PcgVariant)> = Vec::new();
         for c in cells {
-            let key = (c.problem, c.n_ranks);
+            let key = (c.problem, c.n_ranks, c.variant);
             if !baseline_keys.contains(&key) {
                 baseline_keys.push(key);
             }
@@ -128,13 +131,14 @@ impl CampaignRunner {
         let baseline_results = run_jobs(
             self.workers,
             baseline_keys.clone(),
-            |_, &(pi, n_ranks)| {
+            |_, &(pi, n_ranks, variant)| {
                 // `reference()` *is* the definition of the matched
                 // baseline: the cell stem with strategy, φ, and failures
-                // stripped. Routing the baseline through it keeps the
-                // pairing correct even if the stem ever grows a
-                // resilience-affecting knob.
-                self.experiment(spec, &matrices, pi, n_ranks)
+                // stripped — the PCG variant stays, so a pipelined cell is
+                // paired with the pipelined failure-free clock. Routing the
+                // baseline through it keeps the pairing correct even if the
+                // stem ever grows a resilience-affecting knob.
+                self.experiment(spec, &matrices, pi, n_ranks, variant)
                     .reference()
                     .run()
                     .map(|r| (r.x.len(), r.converged, r.modeled_time, r.iterations))
@@ -146,14 +150,15 @@ impl CampaignRunner {
             },
         );
         let mut baselines: Vec<BaselineReport> = Vec::with_capacity(baseline_keys.len());
-        for (&(pi, n_ranks), res) in baseline_keys.iter().zip(baseline_results) {
+        for (&(pi, n_ranks, variant), res) in baseline_keys.iter().zip(baseline_results) {
             let name = &spec.problems[pi].name;
+            let what = format!("{} PCG on {n_ranks} ranks", variant.name());
             let (n, converged, t0, c) = res
-                .map_err(|e| format!("baseline for '{name}' on {n_ranks} ranks: {e}"))?
-                .map_err(|e| format!("baseline for '{name}' on {n_ranks} ranks: {e}"))?;
+                .map_err(|e| format!("baseline for '{name}' ({what}): {e}"))?
+                .map_err(|e| format!("baseline for '{name}' ({what}): {e}"))?;
             if !converged {
                 return Err(format!(
-                    "baseline for '{name}' on {n_ranks} ranks did not converge \
+                    "baseline for '{name}' ({what}) did not converge \
                      within {} iterations — overheads would be meaningless",
                     spec.max_iters
                 ));
@@ -162,14 +167,15 @@ impl CampaignRunner {
                 problem: name.clone(),
                 n,
                 n_ranks,
+                variant: variant.name().to_string(),
                 t0,
                 c,
             });
         }
-        let baseline_of = |pi: usize, n_ranks: usize| -> &BaselineReport {
+        let baseline_of = |pi: usize, n_ranks: usize, variant: PcgVariant| -> &BaselineReport {
             let k = baseline_keys
                 .iter()
-                .position(|&key| key == (pi, n_ranks))
+                .position(|&key| key == (pi, n_ranks, variant))
                 .expect("every cell has a baseline");
             &baselines[k]
         };
@@ -182,7 +188,7 @@ impl CampaignRunner {
         let mut jobs: Vec<Job> = Vec::with_capacity(enumeration.planned_runs);
         let mut cell_scheduled: Vec<usize> = vec![0; cells.len()];
         for (ci, cell) in cells.iter().enumerate() {
-            let base = baseline_of(cell.problem, cell.n_ranks);
+            let base = baseline_of(cell.problem, cell.n_ranks, cell.variant);
             let budget = TraceBudget {
                 iterations: base.c,
                 n_ranks: cell.n_ranks,
@@ -203,7 +209,7 @@ impl CampaignRunner {
             jobs,
             |_, job| {
                 let cell = &cells[job.cell];
-                self.experiment(spec, &matrices, cell.problem, cell.n_ranks)
+                self.experiment(spec, &matrices, cell.problem, cell.n_ranks, cell.variant)
                     .strategy(cell.strategy)
                     .phi(cell.phi)
                     .failures(job.schedule.clone())
@@ -223,7 +229,7 @@ impl CampaignRunner {
         let mut cell_reports: Vec<CellReport> = Vec::with_capacity(cells.len());
         let mut cursor = 0usize;
         for (ci, cell) in cells.iter().enumerate() {
-            let base = baseline_of(cell.problem, cell.n_ranks);
+            let base = baseline_of(cell.problem, cell.n_ranks, cell.variant);
             let mut errors = Vec::new();
             let mut oks: Vec<RunOutcome> = Vec::new();
             for &seed in &cell.seeds {
@@ -246,6 +252,7 @@ impl CampaignRunner {
             cell_reports.push(CellReport {
                 problem: base.problem.clone(),
                 n_ranks: cell.n_ranks,
+                variant: cell.variant.name().to_string(),
                 strategy: cell.strategy.to_string(),
                 phi: cell.phi,
                 process: cell.process.name(),
@@ -275,21 +282,23 @@ impl CampaignRunner {
         })
     }
 
-    /// The common experiment stem of a (problem, ranks) pair: baseline
-    /// pairing means every cell run is this exact builder plus strategy,
-    /// φ, and the compiled failure schedule.
+    /// The common experiment stem of a (problem, ranks, variant) triple:
+    /// baseline pairing means every cell run is this exact builder plus
+    /// strategy, φ, and the compiled failure schedule.
     fn experiment(
         &self,
         spec: &CampaignSpec,
         matrices: &[Arc<CsrMatrix>],
         problem: usize,
         n_ranks: usize,
+        variant: PcgVariant,
     ) -> Experiment {
         let p = &spec.problems[problem];
         Experiment::builder()
             .matrix(MatrixSource::Shared(matrices[problem].clone()))
             .rhs(p.rhs)
             .n_ranks(n_ranks)
+            .variant(variant)
             .rtol(spec.rtol)
             .max_iters(spec.max_iters)
             .cost_model(spec.cost)
@@ -312,6 +321,7 @@ mod tests {
                 RhsSpec::FromKnownSolution,
             )],
             rank_counts: vec![4],
+            variants: vec![PcgVariant::Classic, PcgVariant::Pipelined],
             strategies: vec![Strategy::esr(), Strategy::Esrp { t: 5 }],
             phis: vec![1],
             processes: vec![FaultProcess::None, FaultProcess::Exponential { mtbf: 20.0 }],
@@ -326,10 +336,14 @@ mod tests {
     #[test]
     fn campaign_produces_paired_overheads() {
         let report = CampaignRunner::new(2).run(&tiny_spec()).unwrap();
-        assert_eq!(report.baselines.len(), 1);
-        let base = &report.baselines[0];
-        assert!(base.t0 > 0.0 && base.c > 0);
-        assert_eq!(report.cells.len(), 4);
+        // One matched baseline per PCG variant.
+        assert_eq!(report.baselines.len(), 2);
+        assert_eq!(report.baselines[0].variant, "classic");
+        assert_eq!(report.baselines[1].variant, "pipelined");
+        for base in &report.baselines {
+            assert!(base.t0 > 0.0 && base.c > 0);
+        }
+        assert_eq!(report.cells.len(), 8);
         for cell in &report.cells {
             assert_eq!(cell.ok_runs, cell.runs, "no errors: {:?}", cell.errors);
             assert_eq!(cell.convergence_failures, 0);

@@ -1,7 +1,8 @@
 //! The declarative campaign matrix and its budget-aware enumerator.
 //!
 //! A [`CampaignSpec`] is the cross product *problems × rank counts ×
-//! strategies × φ × fault processes*, replicated over trace seeds.
+//! PCG variants × strategies × φ × fault processes*, replicated over trace
+//! seeds.
 //! [`CampaignSpec::enumerate`] flattens it into an ordered list of
 //! [`CellPlan`]s — the unit of aggregation — skipping combinations that can
 //! never run (φ ≥ ranks), collapsing seed replicates of deterministic
@@ -12,6 +13,7 @@
 
 use esrcg_cluster::CostModel;
 use esrcg_core::driver::{MatrixSource, RhsSpec};
+use esrcg_core::solver::PcgVariant;
 use esrcg_core::strategy::Strategy;
 
 use crate::trace::FaultProcess;
@@ -45,6 +47,10 @@ pub struct CampaignSpec {
     pub problems: Vec<ProblemSpec>,
     /// Simulated cluster sizes.
     pub rank_counts: Vec<usize>,
+    /// PCG recurrence variants under test. Baselines are matched per
+    /// variant: a pipelined cell is compared against the pipelined
+    /// failure-free reference, never against classic.
+    pub variants: Vec<PcgVariant>,
     /// Resilience strategies under test (`Strategy::None` is implicit: the
     /// matched baseline of every (problem, rank count) pair always runs).
     pub strategies: Vec<Strategy>,
@@ -70,9 +76,9 @@ pub struct CampaignSpec {
 
 impl CampaignSpec {
     /// The CI/acceptance smoke campaign: one small Poisson problem on 4
-    /// ranks, all three strategies (ESR, ESRP, IMCR), φ ∈ {1, 2}, the
-    /// failure-free control, two stochastic processes × two seeds, and the
-    /// paper's worst-case event as one deterministic cell.
+    /// ranks, both PCG variants, all three strategies (ESR, ESRP, IMCR),
+    /// φ ∈ {1, 2}, the failure-free control, two stochastic processes × two
+    /// seeds, and the paper's worst-case event as one deterministic cell.
     pub fn smoke() -> Self {
         CampaignSpec {
             problems: vec![ProblemSpec::new(
@@ -81,6 +87,7 @@ impl CampaignSpec {
                 RhsSpec::Random { seed: 7 },
             )],
             rank_counts: vec![4],
+            variants: vec![PcgVariant::Classic, PcgVariant::Pipelined],
             strategies: vec![
                 Strategy::esr(),
                 Strategy::Esrp { t: 10 },
@@ -122,6 +129,14 @@ impl CampaignSpec {
         if self.rank_counts.is_empty() || self.rank_counts.contains(&0) {
             return Err("rank counts must be non-empty and positive".into());
         }
+        if self.variants.is_empty() {
+            return Err("campaign needs at least one PCG variant".into());
+        }
+        for (i, v) in self.variants.iter().enumerate() {
+            if self.variants[..i].contains(v) {
+                return Err(format!("duplicate PCG variant '{}'", v.name()));
+            }
+        }
         if self.strategies.is_empty() {
             return Err("campaign needs at least one strategy".into());
         }
@@ -155,14 +170,17 @@ impl CampaignSpec {
 }
 
 /// One cell of the enumerated campaign: a unique
-/// (problem, ranks, strategy, φ, process) combination plus the seeds it
-/// runs under. Aggregation happens per cell, over its seed replicates.
+/// (problem, ranks, variant, strategy, φ, process) combination plus the
+/// seeds it runs under. Aggregation happens per cell, over its seed
+/// replicates.
 #[derive(Debug, Clone)]
 pub struct CellPlan {
     /// Index into [`CampaignSpec::problems`].
     pub problem: usize,
     /// Simulated ranks.
     pub n_ranks: usize,
+    /// The PCG recurrence variant.
+    pub variant: PcgVariant,
     /// The resilience strategy.
     pub strategy: Strategy,
     /// Redundancy level φ.
@@ -208,32 +226,35 @@ impl CampaignSpec {
         let mut exhausted = false;
         for (pi, _) in self.problems.iter().enumerate() {
             for &n_ranks in &self.rank_counts {
-                for &strategy in &self.strategies {
-                    for &phi in &self.phis {
-                        if phi >= n_ranks {
-                            skipped_combos += self.processes.len();
-                            continue;
-                        }
-                        for &process in &self.processes {
-                            let seeds: Vec<u64> = if process.is_stochastic() {
-                                self.seeds.clone()
-                            } else {
-                                vec![self.seeds[0]]
-                            };
-                            if exhausted || planned_runs + seeds.len() > budget {
-                                exhausted = true;
-                                dropped_runs += seeds.len();
+                for &variant in &self.variants {
+                    for &strategy in &self.strategies {
+                        for &phi in &self.phis {
+                            if phi >= n_ranks {
+                                skipped_combos += self.processes.len();
                                 continue;
                             }
-                            planned_runs += seeds.len();
-                            cells.push(CellPlan {
-                                problem: pi,
-                                n_ranks,
-                                strategy,
-                                phi,
-                                process,
-                                seeds,
-                            });
+                            for &process in &self.processes {
+                                let seeds: Vec<u64> = if process.is_stochastic() {
+                                    self.seeds.clone()
+                                } else {
+                                    vec![self.seeds[0]]
+                                };
+                                if exhausted || planned_runs + seeds.len() > budget {
+                                    exhausted = true;
+                                    dropped_runs += seeds.len();
+                                    continue;
+                                }
+                                planned_runs += seeds.len();
+                                cells.push(CellPlan {
+                                    problem: pi,
+                                    n_ranks,
+                                    variant,
+                                    strategy,
+                                    phi,
+                                    process,
+                                    seeds,
+                                });
+                            }
                         }
                     }
                 }
@@ -256,10 +277,17 @@ mod tests {
     fn smoke_spec_enumerates_all_strategies_and_processes() {
         let spec = CampaignSpec::smoke();
         let e = spec.enumerate().unwrap();
-        // 3 strategies × 2 phis × 4 processes, nothing skipped.
-        assert_eq!(e.cells.len(), 24);
+        // 2 variants × 3 strategies × 2 phis × 4 processes, nothing skipped.
+        assert_eq!(e.cells.len(), 48);
         assert_eq!(e.skipped_combos, 0);
         assert_eq!(e.dropped_runs, 0);
+        // Both variants are covered, including with failures.
+        for variant in [PcgVariant::Classic, PcgVariant::Pipelined] {
+            assert!(e
+                .cells
+                .iter()
+                .any(|c| c.variant == variant && c.process.is_stochastic()));
+        }
         // Stochastic cells carry both seeds, deterministic ones collapse.
         let stochastic = e.cells.iter().filter(|c| c.process.is_stochastic());
         for c in stochastic {
@@ -268,8 +296,8 @@ mod tests {
         for c in e.cells.iter().filter(|c| !c.process.is_stochastic()) {
             assert_eq!(c.seeds, vec![11]);
         }
-        // 2 stochastic × 2 seeds + 2 deterministic × 1 seed, per 6 combos.
-        assert_eq!(e.planned_runs, 6 * (2 * 2 + 2));
+        // 2 stochastic × 2 seeds + 2 deterministic × 1 seed, per 12 combos.
+        assert_eq!(e.planned_runs, 12 * (2 * 2 + 2));
     }
 
     #[test]
@@ -281,6 +309,7 @@ mod tests {
             (
                 c.problem,
                 c.n_ranks,
+                c.variant,
                 c.strategy.to_string(),
                 c.phi,
                 c.process.name(),
@@ -300,7 +329,11 @@ mod tests {
         let e = spec.enumerate().unwrap();
         // ranks=2 skips phi=3 (and phi < ranks keeps phi=1); ranks=4 keeps
         // both.
-        assert_eq!(e.skipped_combos, 3 * 4, "3 strategies × 4 processes");
+        assert_eq!(
+            e.skipped_combos,
+            2 * 3 * 4,
+            "2 variants × 3 strategies × 4 processes"
+        );
         assert!(e.cells.iter().all(|c| c.phi < c.n_ranks,));
     }
 
@@ -324,7 +357,16 @@ mod tests {
         // The kept cells are exactly the first k of the full enumeration —
         // a later small (deterministic) cell must never slip past a
         // dropped earlier one, or the truncated sample would be biased.
-        let key = |c: &CellPlan| (c.problem, c.n_ranks, c.strategy, c.phi, c.process.name());
+        let key = |c: &CellPlan| {
+            (
+                c.problem,
+                c.n_ranks,
+                c.variant,
+                c.strategy,
+                c.phi,
+                c.process.name(),
+            )
+        };
         assert_eq!(
             e.cells.iter().map(key).collect::<Vec<_>>(),
             full.cells[..e.cells.len()]
@@ -367,5 +409,13 @@ mod tests {
         let mut bad = CampaignSpec::smoke();
         bad.phis = vec![0];
         assert!(bad.validate().is_err());
+
+        let mut bad = CampaignSpec::smoke();
+        bad.variants.clear();
+        assert!(bad.validate().unwrap_err().contains("variant"));
+
+        let mut bad = CampaignSpec::smoke();
+        bad.variants = vec![PcgVariant::Pipelined, PcgVariant::Pipelined];
+        assert!(bad.validate().unwrap_err().contains("duplicate"));
     }
 }

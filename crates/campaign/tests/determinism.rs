@@ -10,6 +10,7 @@
 
 use esrcg_campaign::{CampaignRunner, CampaignSpec, FaultProcess, ProblemSpec, TraceBudget};
 use esrcg_core::driver::{Experiment, MatrixSource, RhsSpec};
+use esrcg_core::solver::PcgVariant;
 use esrcg_core::strategy::Strategy;
 
 fn test_spec() -> CampaignSpec {
@@ -20,6 +21,7 @@ fn test_spec() -> CampaignSpec {
             RhsSpec::FromKnownSolution,
         )],
         rank_counts: vec![4],
+        variants: vec![PcgVariant::Classic, PcgVariant::Pipelined],
         strategies: vec![
             Strategy::esr(),
             Strategy::Esrp { t: 5 },
@@ -70,7 +72,11 @@ fn same_spec_compiles_identical_schedules() {
 fn aggregated_json_is_byte_identical_across_worker_counts() {
     let spec = test_spec();
     let reference = CampaignRunner::new(4).run(&spec).unwrap().to_json();
-    assert!(reference.contains("\"schema\": \"esrcg-campaign-v1\""));
+    assert!(reference.contains("\"schema\": \"esrcg-campaign-v2\""));
+    assert!(
+        reference.contains("\"variant\": \"pipelined\""),
+        "pipelined cells reach the artifact"
+    );
     // Repeated run, same worker count: rendering and execution are pure.
     let again = CampaignRunner::new(4).run(&spec).unwrap().to_json();
     assert_eq!(reference, again, "repeated runs");

@@ -37,6 +37,43 @@ impl ReduceOp {
     }
 }
 
+/// An in-flight split-phase all-reduce started by [`Ctx::allreduce_start`].
+///
+/// The handle owns this rank's partial accumulator (a pooled buffer) and
+/// remembers where in the binomial tree the rank stopped. Ranks that send at
+/// the first tree level have no receive dependency, so `start` injects their
+/// contribution immediately — the message crosses the network while the
+/// caller computes — and every remaining tree hop is driven by
+/// [`PendingReduce::finish`]. Receives synchronize to arrival times
+/// (`advance_to`), so a reduction whose latency is covered by the compute
+/// between `start` and `finish` costs
+/// [`CostModel::overlapped_time`](crate::cost::CostModel::overlapped_time),
+/// exactly as the split-phase halo exchange realizes it for the SpMV.
+///
+/// Every rank must `start` and `finish` the same collectives in the same
+/// order; dropping a handle without finishing it deadlocks the tree.
+#[must_use = "every started reduction must be finished, or the tree deadlocks"]
+pub struct PendingReduce {
+    op: ReduceOp,
+    len: usize,
+    seq: u32,
+    /// This rank's partial accumulator; `None` once it was forwarded up the
+    /// tree (first-level senders forward during `start`).
+    acc: Option<Vec<f64>>,
+}
+
+impl PendingReduce {
+    /// Completes the reduction: drives the remaining reduce-tree levels
+    /// (blocking on the modeled clock as needed) and the broadcast, and
+    /// returns the combined vector — bitwise identical on every rank and to
+    /// a blocking [`Ctx::allreduce`] of the same inputs. Blocked time is
+    /// attributed to the phase current at the call (the solver runs this
+    /// under `Phase::Reduction`).
+    pub fn finish(self, ctx: &mut Ctx) -> Vec<f64> {
+        ctx.allreduce_finish(self)
+    }
+}
+
 /// The per-rank handle to the simulated cluster: identity, channels,
 /// logical clock, and instrumentation.
 ///
@@ -335,9 +372,74 @@ impl Ctx {
     /// Every rank must call this the same number of times with equal-length
     /// inputs.
     pub fn allreduce(&mut self, vals: &[f64], op: ReduceOp) -> Vec<f64> {
+        let pending = self.allreduce_start(vals, op);
+        self.allreduce_finish(pending)
+    }
+
+    /// Starts a split-phase all-reduce and returns a [`PendingReduce`]
+    /// handle. Ranks whose first tree step is a send inject their
+    /// contribution now (no receive dependency, so this is deterministic);
+    /// all remaining tree traffic is driven by [`PendingReduce::finish`].
+    /// Compute performed between the two calls hides the reduction latency
+    /// on the modeled clock.
+    pub fn allreduce_start(&mut self, vals: &[f64], op: ReduceOp) -> PendingReduce {
         let seq = self.next_seq();
-        let reduced = self.reduce_to_root(vals, op, seq);
-        self.bcast_from_root(reduced, vals.len(), seq)
+        let mut acc = self.buffers.take_f64s();
+        acc.extend_from_slice(vals);
+        // First tree level: ranks with the low bit set forward immediately.
+        if self.size > 1 && self.rank & 1 != 0 {
+            self.send(self.rank ^ 1, Tag::Reduce.with(seq), Payload::F64s(acc));
+            return PendingReduce {
+                op,
+                len: vals.len(),
+                seq,
+                acc: None,
+            };
+        }
+        PendingReduce {
+            op,
+            len: vals.len(),
+            seq,
+            acc: Some(acc),
+        }
+    }
+
+    /// Convenience sum variant of [`Ctx::allreduce_start`].
+    pub fn allreduce_sum_start(&mut self, vals: &[f64]) -> PendingReduce {
+        self.allreduce_start(vals, ReduceOp::Sum)
+    }
+
+    /// Completes a split-phase all-reduce (see [`PendingReduce::finish`]).
+    fn allreduce_finish(&mut self, pending: PendingReduce) -> Vec<f64> {
+        let PendingReduce { op, len, seq, acc } = pending;
+        let tag = Tag::Reduce.with(seq);
+        let mut acc = match acc {
+            Some(acc) => acc,
+            // Contribution already forwarded in `start`: go straight to the
+            // broadcast (the empty buffer is recycled there).
+            None => return self.bcast_from_root(Vec::new(), len, seq),
+        };
+        // Ranks holding their accumulator re-enter the tree at the first
+        // level: with the low bit clear they receive there, never send.
+        let mut mask = 1usize;
+        while mask < self.size {
+            if self.rank & mask != 0 {
+                let dst = self.rank ^ mask; // clears the bit: dst < rank
+                self.send(dst, tag, Payload::F64s(acc));
+                return self.bcast_from_root(Vec::new(), len, seq);
+            }
+            let partner = self.rank | mask;
+            if partner < self.size {
+                let incoming = self.recv(partner, tag).into_f64s();
+                // One flop per combined element.
+                self.stats.flops[self.phase as usize] += incoming.len() as u64;
+                self.advance(self.cost.compute_time(incoming.len() as u64));
+                op.combine(&mut acc, &incoming);
+                self.buffers.recycle_f64s(incoming);
+            }
+            mask <<= 1;
+        }
+        self.bcast_from_root(acc, len, seq)
     }
 
     /// Convenience sum-all-reduce.
@@ -359,36 +461,6 @@ impl Ctx {
         let v = out[0];
         self.buffers.recycle_f64s(out);
         v
-    }
-
-    /// Binomial-tree reduce to rank 0. Returns the combined vector on rank 0
-    /// and an empty vector elsewhere (off-root callers must not use it).
-    /// The accumulator is a pooled buffer; a rank that forwards it *moves*
-    /// it into the message — the old implementation cloned here, paying one
-    /// allocation plus a copy per tree hop.
-    fn reduce_to_root(&mut self, vals: &[f64], op: ReduceOp, seq: u32) -> Vec<f64> {
-        let tag = Tag::Reduce.with(seq);
-        let mut acc = self.buffers.take_f64s();
-        acc.extend_from_slice(vals);
-        let mut mask = 1usize;
-        while mask < self.size {
-            if self.rank & mask != 0 {
-                let dst = self.rank ^ mask; // clears the bit: dst < rank
-                self.send(dst, tag, Payload::F64s(acc));
-                return Vec::new();
-            }
-            let partner = self.rank | mask;
-            if partner < self.size {
-                let incoming = self.recv(partner, tag).into_f64s();
-                // One flop per combined element.
-                self.stats.flops[self.phase as usize] += incoming.len() as u64;
-                self.advance(self.cost.compute_time(incoming.len() as u64));
-                op.combine(&mut acc, &incoming);
-                self.buffers.recycle_f64s(incoming);
-            }
-            mask <<= 1;
-        }
-        acc
     }
 
     /// Binomial-tree broadcast from rank 0 of a vector of length `len`.

@@ -31,7 +31,7 @@ pub mod msg;
 pub mod spmd;
 pub mod stats;
 
-pub use comm::{Ctx, ReduceOp};
+pub use comm::{Ctx, PendingReduce, ReduceOp};
 pub use cost::CostModel;
 pub use failure::FailureSpec;
 pub use msg::{BufferPool, BufferPoolStats, Payload, Tag};

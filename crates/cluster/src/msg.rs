@@ -274,6 +274,11 @@ pub enum Tag {
     RecoveryCkpt = 22,
     /// Recovery: inner-solve scatter/gather.
     RecoveryInner = 23,
+    /// Pipelined-variant explicit redundant-copy exchange of the search
+    /// direction (the pipelined SpMV communicates `m`, not `p`, so the
+    /// ASpMV's free halo ride of `p` disappears and augmented iterations
+    /// ship `p` explicitly under this kind).
+    PipelinedP = 24,
 }
 
 impl Tag {

@@ -354,6 +354,166 @@ mod tests {
     }
 
     #[test]
+    fn split_reduce_matches_blocking_allreduce_bitwise() {
+        // allreduce_start + finish with no compute in between must be
+        // indistinguishable from the blocking allreduce: same bits, same
+        // modeled clock, on every rank and size.
+        for n in SIZES {
+            let blocking = run_spmd(n, CostModel::default(), |ctx| {
+                let v = ctx.allreduce(&[0.1 + ctx.rank() as f64 * 0.3, -1.5], ReduceOp::Sum);
+                (v, ctx.clock())
+            });
+            let split = run_spmd(n, CostModel::default(), |ctx| {
+                let pending = ctx.allreduce_sum_start(&[0.1 + ctx.rank() as f64 * 0.3, -1.5]);
+                let v = pending.finish(ctx);
+                (v, ctx.clock())
+            });
+            for rank in 0..n {
+                assert_eq!(blocking.results[rank].0, split.results[rank].0, "n={n}");
+                assert_eq!(
+                    blocking.results[rank].1.to_bits(),
+                    split.results[rank].1.to_bits(),
+                    "n={n} rank={rank}: modeled clocks diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_reduce_overlap_matches_the_closed_form() {
+        // Two ranks: rank 1's contribution flies while rank 0 computes, so
+        // rank 0's reduce step costs max(transfer, compute) — the
+        // `overlapped_time` closed form, exactly as the halo test above.
+        // α = 0 removes injection overhead so the form is exact; the
+        // combine flop on rank 0 is the only extra term.
+        let cost = CostModel {
+            alpha: 0.0,
+            seconds_per_byte: 1e-9,
+            seconds_per_flop: 5e-10,
+        };
+        // One communication-dominated and one compute-dominated stage.
+        for flops in [1u64, 1_000] {
+            let out = run_spmd(2, cost, move |ctx| {
+                ctx.set_phase(Phase::Reduction);
+                let pending = ctx.allreduce_sum_start(&[ctx.rank() as f64]);
+                ctx.set_phase(Phase::SpMV);
+                ctx.charge_flops(flops); // overlapped compute
+                ctx.set_phase(Phase::Reduction);
+                let v = pending.finish(ctx);
+                ctx.recycle_f64s(v);
+                ctx.clock()
+            });
+            // Rank 0: overlap of the 8-byte contribution against the
+            // compute, then one combine flop (the broadcast send is free at
+            // α = 0).
+            let expected = cost.overlapped_time(8, flops) + cost.compute_time(1);
+            let got = out.results[0];
+            assert!(
+                (got - expected).abs() <= f64::EPSILON * expected,
+                "flops = {flops}: clock {got} vs closed form {expected}"
+            );
+        }
+        // Bitwise check in the compute-dominated regime, where the arrival
+        // predates the clock and `advance_to` is a no-op.
+        let out = run_spmd(2, cost, move |ctx| {
+            ctx.set_phase(Phase::Reduction);
+            let pending = ctx.allreduce_sum_start(&[ctx.rank() as f64]);
+            ctx.set_phase(Phase::SpMV);
+            ctx.charge_flops(1_000);
+            ctx.set_phase(Phase::Reduction);
+            let v = pending.finish(ctx);
+            ctx.recycle_f64s(v);
+            (ctx.clock(), ctx.stats().total_recv_wait())
+        });
+        let expected = cost.compute_time(1_000) + cost.compute_time(1);
+        assert_eq!(out.results[0].0.to_bits(), expected.to_bits());
+        assert_eq!(out.results[0].1, 0.0, "fully hidden reduction never waits");
+    }
+
+    #[test]
+    fn split_reduce_attributes_wait_to_the_finish_phase() {
+        // With no overlapped compute, the receive inside finish blocks; the
+        // wait must land in the phase current at the finish call.
+        let out = run_spmd(2, CostModel::default(), |ctx| {
+            ctx.set_phase(Phase::SpMV);
+            let pending = ctx.allreduce_sum_start(&[1.0]);
+            ctx.set_phase(Phase::Reduction);
+            let v = pending.finish(ctx);
+            ctx.recycle_f64s(v);
+        });
+        let s0 = &out.stats[0];
+        assert!(s0.recv_wait[Phase::Reduction as usize] > 0.0);
+        assert_eq!(s0.recv_wait[Phase::SpMV as usize], 0.0);
+        // Per-phase waits account for all blocked time.
+        for s in &out.stats {
+            let sum: f64 = s.recv_wait.iter().sum();
+            assert_eq!(sum.to_bits(), s.total_recv_wait().to_bits());
+        }
+    }
+
+    #[test]
+    fn split_reduce_is_deterministic_and_cheaper_under_overlap() {
+        // A reduction whose latency is covered by compute must finish
+        // strictly earlier than the blocking equivalent placed after the
+        // same compute, and its modeled time must be bit-stable.
+        let cost = CostModel::default();
+        let work = 100_000u64; // 50 µs of compute ≫ the tree latency at α=2µs
+        let split = || {
+            run_spmd(8, cost, move |ctx| {
+                ctx.set_phase(Phase::Reduction);
+                let mut x = ctx.rank() as f64;
+                for _ in 0..20 {
+                    let pending = ctx.allreduce_sum_start(&[x]);
+                    ctx.set_phase(Phase::SpMV);
+                    ctx.charge_flops(work);
+                    ctx.set_phase(Phase::Reduction);
+                    let v = pending.finish(ctx);
+                    x = v[0] / ctx.size() as f64;
+                    ctx.recycle_f64s(v);
+                }
+                (x, ctx.clock())
+            })
+        };
+        let blocking = run_spmd(8, cost, move |ctx| {
+            ctx.set_phase(Phase::Reduction);
+            let mut x = ctx.rank() as f64;
+            for _ in 0..20 {
+                ctx.set_phase(Phase::SpMV);
+                ctx.charge_flops(work);
+                ctx.set_phase(Phase::Reduction);
+                x = ctx.allreduce_sum_scalar(x) / ctx.size() as f64;
+            }
+            (x, ctx.clock())
+        });
+        let a = split();
+        let b = split();
+        for rank in 0..8 {
+            assert_eq!(a.results[rank].0.to_bits(), b.results[rank].0.to_bits());
+            assert_eq!(a.results[rank].1.to_bits(), b.results[rank].1.to_bits());
+            // Same reduced values as the blocking run (same tree, same
+            // operands), strictly less modeled time.
+            assert_eq!(
+                a.results[rank].0.to_bits(),
+                blocking.results[rank].0.to_bits()
+            );
+        }
+        assert!(
+            a.modeled_time < blocking.modeled_time,
+            "overlap must win: split {} vs blocking {}",
+            a.modeled_time,
+            blocking.modeled_time
+        );
+        // The overlapped run blocks less in Reduction than the blocking run.
+        let wait = |o: &SpmdOutcome<(f64, f64)>| {
+            o.stats
+                .iter()
+                .map(|s| s.recv_wait[Phase::Reduction as usize])
+                .sum::<f64>()
+        };
+        assert!(wait(&a) < wait(&blocking));
+    }
+
+    #[test]
     fn recv_wait_accounts_the_blocked_time() {
         let cost = CostModel::default();
         let out = run_spmd(2, cost, |ctx| {

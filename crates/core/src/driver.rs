@@ -24,7 +24,7 @@ use esrcg_sparse::gen;
 use esrcg_sparse::{CsrMatrix, KernelBackend};
 
 use crate::solver::recovery::RecoveryOutcome;
-use crate::solver::{solve_node, SharedProblem, SolverConfig, SpmvMode};
+use crate::solver::{solve_node, PcgVariant, SharedProblem, SolverConfig, SpmvMode};
 use crate::strategy::Strategy;
 
 /// Where the system matrix comes from.
@@ -187,6 +187,7 @@ pub struct Experiment {
     cost: CostModel,
     backend: KernelBackend,
     spmv_mode: SpmvMode,
+    variant: PcgVariant,
 }
 
 impl Experiment {
@@ -207,6 +208,7 @@ impl Experiment {
             cost: CostModel::default(),
             backend: KernelBackend::default(),
             spmv_mode: SpmvMode::default(),
+            variant: PcgVariant::default(),
         }
     }
 
@@ -319,6 +321,16 @@ impl Experiment {
         self
     }
 
+    /// Selects the PCG recurrence (default: [`PcgVariant::Classic`]).
+    /// Unlike [`Experiment::spmv_mode`], the variants are *not* bitwise
+    /// identical — pipelining restructures the recurrence; trajectories
+    /// agree to rounding. [`Experiment::reference`] preserves the variant,
+    /// so each run is compared against the matched baseline.
+    pub fn variant(mut self, v: PcgVariant) -> Self {
+        self.variant = v;
+        self
+    }
+
     /// Builds the shared problem and runs the SPMD solve.
     ///
     /// # Errors
@@ -350,6 +362,7 @@ impl Experiment {
         cfg.failures = failures;
         cfg.backend = self.backend;
         cfg.spmv_mode = self.spmv_mode;
+        cfg.variant = self.variant;
         let shared = Arc::new(SharedProblem::assemble_shared(
             a,
             b,
@@ -414,6 +427,7 @@ impl Experiment {
             strategy: self.strategy,
             phi: self.phi,
             n_ranks: self.n_ranks,
+            variant: self.variant,
             interior_rows,
             boundary_rows,
         })
@@ -456,6 +470,8 @@ pub struct RunReport {
     pub phi: usize,
     /// Echo of the rank count.
     pub n_ranks: usize,
+    /// Echo of the PCG recurrence variant.
+    pub variant: PcgVariant,
     /// Cluster-wide interior rows of the solve's [`esrcg_sparse::RowSplitSet`]
     /// (rows the split-phase SpMV computes while the halo is in flight).
     pub interior_rows: usize,

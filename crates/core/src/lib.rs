@@ -55,4 +55,5 @@ pub mod solver;
 pub mod strategy;
 
 pub use driver::{Experiment, RunReport};
+pub use solver::{PcgVariant, SpmvMode};
 pub use strategy::Strategy;

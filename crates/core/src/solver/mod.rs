@@ -29,6 +29,16 @@ pub use workspace::SolverWorkspace;
 const INIT_TAG: u32 = u32::MAX - 1;
 /// Halo-exchange tag used by the post-convergence drift computation.
 const DRIFT_TAG: u32 = u32::MAX;
+/// Second and third initialization SpMVs of the pipelined variant
+/// (`w = Au` and `g = Ah`).
+const INIT_TAG_W: u32 = u32::MAX - 2;
+const INIT_TAG_G: u32 = u32::MAX - 3;
+/// Pipelined recovery: the auxiliary-vector rebuild SpMVs (`w = Au`,
+/// `s = Ap`, `g = Ah`). Per-(source, tag) FIFO matching makes reuse across
+/// recovery events safe.
+pub(crate) const RECOVERY_TAG_W: u32 = u32::MAX - 4;
+pub(crate) const RECOVERY_TAG_S: u32 = u32::MAX - 5;
+pub(crate) const RECOVERY_TAG_G: u32 = u32::MAX - 6;
 
 /// How the distributed SpMV schedules its halo exchange.
 ///
@@ -55,6 +65,38 @@ impl SpmvMode {
         match self {
             SpmvMode::Blocking => "blocking",
             SpmvMode::SplitPhase => "split-phase",
+        }
+    }
+}
+
+/// Which PCG recurrence the solver runs.
+///
+/// Unlike [`SpmvMode`], the two variants are **not** bitwise identical:
+/// pipelining restructures the recurrence (Ghysels–Vanroose), trading one
+/// of the two blocking allreduces per iteration plus extra vector
+/// operations for a single fused reduction whose latency hides under the
+/// preconditioner and SpMV of the same iteration. Trajectories agree to
+/// rounding (same iteration count ± a few on well-conditioned problems);
+/// `Classic` remains the bitwise-reference baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PcgVariant {
+    /// The paper's PCG loop (Alg. 3): two blocking reductions per
+    /// iteration (pᵀAp, then the fused rz/rr).
+    #[default]
+    Classic,
+    /// Pipelined PCG: one fused rz/δ/rr reduction per iteration, fired
+    /// before the preconditioner + SpMV and completed after them, with
+    /// auxiliary recurrence vectors w/s/h/g (see `ARCHITECTURE.md`
+    /// §"Pipelined reduction pipeline").
+    Pipelined,
+}
+
+impl PcgVariant {
+    /// Short name for reports: `classic` or `pipelined`.
+    pub fn name(self) -> &'static str {
+        match self {
+            PcgVariant::Classic => "classic",
+            PcgVariant::Pipelined => "pipelined",
         }
     }
 }
@@ -96,6 +138,10 @@ pub struct SolverConfig {
     /// [`SpmvMode::SplitPhase`]; both modes are bitwise identical in every
     /// result (see [`SpmvMode`]), so this only changes modeled/wall time.
     pub spmv_mode: SpmvMode,
+    /// Which PCG recurrence runs. Defaults to [`PcgVariant::Classic`]
+    /// (the bitwise-reference baseline); `Pipelined` overlaps the per-
+    /// iteration reduction with the preconditioner + SpMV.
+    pub variant: PcgVariant,
 }
 
 impl SolverConfig {
@@ -112,6 +158,7 @@ impl SolverConfig {
             inner_max_block: 10,
             backend: KernelBackend::default(),
             spmv_mode: SpmvMode::default(),
+            variant: PcgVariant::default(),
         }
     }
 
@@ -376,14 +423,18 @@ fn dist_spmv_hooked<F>(
 
 /// Initializes (or re-initializes) the PCG state from the static data:
 /// `x = x0`, `r = b − A x`, `z = P r`, `p = z`, plus the replicated `r·z`.
-/// Returns the global `r·r` for the initial convergence check. Charges its
-/// work to whatever phase the context currently attributes.
+/// Returns `(‖b‖₂², r·r)` — one fused vector allreduce carries all init
+/// scalars (b·b, r·z, r·r), so startup pays a single tree latency where it
+/// used to pay two. Element-wise tree sums are component-independent, so
+/// each fused value is bitwise identical to its formerly separate
+/// reduction. Compute charges to the surrounding phase; the reduction is
+/// attributed to [`Phase::Reduction`].
 pub(crate) fn init_state(
     ctx: &mut Ctx,
     shared: &SharedProblem,
     st: &mut NodeState,
     full: &mut [f64],
-) -> f64 {
+) -> (f64, f64) {
     let rank = ctx.rank();
     let part = &*shared.part;
     // Each rank runs on its own OS thread: divide the kernel thread budget
@@ -403,15 +454,92 @@ pub(crate) fn init_state(
     ctx.charge_flops(shared.precond.apply_flops(range.clone()));
     st.p.copy_from_slice(&st.z);
 
+    let b_loc = &shared.b[range.clone()];
+    let bb_loc = be.dot(b_loc, b_loc);
     let rz_loc = be.dot(&st.r, &st.z);
     let rr_loc = be.dot(&st.r, &st.r);
-    ctx.charge_flops(4 * nloc as u64);
-    let red = ctx.allreduce_sum(&[rz_loc, rr_loc]);
-    st.rz = red[0];
+    ctx.charge_flops(6 * nloc as u64);
+    let prev = ctx.set_phase(Phase::Reduction);
+    let red = ctx.allreduce_sum(&[bb_loc, rz_loc, rr_loc]);
+    ctx.set_phase(prev);
+    let (bnorm2, rr) = (red[0], red[2]);
+    st.rz = red[1];
     st.beta_prev = 0.0;
-    let rr = red[1];
     ctx.recycle_f64s(red);
-    rr
+    (bnorm2, rr)
+}
+
+/// Initializes (or re-initializes) the **pipelined** recurrence: on top of
+/// the classic state (`x`, `r`, `z ≡ u = M⁻¹r`, `p = z`) it establishes
+/// `w = Au`, `s ≡ q = Ap = w`, `h = M⁻¹s`, `g = Ah`, γ = r·z, and
+/// `pAp = δ = w·u`. The single fused init allreduce
+/// `[b·b, γ, δ, r·r]` is *started* before the `h`/`g` stage and finished
+/// after it, so even initialization overlaps its reduction. Returns
+/// `(‖b‖₂², r·r)`.
+pub(crate) fn init_pipelined(
+    ctx: &mut Ctx,
+    shared: &SharedProblem,
+    st: &mut NodeState,
+    full: &mut [f64],
+) -> (f64, f64) {
+    let rank = ctx.rank();
+    let part = &*shared.part;
+    let be = shared.cfg.backend.subdivided(ctx.size());
+    let range = part.range(rank);
+    let nloc = range.len();
+
+    st.x.copy_from_slice(&shared.x0[range.clone()]);
+    {
+        let NodeState { x, q, .. } = st;
+        dist_spmv(ctx, shared, be, x, INIT_TAG, full, q, None);
+    }
+    for i in 0..nloc {
+        st.r[i] = shared.b[range.start + i] - st.q[i];
+    }
+    ctx.charge_flops(nloc as u64);
+    shared.precond.apply_local(range.clone(), &st.r, &mut st.z);
+    ctx.charge_flops(shared.precond.apply_flops(range.clone()));
+
+    // w = A u (u lives in z). The aux box is detached while distributed
+    // kernels borrow both it and the rest of the state.
+    let mut aux = st.aux.take().expect("pipelined init requires aux state");
+    {
+        let NodeState { z, .. } = st;
+        dist_spmv(ctx, shared, be, z, INIT_TAG_W, full, &mut aux.w, None);
+    }
+
+    let b_loc = &shared.b[range.clone()];
+    let bb_loc = be.dot(b_loc, b_loc);
+    let gamma_loc = be.dot(&st.r, &st.z);
+    let delta_loc = be.dot(&aux.w, &st.z);
+    let rr_loc = be.dot(&st.r, &st.r);
+    ctx.charge_flops(8 * nloc as u64);
+    let prev = ctx.set_phase(Phase::Reduction);
+    let pending = ctx.allreduce_sum_start(&[bb_loc, gamma_loc, delta_loc, rr_loc]);
+
+    // h = M⁻¹w and g = Ah compute while the init reduction flies.
+    ctx.set_phase(Phase::Precond);
+    shared
+        .precond
+        .apply_local(range.clone(), &aux.w, &mut aux.h);
+    ctx.charge_flops(shared.precond.apply_flops(range.clone()));
+    ctx.set_phase(Phase::SpMV);
+    dist_spmv(ctx, shared, be, &aux.h, INIT_TAG_G, full, &mut aux.g, None);
+
+    ctx.set_phase(Phase::Reduction);
+    let red = pending.finish(ctx);
+    ctx.set_phase(prev);
+    let (bnorm2, rr) = (red[0], red[3]);
+    st.rz = red[1]; // γ₀
+    aux.pap = red[2]; // pAp₀ = δ₀ (p₀ = u₀ makes them equal)
+    ctx.recycle_f64s(red);
+
+    // β₀ = 0 collapses the first recurrences: p = u, s = w.
+    st.p.copy_from_slice(&st.z);
+    st.q.copy_from_slice(&aux.w);
+    st.beta_prev = 0.0;
+    st.aux = Some(aux);
+    (bnorm2, rr)
 }
 
 /// True when iteration `j` runs the *augmented* SpMV under `strategy`.
@@ -440,12 +568,21 @@ fn checkpoint_iteration(strategy: Strategy, j: usize) -> bool {
     matches!(strategy, Strategy::Imcr { t } if j > 0 && j.is_multiple_of(t))
 }
 
-/// The SPMD body: runs the resilient PCG to convergence on this rank.
+/// The SPMD body: runs the resilient PCG to convergence on this rank,
+/// dispatching on the configured [`PcgVariant`].
 ///
 /// # Panics
 /// Panics on configuration errors (call [`SolverConfig::validate`] first),
 /// protocol violations, and unrecoverable failures (e.g. ψ > φ).
 pub fn solve_node(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
+    match shared.cfg.variant {
+        PcgVariant::Classic => solve_node_classic(ctx, shared),
+        PcgVariant::Pipelined => solve_node_pipelined(ctx, shared),
+    }
+}
+
+/// The classic PCG loop (paper Alg. 3) — the bitwise-reference baseline.
+fn solve_node_classic(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
     let cfg = &shared.cfg;
     debug_assert!(cfg.validate(ctx.size()).is_ok(), "invalid solver config");
     let part = &*shared.part;
@@ -458,14 +595,10 @@ pub fn solve_node(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
     ctx.set_phase(Phase::Setup);
     let mut full = vec![0.0f64; part.n()];
     let mut ws = SolverWorkspace::new();
-    let b_loc = &shared.b[range.clone()];
-    let bb_loc = be.dot(b_loc, b_loc);
-    ctx.charge_flops(2 * nloc as u64);
-    let bnorm2 = ctx.allreduce_sum_scalar(bb_loc);
-    assert!(bnorm2 > 0.0, "zero right-hand side: x = 0 is the solution");
 
     let mut st = NodeState::new(nloc);
-    let rr0 = init_state(ctx, shared, &mut st, &mut full);
+    let (bnorm2, rr0) = init_state(ctx, shared, &mut st, &mut full);
+    assert!(bnorm2 > 0.0, "zero right-hand side: x = 0 is the solution");
     let mut relres = (rr0 / bnorm2).sqrt();
 
     let mut j: usize = 0;
@@ -593,11 +726,245 @@ pub fn solve_node(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
         relres = (rr / bnorm2).sqrt();
     }
 
-    // --- Accuracy: the paper's residual drift metric (Eq. 2) --------------
+    drift_epilogue(
+        ctx,
+        shared,
+        be,
+        st,
+        &mut full,
+        bnorm2,
+        converged,
+        j,
+        total_loop_trips,
+        recovery_reports,
+    )
+}
+
+/// The pipelined PCG loop (Ghysels–Vanroose recurrence): one fused
+/// γ/δ/‖r‖² reduction per iteration, started before the preconditioner and
+/// SpMV and finished after them. Entering a trip, the state carries
+/// iteration-`j` values of `x, r, u(=z), w, p, s(=q), h, g` plus the
+/// replicated γ = r·u and the recurrence pᵀAp, so α = γ/pᵀAp is known
+/// immediately and the only reduction of the trip overlaps the heavy
+/// kernels. See `ARCHITECTURE.md` §"Pipelined reduction pipeline".
+fn solve_node_pipelined(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
+    let cfg = &shared.cfg;
+    debug_assert!(cfg.validate(ctx.size()).is_ok(), "invalid solver config");
+    let part = &*shared.part;
+    assert_eq!(ctx.size(), part.n_ranks(), "rank count mismatch");
+    let rank = ctx.rank();
+    let be = cfg.backend.subdivided(ctx.size());
+    let range = part.range(rank);
+    let nloc = range.len();
+
+    ctx.set_phase(Phase::Setup);
+    let mut full = vec![0.0f64; part.n()];
+    let mut ws = SolverWorkspace::new();
+
+    let mut st = NodeState::new_pipelined(nloc);
+    let (bnorm2, rr0) = init_pipelined(ctx, shared, &mut st, &mut full);
+    assert!(bnorm2 > 0.0, "zero right-hand side: x = 0 is the solution");
+    let mut relres = (rr0 / bnorm2).sqrt();
+
+    let mut j: usize = 0;
+    let mut next_event = 0usize;
+    let mut recovery_reports: Vec<RecoveryOutcome> = Vec::new();
+    let mut total_loop_trips = 0usize;
+    let mut converged = false;
+
+    loop {
+        if relres < cfg.rtol {
+            converged = true;
+            break;
+        }
+        if j >= cfg.max_iters {
+            break;
+        }
+        total_loop_trips += 1;
+
+        // --- IMCR checkpoint (entry state is iteration j) -----------------
+        if checkpoint_iteration(cfg.strategy, j) {
+            checkpoint_exchange(ctx, shared, &mut st, j);
+        }
+
+        // --- Redundant copies of p (explicit; the research twist) ---------
+        // The pipelined SpMV communicates m = M⁻¹w, not p, so the ASpMV's
+        // free halo ride of the search direction disappears. Augmented
+        // iterations therefore ship p explicitly over the same halo +
+        // extras index sets, keeping the redundancy queue's coverage
+        // guarantee (and its contents) identical to Classic's.
+        if aspmv_iteration(cfg.strategy, j) {
+            let mut captured: Vec<(usize, f64)> = Vec::new();
+            pipelined_capture(ctx, shared, &st.p, range.start, j, &mut captured);
+            st.queue.push(j, captured);
+        }
+
+        // --- ESRP storage stage, second iteration: starred copies ---------
+        if storage_second(cfg.strategy, j) {
+            ctx.set_phase(Phase::Storage);
+            st.make_star(j);
+        }
+
+        // --- Failure injection + recovery ---------------------------------
+        if let Some(f) = cfg.failures.get(next_event) {
+            if f.triggers_at(j) {
+                next_event += 1;
+                let event = f.clone();
+                if event.affects(rank) {
+                    st.wipe();
+                }
+                let rec = recover(ctx, shared, &mut st, &mut ws, &mut full, j, &event);
+                j = rec.resumed_at;
+                recovery_reports.push(rec);
+                relres = f64::INFINITY;
+                continue;
+            }
+        }
+
+        // --- α = γ / pᵀAp (both replicated; no reduction needed) ----------
+        let pap = st.aux.as_ref().expect("pipelined state").pap;
+        assert!(
+            pap > 0.0,
+            "pᵀAp = {pap} ≤ 0: matrix not SPD to working precision, or the \
+             pipelined recurrence drifted past the attainable accuracy"
+        );
+        let alpha = st.rz / pap;
+
+        // --- x += αp, r −= αs, u −= αh, w −= αg ---------------------------
+        ctx.set_phase(Phase::VecOps);
+        {
+            let NodeState {
+                x, r, z, p, q, aux, ..
+            } = &mut st;
+            let aux = aux.as_mut().expect("pipelined state");
+            be.fused_axpy2(alpha, p, q, x, r);
+            be.axpby(-alpha, &aux.h, 1.0, z);
+            be.axpby(-alpha, &aux.g, 1.0, &mut aux.w);
+        }
+        ctx.charge_flops(8 * nloc as u64);
+
+        // --- Fire the fused reduction [γ', δ', ‖r‖²] ----------------------
+        ctx.set_phase(Phase::Reduction);
+        let (gamma_loc, delta_loc, rr_loc) = {
+            let aux = st.aux.as_ref().expect("pipelined state");
+            (
+                be.dot(&st.r, &st.z),
+                be.dot(&aux.w, &st.z),
+                be.dot(&st.r, &st.r),
+            )
+        };
+        ctx.charge_flops(6 * nloc as u64);
+        let pending = ctx.allreduce_sum_start(&[gamma_loc, delta_loc, rr_loc]);
+
+        // --- m = M⁻¹w and n = Am while the reduction flies ----------------
+        let mut aux = st.aux.take().expect("pipelined state");
+        ctx.set_phase(Phase::Precond);
+        shared
+            .precond
+            .apply_local(range.clone(), &aux.w, &mut aux.m);
+        ctx.charge_flops(shared.precond.apply_flops(range.clone()));
+        ctx.set_phase(Phase::SpMV);
+        dist_spmv(
+            ctx, shared, be, &aux.m, j as u32, &mut full, &mut aux.n, None,
+        );
+
+        // --- Complete the recurrence scalars ------------------------------
+        ctx.set_phase(Phase::Reduction);
+        let red = pending.finish(ctx);
+        let (gamma_new, delta, rr) = (red[0], red[1], red[2]);
+        ctx.recycle_f64s(red);
+        let beta = gamma_new / st.rz;
+        aux.pap = delta - beta * beta * aux.pap;
+        st.rz = gamma_new;
+        st.aux = Some(aux);
+
+        // --- ESRP storage stage, first iteration: stash β** ---------------
+        if storage_first(cfg.strategy, j) {
+            ctx.set_phase(Phase::Storage);
+            st.beta_ss = beta;
+        }
+
+        // --- p = u + βp, s = w + βs, h = m + βh, g = n + βg ---------------
+        ctx.set_phase(Phase::VecOps);
+        {
+            let NodeState { z, p, q, aux, .. } = &mut st;
+            let aux = aux.as_mut().expect("pipelined state");
+            be.axpby(1.0, z, beta, p);
+            be.axpby(1.0, &aux.w, beta, q);
+            be.axpby(1.0, &aux.m, beta, &mut aux.h);
+            be.axpby(1.0, &aux.n, beta, &mut aux.g);
+        }
+        ctx.charge_flops(8 * nloc as u64);
+        st.beta_prev = beta;
+
+        j += 1;
+        relres = (rr / bnorm2).sqrt();
+    }
+
+    drift_epilogue(
+        ctx,
+        shared,
+        be,
+        st,
+        &mut full,
+        bnorm2,
+        converged,
+        j,
+        total_loop_trips,
+        recovery_reports,
+    )
+}
+
+/// Sends and receives the explicit redundant copies of the pipelined
+/// search direction: the outer halo index sets plus the ASpMV extras, so
+/// the captured set (and hence the queue's coverage guarantee) matches the
+/// classic augmented SpMV exactly. Runs under [`Phase::Storage`].
+fn pipelined_capture(
+    ctx: &mut Ctx,
+    shared: &SharedProblem,
+    p_local: &[f64],
+    range_start: usize,
+    j: usize,
+    captured: &mut Vec<(usize, f64)>,
+) {
+    let rank = ctx.rank();
+    ctx.set_phase(Phase::Storage);
+    let tag = Tag::PipelinedP.with(j as u32);
+    for (dst, gidx) in shared.plan.sends_of(rank) {
+        let mut pairs = ctx.take_pairs();
+        pairs.extend(gidx.iter().map(|&g| (g, p_local[g - range_start])));
+        ctx.send(*dst, tag, Payload::Pairs(pairs));
+    }
+    for (src, _) in shared.plan.recvs_of(rank) {
+        let pairs = ctx.recv(*src, tag).into_pairs();
+        captured.extend_from_slice(&pairs);
+        ctx.recycle_pairs(pairs);
+    }
+    aspmv_extras(ctx, shared, p_local, range_start, j, captured);
+}
+
+/// Post-convergence accuracy metrics: the paper's residual drift (Eq. 2)
+/// from one extra true-residual SpMV, with the final reduction attributed
+/// to [`Phase::Reduction`].
+#[allow(clippy::too_many_arguments)]
+fn drift_epilogue(
+    ctx: &mut Ctx,
+    shared: &SharedProblem,
+    be: KernelBackend,
+    mut st: NodeState,
+    full: &mut [f64],
+    bnorm2: f64,
+    converged: bool,
+    iterations: usize,
+    total_loop_trips: usize,
+    recoveries: Vec<RecoveryOutcome>,
+) -> NodeOutcome {
+    let range = shared.part.range(ctx.rank());
+    let nloc = range.len();
     ctx.set_phase(Phase::Other);
     {
         let NodeState { x, q, .. } = &mut st;
-        dist_spmv(ctx, shared, be, x, DRIFT_TAG, &mut full, q, None);
+        dist_spmv(ctx, shared, be, x, DRIFT_TAG, full, q, None);
     }
     let mut tr_loc = 0.0f64;
     for i in 0..nloc {
@@ -606,7 +973,9 @@ pub fn solve_node(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
     }
     let rr_loc = be.dot(&st.r, &st.r);
     ctx.charge_flops(5 * nloc as u64);
+    ctx.set_phase(Phase::Reduction);
     let red = ctx.allreduce_sum(&[rr_loc, tr_loc]);
+    ctx.set_phase(Phase::Other);
     let rnorm = red[0].sqrt();
     let true_rnorm = red[1].sqrt();
     ctx.recycle_f64s(red);
@@ -614,13 +983,13 @@ pub fn solve_node(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
 
     NodeOutcome {
         converged,
-        iterations: j,
+        iterations,
         total_loop_trips,
         final_relres: rnorm / bnorm,
         true_relres: true_rnorm / bnorm,
         residual_drift: (rnorm - true_rnorm) / true_rnorm,
         x_local: st.x,
-        recoveries: recovery_reports,
+        recoveries,
     }
 }
 

@@ -13,9 +13,12 @@ use esrcg_cluster::{Ctx, Payload, Phase, Tag};
 use esrcg_precond::{BlockJacobiPrecond, Preconditioner};
 
 use crate::dist::halo::{HaloExchange, PlanView};
-use crate::solver::state::{NodeState, OwnCheckpoint};
+use crate::solver::state::{NodeState, OwnCheckpoint, PipelinedCkptAux};
 use crate::solver::workspace::{DomainCache, LocalInnerSolve, RecoveryScratch, SolverWorkspace};
-use crate::solver::{init_state, SharedProblem, SpmvMode};
+use crate::solver::{
+    dist_spmv, init_pipelined, init_state, PcgVariant, SharedProblem, SpmvMode, RECOVERY_TAG_G,
+    RECOVERY_TAG_S, RECOVERY_TAG_W,
+};
 use crate::strategy::Strategy;
 
 /// What a recovery did, as reported by every rank (identical everywhere
@@ -340,13 +343,78 @@ fn recover_esrp(
         }
     }
 
-    // --- All ranks: recompute the replicated r·z for iteration ĵ ----------
+    // --- All ranks: re-establish the replicated scalars for iteration ĵ ---
     ctx.set_phase(Phase::RecoveryReset);
-    let rz_loc = be.dot(&st.r, &st.z);
-    ctx.charge_flops(2 * st.r.len() as u64);
-    st.rz = ctx.allreduce_sum_scalar(rz_loc);
+    match shared.cfg.variant {
+        PcgVariant::Classic => {
+            let rz_loc = be.dot(&st.r, &st.z);
+            ctx.charge_flops(2 * st.r.len() as u64);
+            st.rz = ctx.allreduce_sum_scalar(rz_loc);
+        }
+        PcgVariant::Pipelined => {
+            // The starred copies (and Alg. 2) cover only the classic state
+            // x, r, u(=z), p — deliberately, so ESRP's per-node storage is
+            // unchanged by pipelining. The auxiliary recurrence vectors are
+            // rebuilt *globally* from their definitions: w = Au, s = Ap,
+            // h = M⁻¹s, g = Ah, plus the fused [γ, pᵀAp] reduction. The
+            // three SpMVs need every rank anyway (halo entries of the
+            // reconstructed chunks flow to the survivors), so this costs
+            // the survivors no extra rounds. Survivor aux values are
+            // re-derived rather than bitwise-preserved; the trajectory
+            // stays within the variant's rounding tolerance.
+            rebuild_pipelined_aux(ctx, shared, st, full);
+        }
+    }
 
     (jhat, false, inner_iterations)
+}
+
+/// Rebuilds the pipelined auxiliary state for the *current* (rolled-back)
+/// `x, r, z, p` on every rank: three distributed SpMVs for `w`, `s ≡ q`,
+/// `g`, one local preconditioner application for `h`, and one fused
+/// allreduce re-establishing the replicated γ = r·u and pᵀAp. Runs under
+/// [`Phase::RecoveryReset`].
+fn rebuild_pipelined_aux(
+    ctx: &mut Ctx,
+    shared: &SharedProblem,
+    st: &mut NodeState,
+    full: &mut [f64],
+) {
+    let part = &*shared.part;
+    let be = shared.cfg.backend.subdivided(ctx.size());
+    let range = part.range(ctx.rank());
+    let nloc = range.len();
+
+    let mut aux = st
+        .aux
+        .take()
+        .expect("pipelined recovery requires aux state");
+    {
+        let NodeState { z, p, q, .. } = st;
+        dist_spmv(ctx, shared, be, z, RECOVERY_TAG_W, full, &mut aux.w, None);
+        dist_spmv(ctx, shared, be, p, RECOVERY_TAG_S, full, q, None);
+    }
+    shared.precond.apply_local(range.clone(), &st.q, &mut aux.h);
+    ctx.charge_flops(shared.precond.apply_flops(range.clone()));
+    dist_spmv(
+        ctx,
+        shared,
+        be,
+        &aux.h,
+        RECOVERY_TAG_G,
+        full,
+        &mut aux.g,
+        None,
+    );
+
+    let rz_loc = be.dot(&st.r, &st.z);
+    let pq_loc = be.dot(&st.p, &st.q);
+    ctx.charge_flops(4 * nloc as u64);
+    let red = ctx.allreduce_sum(&[rz_loc, pq_loc]);
+    st.rz = red[0];
+    aux.pap = red[1];
+    ctx.recycle_f64s(red);
+    st.aux = Some(aux);
 }
 
 /// IMCR recovery: replacements fetch the newest checkpoint from their first
@@ -406,6 +474,14 @@ fn recover_imcr(
             z: st.z.clone(),
             p: st.p.clone(),
             beta_prev: st.beta_prev,
+            aux: st.aux.as_ref().map(|a| PipelinedCkptAux {
+                q: st.q.clone(),
+                w: a.w.clone(),
+                h: a.h.clone(),
+                g: a.g.clone(),
+                gamma: st.rz,
+                pap: a.pap,
+            }),
         });
     }
 
@@ -421,9 +497,17 @@ fn recover_imcr(
         // the data just restored; newer held data cannot exist.
     }
 
-    let rz_loc = shared.cfg.backend.subdivided(ctx.size()).dot(&st.r, &st.z);
-    ctx.charge_flops(2 * st.r.len() as u64);
-    st.rz = ctx.allreduce_sum_scalar(rz_loc);
+    // Classic blobs carry β but not r·z, so the replicated scalar is
+    // recomputed — from bitwise-restored r and z, giving back the exact
+    // checkpoint-time value. Pipelined blobs carry γ and pᵀAp directly
+    // (pᵀAp is a running recurrence, not recomputable from the vectors),
+    // so the rollback is already complete and bitwise; the variant is
+    // shared config, so every rank skips the reduction together.
+    if shared.cfg.variant == PcgVariant::Classic {
+        let rz_loc = shared.cfg.backend.subdivided(ctx.size()).dot(&st.r, &st.z);
+        ctx.charge_flops(2 * st.r.len() as u64);
+        st.rz = ctx.allreduce_sum_scalar(rz_loc);
+    }
 
     (jc, false, 0)
 }
@@ -630,8 +714,16 @@ fn distributed_inner_solve(
 fn full_restart(ctx: &mut Ctx, shared: &SharedProblem, st: &mut NodeState, full: &mut [f64]) {
     ctx.set_phase(Phase::RecoveryReset);
     let nloc = shared.part.local_len(ctx.rank());
-    *st = NodeState::new(nloc);
-    init_state(ctx, shared, st, full);
+    match shared.cfg.variant {
+        PcgVariant::Classic => {
+            *st = NodeState::new(nloc);
+            init_state(ctx, shared, st, full);
+        }
+        PcgVariant::Pipelined => {
+            *st = NodeState::new_pipelined(nloc);
+            init_pipelined(ctx, shared, st, full);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,61 @@ use std::collections::HashMap;
 
 use crate::queue::RedundancyQueue;
 
+/// Auxiliary recurrence state of the **pipelined** PCG variant
+/// (Ghysels–Vanroose; see `ARCHITECTURE.md` §"Pipelined reduction
+/// pipeline"). The pipelined recurrence reuses `NodeState::z` as
+/// `u = M⁻¹r` and `NodeState::q` as `s = Ap` (identical mathematical
+/// roles), so only three extra recurrence vectors, two per-trip scratch
+/// vectors, and the `pᵀAp` recurrence scalar are genuinely new.
+#[derive(Debug, Clone)]
+pub(crate) struct PipelinedAux {
+    /// w = A u (the preconditioned-residual image under A).
+    pub w: Vec<f64>,
+    /// h = M⁻¹ s (the preconditioned search-direction image).
+    pub h: Vec<f64>,
+    /// g = A h.
+    pub g: Vec<f64>,
+    /// Per-trip scratch m = M⁻¹ w (held here so the loop allocates
+    /// nothing; never checkpointed).
+    pub m: Vec<f64>,
+    /// Per-trip scratch n = A m (never checkpointed).
+    pub n: Vec<f64>,
+    /// The replicated pᵀAp of the current iteration, maintained by the
+    /// recurrence `pAp' = δ' − β²·pAp` instead of a dedicated reduction.
+    pub pap: f64,
+}
+
+impl PipelinedAux {
+    pub fn new(nloc: usize) -> Self {
+        PipelinedAux {
+            w: vec![0.0; nloc],
+            h: vec![0.0; nloc],
+            g: vec![0.0; nloc],
+            m: vec![0.0; nloc],
+            n: vec![0.0; nloc],
+            pap: 0.0,
+        }
+    }
+}
+
+/// The pipelined part of an IMCR checkpoint: the extra recurrence vectors
+/// and replicated scalars that must roll back bitwise alongside
+/// `[x; r; z; p]`.
+#[derive(Debug, Clone)]
+pub(crate) struct PipelinedCkptAux {
+    /// q ≡ s = Ap — recurrence state for the pipelined variant (plain
+    /// scratch for Classic, which is why the classic blob omits it).
+    pub q: Vec<f64>,
+    pub w: Vec<f64>,
+    pub h: Vec<f64>,
+    pub g: Vec<f64>,
+    /// γ = r·z at the checkpoint (the pipelined `rz`).
+    pub gamma: f64,
+    /// The recurrence pᵀAp at the checkpoint. Restored directly — it is
+    /// *not* recomputable bitwise from the vectors.
+    pub pap: f64,
+}
+
 /// The starred local copies of ESRP (paper §3): the state at the end of the
 /// last completed storage stage, duplicated locally by every node so that
 /// survivors can roll back without communication.
@@ -35,14 +90,19 @@ pub(crate) struct OwnCheckpoint {
     pub z: Vec<f64>,
     pub p: Vec<f64>,
     pub beta_prev: f64,
+    /// Pipelined-variant extras (None for Classic checkpoints).
+    pub aux: Option<PipelinedCkptAux>,
 }
 
 /// A checkpoint this node holds **for another rank** (IMCR buddy storage):
-/// the owner's `[x; r; z; p; beta_prev]` concatenated.
+/// the owner's dynamic vectors and scalars concatenated
+/// ([`NodeState::checkpoint_blob_into`] defines the layout per variant).
 #[derive(Debug, Clone)]
 pub(crate) struct HeldCheckpoint {
     pub iter: usize,
-    /// `4·nloc(owner) + 1` values: x, r, z, p chunks then β.
+    /// Classic: `4·nloc(owner) + 1` values (x, r, z, p chunks then β).
+    /// Pipelined: `8·nloc(owner) + 3` values (x, r, z, p, q, w, h, g
+    /// chunks then β, γ, pᵀAp).
     pub blob: Vec<f64>,
 }
 
@@ -53,13 +113,16 @@ pub(crate) struct NodeState {
     pub x: Vec<f64>,
     /// Local chunk of the residual r.
     pub r: Vec<f64>,
-    /// Local chunk of the preconditioned residual z.
+    /// Local chunk of the preconditioned residual z (the pipelined
+    /// recurrence's `u` — same definition, M⁻¹r).
     pub z: Vec<f64>,
     /// Local chunk of the search direction p.
     pub p: Vec<f64>,
-    /// Local chunk of q = A p (scratch, recomputed every iteration).
+    /// Local chunk of q = A p. Scratch recomputed every iteration for
+    /// Classic; carried recurrence state (`s`) for Pipelined.
     pub q: Vec<f64>,
-    /// The replicated scalar r·z of the current iteration.
+    /// The replicated scalar r·z of the current iteration (the pipelined
+    /// recurrence's γ — same definition).
     pub rz: f64,
     /// The replicated scalar β of the previous iteration.
     pub beta_prev: f64,
@@ -74,6 +137,8 @@ pub(crate) struct NodeState {
     pub own_ckpt: Option<OwnCheckpoint>,
     /// IMCR: checkpoints held for other ranks, keyed by owner rank.
     pub held_ckpts: HashMap<usize, HeldCheckpoint>,
+    /// Pipelined-variant auxiliary state (None for Classic runs).
+    pub aux: Option<Box<PipelinedAux>>,
 }
 
 impl NodeState {
@@ -92,7 +157,15 @@ impl NodeState {
             queue: RedundancyQueue::new(),
             own_ckpt: None,
             held_ckpts: HashMap::new(),
+            aux: None,
         }
+    }
+
+    /// Fresh state carrying the pipelined auxiliary vectors.
+    pub fn new_pipelined(nloc: usize) -> Self {
+        let mut st = NodeState::new(nloc);
+        st.aux = Some(Box::new(PipelinedAux::new(nloc)));
+        st
     }
 
     /// Simulates the node failure exactly as the paper does (§4): zero out
@@ -111,6 +184,14 @@ impl NodeState {
         self.queue.clear();
         self.own_ckpt = None;
         self.held_ckpts.clear();
+        if let Some(aux) = self.aux.as_mut() {
+            aux.w.fill(0.0);
+            aux.h.fill(0.0);
+            aux.g.fill(0.0);
+            aux.m.fill(0.0);
+            aux.n.fill(0.0);
+            aux.pap = 0.0;
+        }
     }
 
     /// Takes the starred copies at iteration `iter` (ESRP storage stage,
@@ -144,8 +225,19 @@ impl NodeState {
         self.beta_prev = star.beta_star;
     }
 
-    /// Records the node's own IMCR checkpoint at iteration `iter`.
+    /// Records the node's own IMCR checkpoint at iteration `iter`. For the
+    /// pipelined variant the checkpoint also carries `q(=s)`, `w`, `h`,
+    /// `g`, γ, and the recurrence pᵀAp, so a rollback restores the full
+    /// recurrence bitwise.
     pub fn take_own_checkpoint(&mut self, iter: usize) {
+        let aux = self.aux.as_ref().map(|a| PipelinedCkptAux {
+            q: self.q.clone(),
+            w: a.w.clone(),
+            h: a.h.clone(),
+            g: a.g.clone(),
+            gamma: self.rz,
+            pap: a.pap,
+        });
         self.own_ckpt = Some(OwnCheckpoint {
             iter,
             x: self.x.clone(),
@@ -153,13 +245,15 @@ impl NodeState {
             z: self.z.clone(),
             p: self.p.clone(),
             beta_prev: self.beta_prev,
+            aux,
         });
     }
 
     /// Rolls this node back to its own IMCR checkpoint (survivor side).
     ///
     /// # Panics
-    /// Panics if no checkpoint exists.
+    /// Panics if no checkpoint exists, or if the checkpoint's variant does
+    /// not match the state's (protocol bug: a run never changes variant).
     pub fn rollback_to_checkpoint(&mut self) {
         let c = self
             .own_ckpt
@@ -170,34 +264,85 @@ impl NodeState {
         self.z.copy_from_slice(&c.z);
         self.p.copy_from_slice(&c.p);
         self.beta_prev = c.beta_prev;
+        match (self.aux.as_mut(), c.aux.as_ref()) {
+            (None, None) => {}
+            (Some(aux), Some(ca)) => {
+                self.q.copy_from_slice(&ca.q);
+                aux.w.copy_from_slice(&ca.w);
+                aux.h.copy_from_slice(&ca.h);
+                aux.g.copy_from_slice(&ca.g);
+                self.rz = ca.gamma;
+                aux.pap = ca.pap;
+            }
+            _ => panic!("checkpoint variant mismatch"),
+        }
     }
 
-    /// Serializes `[x; r; z; p; beta_prev]` for buddy checkpointing into a
+    /// Serializes the dynamic state for buddy checkpointing into a
     /// caller-supplied buffer (cleared first) — lets the checkpoint path
     /// stage into a pooled payload buffer instead of allocating per event.
+    /// Classic layout: `[x; r; z; p; β]` (`4·nloc + 1` values). Pipelined
+    /// layout: `[x; r; z; p; q; w; h; g; β; γ; pᵀAp]` (`8·nloc + 3`).
     pub fn checkpoint_blob_into(&self, blob: &mut Vec<f64>) {
         let nloc = self.x.len();
         blob.clear();
-        blob.reserve(4 * nloc + 1);
-        blob.extend_from_slice(&self.x);
-        blob.extend_from_slice(&self.r);
-        blob.extend_from_slice(&self.z);
-        blob.extend_from_slice(&self.p);
-        blob.push(self.beta_prev);
+        match self.aux.as_ref() {
+            None => {
+                blob.reserve(4 * nloc + 1);
+                blob.extend_from_slice(&self.x);
+                blob.extend_from_slice(&self.r);
+                blob.extend_from_slice(&self.z);
+                blob.extend_from_slice(&self.p);
+                blob.push(self.beta_prev);
+            }
+            Some(aux) => {
+                blob.reserve(8 * nloc + 3);
+                blob.extend_from_slice(&self.x);
+                blob.extend_from_slice(&self.r);
+                blob.extend_from_slice(&self.z);
+                blob.extend_from_slice(&self.p);
+                blob.extend_from_slice(&self.q);
+                blob.extend_from_slice(&aux.w);
+                blob.extend_from_slice(&aux.h);
+                blob.extend_from_slice(&aux.g);
+                blob.push(self.beta_prev);
+                blob.push(self.rz);
+                blob.push(aux.pap);
+            }
+        }
     }
 
-    /// Restores the node's vectors and β from a checkpoint blob.
+    /// Restores the node's vectors and scalars from a checkpoint blob (the
+    /// layout of [`NodeState::checkpoint_blob_into`] for this variant).
     ///
     /// # Panics
-    /// Panics if the blob length does not match `4·nloc + 1`.
+    /// Panics if the blob length does not match the variant's layout.
     pub fn restore_from_blob(&mut self, blob: &[f64]) {
         let nloc = self.x.len();
-        assert_eq!(blob.len(), 4 * nloc + 1, "checkpoint blob length mismatch");
-        self.x.copy_from_slice(&blob[0..nloc]);
-        self.r.copy_from_slice(&blob[nloc..2 * nloc]);
-        self.z.copy_from_slice(&blob[2 * nloc..3 * nloc]);
-        self.p.copy_from_slice(&blob[3 * nloc..4 * nloc]);
-        self.beta_prev = blob[4 * nloc];
+        match self.aux.as_mut() {
+            None => {
+                assert_eq!(blob.len(), 4 * nloc + 1, "checkpoint blob length mismatch");
+                self.x.copy_from_slice(&blob[0..nloc]);
+                self.r.copy_from_slice(&blob[nloc..2 * nloc]);
+                self.z.copy_from_slice(&blob[2 * nloc..3 * nloc]);
+                self.p.copy_from_slice(&blob[3 * nloc..4 * nloc]);
+                self.beta_prev = blob[4 * nloc];
+            }
+            Some(aux) => {
+                assert_eq!(blob.len(), 8 * nloc + 3, "checkpoint blob length mismatch");
+                self.x.copy_from_slice(&blob[0..nloc]);
+                self.r.copy_from_slice(&blob[nloc..2 * nloc]);
+                self.z.copy_from_slice(&blob[2 * nloc..3 * nloc]);
+                self.p.copy_from_slice(&blob[3 * nloc..4 * nloc]);
+                self.q.copy_from_slice(&blob[4 * nloc..5 * nloc]);
+                aux.w.copy_from_slice(&blob[5 * nloc..6 * nloc]);
+                aux.h.copy_from_slice(&blob[6 * nloc..7 * nloc]);
+                aux.g.copy_from_slice(&blob[7 * nloc..8 * nloc]);
+                self.beta_prev = blob[8 * nloc];
+                self.rz = blob[8 * nloc + 1];
+                aux.pap = blob[8 * nloc + 2];
+            }
+        }
     }
 }
 
@@ -287,6 +432,76 @@ mod tests {
         assert_eq!(st.x, vec![0.0_f64, 1.0]);
         assert_eq!(st.beta_prev, 0.25);
         assert_eq!(st.own_ckpt.as_ref().unwrap().iter, 20);
+    }
+
+    fn filled_pipelined(nloc: usize) -> NodeState {
+        let mut st = NodeState::new_pipelined(nloc);
+        for i in 0..nloc {
+            st.x[i] = i as f64;
+            st.r[i] = 10.0 + i as f64;
+            st.z[i] = 20.0 + i as f64;
+            st.p[i] = 30.0 + i as f64;
+            st.q[i] = 40.0 + i as f64;
+        }
+        st.rz = 1.5;
+        st.beta_prev = 0.25;
+        let aux = st.aux.as_mut().unwrap();
+        for i in 0..nloc {
+            aux.w[i] = 50.0 + i as f64;
+            aux.h[i] = 60.0 + i as f64;
+            aux.g[i] = 70.0 + i as f64;
+        }
+        aux.pap = 3.5;
+        st
+    }
+
+    #[test]
+    fn pipelined_blob_round_trip() {
+        let st = filled_pipelined(3);
+        let mut blob = Vec::new();
+        st.checkpoint_blob_into(&mut blob);
+        assert_eq!(blob.len(), 8 * 3 + 3);
+        let mut st2 = NodeState::new_pipelined(3);
+        st2.restore_from_blob(&blob);
+        assert_eq!(st2.q, st.q);
+        assert_eq!(st2.aux.as_ref().unwrap().w, st.aux.as_ref().unwrap().w);
+        assert_eq!(st2.aux.as_ref().unwrap().g, st.aux.as_ref().unwrap().g);
+        assert_eq!(st2.rz, 1.5);
+        assert_eq!(st2.aux.as_ref().unwrap().pap, 3.5);
+        assert_eq!(st2.beta_prev, 0.25);
+    }
+
+    #[test]
+    fn pipelined_checkpoint_round_trip_restores_scalars() {
+        let mut st = filled_pipelined(2);
+        st.take_own_checkpoint(8);
+        st.q.fill(-1.0);
+        st.aux.as_mut().unwrap().w.fill(-1.0);
+        st.rz = -9.0;
+        st.aux.as_mut().unwrap().pap = -9.0;
+        st.rollback_to_checkpoint();
+        assert_eq!(st.q, vec![40.0, 41.0]);
+        assert_eq!(st.aux.as_ref().unwrap().w, vec![50.0, 51.0]);
+        assert_eq!(st.rz, 1.5, "gamma restored from the checkpoint");
+        assert_eq!(st.aux.as_ref().unwrap().pap, 3.5, "pAp restored bitwise");
+    }
+
+    #[test]
+    fn pipelined_wipe_zeroes_aux() {
+        let mut st = filled_pipelined(2);
+        st.wipe();
+        let aux = st.aux.as_ref().unwrap();
+        assert!(aux.w.iter().chain(&aux.h).chain(&aux.g).all(|&v| v == 0.0));
+        assert_eq!(aux.pap, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "blob length")]
+    fn pipelined_state_rejects_classic_blob() {
+        let st = filled(3);
+        let mut blob = Vec::new();
+        st.checkpoint_blob_into(&mut blob);
+        NodeState::new_pipelined(3).restore_from_blob(&blob);
     }
 
     #[test]
