@@ -1,0 +1,368 @@
+//! Recovery drills: named, repeatable failure-recovery rehearsals with a
+//! regression-gated baseline.
+//!
+//! Each drill is a small, fully deterministic experiment exercising one
+//! recovery path end to end — fail-stop events, φ-wide bursts, failures
+//! landing inside a checkpoint round, pre-recovery-point full restarts,
+//! the pipelined variant, IMCR rollback, and the adaptive interval tuner
+//! under exponential and burst fault processes. Every drill emits one
+//! machine-parseable artifact line
+//!
+//! ```text
+//! drill=<name> recovery_modeled_s=<seconds> iters_overhead=<n>
+//! ```
+//!
+//! clocked by the deterministic modeled clock, so the lines are
+//! **byte-identical** across repeated runs and across `--workers` counts.
+//! `DRILLS.md` tracks the baseline values; [`check_regressions`] fails any
+//! drill whose modeled recovery time regressed by more than
+//! [`REGRESSION_THRESHOLD`] over its baseline *unless* the drill has an
+//! entry in the `## Rationale` section — the paper trail for accepted
+//! regressions.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use esrcg_campaign::fleet::run_jobs;
+use esrcg_campaign::{FaultProcess, TraceBudget};
+use esrcg_core::driver::{Experiment, MatrixSource, RunReport};
+use esrcg_core::solver::PcgVariant;
+use esrcg_core::{Resilience, Strategy};
+
+/// Recovery-time regression tolerance of the gate: latest may exceed the
+/// baseline by at most this fraction before a rationale is required.
+pub const REGRESSION_THRESHOLD: f64 = 0.20;
+
+/// The drill catalog, in the order the harness runs and reports them.
+pub const DRILLS: [&str; 10] = [
+    "esr-single-fail-stop",
+    "esrp-phi-block-burst",
+    "imcr-checkpoint-round-failure",
+    "esrp-pre-recovery-point-full-restart",
+    "esrp-pipelined",
+    "imcr-rollback",
+    "exp-fixed-t",
+    "exp-auto",
+    "burst-fixed-t",
+    "burst-auto",
+];
+
+/// The measured result of one drill.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrillOutcome {
+    /// Drill name (one of [`DRILLS`]).
+    pub name: &'static str,
+    /// Total modeled recovery time across the drill's recoveries (s).
+    pub recovery_modeled_s: f64,
+    /// Loop trips beyond the logical iteration count — the re-executed
+    /// work the failures cost.
+    pub iters_overhead: usize,
+    /// Recoveries the drill drove.
+    pub recoveries: usize,
+    /// Recoveries that had no rollback point and restarted from x⁰.
+    pub full_restarts: usize,
+}
+
+impl DrillOutcome {
+    /// The tracked artifact line (deterministic bytes).
+    pub fn artifact_line(&self) -> String {
+        format!(
+            "drill={} recovery_modeled_s={:.9} iters_overhead={}",
+            self.name, self.recovery_modeled_s, self.iters_overhead
+        )
+    }
+}
+
+/// All drills share one small Poisson problem on 4 ranks: large enough
+/// that every fixed failure placement below iteration 30 triggers, small
+/// enough that the whole catalog runs in well under a second.
+fn matrix() -> MatrixSource {
+    MatrixSource::Poisson2d { nx: 24, ny: 24 }
+}
+
+fn base(strategy: impl Into<Resilience>, phi: usize) -> Experiment {
+    Experiment::builder()
+        .matrix(matrix())
+        .n_ranks(4)
+        .strategy(strategy)
+        .phi(phi)
+}
+
+fn outcome(name: &'static str, report: &RunReport) -> Result<DrillOutcome, String> {
+    if !report.converged {
+        return Err(format!("drill {name}: run did not converge"));
+    }
+    Ok(DrillOutcome {
+        name,
+        recovery_modeled_s: report.recoveries.iter().map(|r| r.recovery_time).sum(),
+        iters_overhead: report.total_loop_trips.saturating_sub(report.iterations),
+        recoveries: report.recoveries.len(),
+        full_restarts: report.recoveries.iter().filter(|r| r.full_restart).count(),
+    })
+}
+
+/// The adaptive drills clamp the tuner to this range, and *all* stochastic
+/// drills budget their traces against the upper bound, so the fixed and
+/// auto cells of a pair replay the **same** failure schedule.
+const AUTO_BOUNDS: (usize, usize) = (2, 8);
+
+fn stochastic(
+    name: &'static str,
+    process: FaultProcess,
+    seed: u64,
+    phi: usize,
+    resilience: Resilience,
+) -> Result<DrillOutcome, String> {
+    let reference = Experiment::builder().matrix(matrix()).n_ranks(4).run()?;
+    let schedule = process.compile(
+        seed,
+        &TraceBudget {
+            iterations: reference.iterations,
+            n_ranks: 4,
+            phi,
+            interval: AUTO_BOUNDS.1,
+        },
+    );
+    if schedule.is_empty() {
+        return Err(format!("drill {name}: trace compiled empty"));
+    }
+    let report = base(resilience, phi).failures(schedule).run()?;
+    outcome(name, &report)
+}
+
+/// Runs one drill by name.
+///
+/// # Errors
+/// Unknown names, configuration errors, and non-converging runs.
+pub fn run_drill(name: &str) -> Result<DrillOutcome, String> {
+    match name {
+        // One fail-stop node under classic ESR: the bread-and-butter
+        // single-failure recovery of the paper.
+        "esr-single-fail-stop" => {
+            let report = base(Strategy::esr(), 1).failure_at(17, 0, 1).run()?;
+            outcome("esr-single-fail-stop", &report)
+        }
+        // A φ-wide contiguous block (the paper's switch-fault scenario)
+        // under ESRP: recovery reconstructs two ranks at once.
+        "esrp-phi-block-burst" => {
+            let report = base(Strategy::Esrp { t: 5 }, 2)
+                .failure_at(18, 1, 2)
+                .run()?;
+            outcome("esrp-phi-block-burst", &report)
+        }
+        // The failure lands exactly on an IMCR checkpoint iteration: the
+        // round in flight must not be counted on, and recovery rolls back
+        // to the previous completed checkpoint.
+        "imcr-checkpoint-round-failure" => {
+            let report = base(Strategy::Imcr { t: 6 }, 1)
+                .failure_at(18, 2, 1)
+                .run()?;
+            outcome("imcr-checkpoint-round-failure", &report)
+        }
+        // The failure precedes the first completed storage stage, so there
+        // is no recovery point at all: the solver restarts from x⁰.
+        "esrp-pre-recovery-point-full-restart" => {
+            let report = base(Strategy::Esrp { t: 10 }, 1)
+                .failure_at(3, 0, 1)
+                .run()?;
+            outcome("esrp-pre-recovery-point-full-restart", &report)
+        }
+        // The same ESRP recovery driven through the pipelined PCG variant.
+        "esrp-pipelined" => {
+            let report = base(Strategy::Esrp { t: 5 }, 1)
+                .variant(PcgVariant::Pipelined)
+                .failure_at(21, 0, 1)
+                .run()?;
+            outcome("esrp-pipelined", &report)
+        }
+        // IMCR buddy-checkpoint rollback mid-interval.
+        "imcr-rollback" => {
+            let report = base(Strategy::Imcr { t: 5 }, 1)
+                .failure_at(23, 1, 1)
+                .run()?;
+            outcome("imcr-rollback", &report)
+        }
+        // Fixed-T vs auto-tuned ESRP under the same exponential fault
+        // trace: the pair that shows what the tuner buys (or costs).
+        "exp-fixed-t" => stochastic(
+            "exp-fixed-t",
+            FaultProcess::Exponential { mtbf: 10.0 },
+            9,
+            1,
+            Strategy::Esrp { t: 6 }.fixed(),
+        ),
+        "exp-auto" => stochastic(
+            "exp-auto",
+            FaultProcess::Exponential { mtbf: 10.0 },
+            9,
+            1,
+            Strategy::Esrp { t: 6 }.auto_bounded(AUTO_BOUNDS.0, AUTO_BOUNDS.1),
+        ),
+        // The same pair under correlated φ-wide bursts.
+        "burst-fixed-t" => stochastic(
+            "burst-fixed-t",
+            FaultProcess::Burst {
+                mtbf: 12.0,
+                mean_width: 2.0,
+            },
+            9,
+            2,
+            Strategy::Esrp { t: 6 }.fixed(),
+        ),
+        "burst-auto" => stochastic(
+            "burst-auto",
+            FaultProcess::Burst {
+                mtbf: 12.0,
+                mean_width: 2.0,
+            },
+            9,
+            2,
+            Strategy::Esrp { t: 6 }.auto_bounded(AUTO_BOUNDS.0, AUTO_BOUNDS.1),
+        ),
+        other => Err(format!("unknown drill '{other}'")),
+    }
+}
+
+/// Runs the whole catalog on `workers` threads. Results come back in
+/// catalog order whatever the scheduling, so the artifact lines are
+/// byte-identical across worker counts.
+///
+/// # Errors
+/// The first drill error, prefixed with the drill name.
+pub fn run_all(workers: usize) -> Result<Vec<DrillOutcome>, String> {
+    let results = run_jobs(
+        workers,
+        DRILLS.to_vec(),
+        |_, name| run_drill(name),
+        |_, _| {},
+    );
+    results
+        .into_iter()
+        .zip(DRILLS)
+        .map(|(r, name)| r.unwrap_or_else(|panic| Err(format!("drill {name}: {panic}"))))
+        .collect()
+}
+
+/// Parses the baseline table out of `DRILLS.md`: rows of
+/// `| <drill> | <recovery_modeled_s> | <iters_overhead> |`.
+pub fn parse_baselines(md: &str) -> BTreeMap<String, (f64, usize)> {
+    let mut out = BTreeMap::new();
+    for line in md.lines() {
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        // `| a | b | c |` splits into ["", a, b, c, ""].
+        if cells.len() < 5 {
+            continue;
+        }
+        let (name, rec, iters) = (cells[1], cells[2], cells[3]);
+        if let (Ok(rec), Ok(iters)) = (rec.parse::<f64>(), iters.parse::<usize>()) {
+            out.insert(name.to_string(), (rec, iters));
+        }
+    }
+    out
+}
+
+/// Drill names carrying an accepted-regression rationale: `- <drill>: ...`
+/// bullets under the `## Rationale` heading of `DRILLS.md`.
+pub fn rationales(md: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut in_section = false;
+    for line in md.lines() {
+        if let Some(h) = line.strip_prefix("## ") {
+            in_section = h.trim().eq_ignore_ascii_case("rationale");
+            continue;
+        }
+        if in_section {
+            if let Some(rest) = line.trim().strip_prefix("- ") {
+                if let Some((name, _)) = rest.split_once(':') {
+                    out.insert(name.trim().to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The regression gate's verdict over one harness run.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Hard failures: regressions past the threshold with no rationale,
+    /// and drills missing a baseline row.
+    pub failures: Vec<String>,
+    /// Regressions past the threshold that a rationale entry waives.
+    pub waived: Vec<String>,
+}
+
+impl GateReport {
+    /// True when nothing blocks.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Diffs `latest` against the baselines recorded in `md` (the tracked
+/// `DRILLS.md`). A drill fails the gate when its modeled recovery time
+/// exceeds baseline × (1 + `threshold`) and the `## Rationale` section has
+/// no entry for it; a missing baseline row is also a failure — the table
+/// must stay current with the catalog.
+pub fn check_regressions(md: &str, latest: &[DrillOutcome], threshold: f64) -> GateReport {
+    let baselines = parse_baselines(md);
+    let waivers = rationales(md);
+    let mut gate = GateReport::default();
+    for o in latest {
+        let Some(&(base_rec, _)) = baselines.get(o.name) else {
+            gate.failures.push(format!(
+                "{}: no baseline row in DRILLS.md (add one: {})",
+                o.name,
+                o.artifact_line()
+            ));
+            continue;
+        };
+        let limit = base_rec * (1.0 + threshold);
+        if o.recovery_modeled_s > limit {
+            let pct = 100.0 * (o.recovery_modeled_s - base_rec) / base_rec;
+            let msg = format!(
+                "{}: recovery_modeled_s {:.9} regressed {:+.1}% over baseline {:.9} \
+                 (threshold {:.0}%)",
+                o.name,
+                o.recovery_modeled_s,
+                pct,
+                base_rec,
+                100.0 * threshold
+            );
+            if waivers.contains(o.name) {
+                gate.waived.push(msg);
+            } else {
+                gate.failures.push(msg);
+            }
+        }
+    }
+    gate
+}
+
+/// Renders the baseline-vs-latest comparison table for the post-drill
+/// report (`DRILLS.md` template).
+pub fn comparison_table(md: &str, latest: &[DrillOutcome]) -> String {
+    use std::fmt::Write as _;
+    let baselines = parse_baselines(md);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "| drill | baseline recovery_modeled_s | latest recovery_modeled_s | delta % | iters_overhead |"
+    );
+    let _ = writeln!(s, "|---|---:|---:|---:|---:|");
+    for o in latest {
+        let (base_txt, delta_txt) = match baselines.get(o.name) {
+            Some(&(b, _)) if b > 0.0 => (
+                format!("{b:.9}"),
+                format!("{:+.1}", 100.0 * (o.recovery_modeled_s - b) / b),
+            ),
+            Some(&(b, _)) => (format!("{b:.9}"), "-".to_string()),
+            None => ("-".to_string(), "-".to_string()),
+        };
+        let _ = writeln!(
+            s,
+            "| {} | {} | {:.9} | {} | {} |",
+            o.name, base_txt, o.recovery_modeled_s, delta_txt, o.iters_overhead
+        );
+    }
+    s
+}

@@ -17,6 +17,7 @@
 //! The `paper` binary drives this module; see `EXPERIMENTS.md` for the
 //! recorded outputs and the paper-vs-measured comparison.
 
+pub mod drills;
 pub mod figures;
 pub mod format;
 pub mod grid;

@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 
 /// Schema identifier stamped into the JSON artifact. Bump on any change to
 /// the emitted structure.
-pub const SCHEMA: &str = "esrcg-campaign-v2";
+pub const SCHEMA: &str = "esrcg-campaign-v3";
 
 /// Order statistics of one metric over a cell's runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,6 +91,8 @@ pub struct CellReport {
     pub variant: String,
     /// Strategy display name (`esr`, `esrp(T=10)`, `imcr(T=10)`).
     pub strategy: String,
+    /// Interval-policy display name (`fixed`, `auto[1..64]`).
+    pub policy: String,
     /// Redundancy level φ.
     pub phi: usize,
     /// Fault-process name (parameterized, see `FaultProcess::name`).
@@ -218,11 +220,13 @@ impl CampaignReport {
             let _ = writeln!(
                 s,
                 "    {{\"problem\": {}, \"n_ranks\": {}, \"variant\": {}, \
-                 \"strategy\": {}, \"phi\": {}, \"process\": {}, \"seeds\": [{}],",
+                 \"strategy\": {}, \"policy\": {}, \"phi\": {}, \"process\": {}, \
+                 \"seeds\": [{}],",
                 json_str(&c.problem),
                 c.n_ranks,
                 json_str(&c.variant),
                 json_str(&c.strategy),
+                json_str(&c.policy),
                 c.phi,
                 json_str(&c.process),
                 seeds
@@ -297,12 +301,12 @@ impl CampaignReport {
         let _ = writeln!(s);
         let _ = writeln!(
             s,
-            "| problem | ranks | variant | strategy | φ | process | runs | events | \
-             overhead % | recovery % | wasted | restarts | fails |"
+            "| problem | ranks | variant | strategy | policy | φ | process | runs | \
+             events | overhead % | recovery % | wasted | restarts | fails |"
         );
         let _ = writeln!(
             s,
-            "|---|---:|---|---|---:|---|---:|---:|---:|---:|---:|---:|---:|"
+            "|---|---:|---|---|---|---:|---|---:|---:|---:|---:|---:|---:|---:|"
         );
         for c in &self.cells {
             let pct = |s: &Option<Summary>| match s {
@@ -317,11 +321,12 @@ impl CampaignReport {
             let fails = c.convergence_failures + (c.runs - c.ok_runs);
             let _ = writeln!(
                 s,
-                "| {} | {} | {} | {} | {} | {} | {} | {}/{} | {} | {} | {} | {} | {} |",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {}/{} | {} | {} | {} | {} | {} |",
                 c.problem,
                 c.n_ranks,
                 c.variant,
                 c.strategy,
+                c.policy,
                 c.phi,
                 c.process,
                 c.runs,
@@ -357,6 +362,7 @@ mod tests {
                 n_ranks: 4,
                 variant: "pipelined".into(),
                 strategy: "esrp(T=10)".into(),
+                policy: "fixed".into(),
                 phi: 1,
                 process: "exp(mtbf=30)".into(),
                 seeds: vec![11, 17],
@@ -394,7 +400,8 @@ mod tests {
         let a = r.to_json();
         let b = r.to_json();
         assert_eq!(a, b, "rendering is pure");
-        assert!(a.contains("\"schema\": \"esrcg-campaign-v2\""));
+        assert!(a.contains("\"schema\": \"esrcg-campaign-v3\""));
+        assert!(a.contains("\"policy\": \"fixed\""));
         assert!(a.contains("\"t0_seconds\": 0.001234500"));
         assert!(a.contains("\"overhead\": {\"min\": 0.050000"));
         assert!(a.contains("\"process\": \"exp(mtbf=30)\""));
@@ -407,10 +414,25 @@ mod tests {
     }
 
     #[test]
+    fn skip_and_drop_accounting_survives_into_both_renderings() {
+        let mut r = sample();
+        r.skipped_combos = 7;
+        r.dropped_runs = 3;
+        let md = r.to_markdown();
+        assert!(
+            md.contains("(7 combos skipped, 3 runs cut by budget)"),
+            "{md}"
+        );
+        let js = r.to_json();
+        assert!(js.contains("\"skipped_combos\": 7"));
+        assert!(js.contains("\"dropped_runs\": 3"));
+    }
+
+    #[test]
     fn markdown_carries_the_cell_rows() {
         let md = sample().to_markdown();
         assert!(md.contains(
-            "| poisson2d-16x16 | 4 | pipelined | esrp(T=10) | 1 | exp(mtbf=30) | 2 | 3/3 |"
+            "| poisson2d-16x16 | 4 | pipelined | esrp(T=10) | fixed | 1 | exp(mtbf=30) | 2 | 3/3 |"
         ));
         assert!(md.contains("## Baselines"));
         assert!(md.contains("9.00 [5.00, 13.00]"), "{md}");

@@ -25,6 +25,7 @@ use std::sync::Arc;
 
 use esrcg_core::driver::{Experiment, MatrixSource, RunReport};
 use esrcg_core::solver::PcgVariant;
+use esrcg_core::strategy::Resilience;
 use esrcg_sparse::CsrMatrix;
 
 use crate::fleet::run_jobs;
@@ -189,11 +190,18 @@ impl CampaignRunner {
         let mut cell_scheduled: Vec<usize> = vec![0; cells.len()];
         for (ci, cell) in cells.iter().enumerate() {
             let base = baseline_of(cell.problem, cell.n_ranks, cell.variant);
+            // Adaptive cells budget against the policy's *upper* interval
+            // bound: the tuner may grow T up to max_t, and the trace's
+            // min-separation guarantee (a completed round between events)
+            // must hold for whatever interval is live when the next event
+            // fires.
             let budget = TraceBudget {
                 iterations: base.c,
                 n_ranks: cell.n_ranks,
                 phi: cell.phi,
-                interval: cell.strategy.interval().unwrap_or(1),
+                interval: cell
+                    .policy
+                    .max_interval(cell.strategy.interval().unwrap_or(1)),
             };
             for &seed in &cell.seeds {
                 let schedule = cell.process.compile(seed, &budget);
@@ -210,7 +218,10 @@ impl CampaignRunner {
             |_, job| {
                 let cell = &cells[job.cell];
                 self.experiment(spec, &matrices, cell.problem, cell.n_ranks, cell.variant)
-                    .strategy(cell.strategy)
+                    .strategy(Resilience {
+                        strategy: cell.strategy,
+                        policy: cell.policy,
+                    })
                     .phi(cell.phi)
                     .failures(job.schedule.clone())
                     .run()
@@ -254,6 +265,7 @@ impl CampaignRunner {
                 n_ranks: cell.n_ranks,
                 variant: cell.variant.name().to_string(),
                 strategy: cell.strategy.to_string(),
+                policy: cell.policy.name(),
                 phi: cell.phi,
                 process: cell.process.name(),
                 seeds: cell.seeds.clone(),
@@ -323,6 +335,7 @@ mod tests {
             rank_counts: vec![4],
             variants: vec![PcgVariant::Classic, PcgVariant::Pipelined],
             strategies: vec![Strategy::esr(), Strategy::Esrp { t: 5 }],
+            policies: vec![esrcg_core::strategy::IntervalPolicy::Fixed],
             phis: vec![1],
             processes: vec![FaultProcess::None, FaultProcess::Exponential { mtbf: 20.0 }],
             seeds: vec![3, 4],

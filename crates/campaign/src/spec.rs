@@ -1,8 +1,8 @@
 //! The declarative campaign matrix and its budget-aware enumerator.
 //!
 //! A [`CampaignSpec`] is the cross product *problems × rank counts ×
-//! PCG variants × strategies × φ × fault processes*, replicated over trace
-//! seeds.
+//! PCG variants × strategies × interval policies × φ × fault processes*,
+//! replicated over trace seeds.
 //! [`CampaignSpec::enumerate`] flattens it into an ordered list of
 //! [`CellPlan`]s — the unit of aggregation — skipping combinations that can
 //! never run (φ ≥ ranks), collapsing seed replicates of deterministic
@@ -14,7 +14,7 @@
 use esrcg_cluster::CostModel;
 use esrcg_core::driver::{MatrixSource, RhsSpec};
 use esrcg_core::solver::PcgVariant;
-use esrcg_core::strategy::Strategy;
+use esrcg_core::strategy::{IntervalPolicy, Strategy};
 
 use crate::trace::FaultProcess;
 
@@ -54,6 +54,11 @@ pub struct CampaignSpec {
     /// Resilience strategies under test (`Strategy::None` is implicit: the
     /// matched baseline of every (problem, rank count) pair always runs).
     pub strategies: Vec<Strategy>,
+    /// Interval policies under test: fixed T (the spec strategy's interval
+    /// as-is) and/or adaptive Daly/Young tuning. The bisection axis for
+    /// validating `Strategy::auto` — sweep fixed T values against
+    /// `IntervalPolicy::Adaptive` on the same fault process.
+    pub policies: Vec<IntervalPolicy>,
     /// Redundancy levels φ.
     pub phis: Vec<usize>,
     /// Fault processes generating the failure scenarios.
@@ -77,8 +82,9 @@ pub struct CampaignSpec {
 impl CampaignSpec {
     /// The CI/acceptance smoke campaign: one small Poisson problem on 4
     /// ranks, both PCG variants, all three strategies (ESR, ESRP, IMCR),
-    /// φ ∈ {1, 2}, the failure-free control, two stochastic processes × two
-    /// seeds, and the paper's worst-case event as one deterministic cell.
+    /// fixed and adaptive interval policies, φ ∈ {1, 2}, the failure-free
+    /// control, two stochastic processes × two seeds, and the paper's
+    /// worst-case event as one deterministic cell.
     pub fn smoke() -> Self {
         CampaignSpec {
             problems: vec![ProblemSpec::new(
@@ -92,6 +98,13 @@ impl CampaignSpec {
                 Strategy::esr(),
                 Strategy::Esrp { t: 10 },
                 Strategy::Imcr { t: 10 },
+            ],
+            policies: vec![
+                IntervalPolicy::Fixed,
+                IntervalPolicy::Adaptive {
+                    min_t: 2,
+                    max_t: 12,
+                },
             ],
             phis: vec![1, 2],
             processes: vec![
@@ -150,6 +163,15 @@ impl CampaignSpec {
             }
             s.validate()?;
         }
+        if self.policies.is_empty() {
+            return Err("campaign needs at least one interval policy".into());
+        }
+        for (i, p) in self.policies.iter().enumerate() {
+            if self.policies[..i].contains(p) {
+                return Err(format!("duplicate interval policy '{}'", p.name()));
+            }
+            p.validate()?;
+        }
         if self.phis.is_empty() || self.phis.contains(&0) {
             return Err("phi values must be non-empty and positive".into());
         }
@@ -170,9 +192,9 @@ impl CampaignSpec {
 }
 
 /// One cell of the enumerated campaign: a unique
-/// (problem, ranks, variant, strategy, φ, process) combination plus the
-/// seeds it runs under. Aggregation happens per cell, over its seed
-/// replicates.
+/// (problem, ranks, variant, strategy, policy, φ, process) combination
+/// plus the seeds it runs under. Aggregation happens per cell, over its
+/// seed replicates.
 #[derive(Debug, Clone)]
 pub struct CellPlan {
     /// Index into [`CampaignSpec::problems`].
@@ -183,6 +205,8 @@ pub struct CellPlan {
     pub variant: PcgVariant,
     /// The resilience strategy.
     pub strategy: Strategy,
+    /// The interval policy (fixed T vs adaptive tuning).
+    pub policy: IntervalPolicy,
     /// Redundancy level φ.
     pub phi: usize,
     /// The fault process generating this cell's failure scenarios.
@@ -228,32 +252,35 @@ impl CampaignSpec {
             for &n_ranks in &self.rank_counts {
                 for &variant in &self.variants {
                     for &strategy in &self.strategies {
-                        for &phi in &self.phis {
-                            if phi >= n_ranks {
-                                skipped_combos += self.processes.len();
-                                continue;
-                            }
-                            for &process in &self.processes {
-                                let seeds: Vec<u64> = if process.is_stochastic() {
-                                    self.seeds.clone()
-                                } else {
-                                    vec![self.seeds[0]]
-                                };
-                                if exhausted || planned_runs + seeds.len() > budget {
-                                    exhausted = true;
-                                    dropped_runs += seeds.len();
+                        for &policy in &self.policies {
+                            for &phi in &self.phis {
+                                if phi >= n_ranks {
+                                    skipped_combos += self.processes.len();
                                     continue;
                                 }
-                                planned_runs += seeds.len();
-                                cells.push(CellPlan {
-                                    problem: pi,
-                                    n_ranks,
-                                    variant,
-                                    strategy,
-                                    phi,
-                                    process,
-                                    seeds,
-                                });
+                                for &process in &self.processes {
+                                    let seeds: Vec<u64> = if process.is_stochastic() {
+                                        self.seeds.clone()
+                                    } else {
+                                        vec![self.seeds[0]]
+                                    };
+                                    if exhausted || planned_runs + seeds.len() > budget {
+                                        exhausted = true;
+                                        dropped_runs += seeds.len();
+                                        continue;
+                                    }
+                                    planned_runs += seeds.len();
+                                    cells.push(CellPlan {
+                                        problem: pi,
+                                        n_ranks,
+                                        variant,
+                                        strategy,
+                                        policy,
+                                        phi,
+                                        process,
+                                        seeds,
+                                    });
+                                }
                             }
                         }
                     }
@@ -277,8 +304,9 @@ mod tests {
     fn smoke_spec_enumerates_all_strategies_and_processes() {
         let spec = CampaignSpec::smoke();
         let e = spec.enumerate().unwrap();
-        // 2 variants × 3 strategies × 2 phis × 4 processes, nothing skipped.
-        assert_eq!(e.cells.len(), 48);
+        // 2 variants × 3 strategies × 2 policies × 2 phis × 4 processes,
+        // nothing skipped.
+        assert_eq!(e.cells.len(), 96);
         assert_eq!(e.skipped_combos, 0);
         assert_eq!(e.dropped_runs, 0);
         // Both variants are covered, including with failures.
@@ -296,8 +324,8 @@ mod tests {
         for c in e.cells.iter().filter(|c| !c.process.is_stochastic()) {
             assert_eq!(c.seeds, vec![11]);
         }
-        // 2 stochastic × 2 seeds + 2 deterministic × 1 seed, per 12 combos.
-        assert_eq!(e.planned_runs, 12 * (2 * 2 + 2));
+        // 2 stochastic × 2 seeds + 2 deterministic × 1 seed, per 24 combos.
+        assert_eq!(e.planned_runs, 24 * (2 * 2 + 2));
     }
 
     #[test]
@@ -331,8 +359,8 @@ mod tests {
         // both.
         assert_eq!(
             e.skipped_combos,
-            2 * 3 * 4,
-            "2 variants × 3 strategies × 4 processes"
+            2 * 3 * 2 * 4,
+            "2 variants × 3 strategies × 2 policies × 4 processes"
         );
         assert!(e.cells.iter().all(|c| c.phi < c.n_ranks,));
     }
@@ -417,5 +445,46 @@ mod tests {
         let mut bad = CampaignSpec::smoke();
         bad.variants = vec![PcgVariant::Pipelined, PcgVariant::Pipelined];
         assert!(bad.validate().unwrap_err().contains("duplicate"));
+
+        let mut bad = CampaignSpec::smoke();
+        bad.policies.clear();
+        assert!(bad.validate().unwrap_err().contains("interval policy"));
+
+        let mut bad = CampaignSpec::smoke();
+        bad.policies = vec![IntervalPolicy::Fixed, IntervalPolicy::Fixed];
+        assert!(bad.validate().unwrap_err().contains("duplicate"));
+
+        let mut bad = CampaignSpec::smoke();
+        bad.policies = vec![IntervalPolicy::Adaptive { min_t: 5, max_t: 3 }];
+        assert!(bad.validate().is_err(), "inverted bounds rejected");
+    }
+
+    #[test]
+    fn policy_axis_multiplies_the_cells() {
+        let mut spec = CampaignSpec::smoke();
+        spec.policies = vec![IntervalPolicy::Fixed];
+        let single = spec.enumerate().unwrap();
+        spec.policies = vec![
+            IntervalPolicy::Fixed,
+            IntervalPolicy::Adaptive {
+                min_t: 1,
+                max_t: 64,
+            },
+        ];
+        let e = spec.enumerate().unwrap();
+        assert_eq!(
+            e.cells.len(),
+            2 * single.cells.len(),
+            "the policy axis doubles the grid"
+        );
+        for p in [
+            IntervalPolicy::Fixed,
+            IntervalPolicy::Adaptive {
+                min_t: 1,
+                max_t: 64,
+            },
+        ] {
+            assert!(e.cells.iter().any(|c| c.policy == p));
+        }
     }
 }

@@ -153,7 +153,10 @@ impl FaultProcess {
         }
         assert!(
             budget.phi >= 1 && budget.phi < budget.n_ranks,
-            "fault process needs 1 <= phi < n_ranks, got phi = {} over {} ranks",
+            "fault process {} (seed {}) needs 1 <= phi < n_ranks, \
+             got phi = {} over {} ranks",
+            self.name(),
+            seed,
             budget.phi,
             budget.n_ranks
         );
@@ -338,6 +341,18 @@ mod tests {
         ] {
             assert!(p.compile(3, &b).is_empty(), "{}", p.name());
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "fault process exp(mtbf=25) (seed 9)")]
+    fn degenerate_budget_panic_names_the_cell() {
+        let b = TraceBudget {
+            iterations: 100,
+            n_ranks: 4,
+            phi: 4, // phi >= n_ranks: unrunnable, the enumerator should have skipped it
+            interval: 5,
+        };
+        FaultProcess::Exponential { mtbf: 25.0 }.compile(9, &b);
     }
 
     #[test]

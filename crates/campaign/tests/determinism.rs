@@ -27,6 +27,7 @@ fn test_spec() -> CampaignSpec {
             Strategy::Esrp { t: 5 },
             Strategy::Imcr { t: 5 },
         ],
+        policies: vec![esrcg_core::strategy::IntervalPolicy::Fixed],
         phis: vec![1],
         processes: vec![
             FaultProcess::Exponential { mtbf: 15.0 },
@@ -72,7 +73,7 @@ fn same_spec_compiles_identical_schedules() {
 fn aggregated_json_is_byte_identical_across_worker_counts() {
     let spec = test_spec();
     let reference = CampaignRunner::new(4).run(&spec).unwrap().to_json();
-    assert!(reference.contains("\"schema\": \"esrcg-campaign-v2\""));
+    assert!(reference.contains("\"schema\": \"esrcg-campaign-v3\""));
     assert!(
         reference.contains("\"variant\": \"pipelined\""),
         "pipelined cells reach the artifact"

@@ -1,0 +1,129 @@
+//! Empirical validation of `Strategy::auto`: a campaign bisection over
+//! fixed checkpoint intervals, per MTBF regime, against the auto-tuned
+//! cell. The adaptive policy has to land inside the plateau around the
+//! bisected optimum — close enough to the best fixed `T` that hand-tuning
+//! buys nothing, on **two** different failure regimes (independent
+//! exponential faults and correlated bursts).
+
+use esrcg_campaign::{CampaignRunner, CampaignSpec, FaultProcess, ProblemSpec};
+use esrcg_core::driver::{MatrixSource, RhsSpec};
+use esrcg_core::solver::PcgVariant;
+use esrcg_core::strategy::{IntervalPolicy, Strategy};
+
+/// Fixed-T bisection grid. The auto cell starts mid-grid and may move
+/// anywhere inside `AUTO_BOUNDS`.
+const FIXED_GRID: [usize; 5] = [3, 5, 8, 12, 18];
+const AUTO_START: usize = 8;
+const AUTO_BOUNDS: (usize, usize) = (2, 16);
+
+/// Plateau width: auto must come within this factor of the bisected best
+/// median modeled time.
+const PLATEAU_EPS: f64 = 0.10;
+
+fn spec(strategies: Vec<Strategy>, policy: IntervalPolicy, process: FaultProcess) -> CampaignSpec {
+    CampaignSpec {
+        problems: vec![ProblemSpec::new(
+            "poisson2d-32x32",
+            MatrixSource::Poisson2d { nx: 32, ny: 32 },
+            RhsSpec::FromKnownSolution,
+        )],
+        rank_counts: vec![4],
+        variants: vec![PcgVariant::Classic],
+        strategies,
+        policies: vec![policy],
+        phis: vec![1],
+        processes: vec![process],
+        seeds: vec![11, 12, 13, 14],
+        rtol: 1e-8,
+        max_iters: 200_000,
+        cost: esrcg_cluster::CostModel::default(),
+        max_runs: None,
+    }
+}
+
+/// Runs the bisection for one regime and returns
+/// `(fixed medians in grid order, auto median)`.
+fn bisect(process: FaultProcess) -> (Vec<f64>, f64) {
+    let fixed = CampaignRunner::new(4)
+        .run(&spec(
+            FIXED_GRID.map(|t| Strategy::Esrp { t }).to_vec(),
+            IntervalPolicy::Fixed,
+            process,
+        ))
+        .expect("fixed sweep runs");
+    let fixed_medians: Vec<f64> = fixed
+        .cells
+        .iter()
+        .map(|c| {
+            assert_eq!(c.ok_runs, c.runs, "{}: clean cell", c.strategy);
+            assert_eq!(c.convergence_failures, 0, "{}", c.strategy);
+            c.modeled_time.expect("converged runs").median
+        })
+        .collect();
+    assert_eq!(fixed_medians.len(), FIXED_GRID.len());
+
+    let auto = CampaignRunner::new(4)
+        .run(&spec(
+            vec![Strategy::Esrp { t: AUTO_START }],
+            IntervalPolicy::Adaptive {
+                min_t: AUTO_BOUNDS.0,
+                max_t: AUTO_BOUNDS.1,
+            },
+            process,
+        ))
+        .expect("auto cell runs");
+    assert_eq!(auto.cells.len(), 1);
+    let cell = &auto.cells[0];
+    assert_eq!(
+        cell.policy,
+        format!("auto[{}..{}]", AUTO_BOUNDS.0, AUTO_BOUNDS.1)
+    );
+    assert_eq!(cell.ok_runs, cell.runs, "auto cell is clean");
+    assert!(
+        cell.events_triggered >= 2 * cell.runs,
+        "{}: the regime must feed the tuner at least two failures per run, \
+         got {} over {} runs",
+        process.name(),
+        cell.events_triggered,
+        cell.runs
+    );
+    (fixed_medians, cell.modeled_time.expect("converged").median)
+}
+
+#[test]
+fn auto_lands_on_the_bisected_plateau_in_two_mtbf_regimes() {
+    let regimes = [
+        FaultProcess::Exponential { mtbf: 18.0 },
+        FaultProcess::Burst {
+            mtbf: 22.0,
+            mean_width: 2.0,
+        },
+    ];
+    for process in regimes {
+        let (fixed, auto) = bisect(process);
+        let best = fixed.iter().cloned().fold(f64::INFINITY, f64::min);
+        let worst = fixed.iter().cloned().fold(0.0, f64::max);
+        let detail = || {
+            FIXED_GRID
+                .iter()
+                .zip(&fixed)
+                .map(|(t, m)| format!("T={t}: {m:.6}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        assert!(
+            auto <= best * (1.0 + PLATEAU_EPS),
+            "{}: auto median {auto:.6} misses the plateau around the bisected \
+             optimum {best:.6} ({})",
+            process.name(),
+            detail()
+        );
+        assert!(
+            auto < worst,
+            "{}: auto median {auto:.6} must beat the worst fixed choice \
+             {worst:.6} ({})",
+            process.name(),
+            detail()
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-style sweeps over the fault-trace compiler: every schedule a
+//! stochastic process can emit — across 200 seeds, several budgets, and
+//! both stochastic process families — satisfies the solver's coverage
+//! invariants, and compilation is a pure function of
+//! `(process, seed, budget)`.
+
+use esrcg_campaign::{FaultProcess, TraceBudget};
+use esrcg_core::IntervalPolicy;
+
+const SEEDS: u64 = 200;
+
+fn processes() -> Vec<FaultProcess> {
+    vec![
+        FaultProcess::Exponential { mtbf: 8.0 },
+        FaultProcess::Exponential { mtbf: 35.0 },
+        FaultProcess::Burst {
+            mtbf: 12.0,
+            mean_width: 2.5,
+        },
+        FaultProcess::Burst {
+            mtbf: 20.0,
+            mean_width: 4.0,
+        },
+    ]
+}
+
+fn budgets() -> Vec<TraceBudget> {
+    vec![
+        TraceBudget {
+            iterations: 300,
+            n_ranks: 8,
+            phi: 2,
+            interval: 5,
+        },
+        TraceBudget {
+            iterations: 150,
+            n_ranks: 16,
+            phi: 3,
+            interval: 1,
+        },
+        // An adaptive cell budgets against the clamp's upper bound, so the
+        // separation invariant holds whatever interval the tuner lands on.
+        TraceBudget {
+            iterations: 500,
+            n_ranks: 6,
+            phi: 1,
+            interval: IntervalPolicy::Adaptive {
+                min_t: 1,
+                max_t: 24,
+            }
+            .max_interval(5),
+        },
+    ]
+}
+
+#[test]
+fn every_schedule_satisfies_the_coverage_invariants() {
+    for budget in budgets() {
+        for process in processes() {
+            let mut nonempty = 0usize;
+            for seed in 0..SEEDS {
+                let events = process.compile(seed, &budget);
+                nonempty += usize::from(!events.is_empty());
+                let mut prev: Option<usize> = None;
+                for e in &events {
+                    assert!(
+                        e.at_iteration() >= 1 && e.at_iteration() < budget.iterations,
+                        "{} seed {seed}: event at {} outside (0, {})",
+                        process.name(),
+                        e.at_iteration(),
+                        budget.iterations
+                    );
+                    assert!(
+                        (1..=budget.phi).contains(&e.count()),
+                        "{} seed {seed}: width {} exceeds phi = {}",
+                        process.name(),
+                        e.count(),
+                        budget.phi
+                    );
+                    assert!(
+                        e.ranks().iter().all(|&r| r < budget.n_ranks),
+                        "{} seed {seed}: rank outside the cluster",
+                        process.name()
+                    );
+                    if let Some(pj) = prev {
+                        assert!(
+                            e.at_iteration() >= pj + budget.min_separation(),
+                            "{} seed {seed}: separation {} < T + 2 = {}",
+                            process.name(),
+                            e.at_iteration() - pj,
+                            budget.min_separation()
+                        );
+                    }
+                    prev = Some(e.at_iteration());
+                }
+            }
+            // The sweep must actually exercise events, not vacuously pass.
+            assert!(
+                nonempty > SEEDS as usize / 2,
+                "{} over {:?}: only {nonempty}/{SEEDS} seeds produced events",
+                process.name(),
+                budget
+            );
+        }
+    }
+}
+
+#[test]
+fn compilation_is_pure_per_process_seed_and_budget() {
+    for budget in budgets() {
+        for process in processes() {
+            for seed in 0..SEEDS {
+                assert_eq!(
+                    process.compile(seed, &budget),
+                    process.compile(seed, &budget),
+                    "{} seed {seed}",
+                    process.name()
+                );
+            }
+            // Distinct seeds must not collapse onto one schedule (the RNG
+            // actually feeds the placement): count distinct first events.
+            let mut firsts: Vec<usize> = (0..SEEDS)
+                .filter_map(|s| {
+                    process
+                        .compile(s, &budget)
+                        .first()
+                        .map(|e| e.at_iteration())
+                })
+                .collect();
+            firsts.sort_unstable();
+            firsts.dedup();
+            assert!(
+                firsts.len() > 5,
+                "{} over {:?}: seeds alias onto {} first-event placements",
+                process.name(),
+                budget,
+                firsts.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn burst_widths_are_correlated_but_capped() {
+    let budget = TraceBudget {
+        iterations: 4000,
+        n_ranks: 12,
+        phi: 4,
+        interval: 3,
+    };
+    let process = FaultProcess::Burst {
+        mtbf: 10.0,
+        mean_width: 3.0,
+    };
+    let widths: Vec<usize> = (0..SEEDS)
+        .flat_map(|seed| process.compile(seed, &budget))
+        .map(|e| e.count())
+        .collect();
+    assert!(widths.len() > 1000, "enough samples: {}", widths.len());
+    assert!(
+        widths.iter().all(|&w| (1..=4).contains(&w)),
+        "capped at phi"
+    );
+    assert!(widths.contains(&4), "the cap is reachable");
+    let mean = widths.iter().sum::<usize>() as f64 / widths.len() as f64;
+    assert!(
+        mean > 1.5,
+        "bursts are wider than single faults on average, got {mean}"
+    );
+}

@@ -147,6 +147,12 @@ impl RankStats {
         self.modeled_time.iter().sum()
     }
 
+    /// Modeled time attributed to one phase (the interval tuner reads the
+    /// accumulated `Storage`/`Checkpoint` cost through this).
+    pub fn phase_time(&self, phase: Phase) -> f64 {
+        self.modeled_time[phase as usize]
+    }
+
     /// Total modeled time spent waiting for message arrival in `recv`,
     /// over all phases.
     pub fn total_recv_wait(&self) -> f64 {
@@ -214,6 +220,8 @@ mod tests {
         assert_eq!(a.total_flops(), 10);
         assert_eq!(a.total_msgs(), 2);
         assert_eq!(a.total_bytes(), 16);
+        assert_eq!(a.phase_time(Phase::SpMV), 1.0);
+        assert_eq!(a.phase_time(Phase::Checkpoint), 0.0);
         assert!((a.total_time() - 1.5).abs() < 1e-15);
         assert!((a.recovery_time() - 0.5).abs() < 1e-15);
         assert!((a.total_recv_wait() - 0.25).abs() < 1e-15);

@@ -15,6 +15,7 @@
 //! the worst-case injection point. The benchmark harness in `esrcg-bench`
 //! composes these into the full table/figure grids.
 
+use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -24,8 +25,8 @@ use esrcg_sparse::gen;
 use esrcg_sparse::{CsrMatrix, KernelBackend};
 
 use crate::solver::recovery::RecoveryOutcome;
-use crate::solver::{solve_node, PcgVariant, SharedProblem, SolverConfig, SpmvMode};
-use crate::strategy::Strategy;
+use crate::solver::{solve_node, PcgVariant, SharedProblem, SolverConfig, SpmvMode, TuneEvent};
+use crate::strategy::{IntervalPolicy, Resilience, Strategy};
 
 /// Where the system matrix comes from.
 #[derive(Debug, Clone)]
@@ -169,6 +170,43 @@ pub fn paper_failure_iteration(c: usize, t: usize) -> usize {
     ((m + 1) * t).saturating_sub(2).max(1)
 }
 
+/// One observed failure event, delivered to a [`FaultObserver`] in trigger
+/// order once the run completes.
+#[derive(Debug, Clone)]
+pub struct FaultObservation {
+    /// 0-based index of the event in the run's failure schedule.
+    pub event: usize,
+    /// The recovery outcome (`inner_iterations` maximized over ranks, as in
+    /// [`RunReport::recoveries`]).
+    pub recovery: RecoveryOutcome,
+    /// The interval tuner's decision for this event (`None` under the
+    /// fixed policy).
+    pub tune: Option<TuneEvent>,
+}
+
+/// Hook receiving the failure stream of a run — what external MTBF
+/// estimators (and the drill harness's logging) attach to. Observations
+/// are delivered from [`Experiment::run`] after the SPMD solve finishes,
+/// one per processed failure event, in trigger order.
+pub trait FaultObserver: Send + Sync {
+    /// Called once per processed failure event.
+    fn on_failure(&self, obs: &FaultObservation);
+}
+
+/// Optional shared observer; a newtype so [`Experiment`] keeps deriving
+/// `Debug`/`Clone` (trait objects have neither).
+#[derive(Clone, Default)]
+struct ObserverHandle(Option<Arc<dyn FaultObserver>>);
+
+impl fmt::Debug for ObserverHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Some(_) => f.write_str("ObserverHandle(set)"),
+            None => f.write_str("ObserverHandle(none)"),
+        }
+    }
+}
+
 /// One fully-specified experiment run (builder-style).
 #[derive(Debug, Clone)]
 pub struct Experiment {
@@ -177,6 +215,8 @@ pub struct Experiment {
     n_ranks: usize,
     precond: PrecondSpec,
     strategy: Strategy,
+    policy: IntervalPolicy,
+    observer: ObserverHandle,
     phi: usize,
     rtol: f64,
     max_iters: usize,
@@ -200,6 +240,8 @@ impl Experiment {
             n_ranks: 8,
             precond: PrecondSpec::paper_default(),
             strategy: Strategy::None,
+            policy: IntervalPolicy::Fixed,
+            observer: ObserverHandle::default(),
             phi: 0,
             rtol: 1e-8,
             max_iters: 200_000,
@@ -236,9 +278,23 @@ impl Experiment {
         self
     }
 
-    /// Sets the resilience strategy.
-    pub fn strategy(mut self, s: Strategy) -> Self {
-        self.strategy = s;
+    /// Sets the resilience strategy and interval policy. Accepts a plain
+    /// [`Strategy`] (fixed interval, the legacy behavior) or a
+    /// [`Resilience`] — e.g. `Strategy::Esrp { t: 10 }.auto()` for
+    /// adaptive Daly/Young interval tuning.
+    pub fn strategy(mut self, s: impl Into<Resilience>) -> Self {
+        let r = s.into();
+        self.strategy = r.strategy;
+        self.policy = r.policy;
+        self
+    }
+
+    /// Registers a fault observer: it receives one [`FaultObservation`]
+    /// per processed failure event, in trigger order, after the run
+    /// completes — the hook online MTBF estimators and drill logging
+    /// attach to.
+    pub fn observer(mut self, obs: Arc<dyn FaultObserver>) -> Self {
+        self.observer = ObserverHandle(Some(obs));
         self
     }
 
@@ -293,6 +349,7 @@ impl Experiment {
     pub fn reference(&self) -> Experiment {
         let mut r = self.clone();
         r.strategy = Strategy::None;
+        r.policy = IntervalPolicy::Fixed;
         r.phi = 0;
         r.failure_blocks.clear();
         r.failure_explicit.clear();
@@ -357,6 +414,7 @@ impl Experiment {
         );
         failures.sort_by_key(|f| f.at_iteration());
         let mut cfg = SolverConfig::new(self.strategy, self.phi);
+        cfg.interval_policy = self.policy;
         cfg.rtol = self.rtol;
         cfg.max_iters = self.max_iters;
         cfg.failures = failures;
@@ -409,6 +467,18 @@ impl Experiment {
         for s in &outcome.stats {
             stats_total.merge(s);
         }
+        // Tuner decisions are replicated; report rank 0's copy and feed
+        // the failure stream to the registered observer in trigger order.
+        let tuning = first.tuning.clone();
+        if let Some(obs) = &self.observer.0 {
+            for (e, rec) in recoveries.iter().enumerate() {
+                obs.on_failure(&FaultObservation {
+                    event: e,
+                    recovery: rec.clone(),
+                    tune: tuning.get(e).cloned(),
+                });
+            }
+        }
 
         Ok(RunReport {
             converged: outcome.results.iter().all(|o| o.converged),
@@ -421,10 +491,12 @@ impl Experiment {
             wall_time: outcome.wall_time,
             recovery,
             recoveries,
+            tuning,
             per_rank_stats: outcome.stats,
             stats_total,
             x,
             strategy: self.strategy,
+            policy: self.policy,
             phi: self.phi,
             n_ranks: self.n_ranks,
             variant: self.variant,
@@ -458,6 +530,9 @@ pub struct RunReport {
     pub recovery: Option<RecoveryOutcome>,
     /// All recovery events, in trigger order.
     pub recoveries: Vec<RecoveryOutcome>,
+    /// Interval-tuner decisions, one per failure event under the adaptive
+    /// policy (empty under the fixed policy). Replicated across ranks.
+    pub tuning: Vec<TuneEvent>,
     /// Per-rank instrumentation.
     pub per_rank_stats: Vec<RankStats>,
     /// Sum of all ranks' counters.
@@ -466,6 +541,8 @@ pub struct RunReport {
     pub x: Vec<f64>,
     /// Echo of the strategy.
     pub strategy: Strategy,
+    /// Echo of the interval policy.
+    pub policy: IntervalPolicy,
     /// Echo of φ.
     pub phi: usize,
     /// Echo of the rank count.

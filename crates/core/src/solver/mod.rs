@@ -9,6 +9,7 @@
 
 pub mod recovery;
 pub mod state;
+pub mod tuning;
 pub mod workspace;
 
 use std::sync::Arc;
@@ -20,9 +21,11 @@ use esrcg_sparse::{CsrMatrix, KernelBackend, Partition, RowSplitSet, SparseError
 use crate::aspmv::{AspmvPlan, BuddyMap};
 use crate::dist::halo::{exchange_halo, HaloExchange};
 use crate::dist::plan::CommPlan;
-use crate::strategy::Strategy;
+use crate::strategy::{IntervalPolicy, Strategy};
 use recovery::{recover, RecoveryOutcome};
 use state::{HeldCheckpoint, NodeState};
+pub use tuning::TuneEvent;
+use tuning::{IntervalSchedule, IntervalTuner};
 pub use workspace::SolverWorkspace;
 
 /// Halo-exchange tag used during (re)initialization.
@@ -107,6 +110,11 @@ impl PcgVariant {
 pub struct SolverConfig {
     /// The resilience strategy.
     pub strategy: Strategy,
+    /// How the strategy's interval T evolves over the run: held fixed
+    /// (the default, bitwise-legacy behavior) or re-tuned to the measured
+    /// Daly/Young optimum at recovery points (see
+    /// [`tuning::IntervalTuner`](crate::solver::tuning)).
+    pub interval_policy: IntervalPolicy,
     /// Number of simultaneous node failures to tolerate (φ). Ignored for
     /// `Strategy::None`.
     pub phi: usize,
@@ -149,6 +157,7 @@ impl SolverConfig {
     pub fn new(strategy: Strategy, phi: usize) -> Self {
         SolverConfig {
             strategy,
+            interval_policy: IntervalPolicy::Fixed,
             phi,
             rtol: 1e-8,
             max_iters: 200_000,
@@ -168,6 +177,10 @@ impl SolverConfig {
     /// Returns a human-readable description of the first problem found.
     pub fn validate(&self, n_ranks: usize) -> Result<(), String> {
         self.strategy.validate()?;
+        self.interval_policy.validate()?;
+        if self.interval_policy.is_adaptive() && self.strategy == Strategy::None {
+            return Err("adaptive interval tuning needs a resilient strategy".into());
+        }
         if self.strategy != Strategy::None {
             if self.phi == 0 {
                 return Err("phi must be at least 1 for a resilient strategy".into());
@@ -330,6 +343,10 @@ pub struct NodeOutcome {
     pub x_local: Vec<f64>,
     /// Recovery details, one entry per processed failure event, in order.
     pub recoveries: Vec<RecoveryOutcome>,
+    /// Interval-tuner decisions, one entry per processed failure event
+    /// under [`IntervalPolicy::Adaptive`] (empty under `Fixed`). Replicated:
+    /// identical on every rank.
+    pub tuning: Vec<TuneEvent>,
 }
 
 /// One distributed SpMV `q = (A x)[range]` of the vector whose owned chunk
@@ -542,30 +559,42 @@ pub(crate) fn init_pipelined(
     (bnorm2, rr)
 }
 
-/// True when iteration `j` runs the *augmented* SpMV under `strategy`.
-fn aspmv_iteration(strategy: Strategy, j: usize) -> bool {
-    match strategy {
-        Strategy::Esrp { t: 1 } => true,
-        Strategy::Esrp { t } => (j.is_multiple_of(t) && j >= t) || (j % t == 1 && j > t),
-        _ => false,
+/// Applies one tuner decision after a recovery: proposes the new interval
+/// from the replicated failure/cost observations, re-anchors the schedule
+/// at the resume point when it changed, and re-establishes the anchor's
+/// protection data (ESRP starred copies / an IMCR checkpoint round) so the
+/// anchor is a valid rollback target for the next failure.
+fn retune_after_recovery(
+    ctx: &mut Ctx,
+    shared: &SharedProblem,
+    st: &mut NodeState,
+    sched: &mut IntervalSchedule,
+    tuner: &mut IntervalTuner,
+    rec: &RecoveryOutcome,
+    total_loop_trips: usize,
+) -> TuneEvent {
+    let ev = tuner.propose(ctx, sched, rec, total_loop_trips);
+    if ev.interval_after != ev.interval_before {
+        sched.reanchor(ev.interval_after, rec.resumed_at);
+        if rec.resumed_at > 0 {
+            match sched.strategy() {
+                Strategy::Esrp { t } if t > 1 => {
+                    // The recovery left β^(a−1) in beta_prev on every rank;
+                    // star it so rollbacks to the anchor restore the same
+                    // recurrence state the legacy storage stage would have.
+                    ctx.set_phase(Phase::RecoveryReset);
+                    st.beta_ss = st.beta_prev;
+                    st.make_star(rec.resumed_at);
+                }
+                Strategy::Imcr { .. } => {
+                    checkpoint_exchange(ctx, shared, st, rec.resumed_at);
+                    tuner.note_round();
+                }
+                _ => {}
+            }
+        }
     }
-}
-
-/// True when iteration `j` is the second iteration of an ESRP storage stage
-/// (starred copies are taken).
-fn storage_second(strategy: Strategy, j: usize) -> bool {
-    matches!(strategy, Strategy::Esrp { t } if t > 1 && j % t == 1 && j > t)
-}
-
-/// True when iteration `j` is the first iteration of an ESRP storage stage
-/// (β** is stashed after β is computed).
-fn storage_first(strategy: Strategy, j: usize) -> bool {
-    matches!(strategy, Strategy::Esrp { t } if t > 1 && j.is_multiple_of(t) && j >= t)
-}
-
-/// True when iteration `j` takes an IMCR checkpoint.
-fn checkpoint_iteration(strategy: Strategy, j: usize) -> bool {
-    matches!(strategy, Strategy::Imcr { t } if j > 0 && j.is_multiple_of(t))
+    ev
 }
 
 /// The SPMD body: runs the resilient PCG to convergence on this rank,
@@ -604,6 +633,9 @@ fn solve_node_classic(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
     let mut j: usize = 0;
     let mut next_event = 0usize;
     let mut recovery_reports: Vec<RecoveryOutcome> = Vec::new();
+    let mut tuning_events: Vec<TuneEvent> = Vec::new();
+    let mut sched = IntervalSchedule::new(cfg.strategy);
+    let mut tuner = IntervalTuner::for_policy(cfg.interval_policy);
     let mut total_loop_trips = 0usize;
     let mut converged = false;
 
@@ -618,12 +650,15 @@ fn solve_node_classic(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
         total_loop_trips += 1;
 
         // --- IMCR checkpoint (before the SpMV, state is iteration j) ------
-        if checkpoint_iteration(cfg.strategy, j) {
+        if sched.checkpoint(j) {
             checkpoint_exchange(ctx, shared, &mut st, j);
+            if let Some(tn) = tuner.as_mut() {
+                tn.note_round();
+            }
         }
 
         // --- SpMV / ASpMV --------------------------------------------------
-        let augmented = aspmv_iteration(cfg.strategy, j);
+        let augmented = sched.augmented(j);
         ctx.set_phase(Phase::SpMV);
         if augmented {
             // Both modes preserve the blocking capture order — halo
@@ -649,15 +684,22 @@ fn solve_node_classic(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
                 },
             );
             st.queue.push(j, captured);
+            if let (Some(tn), Some(1)) = (tuner.as_mut(), sched.interval()) {
+                // ESR: every augmented iteration is one protection round.
+                tn.note_round();
+            }
         } else {
             let NodeState { p, q, .. } = &mut st;
             dist_spmv(ctx, shared, be, p, j as u32, &mut full, q, None);
         }
 
         // --- ESRP storage stage, second iteration: starred copies ---------
-        if storage_second(cfg.strategy, j) {
+        if sched.storage_second(j) {
             ctx.set_phase(Phase::Storage);
             st.make_star(j);
+            if let Some(tn) = tuner.as_mut() {
+                tn.note_round();
+            }
         }
 
         // --- Failure injection + recovery ---------------------------------
@@ -668,8 +710,20 @@ fn solve_node_classic(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
                 if event.affects(rank) {
                     st.wipe();
                 }
-                let rec = recover(ctx, shared, &mut st, &mut ws, &mut full, j, &event);
+                let rec = recover(ctx, shared, &mut st, &mut ws, &mut full, j, &event, &sched);
                 j = rec.resumed_at;
+                if let Some(tn) = tuner.as_mut() {
+                    let ev = retune_after_recovery(
+                        ctx,
+                        shared,
+                        &mut st,
+                        &mut sched,
+                        tn,
+                        &rec,
+                        total_loop_trips,
+                    );
+                    tuning_events.push(ev);
+                }
                 recovery_reports.push(rec);
                 // Not converged; the residual norm is recomputed at the end
                 // of the re-executed iteration.
@@ -711,7 +765,7 @@ fn solve_node_classic(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
         st.rz = rz_new;
 
         // --- ESRP storage stage, first iteration: stash β** ---------------
-        if storage_first(cfg.strategy, j) {
+        if sched.storage_first(j) {
             ctx.set_phase(Phase::Storage);
             st.beta_ss = beta;
         }
@@ -737,6 +791,7 @@ fn solve_node_classic(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
         j,
         total_loop_trips,
         recovery_reports,
+        tuning_events,
     )
 }
 
@@ -769,6 +824,9 @@ fn solve_node_pipelined(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
     let mut j: usize = 0;
     let mut next_event = 0usize;
     let mut recovery_reports: Vec<RecoveryOutcome> = Vec::new();
+    let mut tuning_events: Vec<TuneEvent> = Vec::new();
+    let mut sched = IntervalSchedule::new(cfg.strategy);
+    let mut tuner = IntervalTuner::for_policy(cfg.interval_policy);
     let mut total_loop_trips = 0usize;
     let mut converged = false;
 
@@ -783,8 +841,11 @@ fn solve_node_pipelined(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
         total_loop_trips += 1;
 
         // --- IMCR checkpoint (entry state is iteration j) -----------------
-        if checkpoint_iteration(cfg.strategy, j) {
+        if sched.checkpoint(j) {
             checkpoint_exchange(ctx, shared, &mut st, j);
+            if let Some(tn) = tuner.as_mut() {
+                tn.note_round();
+            }
         }
 
         // --- Redundant copies of p (explicit; the research twist) ---------
@@ -793,16 +854,23 @@ fn solve_node_pipelined(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
         // iterations therefore ship p explicitly over the same halo +
         // extras index sets, keeping the redundancy queue's coverage
         // guarantee (and its contents) identical to Classic's.
-        if aspmv_iteration(cfg.strategy, j) {
+        if sched.augmented(j) {
             let mut captured: Vec<(usize, f64)> = Vec::new();
             pipelined_capture(ctx, shared, &st.p, range.start, j, &mut captured);
             st.queue.push(j, captured);
+            if let (Some(tn), Some(1)) = (tuner.as_mut(), sched.interval()) {
+                // ESR: every augmented iteration is one protection round.
+                tn.note_round();
+            }
         }
 
         // --- ESRP storage stage, second iteration: starred copies ---------
-        if storage_second(cfg.strategy, j) {
+        if sched.storage_second(j) {
             ctx.set_phase(Phase::Storage);
             st.make_star(j);
+            if let Some(tn) = tuner.as_mut() {
+                tn.note_round();
+            }
         }
 
         // --- Failure injection + recovery ---------------------------------
@@ -813,8 +881,20 @@ fn solve_node_pipelined(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
                 if event.affects(rank) {
                     st.wipe();
                 }
-                let rec = recover(ctx, shared, &mut st, &mut ws, &mut full, j, &event);
+                let rec = recover(ctx, shared, &mut st, &mut ws, &mut full, j, &event, &sched);
                 j = rec.resumed_at;
+                if let Some(tn) = tuner.as_mut() {
+                    let ev = retune_after_recovery(
+                        ctx,
+                        shared,
+                        &mut st,
+                        &mut sched,
+                        tn,
+                        &rec,
+                        total_loop_trips,
+                    );
+                    tuning_events.push(ev);
+                }
                 recovery_reports.push(rec);
                 relres = f64::INFINITY;
                 continue;
@@ -879,7 +959,7 @@ fn solve_node_pipelined(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
         st.aux = Some(aux);
 
         // --- ESRP storage stage, first iteration: stash β** ---------------
-        if storage_first(cfg.strategy, j) {
+        if sched.storage_first(j) {
             ctx.set_phase(Phase::Storage);
             st.beta_ss = beta;
         }
@@ -912,6 +992,7 @@ fn solve_node_pipelined(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
         j,
         total_loop_trips,
         recovery_reports,
+        tuning_events,
     )
 }
 
@@ -958,6 +1039,7 @@ fn drift_epilogue(
     iterations: usize,
     total_loop_trips: usize,
     recoveries: Vec<RecoveryOutcome>,
+    tuning: Vec<TuneEvent>,
 ) -> NodeOutcome {
     let range = shared.part.range(ctx.rank());
     let nloc = range.len();
@@ -990,6 +1072,7 @@ fn drift_epilogue(
         residual_drift: (rnorm - true_rnorm) / true_rnorm,
         x_local: st.x,
         recoveries,
+        tuning,
     }
 }
 
@@ -1255,41 +1338,27 @@ mod tests {
     }
 
     #[test]
-    fn aspmv_iteration_schedule() {
-        let esr = Strategy::esr();
-        assert!(aspmv_iteration(esr, 0) && aspmv_iteration(esr, 7));
-        let esrp = Strategy::Esrp { t: 5 };
-        let expected: Vec<usize> = vec![5, 6, 10, 11, 15, 16];
-        let got: Vec<usize> = (0..18).filter(|&j| aspmv_iteration(esrp, j)).collect();
-        assert_eq!(got, expected);
-        assert!(!aspmv_iteration(Strategy::Imcr { t: 5 }, 5));
-        assert!(!aspmv_iteration(Strategy::None, 5));
-    }
-
-    #[test]
-    fn storage_stage_schedule() {
-        let esrp = Strategy::Esrp { t: 5 };
-        let firsts: Vec<usize> = (0..18).filter(|&j| storage_first(esrp, j)).collect();
-        let seconds: Vec<usize> = (0..18).filter(|&j| storage_second(esrp, j)).collect();
-        assert_eq!(firsts, vec![5, 10, 15]);
-        assert_eq!(seconds, vec![6, 11, 16]);
-        // ESR has no starred stages.
-        assert!((0..18).all(|j| !storage_first(Strategy::esr(), j)));
-        assert!((0..18).all(|j| !storage_second(Strategy::esr(), j)));
-    }
-
-    #[test]
-    fn checkpoint_schedule() {
-        let imcr = Strategy::Imcr { t: 4 };
-        let cks: Vec<usize> = (0..14).filter(|&j| checkpoint_iteration(imcr, j)).collect();
-        assert_eq!(cks, vec![4, 8, 12]);
-        assert!(!checkpoint_iteration(Strategy::esr(), 4));
-    }
-
-    #[test]
     fn config_validation() {
         let ok = SolverConfig::new(Strategy::Esrp { t: 5 }, 2);
         assert!(ok.validate(8).is_ok());
+        let mut auto = SolverConfig::new(Strategy::Esrp { t: 5 }, 2);
+        auto.interval_policy = IntervalPolicy::Adaptive {
+            min_t: 1,
+            max_t: 40,
+        };
+        assert!(auto.validate(8).is_ok());
+        let mut bad = SolverConfig::new(Strategy::None, 0);
+        bad.interval_policy = IntervalPolicy::Adaptive {
+            min_t: 1,
+            max_t: 40,
+        };
+        assert!(
+            bad.validate(8).is_err(),
+            "adaptive policy without a strategy rejected"
+        );
+        let mut bad = SolverConfig::new(Strategy::Esrp { t: 5 }, 2);
+        bad.interval_policy = IntervalPolicy::Adaptive { min_t: 9, max_t: 4 };
+        assert!(bad.validate(8).is_err(), "inverted bounds rejected");
         let mut bad = SolverConfig::new(Strategy::Esrp { t: 5 }, 2);
         bad.failures = vec![FailureSpec::contiguous(10, 0, 3, 8)];
         assert!(bad.validate(8).is_err(), "psi > phi rejected");

@@ -14,6 +14,7 @@ use esrcg_precond::{BlockJacobiPrecond, Preconditioner};
 
 use crate::dist::halo::{HaloExchange, PlanView};
 use crate::solver::state::{NodeState, OwnCheckpoint, PipelinedCkptAux};
+use crate::solver::tuning::IntervalSchedule;
 use crate::solver::workspace::{DomainCache, LocalInnerSolve, RecoveryScratch, SolverWorkspace};
 use crate::solver::{
     dist_spmv, init_pipelined, init_state, PcgVariant, SharedProblem, SpmvMode, RECOVERY_TAG_G,
@@ -44,9 +45,13 @@ pub struct RecoveryOutcome {
 }
 
 /// Runs the strategy's recovery protocol. The failed ranks must already
-/// have wiped their state ([`NodeState::wipe`]). Returns the outcome;
-/// afterwards every rank's state corresponds to iteration
-/// `outcome.resumed_at` and `st.rz` is current.
+/// have wiped their state ([`NodeState::wipe`]). The rollback target comes
+/// from the (possibly re-anchored) `sched`, not the static config, so
+/// adaptively re-tuned intervals roll back to the points the *current*
+/// schedule actually protected. Returns the outcome; afterwards every
+/// rank's state corresponds to iteration `outcome.resumed_at` and `st.rz`
+/// is current.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn recover(
     ctx: &mut Ctx,
     shared: &SharedProblem,
@@ -55,15 +60,17 @@ pub(crate) fn recover(
     full: &mut [f64],
     j_f: usize,
     event: &esrcg_cluster::FailureSpec,
+    sched: &IntervalSchedule,
 ) -> RecoveryOutcome {
     let t_start = ctx.barrier_sync_clock();
-    let (resumed_at, full_restart, inner_iterations) = match shared.cfg.strategy {
+    let target = sched.rollback_target(j_f);
+    let (resumed_at, full_restart, inner_iterations) = match sched.strategy() {
         Strategy::None => panic!(
             "node failure injected into a run without a resilience strategy — \
              an unprotected solver loses all progress (the paper's motivating case)"
         ),
-        Strategy::Esrp { t } => recover_esrp(ctx, shared, st, ws, full, j_f, t, event.ranks()),
-        Strategy::Imcr { t } => recover_imcr(ctx, shared, st, full, j_f, t, event.ranks()),
+        Strategy::Esrp { t } => recover_esrp(ctx, shared, st, ws, full, target, t, event.ranks()),
+        Strategy::Imcr { .. } => recover_imcr(ctx, shared, st, full, target, event.ranks()),
     };
     let t_end = ctx.barrier_sync_clock();
     RecoveryOutcome {
@@ -109,7 +116,7 @@ fn recover_esrp(
     st: &mut NodeState,
     ws: &mut SolverWorkspace,
     full: &mut [f64],
-    j_f: usize,
+    target: Option<usize>,
     t: usize,
     failed_sorted: &[usize],
 ) -> (usize, bool, usize) {
@@ -124,7 +131,7 @@ fn recover_esrp(
     let am_failed = failed_sorted.binary_search(&me).is_ok();
     let is_failed = |r: usize| failed_sorted.binary_search(&r).is_ok();
 
-    let Some(jhat) = esrp_rollback_target(j_f, t) else {
+    let Some(jhat) = target else {
         // No recovery point yet: restart the whole solve from x0 (static
         // data is retrievable from safe storage; see DESIGN.md §2.4 — the
         // paper's experiments never hit this case, ours test it).
@@ -424,8 +431,7 @@ fn recover_imcr(
     shared: &SharedProblem,
     st: &mut NodeState,
     full: &mut [f64],
-    j_f: usize,
-    t: usize,
+    target: Option<usize>,
     failed_sorted: &[usize],
 ) -> (usize, bool, usize) {
     let me = ctx.rank();
@@ -435,7 +441,7 @@ fn recover_imcr(
     );
     let am_failed = failed_sorted.binary_search(&me).is_ok();
 
-    let Some(jc) = imcr_rollback_target(j_f, t) else {
+    let Some(jc) = target else {
         full_restart(ctx, shared, st, full);
         return (0, true, 0);
     };

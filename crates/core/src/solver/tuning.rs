@@ -1,0 +1,372 @@
+//! Online checkpoint-interval tuning: the anchored storage/checkpoint
+//! schedule and the Daly/Young interval tuner.
+//!
+//! Under [`IntervalPolicy::Fixed`](crate::strategy::IntervalPolicy) the
+//! schedule's anchor stays at 0 and every predicate reduces to the legacy
+//! fixed-interval arithmetic — the solver is bitwise unchanged. Under
+//! `Adaptive`, the tuner re-estimates the failure rate and the measured
+//! per-round protection cost at every recovery point and, when the
+//! Daly-optimal interval `T* = √(2·MTBF·C_ckpt)` (in iteration units)
+//! differs from the current `T`, re-anchors the schedule at the resume
+//! iteration. The decision is computed from *replicated* quantities
+//! (synchronized clock, allreduced mean cost, shared failure stream), so
+//! every rank re-tunes identically and the protocol cannot diverge.
+
+use esrcg_cluster::{Ctx, Phase};
+
+use crate::solver::recovery::{esrp_rollback_target, imcr_rollback_target, RecoveryOutcome};
+use crate::strategy::{IntervalPolicy, Strategy};
+
+/// The storage/checkpoint schedule of a run: the current interval plus the
+/// *anchor* — the iteration the interval was last re-tuned at (0 until the
+/// first re-tune). All schedule predicates run on `j − anchor`, so a fresh
+/// interval starts counting from the recovery point that introduced it,
+/// and the anchor itself is a valid rollback target (the re-anchor path
+/// re-establishes starred copies / a checkpoint round there).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct IntervalSchedule {
+    strategy: Strategy,
+    anchor: usize,
+}
+
+impl IntervalSchedule {
+    /// A schedule starting at iteration 0 with the configured strategy.
+    pub(crate) fn new(strategy: Strategy) -> Self {
+        IntervalSchedule {
+            strategy,
+            anchor: 0,
+        }
+    }
+
+    /// The strategy carrying the *current* (possibly re-tuned) interval.
+    pub(crate) fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The current interval, if the strategy has one.
+    pub(crate) fn interval(&self) -> Option<usize> {
+        self.strategy.interval()
+    }
+
+    /// The iteration the current interval took effect at.
+    #[cfg(test)]
+    pub(crate) fn anchor(&self) -> usize {
+        self.anchor
+    }
+
+    fn rel(&self, j: usize) -> Option<usize> {
+        j.checked_sub(self.anchor)
+    }
+
+    /// True when iteration `j` runs the *augmented* SpMV.
+    pub(crate) fn augmented(&self, j: usize) -> bool {
+        let Strategy::Esrp { t } = self.strategy else {
+            return false;
+        };
+        if t == 1 {
+            return true;
+        }
+        let Some(jr) = self.rel(j) else {
+            return false;
+        };
+        (jr >= t && jr.is_multiple_of(t)) || (jr > t && jr % t == 1)
+    }
+
+    /// True when iteration `j` is the first iteration of an ESRP storage
+    /// stage (β** is stashed after β is computed).
+    pub(crate) fn storage_first(&self, j: usize) -> bool {
+        let Strategy::Esrp { t } = self.strategy else {
+            return false;
+        };
+        if t <= 1 {
+            return false;
+        }
+        let Some(jr) = self.rel(j) else {
+            return false;
+        };
+        jr >= t && jr.is_multiple_of(t)
+    }
+
+    /// True when iteration `j` is the second iteration of an ESRP storage
+    /// stage (starred copies are taken).
+    pub(crate) fn storage_second(&self, j: usize) -> bool {
+        let Strategy::Esrp { t } = self.strategy else {
+            return false;
+        };
+        if t <= 1 {
+            return false;
+        }
+        let Some(jr) = self.rel(j) else {
+            return false;
+        };
+        jr > t && jr % t == 1
+    }
+
+    /// True when iteration `j` takes an IMCR checkpoint. The anchor itself
+    /// never re-checkpoints in the loop — the re-anchor path already ran an
+    /// explicit checkpoint round there.
+    pub(crate) fn checkpoint(&self, j: usize) -> bool {
+        let Strategy::Imcr { t } = self.strategy else {
+            return false;
+        };
+        let Some(jr) = self.rel(j) else {
+            return false;
+        };
+        jr > 0 && jr.is_multiple_of(t)
+    }
+
+    /// The rollback target for a failure at `j_f` under the current
+    /// schedule. With anchor 0 this is exactly
+    /// [`esrp_rollback_target`] / [`imcr_rollback_target`]; with a
+    /// positive anchor `a`, storage stages complete at `a + mT + 1` and
+    /// checkpoints live at `a + mT`, and the anchor itself is the earliest
+    /// recovery point (its protection data was re-established when the
+    /// interval changed).
+    pub(crate) fn rollback_target(&self, j_f: usize) -> Option<usize> {
+        let a = self.anchor;
+        match self.strategy {
+            Strategy::None => None,
+            Strategy::Esrp { t: 1 } => esrp_rollback_target(j_f, 1),
+            Strategy::Esrp { t } => {
+                if a == 0 {
+                    return esrp_rollback_target(j_f, t);
+                }
+                let jr = self.rel(j_f)?;
+                let m = if jr == 0 { 0 } else { (jr - 1) / t };
+                if m >= 1 {
+                    Some(a + m * t + 1)
+                } else {
+                    Some(a)
+                }
+            }
+            Strategy::Imcr { t } => {
+                if a == 0 {
+                    return imcr_rollback_target(j_f, t);
+                }
+                let jr = self.rel(j_f)?;
+                let m = jr / t;
+                if m >= 1 {
+                    Some(a + m * t)
+                } else {
+                    Some(a)
+                }
+            }
+        }
+    }
+
+    /// Installs a new interval effective at iteration `at`. The caller is
+    /// responsible for making `at` a valid recovery point (starred copies /
+    /// checkpoint round) when `at > 0`.
+    pub(crate) fn reanchor(&mut self, t_new: usize, at: usize) {
+        match &mut self.strategy {
+            Strategy::Esrp { t } | Strategy::Imcr { t } => *t = t_new,
+            Strategy::None => unreachable!("no interval to tune without a strategy"),
+        }
+        self.anchor = at;
+    }
+}
+
+/// One re-tune decision, recorded per recovery under the adaptive policy
+/// (identical on every rank). `mtbf_iters` is `None` while fewer than two
+/// failures have been observed — the tuner then holds the configured
+/// interval (`interval_after == interval_before`) instead of dividing by a
+/// sample of zero or one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneEvent {
+    /// The iteration the failure struck at.
+    pub failed_at: usize,
+    /// The iteration the solver resumed from.
+    pub resumed_at: usize,
+    /// The online MTBF estimate in iterations (`None` below two observed
+    /// failures).
+    pub mtbf_iters: Option<f64>,
+    /// The interval in effect when the failure struck.
+    pub interval_before: usize,
+    /// The interval in effect after the re-tune (equal to
+    /// `interval_before` when no re-tune happened).
+    pub interval_after: usize,
+}
+
+/// The per-run tuner state (replicated: every rank holds an identical
+/// copy and advances it identically).
+#[derive(Debug, Clone)]
+pub(crate) struct IntervalTuner {
+    min_t: usize,
+    max_t: usize,
+    failures_seen: usize,
+    rounds: usize,
+}
+
+impl IntervalTuner {
+    /// A tuner for the adaptive policy; `None` for the fixed policy.
+    pub(crate) fn for_policy(policy: IntervalPolicy) -> Option<Self> {
+        match policy {
+            IntervalPolicy::Fixed => None,
+            IntervalPolicy::Adaptive { min_t, max_t } => Some(IntervalTuner {
+                min_t,
+                max_t,
+                failures_seen: 0,
+                rounds: 0,
+            }),
+        }
+    }
+
+    /// Records one completed protection round (an ESR augmented iteration,
+    /// an ESRP storage stage, or an IMCR checkpoint round) — the
+    /// denominator of the measured per-round cost.
+    pub(crate) fn note_round(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Proposes the interval for the rest of the run, right after a
+    /// recovery. With at least two observed failures and one completed
+    /// round, the proposal is the Daly/Young optimum
+    /// `T* = √(2·MTBF̂ · c_round/t_iter)` — MTBF̂ in iterations from the
+    /// failure stream, `c_round` the allreduced mean per-round
+    /// `Storage`/`Checkpoint` cost, `t_iter` the synchronized clock per
+    /// loop trip — rounded, snapped from 2 to 1 for ESRP (the paper's
+    /// "use ESR instead" rule), and clamped to the policy bounds.
+    /// Otherwise the current interval stands and **no collectives run**, so
+    /// an adaptive run with fewer than two failures stays bitwise
+    /// identical to its fixed twin.
+    pub(crate) fn propose(
+        &mut self,
+        ctx: &mut Ctx,
+        sched: &IntervalSchedule,
+        rec: &RecoveryOutcome,
+        total_loop_trips: usize,
+    ) -> TuneEvent {
+        self.failures_seen += 1;
+        let before = sched.interval().expect("tuning requires an interval");
+        let mut mtbf_iters = None;
+        let mut t_new = before;
+        if self.failures_seen >= 2 && self.rounds >= 1 && total_loop_trips > 0 && rec.failed_at > 0
+        {
+            let cost_phase = match sched.strategy() {
+                Strategy::Esrp { .. } => Phase::Storage,
+                Strategy::Imcr { .. } => Phase::Checkpoint,
+                Strategy::None => unreachable!("tuning requires a strategy"),
+            };
+            let prev_phase = ctx.set_phase(Phase::RecoveryReset);
+            let c_local = ctx.stats().phase_time(cost_phase);
+            let c_mean = ctx.allreduce_sum_scalar(c_local) / ctx.size() as f64;
+            let clock = ctx.barrier_sync_clock();
+            ctx.set_phase(prev_phase);
+
+            let mtbf = rec.failed_at as f64 / self.failures_seen as f64;
+            mtbf_iters = Some(mtbf);
+            let t_iter = clock / total_loop_trips as f64;
+            let c_round = c_mean / self.rounds as f64;
+            if t_iter > 0.0 && c_round > 0.0 {
+                let t_star = (2.0 * mtbf * (c_round / t_iter)).sqrt();
+                let mut cand = (t_star.round().max(1.0) as usize).clamp(self.min_t, self.max_t);
+                if matches!(sched.strategy(), Strategy::Esrp { .. }) && cand == 2 {
+                    // ESRP(2) stores copies every iteration anyway; the
+                    // paper says use ESR (T = 1) instead (§3).
+                    cand = 1;
+                }
+                t_new = cand.max(1);
+            }
+        }
+        TuneEvent {
+            failed_at: rec.failed_at,
+            resumed_at: rec.resumed_at,
+            mtbf_iters,
+            interval_before: before,
+            interval_after: t_new,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchored_schedule_reduces_to_legacy_at_anchor_zero() {
+        let esr = IntervalSchedule::new(Strategy::esr());
+        assert!(esr.augmented(0) && esr.augmented(7));
+        assert!((0..18).all(|j| !esr.storage_first(j) && !esr.storage_second(j)));
+
+        let esrp = IntervalSchedule::new(Strategy::Esrp { t: 5 });
+        let got: Vec<usize> = (0..18).filter(|&j| esrp.augmented(j)).collect();
+        assert_eq!(got, vec![5, 6, 10, 11, 15, 16]);
+        let firsts: Vec<usize> = (0..18).filter(|&j| esrp.storage_first(j)).collect();
+        let seconds: Vec<usize> = (0..18).filter(|&j| esrp.storage_second(j)).collect();
+        assert_eq!(firsts, vec![5, 10, 15]);
+        assert_eq!(seconds, vec![6, 11, 16]);
+
+        let imcr = IntervalSchedule::new(Strategy::Imcr { t: 4 });
+        let cks: Vec<usize> = (0..14).filter(|&j| imcr.checkpoint(j)).collect();
+        assert_eq!(cks, vec![4, 8, 12]);
+        assert!(!imcr.augmented(4));
+        assert!(!IntervalSchedule::new(Strategy::esr()).checkpoint(4));
+        assert!(!IntervalSchedule::new(Strategy::None).augmented(5));
+    }
+
+    #[test]
+    fn anchored_schedule_counts_from_the_anchor() {
+        let mut s = IntervalSchedule::new(Strategy::Esrp { t: 5 });
+        s.reanchor(3, 21);
+        assert_eq!(s.interval(), Some(3));
+        assert_eq!(s.anchor(), 21);
+        let got: Vec<usize> = (20..32).filter(|&j| s.augmented(j)).collect();
+        // Stages at 21+3 = 24 (first) / 25 (second), 27 / 28, 30 / 31.
+        assert_eq!(got, vec![24, 25, 27, 28, 30, 31]);
+        let firsts: Vec<usize> = (20..32).filter(|&j| s.storage_first(j)).collect();
+        let seconds: Vec<usize> = (20..32).filter(|&j| s.storage_second(j)).collect();
+        assert_eq!(firsts, vec![24, 27, 30]);
+        assert_eq!(seconds, vec![25, 28, 31]);
+
+        let mut c = IntervalSchedule::new(Strategy::Imcr { t: 4 });
+        c.reanchor(6, 10);
+        let cks: Vec<usize> = (9..30).filter(|&j| c.checkpoint(j)).collect();
+        assert_eq!(cks, vec![16, 22, 28], "no checkpoint at the anchor itself");
+    }
+
+    #[test]
+    fn anchored_rollback_targets() {
+        // Anchor 0 delegates to the legacy arithmetic.
+        let s = IntervalSchedule::new(Strategy::Esrp { t: 5 });
+        for j in 0..30 {
+            assert_eq!(s.rollback_target(j), esrp_rollback_target(j, 5));
+        }
+        let c = IntervalSchedule::new(Strategy::Imcr { t: 4 });
+        for j in 0..30 {
+            assert_eq!(c.rollback_target(j), imcr_rollback_target(j, 4));
+        }
+
+        // Re-anchored ESRP: stages complete at a + mT + 1; the anchor is
+        // the fallback before the first completed stage.
+        let mut s = IntervalSchedule::new(Strategy::Esrp { t: 5 });
+        s.reanchor(3, 21);
+        assert_eq!(s.rollback_target(21), Some(21));
+        assert_eq!(s.rollback_target(24), Some(21), "stage at 24 incomplete");
+        assert_eq!(s.rollback_target(25), Some(25));
+        assert_eq!(s.rollback_target(27), Some(25));
+        assert_eq!(s.rollback_target(28), Some(28));
+
+        // ESR keeps its roll-back-to-the-failure-iteration rule across a
+        // re-anchor.
+        let mut e = IntervalSchedule::new(Strategy::Esrp { t: 5 });
+        e.reanchor(1, 12);
+        assert_eq!(e.rollback_target(14), Some(14));
+
+        // Re-anchored IMCR: checkpoints at a + mT, anchor as fallback.
+        let mut c = IntervalSchedule::new(Strategy::Imcr { t: 4 });
+        c.reanchor(6, 10);
+        assert_eq!(c.rollback_target(10), Some(10));
+        assert_eq!(c.rollback_target(15), Some(10));
+        assert_eq!(c.rollback_target(16), Some(16));
+        assert_eq!(c.rollback_target(23), Some(22));
+    }
+
+    #[test]
+    fn tuner_exists_only_for_the_adaptive_policy() {
+        assert!(IntervalTuner::for_policy(IntervalPolicy::Fixed).is_none());
+        let t = IntervalTuner::for_policy(IntervalPolicy::Adaptive { min_t: 2, max_t: 9 })
+            .expect("adaptive policy gets a tuner");
+        assert_eq!((t.min_t, t.max_t), (2, 9));
+        assert_eq!(t.failures_seen, 0);
+    }
+}

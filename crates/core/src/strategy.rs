@@ -36,6 +36,34 @@ impl Strategy {
         Strategy::Esrp { t: 1 }
     }
 
+    /// This strategy with the interval re-tuned online: `t` is the
+    /// starting interval, and after every recovery the solver re-estimates
+    /// MTBF and per-round checkpoint cost and moves `T` toward the
+    /// Daly/Young optimum `T* = √(2·MTBF·C_ckpt)` (in iteration units),
+    /// clamped to `[1, max(8·t, 32)]`. Use [`Strategy::auto_bounded`] for
+    /// explicit clamp bounds.
+    pub fn auto(self) -> Resilience {
+        let t = self.interval().unwrap_or(1);
+        self.auto_bounded(1, (8 * t).max(32))
+    }
+
+    /// [`Strategy::auto`] with an explicit interval clamp `[min_t, max_t]`.
+    pub fn auto_bounded(self, min_t: usize, max_t: usize) -> Resilience {
+        Resilience {
+            strategy: self,
+            policy: IntervalPolicy::Adaptive { min_t, max_t },
+        }
+    }
+
+    /// This strategy with the interval held fixed (the default; equivalent
+    /// to passing the bare `Strategy`).
+    pub fn fixed(self) -> Resilience {
+        Resilience {
+            strategy: self,
+            policy: IntervalPolicy::Fixed,
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -103,6 +131,120 @@ impl fmt::Display for Strategy {
     }
 }
 
+/// How the checkpoint/storage interval `T` evolves over a run.
+///
+/// `Fixed` (the default) keeps the configured `T` forever — every run
+/// before this type existed behaved like that, and the solver is bitwise
+/// unchanged under it. `Adaptive` re-tunes `T` at recovery points from the
+/// observed failure stream (see [`Strategy::auto`]); until two failures
+/// have been observed there is no MTBF estimate and the configured `T`
+/// stands, so an adaptive run with fewer than two failures is bitwise
+/// identical to the fixed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntervalPolicy {
+    /// Keep the configured interval for the whole run.
+    #[default]
+    Fixed,
+    /// Re-tune toward the Daly/Young optimum at every recovery point,
+    /// clamped to `[min_t, max_t]`.
+    Adaptive {
+        /// Smallest interval the tuner may choose (at least 1).
+        min_t: usize,
+        /// Largest interval the tuner may choose (at least `min_t`).
+        max_t: usize,
+    },
+}
+
+impl IntervalPolicy {
+    /// True for the adaptive policy.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, IntervalPolicy::Adaptive { .. })
+    }
+
+    /// The largest interval this policy can put in play, given the
+    /// configured strategy interval `t`. Trace budgets use this so event
+    /// separation stays coverage-safe whatever the tuner picks.
+    pub fn max_interval(&self, t: usize) -> usize {
+        match *self {
+            IntervalPolicy::Fixed => t,
+            IntervalPolicy::Adaptive { max_t, .. } => max_t.max(t),
+        }
+    }
+
+    /// Validates the policy bounds.
+    ///
+    /// # Errors
+    /// Returns a description of the problem for `min_t = 0` or
+    /// `min_t > max_t`.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            IntervalPolicy::Fixed => Ok(()),
+            IntervalPolicy::Adaptive { min_t, max_t } => {
+                if min_t == 0 {
+                    return Err("adaptive interval bounds need min_t >= 1".into());
+                }
+                if min_t > max_t {
+                    return Err(format!(
+                        "adaptive interval bounds are inverted: min_t = {min_t} > max_t = {max_t}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Short name for reports: `fixed` or `auto[min..max]`.
+    pub fn name(&self) -> String {
+        match *self {
+            IntervalPolicy::Fixed => "fixed".to_string(),
+            IntervalPolicy::Adaptive { min_t, max_t } => format!("auto[{min_t}..{max_t}]"),
+        }
+    }
+}
+
+impl fmt::Display for IntervalPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// A strategy paired with its interval policy — what the solver actually
+/// runs. A bare [`Strategy`] converts into the fixed-interval form, so
+/// `Experiment::strategy(Strategy::Esrp { t: 10 })` keeps meaning what it
+/// always did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resilience {
+    /// The protection protocol (with the starting interval).
+    pub strategy: Strategy,
+    /// How the interval evolves.
+    pub policy: IntervalPolicy,
+}
+
+impl Resilience {
+    /// Validates the strategy, the policy bounds, and their combination.
+    ///
+    /// # Errors
+    /// Returns strategy/policy validation failures, or a description of an
+    /// adaptive policy on `Strategy::None` (there is nothing to tune).
+    pub fn validate(&self) -> Result<(), String> {
+        self.strategy.validate()?;
+        self.policy.validate()?;
+        if self.policy.is_adaptive() && self.strategy == Strategy::None {
+            return Err("adaptive interval tuning needs a resilient strategy".into());
+        }
+        Ok(())
+    }
+}
+
+impl From<Strategy> for Resilience {
+    fn from(strategy: Strategy) -> Self {
+        Resilience {
+            strategy,
+            policy: IntervalPolicy::Fixed,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,5 +282,72 @@ mod tests {
         assert_eq!(Strategy::Esrp { t: 20 }.to_string(), "esrp(T=20)");
         assert_eq!(Strategy::esr().to_string(), "esr");
         assert_eq!(Strategy::Imcr { t: 50 }.to_string(), "imcr(T=50)");
+    }
+
+    #[test]
+    fn policy_validation_and_names() {
+        assert!(IntervalPolicy::Fixed.validate().is_ok());
+        assert!(IntervalPolicy::Adaptive {
+            min_t: 1,
+            max_t: 80
+        }
+        .validate()
+        .is_ok());
+        assert!(IntervalPolicy::Adaptive {
+            min_t: 0,
+            max_t: 10
+        }
+        .validate()
+        .is_err());
+        assert!(IntervalPolicy::Adaptive { min_t: 9, max_t: 3 }
+            .validate()
+            .unwrap_err()
+            .contains("inverted"));
+        assert_eq!(IntervalPolicy::Fixed.name(), "fixed");
+        assert_eq!(
+            IntervalPolicy::Adaptive {
+                min_t: 1,
+                max_t: 80
+            }
+            .name(),
+            "auto[1..80]"
+        );
+        assert_eq!(IntervalPolicy::default(), IntervalPolicy::Fixed);
+    }
+
+    #[test]
+    fn auto_and_fixed_constructors() {
+        let auto = Strategy::Esrp { t: 10 }.auto();
+        assert_eq!(auto.strategy, Strategy::Esrp { t: 10 });
+        assert_eq!(
+            auto.policy,
+            IntervalPolicy::Adaptive {
+                min_t: 1,
+                max_t: 80
+            }
+        );
+        assert!(auto.validate().is_ok());
+        assert!(auto.policy.is_adaptive());
+        assert_eq!(auto.policy.max_interval(10), 80);
+        assert_eq!(
+            Strategy::esr().auto().policy,
+            IntervalPolicy::Adaptive {
+                min_t: 1,
+                max_t: 32
+            },
+            "small starting intervals still get tuning headroom"
+        );
+
+        let fixed: Resilience = Strategy::Imcr { t: 20 }.into();
+        assert_eq!(fixed, Strategy::Imcr { t: 20 }.fixed());
+        assert_eq!(fixed.policy.max_interval(20), 20);
+        assert!(fixed.validate().is_ok());
+
+        assert!(Strategy::None.auto().validate().is_err());
+        assert!(Strategy::Esrp { t: 2 }.auto().validate().is_err());
+        assert!(Strategy::Imcr { t: 5 }
+            .auto_bounded(4, 2)
+            .validate()
+            .is_err());
     }
 }

@@ -220,4 +220,34 @@ fn per_phase_wait_accounts_for_all_blocked_time() {
             variant.name()
         );
     }
+
+    // The same completeness must hold when recoveries and the adaptive
+    // interval tuner add their own collectives (attributed to the recovery
+    // phases, never to a compute phase): drills run exactly this shape.
+    for variant in [PcgVariant::Classic, PcgVariant::Pipelined] {
+        let report = Experiment::builder()
+            .matrix(poisson(24, 24))
+            .rhs(RhsSpec::Random { seed: 42 })
+            .n_ranks(4)
+            .variant(variant)
+            .strategy(Strategy::Esrp { t: 5 }.auto())
+            .phi(1)
+            .failure_at(12, 0, 1)
+            .failure_at(26, 2, 1)
+            .failure_at(40, 1, 1)
+            .run()
+            .expect("auto-tuned failing run");
+        assert!(report.converged);
+        assert_eq!(report.recoveries.len(), 3);
+        assert_eq!(report.tuning.len(), 3, "the tuner saw every recovery");
+        for (rank, s) in report.per_rank_stats.iter().enumerate() {
+            let by_phase: f64 = s.recv_wait.iter().sum();
+            assert_eq!(
+                by_phase.to_bits(),
+                s.total_recv_wait().to_bits(),
+                "{} rank {rank}: attribution stays complete under tuning",
+                variant.name()
+            );
+        }
+    }
 }

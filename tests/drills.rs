@@ -1,0 +1,177 @@
+//! The recovery-drill harness, end to end: every cataloged scenario runs,
+//! exercises the recovery path it names, emits byte-stable artifact
+//! lines across fleet worker counts, and the DRILLS.md regression gate
+//! trips on injected slowdowns unless a rationale entry waives them.
+
+use esrcg_bench::drills::{
+    check_regressions, comparison_table, parse_baselines, rationales, run_all, run_drill,
+    DrillOutcome, DRILLS, REGRESSION_THRESHOLD,
+};
+
+fn by_name<'a>(outcomes: &'a [DrillOutcome], name: &str) -> &'a DrillOutcome {
+    outcomes
+        .iter()
+        .find(|o| o.name == name)
+        .unwrap_or_else(|| panic!("drill {name} missing from the catalog run"))
+}
+
+#[test]
+fn every_drill_exercises_its_named_recovery_path() {
+    let outcomes = run_all(2).expect("catalog runs");
+    assert_eq!(outcomes.len(), DRILLS.len());
+
+    for o in &outcomes {
+        assert!(
+            o.recoveries >= 1,
+            "{}: drills must drive a recovery",
+            o.name
+        );
+        assert!(
+            o.recovery_modeled_s > 0.0,
+            "{}: recovery costs modeled time",
+            o.name
+        );
+    }
+
+    // The pre-recovery-point drill is the only full restart in the catalog.
+    for o in &outcomes {
+        let expected = usize::from(o.name == "esrp-pre-recovery-point-full-restart");
+        assert_eq!(
+            o.full_restarts, expected,
+            "{}: full restarts misattributed",
+            o.name
+        );
+    }
+
+    // The stochastic pairs replay the same schedule, so the event counts
+    // match within each pair; any delta is the tuner's doing.
+    for (fixed, auto) in [("exp-fixed-t", "exp-auto"), ("burst-fixed-t", "burst-auto")] {
+        let f = by_name(&outcomes, fixed);
+        let a = by_name(&outcomes, auto);
+        assert_eq!(f.recoveries, a.recoveries, "{fixed} vs {auto}");
+        assert!(
+            f.recoveries >= 3,
+            "{fixed}: the trace must feed the tuner enough failures, got {}",
+            f.recoveries
+        );
+        assert!(
+            a.iters_overhead <= f.iters_overhead,
+            "{auto}: re-tuning must not redo more work than fixed T \
+             ({} vs {})",
+            a.iters_overhead,
+            f.iters_overhead
+        );
+    }
+}
+
+#[test]
+fn artifact_lines_are_byte_identical_across_worker_counts() {
+    let render = |outcomes: &[DrillOutcome]| {
+        outcomes
+            .iter()
+            .map(DrillOutcome::artifact_line)
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let reference = render(&run_all(1).expect("1 worker"));
+    for workers in [4usize, 8] {
+        let lines = render(&run_all(workers).expect("catalog runs"));
+        assert_eq!(reference, lines, "{workers} workers");
+    }
+    for name in DRILLS {
+        assert!(
+            reference.contains(&format!("drill={name} recovery_modeled_s=")),
+            "missing artifact line for {name}"
+        );
+    }
+}
+
+#[test]
+fn unknown_drills_are_rejected() {
+    assert!(run_drill("no-such-drill").unwrap_err().contains("unknown"));
+}
+
+#[test]
+fn tracked_baselines_match_the_catalog() {
+    let md = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/DRILLS.md"))
+        .expect("DRILLS.md is tracked");
+    let baselines = parse_baselines(&md);
+    for name in DRILLS {
+        assert!(
+            baselines.contains_key(name),
+            "DRILLS.md has no baseline row for {name}"
+        );
+    }
+    assert_eq!(
+        baselines.len(),
+        DRILLS.len(),
+        "stale baseline rows for retired drills: {:?}",
+        baselines
+            .keys()
+            .filter(|k| !DRILLS.contains(&k.as_str()))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn regression_gate_trips_without_a_rationale_and_waives_with_one() {
+    let md = "\
+# Drills
+
+| drill | recovery_modeled_s | iters_overhead |
+|---|---:|---:|
+| esr-single-fail-stop | 0.000100000 | 1 |
+| imcr-rollback | 0.000200000 | 4 |
+
+## Rationale
+
+- imcr-rollback: checkpoint spacing rework accepted +30% (2026-08-08)
+";
+    let mk = |name: &'static str, rec: f64| DrillOutcome {
+        name,
+        recovery_modeled_s: rec,
+        iters_overhead: 1,
+        recoveries: 1,
+        full_restarts: 0,
+    };
+
+    // Within threshold: clean pass.
+    let gate = check_regressions(
+        md,
+        &[mk("esr-single-fail-stop", 0.000110)],
+        REGRESSION_THRESHOLD,
+    );
+    assert!(gate.passed() && gate.waived.is_empty(), "{gate:?}");
+
+    // A 25% regression without a rationale: hard failure.
+    let gate = check_regressions(
+        md,
+        &[mk("esr-single-fail-stop", 0.000125)],
+        REGRESSION_THRESHOLD,
+    );
+    assert!(!gate.passed());
+    assert!(
+        gate.failures[0].contains("esr-single-fail-stop"),
+        "{gate:?}"
+    );
+    assert!(gate.failures[0].contains("+25.0%"), "{gate:?}");
+
+    // The same size regression on a drill with a rationale entry: waived.
+    let gate = check_regressions(md, &[mk("imcr-rollback", 0.000260)], REGRESSION_THRESHOLD);
+    assert!(gate.passed(), "{gate:?}");
+    assert_eq!(gate.waived.len(), 1);
+
+    // A drill with no baseline row at all: the table must stay current.
+    let gate = check_regressions(md, &[mk("esrp-pipelined", 0.0001)], REGRESSION_THRESHOLD);
+    assert!(!gate.passed());
+    assert!(gate.failures[0].contains("no baseline row"), "{gate:?}");
+
+    // Parsing helpers see exactly what the document says.
+    assert_eq!(parse_baselines(md).len(), 2);
+    assert!(rationales(md).contains("imcr-rollback"));
+    assert!(!rationales(md).contains("esr-single-fail-stop"));
+
+    // The comparison table renders deltas against the parsed baselines.
+    let table = comparison_table(md, &[mk("esr-single-fail-stop", 0.000125)]);
+    assert!(table.contains("| esr-single-fail-stop | 0.000100000 | 0.000125000 | +25.0 | 1 |"));
+}
