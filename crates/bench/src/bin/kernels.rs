@@ -1,5 +1,6 @@
 //! Emits `BENCH_kernels.json`: SpMV/dot GFLOP/s per backend and thread
-//! count on Poisson-3D workloads.
+//! count on Poisson-3D workloads, plus (schema v5) the storage-format
+//! sweep — CSR vs SELL-C-σ vs BCSR — and the small-SpMV cutoff rows.
 //!
 //! ```text
 //! cargo run --release -p esrcg-bench --bin kernels -- [options]
@@ -15,10 +16,27 @@
 //!                         (default: 128, i.e. 16384 rows)
 //!   --variant V           PCG recurrences of the overlap sweep:
 //!                         classic | pipelined | both (default: both)
+//!   --formats LIST        storage formats of the format sweep, e.g.
+//!                         csr,sell-8-64,bcsr-3x3 (the default; empty list
+//!                         skips the sweep)
+//!   --format-target N     approximate rows of each format-sweep generator
+//!                         matrix (default: 110000)
+//!   --matrix PATH         additionally run the format sweep on a
+//!                         Matrix Market file (repeatable)
+//!   --workers N           OS threads running format-sweep matrices
+//!                         concurrently (default: 1; never changes output
+//!                         row order)
+//!   --deterministic       zero all wall-clock fields so the JSON is
+//!                         byte-identical across runs and --workers counts
 //! ```
 
-use esrcg_bench::kernels::{run_kernel_bench, run_overlap_sweep};
+use esrcg_bench::kernels::{
+    format_sweep_matrices, run_cutoff_sweep, run_format_sweep, run_kernel_bench, run_overlap_sweep,
+    FormatSweepSpec,
+};
 use esrcg_core::solver::PcgVariant;
+use esrcg_sparse::mm::read_matrix_market_file;
+use esrcg_sparse::SpmvFormat;
 
 struct Options {
     out: String,
@@ -28,6 +46,11 @@ struct Options {
     overlap_ranks: Vec<usize>,
     overlap_grid: usize,
     variants: Vec<PcgVariant>,
+    formats: Vec<SpmvFormat>,
+    format_target: usize,
+    matrix_files: Vec<String>,
+    workers: usize,
+    deterministic: bool,
 }
 
 fn parse_list(v: &str) -> Result<Vec<usize>, String> {
@@ -45,6 +68,11 @@ fn parse_args() -> Result<Options, String> {
         overlap_ranks: vec![4, 8, 16],
         overlap_grid: 128,
         variants: vec![PcgVariant::Classic, PcgVariant::Pipelined],
+        formats: vec![SpmvFormat::Csr, SpmvFormat::sell(), SpmvFormat::bcsr3()],
+        format_target: 110_000,
+        matrix_files: Vec::new(),
+        workers: 1,
+        deterministic: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -84,6 +112,34 @@ fn parse_args() -> Result<Options, String> {
                     other => return Err(format!("bad --variant '{other}'")),
                 }
             }
+            "--formats" => {
+                let v = args.next().ok_or("missing value for --formats")?;
+                opt.formats = if v.trim().is_empty() {
+                    Vec::new()
+                } else {
+                    v.split(',')
+                        .map(|s| SpmvFormat::parse(s.trim()))
+                        .collect::<Result<_, _>>()?
+                }
+            }
+            "--format-target" => {
+                opt.format_target = args
+                    .next()
+                    .ok_or("missing value for --format-target")?
+                    .parse()
+                    .map_err(|_| "bad --format-target")?
+            }
+            "--matrix" => opt
+                .matrix_files
+                .push(args.next().ok_or("missing value for --matrix")?),
+            "--workers" => {
+                opt.workers = args
+                    .next()
+                    .ok_or("missing value for --workers")?
+                    .parse()
+                    .map_err(|_| "bad --workers")?
+            }
+            "--deterministic" => opt.deterministic = true,
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -108,6 +164,26 @@ fn main() {
             .unwrap_or(1)
     );
     let mut report = run_kernel_bench(&opt.sizes, &opt.threads, opt.samples);
+    if !opt.formats.is_empty() {
+        let mut specs = format_sweep_matrices(opt.format_target);
+        for path in &opt.matrix_files {
+            let a = match read_matrix_market_file(path) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("--matrix {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let name = std::path::Path::new(path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.clone());
+            specs.push(FormatSweepSpec { name, a });
+        }
+        report.formats =
+            run_format_sweep(&specs, &opt.formats, &opt.threads, opt.samples, opt.workers);
+        report.cutoff = run_cutoff_sweep(&opt.threads, opt.samples);
+    }
     if !opt.overlap_ranks.is_empty() {
         report.overlap = run_overlap_sweep(
             &opt.overlap_ranks,
@@ -115,6 +191,9 @@ fn main() {
             opt.overlap_grid,
             &opt.variants,
         );
+    }
+    if opt.deterministic {
+        report.zero_wall_clock();
     }
     for m in &report.results {
         eprintln!(
@@ -125,6 +204,34 @@ fn main() {
             m.secs * 1e3,
             m.gflops
         );
+    }
+    if !report.formats.is_empty() {
+        eprintln!("storage formats (bitwise-identical SpMV, flops charged from CSR):");
+        for m in &report.formats {
+            eprintln!(
+                "  {:<18} n={:<8} {:<10} {:<9} pad {:>5.2}x {:>10.3} ms/iter  {:>8.3} GFLOP/s",
+                m.matrix,
+                m.n,
+                m.format,
+                m.backend,
+                m.padding_ratio(),
+                m.secs * 1e3,
+                m.gflops
+            );
+        }
+        eprintln!("small-SpMV cutoff (par backend vs seq around the nnz gate):");
+        for m in &report.cutoff {
+            eprintln!(
+                "  n={:<7} nnz={:<8} par({}) {} {:>10.3} µs seq  {:>10.3} µs par  ({:.2}x)",
+                m.n,
+                m.nnz,
+                m.threads,
+                if m.gated { "gated " } else { "dispatch" },
+                m.seq_secs * 1e6,
+                m.par_secs * 1e6,
+                m.par_over_seq()
+            );
+        }
     }
     eprintln!("dispatch overhead (pooled worker pool vs spawn-per-call):");
     for m in &report.overhead {

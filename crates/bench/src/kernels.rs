@@ -30,10 +30,10 @@ use std::time::Instant;
 use esrcg_cluster::Phase;
 use esrcg_core::driver::{Experiment, MatrixSource};
 use esrcg_core::solver::{PcgVariant, SpmvMode};
-use esrcg_sparse::backend::PARALLEL_CUTOFF;
-use esrcg_sparse::gen::poisson3d;
+use esrcg_sparse::backend::{PARALLEL_CUTOFF, SPMV_PARALLEL_NNZ_CUTOFF};
+use esrcg_sparse::gen::{audikw_like, poisson2d, poisson3d, stencil27};
 use esrcg_sparse::pool::{self, DispatchMode};
-use esrcg_sparse::{CsrMatrix, KernelBackend};
+use esrcg_sparse::{CsrMatrix, FormatMatrix, KernelBackend, SpmvFormat};
 
 /// One measured cell.
 #[derive(Debug, Clone)]
@@ -75,7 +75,7 @@ impl OverheadMeasurement {
     /// How many times slower the spawn-per-call baseline is (> 1 means the
     /// pool wins).
     pub fn spawn_over_pooled(&self) -> f64 {
-        self.spawn_secs / self.pooled_secs
+        ratio(self.spawn_secs, self.pooled_secs)
     }
 }
 
@@ -132,6 +132,91 @@ impl OverlapMeasurement {
     }
 }
 
+/// One cell of the storage-format sweep (schema v5): the same SpMV timed
+/// through one [`SpmvFormat`]. Every format is asserted bitwise-identical
+/// to the sequential CSR product before it is timed — a benchmark must not
+/// report a win for a wrong answer.
+#[derive(Debug, Clone)]
+pub struct FormatMeasurement {
+    /// Matrix family (`"poisson2d"`, `"poisson3d-stencil"`, `"elasticity"`,
+    /// or the file stem of a `--matrix` input).
+    pub matrix: String,
+    /// Problem size (rows).
+    pub n: usize,
+    /// Stored entries of the CSR structure — the flops basis shared by
+    /// every format.
+    pub nnz: usize,
+    /// Stored slots of the converted structure, padding included (equals
+    /// `nnz` for CSR).
+    pub slots: usize,
+    /// Format name (`"csr"`, `"sell-8-64"`, `"bcsr-3x3"`).
+    pub format: String,
+    /// Worker threads of the backend.
+    pub threads: usize,
+    /// Backend name.
+    pub backend: String,
+    /// Median seconds per SpMV.
+    pub secs: f64,
+    /// Throughput in GFLOP/s, charged from the CSR structure (2 × nnz) so
+    /// formats are comparable: padded slots do no useful work.
+    pub gflops: f64,
+}
+
+impl FormatMeasurement {
+    /// Stored slots per useful entry (1.0 for CSR; > 1 measures padding).
+    pub fn padding_ratio(&self) -> f64 {
+        self.slots as f64 / self.nnz.max(1) as f64
+    }
+}
+
+/// One named matrix fed to [`run_format_sweep`].
+pub struct FormatSweepSpec {
+    /// Family name carried into the report rows.
+    pub name: String,
+    /// The matrix itself (CSR; conversions happen inside the sweep).
+    pub a: CsrMatrix,
+}
+
+/// One cell of the small-SpMV cutoff sweep: the parallel backend timed
+/// against the sequential one at an entry count below or above
+/// [`SPMV_PARALLEL_NNZ_CUTOFF`]. Below the cutoff the parallel backend is
+/// gated onto the sequential path, so `par_over_seq ≈ 1` is the proof that
+/// small SpMVs no longer pay dispatch overhead.
+#[derive(Debug, Clone)]
+pub struct CutoffMeasurement {
+    /// Problem size (rows).
+    pub n: usize,
+    /// Stored entries.
+    pub nnz: usize,
+    /// Worker threads of the parallel backend.
+    pub threads: usize,
+    /// Whether the nnz gate forces the sequential path at this size.
+    pub gated: bool,
+    /// Median seconds per SpMV, sequential backend.
+    pub seq_secs: f64,
+    /// Median seconds per SpMV, parallel backend (gated or not).
+    pub par_secs: f64,
+}
+
+impl CutoffMeasurement {
+    /// How many times slower the parallel backend is (≈ 1 when gated —
+    /// the small-n regression fix; may exceed 1 above the cutoff on
+    /// oversubscribed hosts).
+    pub fn par_over_seq(&self) -> f64 {
+        ratio(self.par_secs, self.seq_secs)
+    }
+}
+
+/// `a / b`, with 0 for a zero denominator (deterministic renders zero all
+/// wall-clock fields; the ratios must stay finite for valid JSON).
+fn ratio(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        0.0
+    } else {
+        a / b
+    }
+}
+
 /// The full benchmark outcome.
 #[derive(Debug, Clone)]
 pub struct KernelReport {
@@ -139,6 +224,10 @@ pub struct KernelReport {
     pub host_threads: usize,
     /// All measurements.
     pub results: Vec<KernelMeasurement>,
+    /// Storage-format sweep (CSR vs SELL-C-σ vs BCSR), schema v5.
+    pub formats: Vec<FormatMeasurement>,
+    /// Small-SpMV cutoff sweep straddling [`SPMV_PARALLEL_NNZ_CUTOFF`].
+    pub cutoff: Vec<CutoffMeasurement>,
     /// Dispatch-overhead sweep (pooled vs spawn-per-call), small sizes only.
     pub overhead: Vec<OverheadMeasurement>,
     /// Halo-overlap sweep (blocking vs split-phase distributed SpMV).
@@ -225,9 +314,165 @@ pub fn run_kernel_bench(sizes: &[usize], thread_counts: &[usize], samples: usize
     KernelReport {
         host_threads,
         results,
+        formats: Vec::new(),
+        cutoff: Vec::new(),
         overhead,
         overlap: Vec::new(),
     }
+}
+
+/// The three generator matrices of the format sweep, scaled so each holds
+/// roughly `target` rows: the 5-point Poisson-2D operator (short uniform
+/// rows), the 27-point stencil (long uniform rows — SELL's best case), and
+/// the 3-DOF elasticity operator (dense 3×3 node blocks — BCSR's best
+/// case).
+pub fn format_sweep_matrices(target: usize) -> Vec<FormatSweepSpec> {
+    let side = (target as f64).sqrt().round().max(2.0) as usize;
+    let edge = poisson3d_edge(target).max(2);
+    let block_edge = ((target as f64 / 3.0).cbrt().round().max(2.0)) as usize;
+    vec![
+        FormatSweepSpec {
+            name: "poisson2d".to_string(),
+            a: poisson2d(side, side),
+        },
+        FormatSweepSpec {
+            name: "poisson3d-stencil".to_string(),
+            a: stencil27(edge, edge, edge),
+        },
+        FormatSweepSpec {
+            name: "elasticity".to_string(),
+            a: audikw_like(block_edge, block_edge, block_edge),
+        },
+    ]
+}
+
+/// Runs the storage-format sweep: every matrix × backend × format cell,
+/// with each format's product asserted bitwise-equal to the sequential CSR
+/// product before it is timed. `workers` matrices are processed
+/// concurrently (each on one OS thread); the row order is by construction
+/// independent of the worker count — matrices in input order, then
+/// backends, then formats.
+pub fn run_format_sweep(
+    specs: &[FormatSweepSpec],
+    formats: &[SpmvFormat],
+    thread_counts: &[usize],
+    samples: usize,
+    workers: usize,
+) -> Vec<FormatMeasurement> {
+    let measure_one = |spec: &FormatSweepSpec| -> Vec<FormatMeasurement> {
+        let a = &spec.a;
+        let n = a.nrows();
+        let nnz = a.nnz();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y_ref = KernelBackend::Sequential.spmv(a, &x);
+        let flops = a.spmv_flops() as f64;
+        let mut rows = Vec::new();
+        let mut cell = |backend: KernelBackend, threads: usize| {
+            for &fmt in formats {
+                let mut out = vec![0.0; n];
+                let (slots, secs) = match FormatMatrix::from_csr(a, fmt) {
+                    None => {
+                        backend.spmv_into(a, &x, &mut out);
+                        (
+                            nnz,
+                            time_kernel(2, samples, || backend.spmv_into(a, &x, &mut out)),
+                        )
+                    }
+                    Some(m) => {
+                        backend.spmv_fmt_into(&m, &x, &mut out);
+                        (
+                            m.n_slots(),
+                            time_kernel(2, samples, || backend.spmv_fmt_into(&m, &x, &mut out)),
+                        )
+                    }
+                };
+                assert_eq!(
+                    out,
+                    y_ref,
+                    "{} × {} × {}: formats must stay bitwise-identical",
+                    spec.name,
+                    backend.name(),
+                    fmt.name()
+                );
+                rows.push(FormatMeasurement {
+                    matrix: spec.name.clone(),
+                    n,
+                    nnz,
+                    slots,
+                    format: fmt.name(),
+                    threads,
+                    backend: backend.name(),
+                    secs,
+                    gflops: flops / 1e9 / secs.max(f64::MIN_POSITIVE),
+                });
+            }
+        };
+        cell(KernelBackend::Sequential, 1);
+        for &t in thread_counts {
+            cell(KernelBackend::parallel(t), t);
+        }
+        rows
+    };
+
+    if workers <= 1 || specs.len() <= 1 {
+        return specs.iter().flat_map(measure_one).collect();
+    }
+    // Worker pool over matrix indices; slots keep the deterministic order.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Vec<FormatMeasurement>>> = specs
+        .iter()
+        .map(|_| std::sync::Mutex::new(Vec::new()))
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(specs.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                *slots[i].lock().expect("format sweep slot") = measure_one(spec);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .flat_map(|s| s.into_inner().expect("format sweep slot"))
+        .collect()
+}
+
+/// Runs the cutoff sweep: 7-point Poisson-3D SpMVs straddling
+/// [`SPMV_PARALLEL_NNZ_CUTOFF`], the sequential backend against the
+/// parallel one at each thread count. Below the cutoff the gate routes the
+/// parallel backend onto the sequential kernel, so the ratio ≈ 1 rows are
+/// the regression proof for the small-n fix.
+pub fn run_cutoff_sweep(thread_counts: &[usize], samples: usize) -> Vec<CutoffMeasurement> {
+    let mut out = Vec::new();
+    // ~10k rows ⇒ ~66k entries (gated); ~33k rows ⇒ ~219k entries (just
+    // past the 200k gate, dispatches).
+    for target in [10_000usize, 33_000] {
+        let edge = poisson3d_edge(target);
+        let a = poisson3d(edge, edge, edge);
+        let n = a.nrows();
+        let nnz = a.nnz();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y = vec![0.0; n];
+        let seq = KernelBackend::Sequential;
+        let seq_secs = time_kernel(2, samples, || seq.spmv_into(&a, &x, &mut y));
+        for &t in thread_counts {
+            if t < 2 {
+                continue; // 1-thread parallel backend == sequential path
+            }
+            let par = KernelBackend::parallel(t);
+            let par_secs = time_kernel(2, samples, || par.spmv_into(&a, &x, &mut y));
+            out.push(CutoffMeasurement {
+                n,
+                nnz,
+                threads: t,
+                gated: nnz < SPMV_PARALLEL_NNZ_CUTOFF,
+                seq_secs,
+                par_secs,
+            });
+        }
+    }
+    out
 }
 
 /// Runs the overlap sweep: one distributed PCG solve per rank count ×
@@ -375,14 +620,58 @@ impl KernelReport {
         };
         let seq = find(true, 1)?;
         let par = find(false, threads)?;
-        Some(seq.secs / par.secs)
+        Some(ratio(seq.secs, par.secs))
+    }
+
+    /// Speedup of `format` over CSR at the same `(matrix, n, threads)` cell
+    /// of the format sweep (> 1 means the format wins; `None` when either
+    /// cell is absent).
+    pub fn format_speedup(
+        &self,
+        matrix: &str,
+        n: usize,
+        format: &str,
+        threads: usize,
+    ) -> Option<f64> {
+        let find = |fmt: &str| {
+            self.formats
+                .iter()
+                .find(|m| m.matrix == matrix && m.n == n && m.format == fmt && m.threads == threads)
+        };
+        let csr = find("csr")?;
+        let other = find(format)?;
+        Some(ratio(csr.secs, other.secs))
+    }
+
+    /// Zeroes every wall-clock field (timed seconds, GFLOP/s) while keeping
+    /// the deterministic ones — structure sizes, padding, modeled-clock
+    /// overlap rows. With `--deterministic` the emitted JSON is then
+    /// byte-identical across hosts, repetitions, and `--workers` counts.
+    pub fn zero_wall_clock(&mut self) {
+        self.host_threads = 0;
+        for m in &mut self.results {
+            m.secs = 0.0;
+            m.gflops = 0.0;
+        }
+        for m in &mut self.formats {
+            m.secs = 0.0;
+            m.gflops = 0.0;
+        }
+        for m in &mut self.cutoff {
+            m.seq_secs = 0.0;
+            m.par_secs = 0.0;
+        }
+        for m in &mut self.overhead {
+            m.pooled_secs = 0.0;
+            m.spawn_secs = 0.0;
+        }
     }
 
     /// Renders the report as pretty-printed JSON (hand-rolled; the build
     /// carries no serde).
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
-        s.push_str("  \"schema\": \"esrcg-bench-kernels-v4\",\n");
+        s.push_str("  \"schema\": \"esrcg-bench-kernels-v5\",\n");
         s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
         s.push_str("  \"results\": [\n");
         for (i, m) in self.results.iter().enumerate() {
@@ -397,6 +686,42 @@ impl KernelReport {
                 m.secs,
                 m.gflops,
                 if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"formats\": [\n");
+        for (i, m) in self.formats.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"matrix\": \"{}\", \"n\": {}, \"nnz\": {}, \"slots\": {}, \
+                 \"format\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \
+                 \"padding_ratio\": {:.4}, \"secs_per_iter\": {:.9}, \"gflops\": {:.4}}}{}\n",
+                m.matrix,
+                m.n,
+                m.nnz,
+                m.slots,
+                m.format,
+                m.backend,
+                m.threads,
+                m.padding_ratio(),
+                m.secs,
+                m.gflops,
+                if i + 1 == self.formats.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"cutoff\": [\n");
+        for (i, m) in self.cutoff.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"n\": {}, \"nnz\": {}, \"threads\": {}, \"gated\": {}, \
+                 \"seq_secs\": {:.9}, \"par_secs\": {:.9}, \"par_over_seq\": {:.3}}}{}\n",
+                m.n,
+                m.nnz,
+                m.threads,
+                m.gated,
+                m.seq_secs,
+                m.par_secs,
+                m.par_over_seq(),
+                if i + 1 == self.cutoff.len() { "" } else { "," }
             ));
         }
         s.push_str("  ],\n");
@@ -480,6 +805,27 @@ impl KernelReport {
                 }
             }
         }
+        // Format-vs-CSR speedups per (matrix, threads) cell (> 1 means the
+        // non-CSR format wins).
+        for m in &self.formats {
+            if m.format == "csr" {
+                continue;
+            }
+            if let Some(sp) = self.format_speedup(&m.matrix, m.n, &m.format, m.threads) {
+                lines.push(format!(
+                    "    \"format_{}_over_csr_{}_{}t_n{}\": {:.3}",
+                    m.format, m.matrix, m.threads, m.n, sp
+                ));
+            }
+        }
+        for m in &self.cutoff {
+            lines.push(format!(
+                "    \"cutoff_par_over_seq_{}t_nnz{}\": {:.3}",
+                m.threads,
+                m.nnz,
+                m.par_over_seq()
+            ));
+        }
         for m in &self.overhead {
             lines.push(format!(
                 "    \"overhead_spawn_over_pooled_{}_{}t_n{}\": {:.3}",
@@ -555,7 +901,7 @@ mod tests {
         assert_eq!(report.overhead.len(), 1);
         assert_eq!(report.overhead[0].kernel, "dispatch");
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"esrcg-bench-kernels-v4\""));
+        assert!(json.contains("\"schema\": \"esrcg-bench-kernels-v5\""));
         assert!(json.contains("\"kernel\": \"spmv\""));
         assert!(json.contains("spmv_speedup_2t_n1000"));
         assert!(json.contains("overhead_spawn_over_pooled_dispatch_2t_n0"));
@@ -564,6 +910,102 @@ mod tests {
             json.contains("\"overlap\": ["),
             "v4 carries the overlap section"
         );
+        assert!(
+            json.contains("\"formats\": [") && json.contains("\"cutoff\": ["),
+            "v5 carries the format and cutoff sections even when empty"
+        );
+    }
+
+    #[test]
+    fn format_sweep_is_bitwise_and_order_stable_across_workers() {
+        let specs = format_sweep_matrices(600);
+        assert_eq!(specs.len(), 3);
+        let formats = [SpmvFormat::Csr, SpmvFormat::sell(), SpmvFormat::bcsr3()];
+        let serial = run_format_sweep(&specs, &formats, &[2], 2, 1);
+        let threaded = run_format_sweep(&specs, &formats, &[2], 2, 4);
+        // 3 matrices × (seq + par(2)) × 3 formats.
+        assert_eq!(serial.len(), 18);
+        assert_eq!(threaded.len(), 18);
+        for (a, b) in serial.iter().zip(&threaded) {
+            // Deterministic fields agree row-for-row: worker scheduling
+            // never reorders or relabels cells (timings of course differ).
+            assert_eq!(
+                (&a.matrix, a.n, a.nnz, a.slots, &a.format, a.threads, &a.backend),
+                (&b.matrix, b.n, b.nnz, b.slots, &b.format, b.threads, &b.backend)
+            );
+            assert!(a.padding_ratio() >= 1.0, "padding never shrinks storage");
+            assert!(a.secs > 0.0 && a.gflops > 0.0);
+        }
+        let mut report = KernelReport {
+            host_threads: 1,
+            results: Vec::new(),
+            formats: serial,
+            cutoff: Vec::new(),
+            overhead: Vec::new(),
+            overlap: Vec::new(),
+        };
+        let json = report.to_json();
+        assert!(json.contains("format_sell-8-64_over_csr_poisson2d_1t_n"));
+        assert!(json.contains("format_bcsr-3x3_over_csr_elasticity_1t_n"));
+        // Deterministic mode zeroes every wall-clock field; rendering stays
+        // valid JSON (no NaN ratios) and is reproducible.
+        report.zero_wall_clock();
+        let a = report.to_json();
+        assert_eq!(a, report.to_json());
+        assert!(a.contains("\"secs_per_iter\": 0.000000000"));
+        assert!(!a.contains("NaN") && !a.contains("inf"));
+    }
+
+    #[test]
+    fn committed_fixture_feeds_the_matrix_cell() {
+        // The file the CI smoke run passes via --matrix: it must parse with
+        // the repo's own reader and agree with the generator it mirrors.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/poisson2d_4x4.mtx");
+        let a = esrcg_sparse::mm::read_matrix_market_file(path).expect("fixture parses");
+        assert_eq!((a.nrows(), a.nnz()), (16, 64), "mirrored 5-point stencil");
+        let generated = poisson2d(4, 4);
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.37).sin()).collect();
+        let seq = KernelBackend::Sequential;
+        assert_eq!(seq.spmv(&a, &x), seq.spmv(&generated, &x));
+        let specs = [FormatSweepSpec {
+            name: "poisson2d_4x4".to_string(),
+            a,
+        }];
+        let rows = run_format_sweep(
+            &specs,
+            &[SpmvFormat::Csr, SpmvFormat::sell(), SpmvFormat::bcsr3()],
+            &[],
+            2,
+            1,
+        );
+        assert_eq!(rows.len(), 3, "seq backend × 3 formats");
+        assert!(rows.iter().all(|m| m.matrix == "poisson2d_4x4"));
+    }
+
+    #[test]
+    fn cutoff_sweep_straddles_the_nnz_gate() {
+        let rows = run_cutoff_sweep(&[1, 2], 2);
+        // t = 1 contributes nothing; t = 2 gives one row per size.
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].gated, "~66k entries sit below the 200k gate");
+        assert!(rows[0].nnz < SPMV_PARALLEL_NNZ_CUTOFF);
+        assert!(!rows[1].gated, "~219k entries clear the gate");
+        assert!(rows[1].nnz >= SPMV_PARALLEL_NNZ_CUTOFF);
+        for m in &rows {
+            assert_eq!(m.threads, 2);
+            assert!(m.seq_secs > 0.0 && m.par_secs > 0.0);
+        }
+        let report = KernelReport {
+            host_threads: 1,
+            results: Vec::new(),
+            formats: Vec::new(),
+            cutoff: rows,
+            overhead: Vec::new(),
+            overlap: Vec::new(),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"gated\": true"));
+        assert!(json.contains("cutoff_par_over_seq_2t_nnz"));
     }
 
     #[test]
@@ -598,6 +1040,8 @@ mod tests {
         let report = KernelReport {
             host_threads: 1,
             results: Vec::new(),
+            formats: Vec::new(),
+            cutoff: Vec::new(),
             overhead: Vec::new(),
             overlap: rows,
         };
@@ -629,6 +1073,8 @@ mod tests {
         let report = KernelReport {
             host_threads: 1,
             results: Vec::new(),
+            formats: Vec::new(),
+            cutoff: Vec::new(),
             overhead: Vec::new(),
             overlap: rows,
         };

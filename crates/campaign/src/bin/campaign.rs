@@ -12,6 +12,9 @@
 //!   --grid N          edge of the 2-D Poisson problem (default 16)
 //!   --ranks LIST      comma-separated rank counts (default 4)
 //!   --seeds LIST      comma-separated trace seeds (default 11,17)
+//!   --formats LIST    comma-separated SpMV storage formats, e.g.
+//!                     csr,sell-8-64,bcsr-3x3 (default csr; formats are
+//!                     bitwise-identical — the axis varies storage only)
 //!   --max-runs N      budget: cap the number of measured runs
 //!   --workers N       fleet worker threads (default 4); the artifact is
 //!                     byte-identical for any value
@@ -21,11 +24,13 @@
 
 use esrcg_campaign::{CampaignRunner, CampaignSpec};
 use esrcg_core::driver::MatrixSource;
+use esrcg_sparse::SpmvFormat;
 
 struct Options {
     grid: usize,
     ranks: Vec<usize>,
     seeds: Vec<u64>,
+    formats: Vec<SpmvFormat>,
     max_runs: Option<usize>,
     workers: usize,
     out: String,
@@ -43,6 +48,7 @@ fn parse_args() -> Result<Options, String> {
         grid: 16,
         ranks: vec![4],
         seeds: vec![11, 17],
+        formats: vec![SpmvFormat::Csr],
         max_runs: None,
         workers: 4,
         out: "BENCH_campaign.json".to_string(),
@@ -61,6 +67,14 @@ fn parse_args() -> Result<Options, String> {
             }
             "--ranks" => opt.ranks = parse_list(&args.next().ok_or("missing value for --ranks")?)?,
             "--seeds" => opt.seeds = parse_list(&args.next().ok_or("missing value for --seeds")?)?,
+            "--formats" => {
+                opt.formats = args
+                    .next()
+                    .ok_or("missing value for --formats")?
+                    .split(',')
+                    .map(|s| SpmvFormat::parse(s.trim()))
+                    .collect::<Result<_, _>>()?
+            }
             "--max-runs" => {
                 opt.max_runs = Some(
                     args.next()
@@ -100,6 +114,7 @@ fn main() {
     };
     spec.rank_counts = opt.ranks;
     spec.seeds = opt.seeds;
+    spec.formats = opt.formats;
     spec.max_runs = opt.max_runs;
 
     let report = match CampaignRunner::new(opt.workers)

@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 
 /// Schema identifier stamped into the JSON artifact. Bump on any change to
 /// the emitted structure.
-pub const SCHEMA: &str = "esrcg-campaign-v3";
+pub const SCHEMA: &str = "esrcg-campaign-v4";
 
 /// Order statistics of one metric over a cell's runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,6 +89,8 @@ pub struct CellReport {
     pub n_ranks: usize,
     /// PCG variant name (`classic`, `pipelined`).
     pub variant: String,
+    /// SpMV storage-format name (`csr`, `sell-8-64`, `bcsr-3x3`).
+    pub format: String,
     /// Strategy display name (`esr`, `esrp(T=10)`, `imcr(T=10)`).
     pub strategy: String,
     /// Interval-policy display name (`fixed`, `auto[1..64]`).
@@ -220,11 +222,12 @@ impl CampaignReport {
             let _ = writeln!(
                 s,
                 "    {{\"problem\": {}, \"n_ranks\": {}, \"variant\": {}, \
-                 \"strategy\": {}, \"policy\": {}, \"phi\": {}, \"process\": {}, \
-                 \"seeds\": [{}],",
+                 \"format\": {}, \"strategy\": {}, \"policy\": {}, \"phi\": {}, \
+                 \"process\": {}, \"seeds\": [{}],",
                 json_str(&c.problem),
                 c.n_ranks,
                 json_str(&c.variant),
+                json_str(&c.format),
                 json_str(&c.strategy),
                 json_str(&c.policy),
                 c.phi,
@@ -301,12 +304,12 @@ impl CampaignReport {
         let _ = writeln!(s);
         let _ = writeln!(
             s,
-            "| problem | ranks | variant | strategy | policy | φ | process | runs | \
+            "| problem | ranks | variant | format | strategy | policy | φ | process | runs | \
              events | overhead % | recovery % | wasted | restarts | fails |"
         );
         let _ = writeln!(
             s,
-            "|---|---:|---|---|---|---:|---|---:|---:|---:|---:|---:|---:|---:|"
+            "|---|---:|---|---|---|---|---:|---|---:|---:|---:|---:|---:|---:|---:|"
         );
         for c in &self.cells {
             let pct = |s: &Option<Summary>| match s {
@@ -321,10 +324,11 @@ impl CampaignReport {
             let fails = c.convergence_failures + (c.runs - c.ok_runs);
             let _ = writeln!(
                 s,
-                "| {} | {} | {} | {} | {} | {} | {} | {} | {}/{} | {} | {} | {} | {} | {} |",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {}/{} | {} | {} | {} | {} | {} |",
                 c.problem,
                 c.n_ranks,
                 c.variant,
+                c.format,
                 c.strategy,
                 c.policy,
                 c.phi,
@@ -361,6 +365,7 @@ mod tests {
                 problem: "poisson2d-16x16".into(),
                 n_ranks: 4,
                 variant: "pipelined".into(),
+                format: "csr".into(),
                 strategy: "esrp(T=10)".into(),
                 policy: "fixed".into(),
                 phi: 1,
@@ -400,7 +405,8 @@ mod tests {
         let a = r.to_json();
         let b = r.to_json();
         assert_eq!(a, b, "rendering is pure");
-        assert!(a.contains("\"schema\": \"esrcg-campaign-v3\""));
+        assert!(a.contains("\"schema\": \"esrcg-campaign-v4\""));
+        assert!(a.contains("\"format\": \"csr\""));
         assert!(a.contains("\"policy\": \"fixed\""));
         assert!(a.contains("\"t0_seconds\": 0.001234500"));
         assert!(a.contains("\"overhead\": {\"min\": 0.050000"));
@@ -432,7 +438,8 @@ mod tests {
     fn markdown_carries_the_cell_rows() {
         let md = sample().to_markdown();
         assert!(md.contains(
-            "| poisson2d-16x16 | 4 | pipelined | esrp(T=10) | fixed | 1 | exp(mtbf=30) | 2 | 3/3 |"
+            "| poisson2d-16x16 | 4 | pipelined | csr | esrp(T=10) | fixed | 1 | exp(mtbf=30) \
+             | 2 | 3/3 |"
         ));
         assert!(md.contains("## Baselines"));
         assert!(md.contains("9.00 [5.00, 13.00]"), "{md}");

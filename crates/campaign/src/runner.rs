@@ -26,7 +26,7 @@ use std::sync::Arc;
 use esrcg_core::driver::{Experiment, MatrixSource, RunReport};
 use esrcg_core::solver::PcgVariant;
 use esrcg_core::strategy::Resilience;
-use esrcg_sparse::CsrMatrix;
+use esrcg_sparse::{CsrMatrix, SpmvFormat};
 
 use crate::fleet::run_jobs;
 use crate::report::{BaselineReport, CampaignReport, CellReport, Summary};
@@ -113,6 +113,11 @@ impl CampaignRunner {
         }
 
         // --- Phase 1: matched baselines, one per (problem, ranks, variant)
+        // The SpMV format is deliberately *not* part of the baseline key:
+        // formats are bitwise identical and charge identical flops, so the
+        // modeled baseline clock is format-invariant (asserted by the core
+        // solver tests) — splitting baselines per format would rerun the
+        // exact same measurement.
         let mut baseline_keys: Vec<(usize, usize, PcgVariant)> = Vec::new();
         for c in cells {
             let key = (c.problem, c.n_ranks, c.variant);
@@ -139,7 +144,7 @@ impl CampaignRunner {
                 // paired with the pipelined failure-free clock. Routing the
                 // baseline through it keeps the pairing correct even if the
                 // stem ever grows a resilience-affecting knob.
-                self.experiment(spec, &matrices, pi, n_ranks, variant)
+                self.experiment(spec, &matrices, pi, n_ranks, variant, SpmvFormat::Csr)
                     .reference()
                     .run()
                     .map(|r| (r.x.len(), r.converged, r.modeled_time, r.iterations))
@@ -217,15 +222,22 @@ impl CampaignRunner {
             jobs,
             |_, job| {
                 let cell = &cells[job.cell];
-                self.experiment(spec, &matrices, cell.problem, cell.n_ranks, cell.variant)
-                    .strategy(Resilience {
-                        strategy: cell.strategy,
-                        policy: cell.policy,
-                    })
-                    .phi(cell.phi)
-                    .failures(job.schedule.clone())
-                    .run()
-                    .map(|r| RunOutcome::from_report(&r))
+                self.experiment(
+                    spec,
+                    &matrices,
+                    cell.problem,
+                    cell.n_ranks,
+                    cell.variant,
+                    cell.format,
+                )
+                .strategy(Resilience {
+                    strategy: cell.strategy,
+                    policy: cell.policy,
+                })
+                .phi(cell.phi)
+                .failures(job.schedule.clone())
+                .run()
+                .map(|r| RunOutcome::from_report(&r))
             },
             |done, total| {
                 if verbose && (done % 10 == 0 || done == total) {
@@ -264,6 +276,7 @@ impl CampaignRunner {
                 problem: base.problem.clone(),
                 n_ranks: cell.n_ranks,
                 variant: cell.variant.name().to_string(),
+                format: cell.format.name(),
                 strategy: cell.strategy.to_string(),
                 policy: cell.policy.name(),
                 phi: cell.phi,
@@ -294,9 +307,11 @@ impl CampaignRunner {
         })
     }
 
-    /// The common experiment stem of a (problem, ranks, variant) triple:
-    /// baseline pairing means every cell run is this exact builder plus
-    /// strategy, φ, and the compiled failure schedule.
+    /// The common experiment stem of a (problem, ranks, variant, format)
+    /// tuple: baseline pairing means every cell run is this exact builder
+    /// plus strategy, φ, and the compiled failure schedule. Baselines pass
+    /// plain CSR — the format is bitwise and modeled-clock invariant, so
+    /// every format shares the CSR baseline measurement.
     fn experiment(
         &self,
         spec: &CampaignSpec,
@@ -304,6 +319,7 @@ impl CampaignRunner {
         problem: usize,
         n_ranks: usize,
         variant: PcgVariant,
+        format: SpmvFormat,
     ) -> Experiment {
         let p = &spec.problems[problem];
         Experiment::builder()
@@ -311,6 +327,7 @@ impl CampaignRunner {
             .rhs(p.rhs)
             .n_ranks(n_ranks)
             .variant(variant)
+            .spmv_format(format)
             .rtol(spec.rtol)
             .max_iters(spec.max_iters)
             .cost_model(spec.cost)
@@ -334,6 +351,7 @@ mod tests {
             )],
             rank_counts: vec![4],
             variants: vec![PcgVariant::Classic, PcgVariant::Pipelined],
+            formats: vec![SpmvFormat::Csr],
             strategies: vec![Strategy::esr(), Strategy::Esrp { t: 5 }],
             policies: vec![esrcg_core::strategy::IntervalPolicy::Fixed],
             phis: vec![1],

@@ -1,8 +1,8 @@
 //! The declarative campaign matrix and its budget-aware enumerator.
 //!
 //! A [`CampaignSpec`] is the cross product *problems × rank counts ×
-//! PCG variants × strategies × interval policies × φ × fault processes*,
-//! replicated over trace seeds.
+//! PCG variants × SpMV formats × strategies × interval policies × φ ×
+//! fault processes*, replicated over trace seeds.
 //! [`CampaignSpec::enumerate`] flattens it into an ordered list of
 //! [`CellPlan`]s — the unit of aggregation — skipping combinations that can
 //! never run (φ ≥ ranks), collapsing seed replicates of deterministic
@@ -15,6 +15,7 @@ use esrcg_cluster::CostModel;
 use esrcg_core::driver::{MatrixSource, RhsSpec};
 use esrcg_core::solver::PcgVariant;
 use esrcg_core::strategy::{IntervalPolicy, Strategy};
+use esrcg_sparse::SpmvFormat;
 
 use crate::trace::FaultProcess;
 
@@ -51,6 +52,11 @@ pub struct CampaignSpec {
     /// variant: a pipelined cell is compared against the pipelined
     /// failure-free reference, never against classic.
     pub variants: Vec<PcgVariant>,
+    /// SpMV storage formats under test. All formats are bitwise identical
+    /// and charge the same flops (the modeled clock is format-invariant),
+    /// so the axis exercises code paths rather than splitting baselines —
+    /// every format shares the (problem, ranks, variant) baseline.
+    pub formats: Vec<SpmvFormat>,
     /// Resilience strategies under test (`Strategy::None` is implicit: the
     /// matched baseline of every (problem, rank count) pair always runs).
     pub strategies: Vec<Strategy>,
@@ -94,6 +100,7 @@ impl CampaignSpec {
             )],
             rank_counts: vec![4],
             variants: vec![PcgVariant::Classic, PcgVariant::Pipelined],
+            formats: vec![SpmvFormat::Csr],
             strategies: vec![
                 Strategy::esr(),
                 Strategy::Esrp { t: 10 },
@@ -150,6 +157,15 @@ impl CampaignSpec {
                 return Err(format!("duplicate PCG variant '{}'", v.name()));
             }
         }
+        if self.formats.is_empty() {
+            return Err("campaign needs at least one SpMV format".into());
+        }
+        for (i, f) in self.formats.iter().enumerate() {
+            if self.formats[..i].contains(f) {
+                return Err(format!("duplicate SpMV format '{}'", f.name()));
+            }
+            f.validate()?;
+        }
         if self.strategies.is_empty() {
             return Err("campaign needs at least one strategy".into());
         }
@@ -192,9 +208,9 @@ impl CampaignSpec {
 }
 
 /// One cell of the enumerated campaign: a unique
-/// (problem, ranks, variant, strategy, policy, φ, process) combination
-/// plus the seeds it runs under. Aggregation happens per cell, over its
-/// seed replicates.
+/// (problem, ranks, variant, format, strategy, policy, φ, process)
+/// combination plus the seeds it runs under. Aggregation happens per cell,
+/// over its seed replicates.
 #[derive(Debug, Clone)]
 pub struct CellPlan {
     /// Index into [`CampaignSpec::problems`].
@@ -203,6 +219,8 @@ pub struct CellPlan {
     pub n_ranks: usize,
     /// The PCG recurrence variant.
     pub variant: PcgVariant,
+    /// The SpMV storage format.
+    pub format: SpmvFormat,
     /// The resilience strategy.
     pub strategy: Strategy,
     /// The interval policy (fixed T vs adaptive tuning).
@@ -251,35 +269,38 @@ impl CampaignSpec {
         for (pi, _) in self.problems.iter().enumerate() {
             for &n_ranks in &self.rank_counts {
                 for &variant in &self.variants {
-                    for &strategy in &self.strategies {
-                        for &policy in &self.policies {
-                            for &phi in &self.phis {
-                                if phi >= n_ranks {
-                                    skipped_combos += self.processes.len();
-                                    continue;
-                                }
-                                for &process in &self.processes {
-                                    let seeds: Vec<u64> = if process.is_stochastic() {
-                                        self.seeds.clone()
-                                    } else {
-                                        vec![self.seeds[0]]
-                                    };
-                                    if exhausted || planned_runs + seeds.len() > budget {
-                                        exhausted = true;
-                                        dropped_runs += seeds.len();
+                    for &format in &self.formats {
+                        for &strategy in &self.strategies {
+                            for &policy in &self.policies {
+                                for &phi in &self.phis {
+                                    if phi >= n_ranks {
+                                        skipped_combos += self.processes.len();
                                         continue;
                                     }
-                                    planned_runs += seeds.len();
-                                    cells.push(CellPlan {
-                                        problem: pi,
-                                        n_ranks,
-                                        variant,
-                                        strategy,
-                                        policy,
-                                        phi,
-                                        process,
-                                        seeds,
-                                    });
+                                    for &process in &self.processes {
+                                        let seeds: Vec<u64> = if process.is_stochastic() {
+                                            self.seeds.clone()
+                                        } else {
+                                            vec![self.seeds[0]]
+                                        };
+                                        if exhausted || planned_runs + seeds.len() > budget {
+                                            exhausted = true;
+                                            dropped_runs += seeds.len();
+                                            continue;
+                                        }
+                                        planned_runs += seeds.len();
+                                        cells.push(CellPlan {
+                                            problem: pi,
+                                            n_ranks,
+                                            variant,
+                                            format,
+                                            strategy,
+                                            policy,
+                                            phi,
+                                            process,
+                                            seeds,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -457,6 +478,32 @@ mod tests {
         let mut bad = CampaignSpec::smoke();
         bad.policies = vec![IntervalPolicy::Adaptive { min_t: 5, max_t: 3 }];
         assert!(bad.validate().is_err(), "inverted bounds rejected");
+    }
+
+    #[test]
+    fn format_axis_multiplies_the_cells() {
+        let mut spec = CampaignSpec::smoke();
+        let single = spec.enumerate().unwrap();
+        spec.formats = vec![SpmvFormat::Csr, SpmvFormat::sell(), SpmvFormat::bcsr3()];
+        let e = spec.enumerate().unwrap();
+        assert_eq!(
+            e.cells.len(),
+            3 * single.cells.len(),
+            "the format axis triples the grid"
+        );
+        for f in [SpmvFormat::Csr, SpmvFormat::sell(), SpmvFormat::bcsr3()] {
+            assert!(e.cells.iter().any(|c| c.format == f));
+        }
+
+        let mut bad = CampaignSpec::smoke();
+        bad.formats.clear();
+        assert!(bad.validate().unwrap_err().contains("SpMV format"));
+        let mut bad = CampaignSpec::smoke();
+        bad.formats = vec![SpmvFormat::Csr, SpmvFormat::Csr];
+        assert!(bad.validate().unwrap_err().contains("duplicate"));
+        let mut bad = CampaignSpec::smoke();
+        bad.formats = vec![SpmvFormat::Sellcs { c: 99, sigma: 4 }];
+        assert!(bad.validate().is_err(), "format parameters are validated");
     }
 
     #[test]

@@ -12,6 +12,7 @@ use esrcg_campaign::{CampaignRunner, CampaignSpec, FaultProcess, ProblemSpec, Tr
 use esrcg_core::driver::{Experiment, MatrixSource, RhsSpec};
 use esrcg_core::solver::PcgVariant;
 use esrcg_core::strategy::Strategy;
+use esrcg_sparse::SpmvFormat;
 
 fn test_spec() -> CampaignSpec {
     CampaignSpec {
@@ -22,6 +23,7 @@ fn test_spec() -> CampaignSpec {
         )],
         rank_counts: vec![4],
         variants: vec![PcgVariant::Classic, PcgVariant::Pipelined],
+        formats: vec![SpmvFormat::Csr, SpmvFormat::sell()],
         strategies: vec![
             Strategy::esr(),
             Strategy::Esrp { t: 5 },
@@ -73,10 +75,14 @@ fn same_spec_compiles_identical_schedules() {
 fn aggregated_json_is_byte_identical_across_worker_counts() {
     let spec = test_spec();
     let reference = CampaignRunner::new(4).run(&spec).unwrap().to_json();
-    assert!(reference.contains("\"schema\": \"esrcg-campaign-v3\""));
+    assert!(reference.contains("\"schema\": \"esrcg-campaign-v4\""));
     assert!(
         reference.contains("\"variant\": \"pipelined\""),
         "pipelined cells reach the artifact"
+    );
+    assert!(
+        reference.contains("\"format\": \"sell-8-64\""),
+        "non-CSR format cells reach the artifact"
     );
     // Repeated run, same worker count: rendering and execution are pure.
     let again = CampaignRunner::new(4).run(&spec).unwrap().to_json();

@@ -29,6 +29,7 @@ fn spec(strategies: Vec<Strategy>, policy: IntervalPolicy, process: FaultProcess
         )],
         rank_counts: vec![4],
         variants: vec![PcgVariant::Classic],
+        formats: vec![esrcg_sparse::SpmvFormat::Csr],
         strategies,
         policies: vec![policy],
         phis: vec![1],

@@ -22,7 +22,7 @@ use std::time::Duration;
 use esrcg_cluster::{run_spmd, CostModel, FailureSpec, Phase, RankStats};
 use esrcg_precond::PrecondSpec;
 use esrcg_sparse::gen;
-use esrcg_sparse::{CsrMatrix, KernelBackend};
+use esrcg_sparse::{CsrMatrix, KernelBackend, SpmvFormat};
 
 use crate::solver::recovery::RecoveryOutcome;
 use crate::solver::{solve_node, PcgVariant, SharedProblem, SolverConfig, SpmvMode, TuneEvent};
@@ -228,6 +228,7 @@ pub struct Experiment {
     backend: KernelBackend,
     spmv_mode: SpmvMode,
     variant: PcgVariant,
+    spmv_format: SpmvFormat,
 }
 
 impl Experiment {
@@ -251,6 +252,7 @@ impl Experiment {
             backend: KernelBackend::default(),
             spmv_mode: SpmvMode::default(),
             variant: PcgVariant::default(),
+            spmv_format: SpmvFormat::default(),
         }
     }
 
@@ -388,6 +390,16 @@ impl Experiment {
         self
     }
 
+    /// Selects the SpMV storage format (default: [`SpmvFormat::Csr`]).
+    /// All formats are bitwise identical (see [`esrcg_sparse::format`]);
+    /// non-CSR formats are converted once per problem and cached in the
+    /// shared problem. [`Experiment::reference`] preserves the format, so
+    /// overheads are always measured against a matched baseline.
+    pub fn spmv_format(mut self, f: SpmvFormat) -> Self {
+        self.spmv_format = f;
+        self
+    }
+
     /// Builds the shared problem and runs the SPMD solve.
     ///
     /// # Errors
@@ -421,6 +433,7 @@ impl Experiment {
         cfg.backend = self.backend;
         cfg.spmv_mode = self.spmv_mode;
         cfg.variant = self.variant;
+        cfg.spmv_format = self.spmv_format;
         let shared = Arc::new(SharedProblem::assemble_shared(
             a,
             b,

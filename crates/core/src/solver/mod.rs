@@ -16,7 +16,9 @@ use std::sync::Arc;
 
 use esrcg_cluster::{Ctx, Payload, Phase, Tag};
 use esrcg_precond::{PrecondSpec, Preconditioner};
-use esrcg_sparse::{CsrMatrix, KernelBackend, Partition, RowSplitSet, SparseError};
+use esrcg_sparse::{
+    CsrMatrix, FormatCache, KernelBackend, Partition, RowSplitSet, SparseError, SpmvFormat,
+};
 
 use crate::aspmv::{AspmvPlan, BuddyMap};
 use crate::dist::halo::{exchange_halo, HaloExchange};
@@ -150,6 +152,12 @@ pub struct SolverConfig {
     /// (the bitwise-reference baseline); `Pipelined` overlaps the per-
     /// iteration reduction with the preconditioner + SpMV.
     pub variant: PcgVariant,
+    /// Which storage format the SpMV hot loops use. Defaults to
+    /// [`SpmvFormat::Csr`]; all formats are bitwise identical (see
+    /// [`esrcg_sparse::format`]), so this only changes speed, never
+    /// results. Non-CSR formats are converted once per problem into the
+    /// [`SharedProblem`]'s format cache.
+    pub spmv_format: SpmvFormat,
 }
 
 impl SolverConfig {
@@ -168,6 +176,7 @@ impl SolverConfig {
             backend: KernelBackend::default(),
             spmv_mode: SpmvMode::default(),
             variant: PcgVariant::default(),
+            spmv_format: SpmvFormat::default(),
         }
     }
 
@@ -178,6 +187,7 @@ impl SolverConfig {
     pub fn validate(&self, n_ranks: usize) -> Result<(), String> {
         self.strategy.validate()?;
         self.interval_policy.validate()?;
+        self.spmv_format.validate()?;
         if self.interval_policy.is_adaptive() && self.strategy == Strategy::None {
             return Err("adaptive interval tuning needs a resilient strategy".into());
         }
@@ -244,6 +254,11 @@ pub struct SharedProblem {
     /// matrix + partition, alongside the plan) — what the split-phase SpMV
     /// computes while the halo is in flight.
     pub row_split: Arc<RowSplitSet>,
+    /// The converted SpMV pieces when a non-CSR [`SpmvFormat`] is
+    /// configured: per rank, the owned range plus the interior/boundary
+    /// split lists, built **once per problem** next to the `RowSplitSet`
+    /// and shared read-only by every rank. `None` under plain CSR.
+    pub fmt_cache: Option<Arc<FormatCache>>,
     /// The ASpMV augmentation plan (ESR/ESRP strategies).
     pub aspmv: Option<Arc<AspmvPlan>>,
     /// The buddy map (IMCR strategy).
@@ -295,6 +310,7 @@ impl SharedProblem {
         let part = Arc::new(Partition::balanced(a.nrows(), n_ranks));
         let plan = Arc::new(CommPlan::build(&a, &part));
         let row_split = Arc::new(RowSplitSet::build(&a, &part));
+        let fmt_cache = FormatCache::build(&a, &part, &row_split, cfg.spmv_format).map(Arc::new);
         let precond = precond_spec
             .build(&a, &part)
             .map_err(|e: SparseError| e.to_string())?;
@@ -314,6 +330,7 @@ impl SharedProblem {
             precond,
             plan,
             row_split,
+            fmt_cache,
             aspmv,
             buddies,
             cfg,
@@ -410,6 +427,10 @@ fn dist_spmv_hooked<F>(
 {
     let rank = ctx.rank();
     let range = shared.part.range(rank);
+    // Non-CSR formats read their converted pieces from the shared cache;
+    // flops stay charged from the CSR structure (2 × real nnz, format-
+    // invariant), so the modeled clock is identical across formats.
+    let pieces = shared.fmt_cache.as_deref().map(|c| c.of(rank));
     match shared.cfg.spmv_mode {
         SpmvMode::Blocking => {
             exchange_halo(
@@ -422,17 +443,26 @@ fn dist_spmv_hooked<F>(
                 captured.as_deref_mut(),
             );
             after_comm(ctx, captured);
-            be.spmv_rows_into(&shared.a, range.clone(), full, q);
+            match pieces {
+                Some(p) => be.spmv_fmt_into(&p.owned, full, q),
+                None => be.spmv_rows_into(&shared.a, range.clone(), full, q),
+            }
             ctx.charge_flops(shared.a.spmv_rows_flops(range));
         }
         SpmvMode::SplitPhase => {
             let split = shared.row_split.of(rank);
             let hx = HaloExchange::start(ctx, &shared.plan, &shared.part, local, tag_sub, full);
-            be.spmv_rows_subset_into(&shared.a, split.interior(), range.start, full, q);
+            match pieces {
+                Some(p) => be.spmv_fmt_into(&p.interior, full, q),
+                None => be.spmv_rows_subset_into(&shared.a, split.interior(), range.start, full, q),
+            }
             ctx.charge_flops(split.interior_flops());
             hx.finish(ctx, &shared.plan, full, captured.as_deref_mut());
             after_comm(ctx, captured);
-            be.spmv_rows_subset_into(&shared.a, split.boundary(), range.start, full, q);
+            match pieces {
+                Some(p) => be.spmv_fmt_into(&p.boundary, full, q),
+                None => be.spmv_rows_subset_into(&shared.a, split.boundary(), range.start, full, q),
+            }
             ctx.charge_flops(split.boundary_flops());
         }
     }
@@ -1325,6 +1355,53 @@ mod tests {
             t_split < t_blocking,
             "split-phase {t_split} vs blocking {t_blocking}"
         );
+    }
+
+    #[test]
+    fn formats_are_bitwise_identical_in_both_spmv_modes() {
+        let (ref_outs, t_ref) = run(shared_for(4, Strategy::None, 0, None), 4);
+        let ref_x = gather_x(&ref_outs);
+        let c = ref_outs[0].iterations;
+        let a = poisson2d(12, 12);
+        let n = a.nrows();
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
+        let b = a.spmv(&x_true);
+        for fmt in [
+            SpmvFormat::sell(),
+            SpmvFormat::bcsr3(),
+            SpmvFormat::Sellcs { c: 4, sigma: 8 },
+        ] {
+            for mode in [SpmvMode::Blocking, SpmvMode::SplitPhase] {
+                let mut cfg = SolverConfig::new(Strategy::None, 0);
+                cfg.spmv_mode = mode;
+                cfg.spmv_format = fmt;
+                let shared = SharedProblem::assemble(
+                    a.clone(),
+                    b.clone(),
+                    vec![0.0; n],
+                    4,
+                    PrecondSpec::paper_default(),
+                    cfg,
+                )
+                .expect("valid problem");
+                assert!(shared.fmt_cache.is_some(), "non-CSR formats are cached");
+                let (outs, t) = run(shared, 4);
+                assert!(outs.iter().all(|o| o.converged), "{}", fmt.name());
+                assert_eq!(outs[0].iterations, c, "{}", fmt.name());
+                assert_eq!(
+                    gather_x(&outs),
+                    ref_x,
+                    "{} {} bitwise identical",
+                    fmt.name(),
+                    mode.name()
+                );
+                if mode == SpmvMode::SplitPhase {
+                    // Flops are charged from the CSR structure regardless of
+                    // format, so the modeled clock is format-invariant too.
+                    assert_eq!(t.to_bits(), t_ref.to_bits(), "{}", fmt.name());
+                }
+            }
+        }
     }
 
     #[test]

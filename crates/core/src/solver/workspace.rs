@@ -24,7 +24,7 @@ use std::collections::HashMap;
 use std::ops::Range;
 
 use esrcg_precond::BlockJacobiPrecond;
-use esrcg_sparse::{CsrMatrix, Partition, RowSplit};
+use esrcg_sparse::{CsrMatrix, FormatMatrix, Partition, RowSplit, SpmvFormat};
 
 use crate::solver::SharedProblem;
 
@@ -109,6 +109,16 @@ pub(crate) struct DomainCache {
     /// SpMV read only the rank's own `p` chunk and can compute while the
     /// replacement-subgroup halo is in flight.
     pub inner_split: RowSplit,
+    /// `a_off` converted to the configured non-CSR [`SpmvFormat`]
+    /// (`None` under plain CSR) — the recovery-side mirror of the outer
+    /// solve's format cache.
+    pub a_off_fmt: Option<FormatMatrix>,
+    /// `a_in` converted whole (the inner solve's blocking schedule).
+    pub a_in_fmt: Option<FormatMatrix>,
+    /// `a_in`'s interior rows converted (split-phase inner solve).
+    pub a_in_interior_fmt: Option<FormatMatrix>,
+    /// `a_in`'s boundary rows converted (split-phase inner solve).
+    pub a_in_boundary_fmt: Option<FormatMatrix>,
 }
 
 impl DomainCache {
@@ -120,6 +130,7 @@ impl DomainCache {
         part: &Partition,
         own_rows: &[usize],
         failed_sorted: &[usize],
+        format: SpmvFormat,
     ) -> Self {
         let mut in_failed_idx = vec![false; part.n()];
         for &f in failed_sorted {
@@ -144,11 +155,33 @@ impl DomainCache {
             _ => 0..0,
         };
         let inner_split = RowSplit::build(&a_in, 0..a_in.nrows(), own_cols);
+        // The recovery operators get the same once-per-domain conversion
+        // the outer solve's matrix gets once per problem. The inner split
+        // lists are already local row indices of `a_in`, and each row
+        // writes its own index, so the out map is the row list itself.
+        let a_off_fmt = FormatMatrix::from_csr(&a_off, format);
+        let a_in_fmt = FormatMatrix::from_csr(&a_in, format);
+        let a_in_interior_fmt = FormatMatrix::from_rows(
+            &a_in,
+            inner_split.interior(),
+            inner_split.interior(),
+            format,
+        );
+        let a_in_boundary_fmt = FormatMatrix::from_rows(
+            &a_in,
+            inner_split.boundary(),
+            inner_split.boundary(),
+            format,
+        );
         DomainCache {
             in_failed_idx,
             a_off,
             a_in,
             inner_split,
+            a_off_fmt,
+            a_in_fmt,
+            a_in_interior_fmt,
+            a_in_boundary_fmt,
         }
     }
 }
@@ -201,7 +234,9 @@ mod tests {
         let a = poisson2d(6, 6);
         let part = Partition::balanced(36, 4); // 9 rows per rank
         let own_rows: Vec<usize> = part.range(1).collect();
-        let cache = DomainCache::build(&a, &part, &own_rows, &[1, 3]);
+        let cache = DomainCache::build(&a, &part, &own_rows, &[1, 3], SpmvFormat::Csr);
+        assert!(cache.a_off_fmt.is_none(), "CSR needs no converted pieces");
+        assert!(cache.a_in_fmt.is_none());
         // Mask marks exactly the rows of ranks 1 and 3.
         let marked: Vec<usize> = (0..36).filter(|&i| cache.in_failed_idx[i]).collect();
         let expected: Vec<usize> = (9..18).chain(27..36).collect();
@@ -231,6 +266,38 @@ mod tests {
         for &lr in split.boundary() {
             let (cols, _) = cache.a_in.row(lr);
             assert!(cols.iter().any(|c| !own.contains(c)), "boundary row {lr}");
+        }
+    }
+
+    #[test]
+    fn domain_cache_format_pieces_are_bitwise_csr() {
+        use esrcg_sparse::KernelBackend;
+        let a = poisson2d(8, 9);
+        let part = Partition::balanced(72, 4);
+        let own_rows: Vec<usize> = part.range(2).collect();
+        let x: Vec<f64> = (0..72).map(|i| (i as f64 * 0.17).sin()).collect();
+        let be = KernelBackend::Sequential;
+        for fmt in [SpmvFormat::sell(), SpmvFormat::bcsr3()] {
+            let cache = DomainCache::build(&a, &part, &own_rows, &[2], fmt);
+            let nloc = own_rows.len();
+            // a_off and a_in pieces reproduce the CSR products bitwise.
+            for (csr, piece) in [
+                (&cache.a_off, cache.a_off_fmt.as_ref().unwrap()),
+                (&cache.a_in, cache.a_in_fmt.as_ref().unwrap()),
+            ] {
+                let mut y_ref = vec![0.0; nloc];
+                be.spmv_into(csr, &x, &mut y_ref);
+                let mut y = vec![0.0; nloc];
+                be.spmv_fmt_into(piece, &x, &mut y);
+                assert_eq!(y, y_ref, "{}", fmt.name());
+            }
+            // Interior-then-boundary pieces reproduce the whole a_in product.
+            let mut y_ref = vec![0.0; nloc];
+            be.spmv_into(&cache.a_in, &x, &mut y_ref);
+            let mut y = vec![0.0; nloc];
+            be.spmv_fmt_into(cache.a_in_interior_fmt.as_ref().unwrap(), &x, &mut y);
+            be.spmv_fmt_into(cache.a_in_boundary_fmt.as_ref().unwrap(), &x, &mut y);
+            assert_eq!(y, y_ref, "split {}", fmt.name());
         }
     }
 }

@@ -40,6 +40,7 @@
 use std::ops::Range;
 
 use crate::csr::CsrMatrix;
+use crate::format::FormatMatrix;
 use crate::pool::{self, DispatchMode};
 use crate::vector::{self, REDUCTION_BLOCK};
 
@@ -87,6 +88,16 @@ fn dispatch<F: Fn(usize) + Sync>(active: usize, job: F) {
 /// the sequential path is used — which is safe precisely because both paths
 /// are bit-identical.
 pub const PARALLEL_CUTOFF: usize = 8192;
+
+/// Minimum stored-entry count before a *SpMV* dispatches in parallel. Rows
+/// alone mispredict SpMV cost: at n≈1e4 a stencil matrix clears the row
+/// cutoff with only ~7e4 stored entries, and the measured parallel kernel
+/// ran at 0.61 GFLOP/s against 1.52 sequential (BENCH_kernels.json v4, 4
+/// threads) — pure dispatch overhead. Below this entry count the
+/// sequential kernel runs instead, which cannot change any bit (the
+/// backends are bitwise identical); the kernels bench records the
+/// crossover.
+pub const SPMV_PARALLEL_NNZ_CUTOFF: usize = 200_000;
 
 /// Detected hardware parallelism, queried once per process (the kernels
 /// consult it on every call at auto settings).
@@ -175,6 +186,17 @@ impl KernelBackend {
         self.threads().min(n).max(1)
     }
 
+    /// Threads to actually use for a SpMV over `rows` rows carrying `nnz`
+    /// stored entries — the row cutoff *and* the
+    /// [`SPMV_PARALLEL_NNZ_CUTOFF`] entry cutoff must both pass.
+    #[inline]
+    fn threads_for_spmv(&self, rows: usize, nnz: usize) -> usize {
+        if nnz < SPMV_PARALLEL_NNZ_CUTOFF {
+            return 1;
+        }
+        self.threads_for(rows)
+    }
+
     // --- SpMV ---------------------------------------------------------------
 
     /// `y ← A x`. Parallel over nnz-balanced row chunks.
@@ -203,7 +225,8 @@ impl KernelBackend {
         assert!(rows.end <= a.nrows(), "spmv_rows: row range out of range");
         assert_eq!(x.len(), a.ncols(), "spmv_rows: x length != ncols");
         assert_eq!(y.len(), rows.len(), "spmv_rows: y length != rows.len()");
-        let nthreads = self.threads_for(rows.len());
+        let nnz = a.row_ptr()[rows.end] - a.row_ptr()[rows.start];
+        let nthreads = self.threads_for_spmv(rows.len(), nnz);
         if nthreads <= 1 {
             a.spmv_rows_into(rows, x, y);
             return;
@@ -260,7 +283,8 @@ impl KernelBackend {
             rows.windows(2).all(|w| w[0] < w[1]),
             "spmv_rows_subset: rows must be strictly increasing"
         );
-        let nthreads = self.threads_for(rows.len());
+        let nnz: usize = rows.iter().map(|&r| a.row_nnz(r)).sum();
+        let nthreads = self.threads_for_spmv(rows.len(), nnz);
         if nthreads <= 1 {
             a.spmv_rows_subset_into(rows, offset, x, y);
             return;
@@ -299,7 +323,8 @@ impl KernelBackend {
     {
         assert_eq!(x_full.len(), a.ncols(), "spmv_rows_masked: x length");
         assert_eq!(y.len(), rows.len(), "spmv_rows_masked: y length");
-        let nthreads = self.threads_for(rows.len());
+        let nnz: usize = rows.iter().map(|&r| a.row_nnz(r)).sum();
+        let nthreads = self.threads_for_spmv(rows.len(), nnz);
         if nthreads <= 1 {
             a.spmv_rows_masked_into(rows, x_full, &masked, y);
             return;
@@ -313,6 +338,75 @@ impl KernelBackend {
             let head = unsafe { y_out.chunk(lo, hi) };
             a.spmv_rows_masked_into(&rows[lo..hi], x_full, masked, head);
         });
+    }
+
+    /// SpMV of a converted [`FormatMatrix`] piece: `y[out[i]] = rowsᵢ · x`
+    /// for every row stored in the piece, unlisted `y` positions
+    /// untouched. Bitwise identical to the corresponding CSR kernel over
+    /// the same rows — see the format modules' determinism arguments — at
+    /// any thread count and `DispatchMode`.
+    ///
+    /// Parallelism splits SELL pieces at σ-window boundaries and BCSR
+    /// pieces at block-row boundaries (both load-balanced by stored
+    /// slots); the pieces' strictly-increasing output maps make each
+    /// worker's span a contiguous, worker-disjoint slice of `y`.
+    ///
+    /// # Panics
+    /// Panics if `x.len()` differs from the piece's column count.
+    pub fn spmv_fmt_into(&self, m: &FormatMatrix, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), m.ncols(), "spmv_fmt: x length != ncols");
+        match m {
+            FormatMatrix::Sell(s) => {
+                let windows = s.n_windows();
+                let nthreads = self.threads_for_spmv(windows * s.window(), s.nnz());
+                let nthreads = nthreads.min(windows);
+                if nthreads <= 1 {
+                    s.spmv_into(x, y);
+                    return;
+                }
+                let bounds = nnz_balanced_bounds(s.win_slot_ptr(), 0..windows, nthreads);
+                let y_out = SendPtr::new(y);
+                dispatch(nthreads, |c| {
+                    let (lo, hi) = (bounds[c], bounds[c + 1]);
+                    if lo >= hi {
+                        return;
+                    }
+                    let (y_lo, y_hi) = (s.win_out(lo).0, s.win_out(hi - 1).1);
+                    // SAFETY: window output spans are disjoint and
+                    // ascending (strictly increasing out map, windows
+                    // partition the row list in order), so chunk `c`'s
+                    // outputs lie in `[y_lo, y_hi)`, disjoint from every
+                    // other chunk's.
+                    let head = unsafe { y_out.chunk(y_lo, y_hi) };
+                    s.spmv_windows_into(lo, hi, x, head, y_lo);
+                });
+            }
+            FormatMatrix::Bcsr(b) => {
+                let brs = b.n_block_rows();
+                let nthreads = self.threads_for_spmv(brs * b.r(), b.nnz());
+                let nthreads = nthreads.min(brs);
+                if nthreads <= 1 {
+                    b.spmv_into(x, y);
+                    return;
+                }
+                let bounds = nnz_balanced_bounds(b.row_ptr(), 0..brs, nthreads);
+                let y_out = SendPtr::new(y);
+                dispatch(nthreads, |c| {
+                    let (lo, hi) = (bounds[c], bounds[c + 1]);
+                    if lo >= hi {
+                        return;
+                    }
+                    let (y_lo, y_hi) = b.out_span(lo, hi);
+                    // SAFETY: block-row output spans are disjoint and
+                    // ascending (strictly increasing out map, block rows
+                    // group consecutive list entries), so chunk `c`'s
+                    // outputs lie in `[y_lo, y_hi)`, disjoint from every
+                    // other chunk's.
+                    let head = unsafe { y_out.chunk(y_lo, y_hi) };
+                    b.spmv_block_rows_into(lo, hi, x, head, y_lo);
+                });
+            }
+        }
     }
 
     // --- Reductions ---------------------------------------------------------
@@ -568,7 +662,9 @@ mod tests {
 
     #[test]
     fn spmv_bitwise_identical_across_backends() {
-        let a = poisson2d(120, 120); // 14_400 rows: above the cutoff
+        // 62_500 rows, ~311k stored entries: above both the row and the
+        // nnz cutoff, so the parallel path genuinely dispatches.
+        let a = poisson2d(250, 250);
         let x: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.1).sin()).collect();
         let reference = a.spmv(&x);
         for t in [1usize, 2, 5, 8] {
@@ -577,13 +673,21 @@ mod tests {
             assert_eq!(got, reference, "t={t}");
         }
         assert_eq!(KernelBackend::Sequential.spmv(&a, &x), reference);
+        // Below the nnz cutoff the parallel backend falls back to the
+        // sequential kernel — bitwise harmless by construction.
+        let small = poisson2d(120, 120);
+        let xs: Vec<f64> = (0..small.nrows()).map(|i| (i as f64 * 0.2).cos()).collect();
+        assert_eq!(
+            KernelBackend::parallel(8).spmv(&small, &xs),
+            small.spmv(&xs)
+        );
     }
 
     #[test]
     fn spmv_rows_matches_reference() {
-        let a = banded_spd(10_000, 6, 0.7, 3);
+        let a = banded_spd(30_000, 6, 0.7, 3);
         let x: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.3).cos()).collect();
-        let rows = 1234..9876;
+        let rows = 1234..29_876;
         let mut reference = vec![0.0; rows.len()];
         a.spmv_rows_into(rows.clone(), &x, &mut reference);
         for t in [2usize, 7] {
@@ -595,13 +699,13 @@ mod tests {
 
     #[test]
     fn spmv_rows_subset_matches_reference_above_cutoff() {
-        let a = banded_spd(20_000, 6, 0.7, 5);
+        let a = banded_spd(50_000, 6, 0.7, 5);
         let x: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.3).cos()).collect();
-        let range = 1000..19_000;
+        let range = 1000..49_000;
         let mut reference = vec![0.0; range.len()];
         a.spmv_rows_into(range.clone(), &x, &mut reference);
-        // Split the range into two interleaved sorted subsets (both large
-        // enough to dispatch in parallel).
+        // Split the range into two interleaved sorted subsets (each still
+        // above the nnz cutoff, so both dispatch in parallel).
         let evens: Vec<usize> = range.clone().filter(|r| r % 2 == 0).collect();
         let odds: Vec<usize> = range.clone().filter(|r| r % 2 == 1).collect();
         for t in [2usize, 7] {
@@ -618,7 +722,7 @@ mod tests {
 
     #[test]
     fn spmv_rows_masked_matches_reference() {
-        let a = banded_spd(9_000, 5, 0.8, 9);
+        let a = banded_spd(30_000, 5, 0.8, 9);
         let x: Vec<f64> = (0..a.nrows()).map(|i| 1.0 / (1.0 + i as f64)).collect();
         let rows: Vec<usize> = (0..a.nrows()).step_by(1).collect();
         let masked = |c: usize| c.is_multiple_of(7);
@@ -627,6 +731,50 @@ mod tests {
             let mut y = vec![0.0; rows.len()];
             KernelBackend::parallel(t).spmv_rows_masked_into(&a, &rows, &x, masked, &mut y);
             assert_eq!(y, reference, "t={t}");
+        }
+    }
+
+    #[test]
+    fn spmv_nnz_cutoff_gates_the_parallel_path() {
+        let be = KernelBackend::parallel(4);
+        // Plenty of rows but too few entries: sequential.
+        assert_eq!(be.threads_for_spmv(10_000, SPMV_PARALLEL_NNZ_CUTOFF - 1), 1);
+        // Enough entries and rows: parallel.
+        assert_eq!(be.threads_for_spmv(10_000, SPMV_PARALLEL_NNZ_CUTOFF), 4);
+        // Enough entries but too few rows (dense-ish): the row cutoff
+        // still applies.
+        assert_eq!(be.threads_for_spmv(100, 1_000_000), 1);
+        assert_eq!(
+            KernelBackend::Sequential.threads_for_spmv(1 << 20, 1 << 20),
+            1
+        );
+    }
+
+    #[test]
+    fn spmv_fmt_bitwise_identical_across_backends_and_formats() {
+        use crate::format::{FormatMatrix, SpmvFormat};
+        // Above both cutoffs so the parallel format kernels dispatch.
+        let a = poisson2d(250, 250);
+        let x: Vec<f64> = (0..a.nrows())
+            .map(|i| (i as f64 * 0.13).sin() - 0.3)
+            .collect();
+        let reference = a.spmv(&x);
+        for fmt in [
+            SpmvFormat::sell(),
+            SpmvFormat::Sellcs { c: 4, sigma: 4 },
+            SpmvFormat::bcsr3(),
+            SpmvFormat::Bcsr { r: 2, c: 2 },
+        ] {
+            let m = FormatMatrix::from_csr(&a, fmt).unwrap();
+            assert_eq!(m.nnz(), a.nnz());
+            for t in [1usize, 2, 5, 8] {
+                let mut y = vec![0.0; a.nrows()];
+                KernelBackend::parallel(t).spmv_fmt_into(&m, &x, &mut y);
+                assert_eq!(y, reference, "{} t={t}", fmt.name());
+            }
+            let mut y = vec![0.0; a.nrows()];
+            KernelBackend::Sequential.spmv_fmt_into(&m, &x, &mut y);
+            assert_eq!(y, reference, "{} seq", fmt.name());
         }
     }
 

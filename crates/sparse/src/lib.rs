@@ -11,6 +11,10 @@
 //!   sequential reference kernels and a multithreaded backend that is
 //!   **bitwise identical** to them at any thread count (fixed-block
 //!   deterministic reductions, row-parallel SpMV),
+//! * [`mod@format`] / [`SpmvFormat`] — the SpMV storage-format switch
+//!   ([`sellcs`] SELL-C-σ and [`bcsr`] masked-block BCSR next to plain
+//!   CSR), with per-problem conversion cached in a [`FormatCache`]; all
+//!   formats are bitwise identical to CSR,
 //! * [`pool`] — the persistent worker pool the parallel backend dispatches
 //!   to (one pool per calling OS thread; replaces spawn-per-call threads),
 //! * [`DenseMatrix`] and [`Cholesky`] — small dense matrices and Cholesky
@@ -34,22 +38,28 @@
 //! All numeric code is `f64`; indices are `usize`.
 
 pub mod backend;
+pub mod bcsr;
 pub mod coo;
 pub mod csr;
 pub mod dense;
 pub mod error;
+pub mod format;
 pub mod gen;
 pub mod mm;
 pub mod partition;
 pub mod pool;
 pub mod rng;
+pub mod sellcs;
 pub mod split;
 pub mod vector;
 
 pub use backend::KernelBackend;
+pub use bcsr::BcsrMatrix;
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::{Cholesky, DenseMatrix};
 pub use error::SparseError;
+pub use format::{FormatCache, FormatMatrix, RankFormatPieces, SpmvFormat};
 pub use partition::Partition;
+pub use sellcs::SellMatrix;
 pub use split::{RowSplit, RowSplitSet};
