@@ -15,7 +15,13 @@
 //!   --overlap-grid N      grid edge of the sweep's 2-D Poisson problem
 //!                         (default: 128, i.e. 16384 rows)
 //!   --variant V           PCG recurrences of the overlap sweep:
-//!                         classic | pipelined | both (default: both)
+//!                         classic | pipelined | sstep:<s> | both | all
+//!                         (default: both; `both` = classic + pipelined,
+//!                         `all` adds sstep:2, sstep:4, sstep:8)
+//!   --cost-model LIST     comma-separated cost-model presets the overlap
+//!                         sweep is clocked under: default,
+//!                         latency-dominated, compute-only, comm-only
+//!                         (default: default)
 //!   --formats LIST        storage formats of the format sweep, e.g.
 //!                         csr,sell-8-64,bcsr-3x3 (the default; empty list
 //!                         skips the sweep)
@@ -34,6 +40,7 @@ use esrcg_bench::kernels::{
     format_sweep_matrices, run_cutoff_sweep, run_format_sweep, run_kernel_bench, run_overlap_sweep,
     FormatSweepSpec,
 };
+use esrcg_cluster::CostModel;
 use esrcg_core::solver::PcgVariant;
 use esrcg_sparse::mm::read_matrix_market_file;
 use esrcg_sparse::SpmvFormat;
@@ -46,6 +53,7 @@ struct Options {
     overlap_ranks: Vec<usize>,
     overlap_grid: usize,
     variants: Vec<PcgVariant>,
+    cost_models: Vec<CostModel>,
     formats: Vec<SpmvFormat>,
     format_target: usize,
     matrix_files: Vec<String>,
@@ -68,6 +76,7 @@ fn parse_args() -> Result<Options, String> {
         overlap_ranks: vec![4, 8, 16],
         overlap_grid: 128,
         variants: vec![PcgVariant::Classic, PcgVariant::Pipelined],
+        cost_models: vec![CostModel::default()],
         formats: vec![SpmvFormat::Csr, SpmvFormat::sell(), SpmvFormat::bcsr3()],
         format_target: 110_000,
         matrix_files: Vec::new(),
@@ -109,8 +118,35 @@ fn parse_args() -> Result<Options, String> {
                     "classic" => vec![PcgVariant::Classic],
                     "pipelined" => vec![PcgVariant::Pipelined],
                     "both" => vec![PcgVariant::Classic, PcgVariant::Pipelined],
-                    other => return Err(format!("bad --variant '{other}'")),
+                    "all" => vec![
+                        PcgVariant::Classic,
+                        PcgVariant::Pipelined,
+                        PcgVariant::SStep { s: 2 },
+                        PcgVariant::SStep { s: 4 },
+                        PcgVariant::SStep { s: 8 },
+                    ],
+                    other => match other.strip_prefix("sstep:") {
+                        Some(s) => {
+                            let s: usize =
+                                s.parse().map_err(|_| format!("bad --variant '{other}'"))?;
+                            if ![2, 4, 8].contains(&s) {
+                                return Err(format!(
+                                    "bad --variant '{other}': s must be 2, 4, or 8"
+                                ));
+                            }
+                            vec![PcgVariant::SStep { s }]
+                        }
+                        None => return Err(format!("bad --variant '{other}'")),
+                    },
                 }
+            }
+            "--cost-model" => {
+                opt.cost_models = args
+                    .next()
+                    .ok_or("missing value for --cost-model")?
+                    .split(',')
+                    .map(|s| CostModel::parse(s.trim()))
+                    .collect::<Result<_, _>>()?
             }
             "--formats" => {
                 let v = args.next().ok_or("missing value for --formats")?;
@@ -190,6 +226,7 @@ fn main() {
             opt.overlap_grid,
             opt.overlap_grid,
             &opt.variants,
+            &opt.cost_models,
         );
     }
     if opt.deterministic {
@@ -249,17 +286,28 @@ fn main() {
         eprintln!("overlap (modeled clock, blocking vs split-phase SpMV, per variant):");
         for m in &report.overlap {
             eprintln!(
-                "  {} [{:<9}] n={} ranks={:<3} {:>9.3} µs/iter blocking  {:>9.3} µs/iter split  \
-                 ({:.3}x, interior {} / boundary {})",
+                "  {} [{:<9}|{:<17}] n={} ranks={:<3} {:>9.3} µs/iter blocking  \
+                 {:>9.3} µs/iter split  ({:.3}x, {:.2} reductions/iter)",
                 m.matrix,
                 m.variant,
+                m.cost_model,
                 m.n,
                 m.n_ranks,
                 m.blocking_per_iter() * 1e6,
                 m.split_per_iter() * 1e6,
                 m.blocking_over_split(),
-                m.interior_rows,
-                m.boundary_rows
+                m.reductions_per_iteration
+            );
+        }
+        eprintln!("crossover (fastest variant per n × ranks × cost model, split-phase):");
+        for w in report.crossover_winners() {
+            eprintln!(
+                "  n={} ranks={:<3} {:<17} -> {:<9} ({:>9.3} µs/iter)",
+                w.n,
+                w.n_ranks,
+                w.cost_model,
+                w.variant,
+                w.split_per_iter() * 1e6
             );
         }
     }

@@ -4,7 +4,8 @@
 //! Each drill is a small, fully deterministic experiment exercising one
 //! recovery path end to end — fail-stop events, φ-wide bursts, failures
 //! landing inside a checkpoint round, pre-recovery-point full restarts,
-//! the pipelined variant, IMCR rollback, and the adaptive interval tuner
+//! the pipelined variant, a mid-block failure of the s-step variant,
+//! IMCR rollback, and the adaptive interval tuner
 //! under exponential and burst fault processes. Every drill emits one
 //! machine-parseable artifact line
 //!
@@ -33,12 +34,13 @@ use esrcg_core::{Resilience, Strategy};
 pub const REGRESSION_THRESHOLD: f64 = 0.20;
 
 /// The drill catalog, in the order the harness runs and reports them.
-pub const DRILLS: [&str; 10] = [
+pub const DRILLS: [&str; 11] = [
     "esr-single-fail-stop",
     "esrp-phi-block-burst",
     "imcr-checkpoint-round-failure",
     "esrp-pre-recovery-point-full-restart",
     "esrp-pipelined",
+    "sstep-midblock-esrp",
     "imcr-rollback",
     "exp-fixed-t",
     "exp-auto",
@@ -173,6 +175,16 @@ pub fn run_drill(name: &str) -> Result<DrillOutcome, String> {
                 .failure_at(21, 0, 1)
                 .run()?;
             outcome("esrp-pipelined", &report)
+        }
+        // A failure landing *inside* an s-step block (iteration 21, block
+        // 20..24 for s = 4): recovery rolls back to the protected block
+        // start and the solver resumes at the enclosing outer step.
+        "sstep-midblock-esrp" => {
+            let report = base(Strategy::Esrp { t: 5 }, 1)
+                .variant(PcgVariant::SStep { s: 4 })
+                .failure_at(21, 0, 1)
+                .run()?;
+            outcome("sstep-midblock-esrp", &report)
         }
         // IMCR buddy-checkpoint rollback mid-interval.
         "imcr-rollback" => {

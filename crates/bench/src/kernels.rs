@@ -16,18 +16,24 @@
 //!
 //! A third sweep quantifies the **overlap**: the full distributed PCG loop
 //! under the blocking SpMV schedule versus the split-phase schedule
-//! ([`esrcg_core::solver::SpmvMode`]), and — since schema v4 — under both
-//! PCG recurrences ([`esrcg_core::solver::PcgVariant`]: the classic loop
-//! versus the pipelined loop whose fused reduction hides under the
-//! preconditioner + SpMV). Everything runs on the deterministic modeled
-//! clock — which is exactly what makes the win measurable on a 1-core
-//! container (the logical clocks do not depend on host parallelism; only
-//! wall-clock numbers need a multicore re-run, see `ROADMAP.md` follow-up
-//! (a)).
+//! ([`esrcg_core::solver::SpmvMode`]), and — since schema v4 — under the
+//! PCG recurrences ([`esrcg_core::solver::PcgVariant`]: the classic loop,
+//! the pipelined loop whose fused reduction hides under the
+//! preconditioner + SpMV, and — since schema v6 — the s-step loop that
+//! amortizes one Gram reduction over a whole block). Since schema v6 the
+//! sweep also carries a **cost-model axis** ([`CostModel`] presets): the
+//! latency-dominated preset is where the communication-avoiding recurrence
+//! crosses over the pipelined one, and the per-`(n, ranks, cost model)`
+//! crossover winners are a first-class section of the artifact. Everything
+//! runs on the deterministic modeled clock — which is exactly what makes
+//! the win measurable on a 1-core container (the logical clocks do not
+//! depend on host parallelism; only wall-clock numbers need a multicore
+//! re-run, see `ROADMAP.md` follow-up (a)).
 
 use std::time::Instant;
 
-use esrcg_cluster::Phase;
+use esrcg_campaign::report::fmt_nonneg_zero;
+use esrcg_cluster::{CostModel, Phase};
 use esrcg_core::driver::{Experiment, MatrixSource};
 use esrcg_core::solver::{PcgVariant, SpmvMode};
 use esrcg_sparse::backend::{PARALLEL_CUTOFF, SPMV_PARALLEL_NNZ_CUTOFF};
@@ -81,14 +87,23 @@ impl OverheadMeasurement {
 
 /// One cell of the overlap sweep: the distributed PCG loop of one
 /// [`PcgVariant`] solved under both SpMV schedules, on the deterministic
-/// modeled clock. Rows of different variants at the same `(n, n_ranks)`
-/// compare the recurrences (the pipelined one hides its reduction).
+/// modeled clock. Rows of different variants at the same
+/// `(n, n_ranks, cost model)` compare the recurrences (the pipelined one
+/// hides its reduction; the s-step one amortizes it over a block).
 #[derive(Debug, Clone)]
 pub struct OverlapMeasurement {
     /// Matrix family (`"poisson2d"`).
     pub matrix: &'static str,
-    /// PCG recurrence variant name (`"classic"` or `"pipelined"`).
+    /// PCG recurrence variant name (`"classic"`, `"pipelined"`,
+    /// `"sstep2"`, …).
     pub variant: &'static str,
+    /// Cost-model preset the modeled clock ran under (`"default"`,
+    /// `"latency-dominated"`, …).
+    pub cost_model: &'static str,
+    /// Global reductions per logical iteration: 2 for classic (α and β
+    /// reduce separately), 1 for pipelined (fused), 1/s for s-step (one
+    /// fused Gram reduction per s-iteration block).
+    pub reductions_per_iteration: f64,
     /// Problem size (rows).
     pub n: usize,
     /// Simulated ranks.
@@ -475,56 +490,76 @@ pub fn run_cutoff_sweep(thread_counts: &[usize], samples: usize) -> Vec<CutoffMe
     out
 }
 
+/// Global reductions per logical iteration of `variant`: 2 for classic
+/// (α and β reduce separately), 1 for pipelined (one fused reduction), and
+/// 1/s for the s-step recurrence (one fused Gram reduction per block).
+pub fn reductions_per_iteration(variant: PcgVariant) -> f64 {
+    match variant {
+        PcgVariant::Classic => 2.0,
+        PcgVariant::Pipelined => 1.0,
+        PcgVariant::SStep { s } => 1.0 / s as f64,
+    }
+}
+
 /// Runs the overlap sweep: one distributed PCG solve per rank count ×
-/// variant × SpMV schedule on a 2-D Poisson problem (`nx × ny` grid),
-/// comparing modeled times. Within a variant the two SpMV schedules are
-/// bitwise identical in every result (asserted here — a benchmark must not
-/// report a win for a wrong answer); across variants only the modeled
-/// clock and the (±5%-equivalent) iteration counts differ.
+/// cost model × variant × SpMV schedule on a 2-D Poisson problem
+/// (`nx × ny` grid), comparing modeled times. Within a variant the two
+/// SpMV schedules are bitwise identical in every result (asserted here — a
+/// benchmark must not report a win for a wrong answer), and so are the
+/// trajectories across cost models (the cost model only reclocks the same
+/// arithmetic); across variants only the modeled clock and the
+/// (±10%-equivalent) iteration counts differ.
 pub fn run_overlap_sweep(
     rank_counts: &[usize],
     nx: usize,
     ny: usize,
     variants: &[PcgVariant],
+    cost_models: &[CostModel],
 ) -> Vec<OverlapMeasurement> {
     let mut out = Vec::new();
     for &n_ranks in rank_counts {
-        for &variant in variants {
-            let run = |mode: SpmvMode| {
-                Experiment::builder()
-                    .matrix(MatrixSource::Poisson2d { nx, ny })
-                    .n_ranks(n_ranks)
-                    .spmv_mode(mode)
-                    .variant(variant)
-                    .run()
-                    .expect("overlap sweep run")
-            };
-            let blocking = run(SpmvMode::Blocking);
-            let split = run(SpmvMode::SplitPhase);
-            assert_eq!(blocking.x, split.x, "schedules must agree bitwise");
-            assert_eq!(blocking.iterations, split.iterations);
-            let phase_wait = |r: &esrcg_core::driver::RunReport, phase: Phase| {
-                r.per_rank_stats
-                    .iter()
-                    .map(|s| s.recv_wait[phase as usize])
-                    .sum::<f64>()
-            };
-            out.push(OverlapMeasurement {
-                matrix: "poisson2d",
-                variant: variant.name(),
-                n: split.x.len(),
-                n_ranks,
-                iterations: blocking.iterations,
-                blocking_time: blocking.modeled_time,
-                split_time: split.modeled_time,
-                blocking_spmv_wait: phase_wait(&blocking, Phase::SpMV),
-                split_spmv_wait: phase_wait(&split, Phase::SpMV),
-                split_reduction_wait: phase_wait(&split, Phase::Reduction),
-                // Read back from the run itself, so the reported counts are
-                // by construction the split the solver actually used.
-                interior_rows: split.interior_rows,
-                boundary_rows: split.boundary_rows,
-            });
+        for &cost in cost_models {
+            for &variant in variants {
+                let run = |mode: SpmvMode| {
+                    Experiment::builder()
+                        .matrix(MatrixSource::Poisson2d { nx, ny })
+                        .n_ranks(n_ranks)
+                        .spmv_mode(mode)
+                        .variant(variant)
+                        .cost_model(cost)
+                        .run()
+                        .expect("overlap sweep run")
+                };
+                let blocking = run(SpmvMode::Blocking);
+                let split = run(SpmvMode::SplitPhase);
+                assert_eq!(blocking.x, split.x, "schedules must agree bitwise");
+                assert_eq!(blocking.iterations, split.iterations);
+                let phase_wait = |r: &esrcg_core::driver::RunReport, phase: Phase| {
+                    r.per_rank_stats
+                        .iter()
+                        .map(|s| s.recv_wait[phase as usize])
+                        .sum::<f64>()
+                };
+                out.push(OverlapMeasurement {
+                    matrix: "poisson2d",
+                    variant: variant.name(),
+                    cost_model: cost.name(),
+                    reductions_per_iteration: reductions_per_iteration(variant),
+                    n: split.x.len(),
+                    n_ranks,
+                    iterations: blocking.iterations,
+                    blocking_time: blocking.modeled_time,
+                    split_time: split.modeled_time,
+                    blocking_spmv_wait: phase_wait(&blocking, Phase::SpMV),
+                    split_spmv_wait: phase_wait(&split, Phase::SpMV),
+                    split_reduction_wait: phase_wait(&split, Phase::Reduction),
+                    // Read back from the run itself, so the reported counts
+                    // are by construction the split the solver actually
+                    // used.
+                    interior_rows: split.interior_rows,
+                    boundary_rows: split.boundary_rows,
+                });
+            }
         }
     }
     out
@@ -607,6 +642,29 @@ pub fn run_overhead_sweep(
 }
 
 impl KernelReport {
+    /// The crossover winners of the overlap sweep: for each
+    /// `(n, n_ranks, cost model)` cell, the variant with the smallest
+    /// modeled split-phase seconds per iteration — the headline
+    /// classic/pipelined/s-step comparison. Cells appear in first-row
+    /// order, so the list is deterministic.
+    pub fn crossover_winners(&self) -> Vec<&OverlapMeasurement> {
+        let mut winners: Vec<&OverlapMeasurement> = Vec::new();
+        for m in &self.overlap {
+            match winners
+                .iter_mut()
+                .find(|w| w.n == m.n && w.n_ranks == m.n_ranks && w.cost_model == m.cost_model)
+            {
+                None => winners.push(m),
+                Some(w) => {
+                    if m.split_per_iter() < w.split_per_iter() {
+                        *w = m;
+                    }
+                }
+            }
+        }
+        winners
+    }
+
     /// Speedup of the parallel backend at `threads` over the sequential
     /// backend, for `kernel` at size `n` (None when either cell is absent).
     pub fn speedup(&self, kernel: &str, n: usize, threads: usize) -> Option<f64> {
@@ -671,7 +729,7 @@ impl KernelReport {
     /// carries no serde).
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
-        s.push_str("  \"schema\": \"esrcg-bench-kernels-v5\",\n");
+        s.push_str("  \"schema\": \"esrcg-bench-kernels-v6\",\n");
         s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
         s.push_str("  \"results\": [\n");
         for (i, m) in self.results.iter().enumerate() {
@@ -683,8 +741,8 @@ impl KernelReport {
                 m.nnz,
                 m.backend,
                 m.threads,
-                m.secs,
-                m.gflops,
+                fmt_nonneg_zero(m.secs),
+                fmt_nonneg_zero(m.gflops),
                 if i + 1 == self.results.len() { "" } else { "," }
             ));
         }
@@ -702,9 +760,9 @@ impl KernelReport {
                 m.format,
                 m.backend,
                 m.threads,
-                m.padding_ratio(),
-                m.secs,
-                m.gflops,
+                fmt_nonneg_zero(m.padding_ratio()),
+                fmt_nonneg_zero(m.secs),
+                fmt_nonneg_zero(m.gflops),
                 if i + 1 == self.formats.len() { "" } else { "," }
             ));
         }
@@ -718,9 +776,9 @@ impl KernelReport {
                 m.nnz,
                 m.threads,
                 m.gated,
-                m.seq_secs,
-                m.par_secs,
-                m.par_over_seq(),
+                fmt_nonneg_zero(m.seq_secs),
+                fmt_nonneg_zero(m.par_secs),
+                fmt_nonneg_zero(m.par_over_seq()),
                 if i + 1 == self.cutoff.len() { "" } else { "," }
             ));
         }
@@ -734,9 +792,9 @@ impl KernelReport {
                 m.kernel,
                 m.n,
                 m.threads,
-                m.pooled_secs,
-                m.spawn_secs,
-                m.spawn_over_pooled(),
+                fmt_nonneg_zero(m.pooled_secs),
+                fmt_nonneg_zero(m.spawn_secs),
+                fmt_nonneg_zero(m.spawn_over_pooled()),
                 if i + 1 == self.overhead.len() {
                     ""
                 } else {
@@ -750,7 +808,8 @@ impl KernelReport {
         s.push_str("  \"overlap\": [\n");
         for (i, m) in self.overlap.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"matrix\": \"{}\", \"variant\": \"{}\", \"n\": {}, \
+                "    {{\"matrix\": \"{}\", \"variant\": \"{}\", \"cost_model\": \"{}\", \
+                 \"reductions_per_iteration\": {:.4}, \"n\": {}, \
                  \"n_ranks\": {}, \"iterations\": {}, \
                  \"modeled_blocking_secs\": {:.9}, \"modeled_split_secs\": {:.9}, \
                  \"per_iter_blocking_secs\": {:.9}, \"per_iter_split_secs\": {:.9}, \
@@ -760,20 +819,43 @@ impl KernelReport {
                  \"blocking_over_split\": {:.4}}}{}\n",
                 m.matrix,
                 m.variant,
+                m.cost_model,
+                fmt_nonneg_zero(m.reductions_per_iteration),
                 m.n,
                 m.n_ranks,
                 m.iterations,
-                m.blocking_time,
-                m.split_time,
-                m.blocking_per_iter(),
-                m.split_per_iter(),
-                m.blocking_spmv_wait,
-                m.split_spmv_wait,
-                m.split_reduction_wait,
+                fmt_nonneg_zero(m.blocking_time),
+                fmt_nonneg_zero(m.split_time),
+                fmt_nonneg_zero(m.blocking_per_iter()),
+                fmt_nonneg_zero(m.split_per_iter()),
+                fmt_nonneg_zero(m.blocking_spmv_wait),
+                fmt_nonneg_zero(m.split_spmv_wait),
+                fmt_nonneg_zero(m.split_reduction_wait),
                 m.interior_rows,
                 m.boundary_rows,
-                m.blocking_over_split(),
+                fmt_nonneg_zero(m.blocking_over_split()),
                 if i + 1 == self.overlap.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ],\n");
+        // The headline table: who wins each (n, ranks, cost model) cell on
+        // modeled split-phase seconds per iteration.
+        s.push_str("  \"crossover\": [\n");
+        let winners = self.crossover_winners();
+        for (i, m) in winners.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"matrix\": \"{}\", \"n\": {}, \"n_ranks\": {}, \
+                 \"cost_model\": \"{}\", \"winner\": \"{}\", \
+                 \"per_iter_split_secs\": {:.9}, \
+                 \"reductions_per_iteration\": {:.4}}}{}\n",
+                m.matrix,
+                m.n,
+                m.n_ranks,
+                m.cost_model,
+                m.variant,
+                fmt_nonneg_zero(m.split_per_iter()),
+                fmt_nonneg_zero(m.reductions_per_iteration),
+                if i + 1 == winners.len() { "" } else { "," }
             ));
         }
         s.push_str("  ],\n");
@@ -837,27 +919,52 @@ impl KernelReport {
         }
         for m in &self.overlap {
             lines.push(format!(
-                "    \"overlap_blocking_over_split_{}_{}r_n{}\": {:.4}",
+                "    \"overlap_blocking_over_split_{}_{}r_n{}_{}\": {:.4}",
                 m.variant,
                 m.n_ranks,
                 m.n,
-                m.blocking_over_split()
+                m.cost_model,
+                fmt_nonneg_zero(m.blocking_over_split())
             ));
         }
-        // Cross-variant comparison at matched (n, ranks) cells, per
-        // iteration so convergence differences cannot fake or mask the win
-        // (> 1 means the pipelined recurrence is faster).
+        // Cross-variant comparisons at matched (n, ranks, cost model)
+        // cells, per iteration so convergence differences cannot fake or
+        // mask the win (> 1 means the second-named recurrence is faster).
+        let matched = |m: &OverlapMeasurement, c: &OverlapMeasurement| {
+            m.n == c.n && m.n_ranks == c.n_ranks && m.cost_model == c.cost_model
+        };
         for c in self.overlap.iter().filter(|m| m.variant == "classic") {
             if let Some(p) = self
                 .overlap
                 .iter()
-                .find(|m| m.variant == "pipelined" && m.n == c.n && m.n_ranks == c.n_ranks)
+                .find(|m| m.variant == "pipelined" && matched(m, c))
             {
                 lines.push(format!(
-                    "    \"overlap_classic_over_pipelined_split_{}r_n{}\": {:.4}",
+                    "    \"overlap_classic_over_pipelined_split_{}r_n{}_{}\": {:.4}",
                     c.n_ranks,
                     c.n,
-                    c.split_per_iter() / p.split_per_iter()
+                    c.cost_model,
+                    fmt_nonneg_zero(c.split_per_iter() / p.split_per_iter())
+                ));
+            }
+        }
+        for ss in self
+            .overlap
+            .iter()
+            .filter(|m| m.variant.starts_with("sstep"))
+        {
+            if let Some(p) = self
+                .overlap
+                .iter()
+                .find(|m| m.variant == "pipelined" && matched(m, ss))
+            {
+                lines.push(format!(
+                    "    \"overlap_pipelined_over_{}_split_{}r_n{}_{}\": {:.4}",
+                    ss.variant,
+                    ss.n_ranks,
+                    ss.n,
+                    ss.cost_model,
+                    fmt_nonneg_zero(p.split_per_iter() / ss.split_per_iter())
                 ));
             }
         }
@@ -901,7 +1008,7 @@ mod tests {
         assert_eq!(report.overhead.len(), 1);
         assert_eq!(report.overhead[0].kernel, "dispatch");
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"esrcg-bench-kernels-v5\""));
+        assert!(json.contains("\"schema\": \"esrcg-bench-kernels-v6\""));
         assert!(json.contains("\"kernel\": \"spmv\""));
         assert!(json.contains("spmv_speedup_2t_n1000"));
         assert!(json.contains("overhead_spawn_over_pooled_dispatch_2t_n0"));
@@ -913,6 +1020,10 @@ mod tests {
         assert!(
             json.contains("\"formats\": [") && json.contains("\"cutoff\": ["),
             "v5 carries the format and cutoff sections even when empty"
+        );
+        assert!(
+            json.contains("\"crossover\": ["),
+            "v6 carries the crossover section even when empty"
         );
     }
 
@@ -1013,13 +1124,20 @@ mod tests {
         // Small grid so the debug-mode sweep stays cheap; the modeled-clock
         // comparison is deterministic, so strict inequality is a stable
         // assertion, not a flaky benchmark.
-        let rows = run_overlap_sweep(&[4], 24, 24, &[PcgVariant::Classic]);
+        let rows = run_overlap_sweep(
+            &[4],
+            24,
+            24,
+            &[PcgVariant::Classic],
+            &[CostModel::default()],
+        );
         assert_eq!(rows.len(), 1);
         let m = &rows[0];
         assert_eq!(
-            (m.matrix, m.variant, m.n, m.n_ranks),
-            ("poisson2d", "classic", 576, 4)
+            (m.matrix, m.variant, m.cost_model, m.n, m.n_ranks),
+            ("poisson2d", "classic", "default", 576, 4)
         );
+        assert_eq!(m.reductions_per_iteration, 2.0);
         assert!(m.iterations > 0);
         assert_eq!(m.interior_rows + m.boundary_rows, m.n);
         assert!(m.boundary_rows > 0, "4 ranks couple across block edges");
@@ -1047,17 +1165,24 @@ mod tests {
         };
         assert!(report
             .to_json()
-            .contains("overlap_blocking_over_split_classic_4r_n576"));
+            .contains("overlap_blocking_over_split_classic_4r_n576_default"));
     }
 
     #[test]
     fn overlap_sweep_reports_a_pipelined_win() {
-        let rows = run_overlap_sweep(&[8], 24, 24, &[PcgVariant::Classic, PcgVariant::Pipelined]);
+        let rows = run_overlap_sweep(
+            &[8],
+            24,
+            24,
+            &[PcgVariant::Classic, PcgVariant::Pipelined],
+            &[CostModel::default()],
+        );
         assert_eq!(rows.len(), 2);
         let classic = &rows[0];
         let pipelined = &rows[1];
         assert_eq!(classic.variant, "classic");
         assert_eq!(pipelined.variant, "pipelined");
+        assert_eq!(pipelined.reductions_per_iteration, 1.0);
         assert!(
             pipelined.split_per_iter() < classic.split_per_iter(),
             "pipelined {} vs classic {} split-phase seconds per iteration",
@@ -1080,7 +1205,57 @@ mod tests {
         };
         let json = report.to_json();
         assert!(json.contains("\"variant\": \"pipelined\""));
-        assert!(json.contains("overlap_classic_over_pipelined_split_8r_n576"));
+        assert!(json.contains("overlap_classic_over_pipelined_split_8r_n576_default"));
+    }
+
+    /// The tentpole's headline: under the latency-dominated preset at 16
+    /// ranks the s-step recurrence strictly beats even the pipelined one
+    /// on modeled seconds per iteration, and the crossover section names
+    /// it the winner of that cell.
+    #[test]
+    fn overlap_sweep_reports_the_sstep_crossover_under_latency() {
+        let rows = run_overlap_sweep(
+            &[16],
+            24,
+            24,
+            &[PcgVariant::Pipelined, PcgVariant::SStep { s: 4 }],
+            &[CostModel::default(), CostModel::latency_dominated()],
+        );
+        assert_eq!(rows.len(), 4, "2 cost models × 2 variants");
+        let find = |cost: &str, variant: &str| {
+            rows.iter()
+                .find(|m| m.cost_model == cost && m.variant == variant)
+                .expect("row present")
+        };
+        let sstep = find("latency-dominated", "sstep4");
+        let pipelined = find("latency-dominated", "pipelined");
+        assert_eq!(sstep.reductions_per_iteration, 0.25, "1/s fused Grams");
+        assert!(
+            sstep.split_per_iter() < pipelined.split_per_iter(),
+            "sstep {} vs pipelined {} modeled split seconds per iteration \
+             under the latency-dominated preset",
+            sstep.split_per_iter(),
+            pipelined.split_per_iter()
+        );
+        let report = KernelReport {
+            host_threads: 1,
+            results: Vec::new(),
+            formats: Vec::new(),
+            cutoff: Vec::new(),
+            overhead: Vec::new(),
+            overlap: rows,
+        };
+        let winners = report.crossover_winners();
+        assert_eq!(winners.len(), 2, "one winner per cost model");
+        let latency_winner = winners
+            .iter()
+            .find(|w| w.cost_model == "latency-dominated")
+            .unwrap();
+        assert_eq!(latency_winner.variant, "sstep4");
+        let json = report.to_json();
+        assert!(json.contains("\"winner\": \"sstep4\""));
+        assert!(json.contains("\"reductions_per_iteration\": 0.2500"));
+        assert!(json.contains("overlap_pipelined_over_sstep4_split_16r_n576_latency-dominated"));
     }
 
     #[test]

@@ -6,15 +6,19 @@
 //!
 //! options:
 //!   --smoke           the CI/acceptance matrix (one small Poisson problem,
-//!                     classic + pipelined PCG × ESR/ESRP/IMCR × phi {1,2}
-//!                     × 4 fault processes, 2 seeds) — also the default when
-//!                     no sizing flag is given
+//!                     classic + pipelined + s-step PCG × default and
+//!                     latency-dominated cost models × ESR/ESRP/IMCR ×
+//!                     phi {1,2} × 4 fault processes, 2 seeds) — also the
+//!                     default when no sizing flag is given
 //!   --grid N          edge of the 2-D Poisson problem (default 16)
 //!   --ranks LIST      comma-separated rank counts (default 4)
 //!   --seeds LIST      comma-separated trace seeds (default 11,17)
 //!   --formats LIST    comma-separated SpMV storage formats, e.g.
 //!                     csr,sell-8-64,bcsr-3x3 (default csr; formats are
 //!                     bitwise-identical — the axis varies storage only)
+//!   --cost-models LIST comma-separated cost-model presets, e.g.
+//!                     default,latency-dominated,compute-only,comm-only
+//!                     (default: default,latency-dominated)
 //!   --max-runs N      budget: cap the number of measured runs
 //!   --workers N       fleet worker threads (default 4); the artifact is
 //!                     byte-identical for any value
@@ -23,6 +27,7 @@
 //! ```
 
 use esrcg_campaign::{CampaignRunner, CampaignSpec};
+use esrcg_cluster::CostModel;
 use esrcg_core::driver::MatrixSource;
 use esrcg_sparse::SpmvFormat;
 
@@ -31,6 +36,7 @@ struct Options {
     ranks: Vec<usize>,
     seeds: Vec<u64>,
     formats: Vec<SpmvFormat>,
+    cost_models: Option<Vec<CostModel>>,
     max_runs: Option<usize>,
     workers: usize,
     out: String,
@@ -49,6 +55,7 @@ fn parse_args() -> Result<Options, String> {
         ranks: vec![4],
         seeds: vec![11, 17],
         formats: vec![SpmvFormat::Csr],
+        cost_models: None,
         max_runs: None,
         workers: 4,
         out: "BENCH_campaign.json".to_string(),
@@ -74,6 +81,15 @@ fn parse_args() -> Result<Options, String> {
                     .split(',')
                     .map(|s| SpmvFormat::parse(s.trim()))
                     .collect::<Result<_, _>>()?
+            }
+            "--cost-models" => {
+                opt.cost_models = Some(
+                    args.next()
+                        .ok_or("missing value for --cost-models")?
+                        .split(',')
+                        .map(|s| CostModel::parse(s.trim()))
+                        .collect::<Result<_, _>>()?,
+                )
             }
             "--max-runs" => {
                 opt.max_runs = Some(
@@ -115,6 +131,9 @@ fn main() {
     spec.rank_counts = opt.ranks;
     spec.seeds = opt.seeds;
     spec.formats = opt.formats;
+    if let Some(cost_models) = opt.cost_models {
+        spec.cost_models = cost_models;
+    }
     spec.max_runs = opt.max_runs;
 
     let report = match CampaignRunner::new(opt.workers)

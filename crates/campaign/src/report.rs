@@ -13,7 +13,19 @@ use std::fmt::Write as _;
 
 /// Schema identifier stamped into the JSON artifact. Bump on any change to
 /// the emitted structure.
-pub const SCHEMA: &str = "esrcg-campaign-v4";
+pub const SCHEMA: &str = "esrcg-campaign-v5";
+
+/// Normalizes `-0.0` to `+0.0` before fixed-precision rendering.
+///
+/// An IEEE-754 sum that cancels to zero can carry a negative sign (e.g. an
+/// empty reduction folded with `-0.0`), and `format!("{:.6}", -0.0)` prints
+/// `-0.000000` — a byte difference that breaks the bitwise-reproducibility
+/// contract of the BENCH artifacts without changing any value. Every float
+/// a report renders goes through here first.
+#[inline]
+pub fn fmt_nonneg_zero(v: f64) -> f64 {
+    v + 0.0
+}
 
 /// Order statistics of one metric over a cell's runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,9 +65,9 @@ impl Summary {
     fn json(&self, precision: usize) -> String {
         format!(
             "{{\"min\": {:.p$}, \"median\": {:.p$}, \"max\": {:.p$}}}",
-            self.min,
-            self.median,
-            self.max,
+            fmt_nonneg_zero(self.min),
+            fmt_nonneg_zero(self.median),
+            fmt_nonneg_zero(self.max),
             p = precision
         )
     }
@@ -71,8 +83,11 @@ pub struct BaselineReport {
     pub n: usize,
     /// Simulated ranks.
     pub n_ranks: usize,
-    /// PCG variant name (`classic`, `pipelined`).
+    /// PCG variant name (`classic`, `pipelined`, `sstep4`, …).
     pub variant: String,
+    /// Cost-model preset name the baseline was clocked with
+    /// (`default`, `latency-dominated`, …).
+    pub cost_model: String,
     /// Modeled reference time t₀ (seconds).
     pub t0: f64,
     /// Reference iteration count C — also the planned iteration budget the
@@ -87,8 +102,10 @@ pub struct CellReport {
     pub problem: String,
     /// Simulated ranks.
     pub n_ranks: usize,
-    /// PCG variant name (`classic`, `pipelined`).
+    /// PCG variant name (`classic`, `pipelined`, `sstep4`, …).
     pub variant: String,
+    /// Cost-model preset name the cell was clocked with.
+    pub cost_model: String,
     /// SpMV storage-format name (`csr`, `sell-8-64`, `bcsr-3x3`).
     pub format: String,
     /// Strategy display name (`esr`, `esrp(T=10)`, `imcr(T=10)`).
@@ -190,12 +207,14 @@ impl CampaignReport {
             let _ = writeln!(
                 s,
                 "    {{\"problem\": {}, \"n\": {}, \"n_ranks\": {}, \
-                 \"variant\": {}, \"t0_seconds\": {:.9}, \"iterations\": {}}}{}",
+                 \"variant\": {}, \"cost_model\": {}, \"t0_seconds\": {:.9}, \
+                 \"iterations\": {}}}{}",
                 json_str(&b.problem),
                 b.n,
                 b.n_ranks,
                 json_str(&b.variant),
-                b.t0,
+                json_str(&b.cost_model),
+                fmt_nonneg_zero(b.t0),
                 b.c,
                 if i + 1 == self.baselines.len() {
                     ""
@@ -222,11 +241,12 @@ impl CampaignReport {
             let _ = writeln!(
                 s,
                 "    {{\"problem\": {}, \"n_ranks\": {}, \"variant\": {}, \
-                 \"format\": {}, \"strategy\": {}, \"policy\": {}, \"phi\": {}, \
-                 \"process\": {}, \"seeds\": [{}],",
+                 \"cost_model\": {}, \"format\": {}, \"strategy\": {}, \
+                 \"policy\": {}, \"phi\": {}, \"process\": {}, \"seeds\": [{}],",
                 json_str(&c.problem),
                 c.n_ranks,
                 json_str(&c.variant),
+                json_str(&c.cost_model),
                 json_str(&c.format),
                 json_str(&c.strategy),
                 json_str(&c.policy),
@@ -278,17 +298,21 @@ impl CampaignReport {
         let _ = writeln!(s);
         let _ = writeln!(s, "## Baselines (Strategy::None reference runs)");
         let _ = writeln!(s);
-        let _ = writeln!(s, "| problem | n | ranks | variant | t0 (ms) | C |");
-        let _ = writeln!(s, "|---|---:|---:|---|---:|---:|");
+        let _ = writeln!(
+            s,
+            "| problem | n | ranks | variant | cost model | t0 (ms) | C |"
+        );
+        let _ = writeln!(s, "|---|---:|---:|---|---|---:|---:|");
         for b in &self.baselines {
             let _ = writeln!(
                 s,
-                "| {} | {} | {} | {} | {:.3} | {} |",
+                "| {} | {} | {} | {} | {} | {:.3} | {} |",
                 b.problem,
                 b.n,
                 b.n_ranks,
                 b.variant,
-                b.t0 * 1e3,
+                b.cost_model,
+                fmt_nonneg_zero(b.t0 * 1e3),
                 b.c
             );
         }
@@ -304,30 +328,31 @@ impl CampaignReport {
         let _ = writeln!(s);
         let _ = writeln!(
             s,
-            "| problem | ranks | variant | format | strategy | policy | φ | process | runs | \
+            "| problem | ranks | variant | cost | format | strategy | policy | φ | process | runs | \
              events | overhead % | recovery % | wasted | restarts | fails |"
         );
         let _ = writeln!(
             s,
-            "|---|---:|---|---|---|---|---:|---|---:|---:|---:|---:|---:|---:|---:|"
+            "|---|---:|---|---|---|---|---|---:|---|---:|---:|---:|---:|---:|---:|---:|"
         );
         for c in &self.cells {
             let pct = |s: &Option<Summary>| match s {
                 Some(s) => format!(
                     "{:.2} [{:.2}, {:.2}]",
-                    100.0 * s.median,
-                    100.0 * s.min,
-                    100.0 * s.max
+                    fmt_nonneg_zero(100.0 * s.median),
+                    fmt_nonneg_zero(100.0 * s.min),
+                    fmt_nonneg_zero(100.0 * s.max)
                 ),
                 None => "-".to_string(),
             };
             let fails = c.convergence_failures + (c.runs - c.ok_runs);
             let _ = writeln!(
                 s,
-                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {}/{} | {} | {} | {} | {} | {} |",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {}/{} | {} | {} | {} | {} | {} |",
                 c.problem,
                 c.n_ranks,
                 c.variant,
+                c.cost_model,
                 c.format,
                 c.strategy,
                 c.policy,
@@ -358,6 +383,7 @@ mod tests {
                 n: 256,
                 n_ranks: 4,
                 variant: "pipelined".into(),
+                cost_model: "default".into(),
                 t0: 0.0012345,
                 c: 100,
             }],
@@ -365,6 +391,7 @@ mod tests {
                 problem: "poisson2d-16x16".into(),
                 n_ranks: 4,
                 variant: "pipelined".into(),
+                cost_model: "default".into(),
                 format: "csr".into(),
                 strategy: "esrp(T=10)".into(),
                 policy: "fixed".into(),
@@ -405,7 +432,8 @@ mod tests {
         let a = r.to_json();
         let b = r.to_json();
         assert_eq!(a, b, "rendering is pure");
-        assert!(a.contains("\"schema\": \"esrcg-campaign-v4\""));
+        assert!(a.contains("\"schema\": \"esrcg-campaign-v5\""));
+        assert!(a.contains("\"cost_model\": \"default\""));
         assert!(a.contains("\"format\": \"csr\""));
         assert!(a.contains("\"policy\": \"fixed\""));
         assert!(a.contains("\"t0_seconds\": 0.001234500"));
@@ -438,8 +466,8 @@ mod tests {
     fn markdown_carries_the_cell_rows() {
         let md = sample().to_markdown();
         assert!(md.contains(
-            "| poisson2d-16x16 | 4 | pipelined | csr | esrp(T=10) | fixed | 1 | exp(mtbf=30) \
-             | 2 | 3/3 |"
+            "| poisson2d-16x16 | 4 | pipelined | default | csr | esrp(T=10) | fixed | 1 \
+             | exp(mtbf=30) | 2 | 3/3 |"
         ));
         assert!(md.contains("## Baselines"));
         assert!(md.contains("9.00 [5.00, 13.00]"), "{md}");

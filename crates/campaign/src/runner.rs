@@ -4,11 +4,13 @@
 //! A campaign runs in phases:
 //!
 //! 1. **Baselines** — one `Strategy::None` reference run per distinct
-//!    (problem, rank count, PCG variant) triple, executed concurrently.
-//!    Each yields the paper's `t₀` (modeled) and `C` (iterations): the
-//!    overhead denominator and the planned iteration budget of every cell
-//!    trace. Matching per variant keeps overheads honest: a pipelined cell
-//!    is measured against the pipelined failure-free clock.
+//!    (problem, rank count, PCG variant, cost model) tuple, executed
+//!    concurrently. Each yields the paper's `t₀` (modeled) and `C`
+//!    (iterations): the overhead denominator and the planned iteration
+//!    budget of every cell trace. Matching per variant *and* cost model
+//!    keeps overheads honest: a pipelined cell on the latency-dominated
+//!    clock is measured against the pipelined failure-free run on that
+//!    same clock.
 //! 2. **Trace compilation** — every cell × seed compiles its
 //!    [`FaultProcess`](crate::trace::FaultProcess) into a failure
 //!    schedule against the matched
@@ -23,6 +25,7 @@
 
 use std::sync::Arc;
 
+use esrcg_cluster::CostModel;
 use esrcg_core::driver::{Experiment, MatrixSource, RunReport};
 use esrcg_core::solver::PcgVariant;
 use esrcg_core::strategy::Resilience;
@@ -59,14 +62,14 @@ impl RunOutcome {
             iterations: r.iterations,
             modeled_time: r.modeled_time,
             events_triggered: r.recoveries.len(),
-            // `+ 0.0` normalizes the empty sum: `Sum for f64` folds from
-            // -0.0, which would otherwise print as "-0.000000".
-            recovery_time: r
-                .recoveries
-                .iter()
-                .map(|rec| rec.recovery_time)
-                .sum::<f64>()
-                + 0.0,
+            // Normalize the empty sum: `Sum for f64` folds from -0.0,
+            // which would otherwise print as "-0.000000".
+            recovery_time: crate::report::fmt_nonneg_zero(
+                r.recoveries
+                    .iter()
+                    .map(|rec| rec.recovery_time)
+                    .sum::<f64>(),
+            ),
             wasted_iterations: r.recoveries.iter().map(|rec| rec.wasted_iterations).sum(),
             full_restarts: r.recoveries.iter().filter(|rec| rec.full_restart).count(),
         }
@@ -112,15 +115,18 @@ impl CampaignRunner {
             ));
         }
 
-        // --- Phase 1: matched baselines, one per (problem, ranks, variant)
+        // --- Phase 1: matched baselines, one per
+        // (problem, ranks, variant, cost model).
         // The SpMV format is deliberately *not* part of the baseline key:
         // formats are bitwise identical and charge identical flops, so the
         // modeled baseline clock is format-invariant (asserted by the core
         // solver tests) — splitting baselines per format would rerun the
-        // exact same measurement.
-        let mut baseline_keys: Vec<(usize, usize, PcgVariant)> = Vec::new();
+        // exact same measurement. The cost model *is* part of the key:
+        // the same trajectory clocks differently per preset, and overheads
+        // only pair against a reference on the same clock.
+        let mut baseline_keys: Vec<(usize, usize, PcgVariant, CostModel)> = Vec::new();
         for c in cells {
-            let key = (c.problem, c.n_ranks, c.variant);
+            let key = (c.problem, c.n_ranks, c.variant, c.cost);
             if !baseline_keys.contains(&key) {
                 baseline_keys.push(key);
             }
@@ -137,14 +143,15 @@ impl CampaignRunner {
         let baseline_results = run_jobs(
             self.workers,
             baseline_keys.clone(),
-            |_, &(pi, n_ranks, variant)| {
+            |_, &(pi, n_ranks, variant, cost)| {
                 // `reference()` *is* the definition of the matched
                 // baseline: the cell stem with strategy, φ, and failures
-                // stripped — the PCG variant stays, so a pipelined cell is
-                // paired with the pipelined failure-free clock. Routing the
-                // baseline through it keeps the pairing correct even if the
-                // stem ever grows a resilience-affecting knob.
-                self.experiment(spec, &matrices, pi, n_ranks, variant, SpmvFormat::Csr)
+                // stripped — the PCG variant and cost model stay, so a
+                // pipelined cell is paired with the pipelined failure-free
+                // clock on the same network. Routing the baseline through
+                // it keeps the pairing correct even if the stem ever grows
+                // a resilience-affecting knob.
+                self.experiment(spec, &matrices, pi, n_ranks, variant, cost, SpmvFormat::Csr)
                     .reference()
                     .run()
                     .map(|r| (r.x.len(), r.converged, r.modeled_time, r.iterations))
@@ -156,9 +163,13 @@ impl CampaignRunner {
             },
         );
         let mut baselines: Vec<BaselineReport> = Vec::with_capacity(baseline_keys.len());
-        for (&(pi, n_ranks, variant), res) in baseline_keys.iter().zip(baseline_results) {
+        for (&(pi, n_ranks, variant, cost), res) in baseline_keys.iter().zip(baseline_results) {
             let name = &spec.problems[pi].name;
-            let what = format!("{} PCG on {n_ranks} ranks", variant.name());
+            let what = format!(
+                "{} PCG on {n_ranks} ranks, {} cost model",
+                variant.name(),
+                cost.name()
+            );
             let (n, converged, t0, c) = res
                 .map_err(|e| format!("baseline for '{name}' ({what}): {e}"))?
                 .map_err(|e| format!("baseline for '{name}' ({what}): {e}"))?;
@@ -174,17 +185,19 @@ impl CampaignRunner {
                 n,
                 n_ranks,
                 variant: variant.name().to_string(),
+                cost_model: cost.name().to_string(),
                 t0,
                 c,
             });
         }
-        let baseline_of = |pi: usize, n_ranks: usize, variant: PcgVariant| -> &BaselineReport {
-            let k = baseline_keys
-                .iter()
-                .position(|&key| key == (pi, n_ranks, variant))
-                .expect("every cell has a baseline");
-            &baselines[k]
-        };
+        let baseline_of =
+            |pi: usize, n_ranks: usize, variant: PcgVariant, cost: CostModel| -> &BaselineReport {
+                let k = baseline_keys
+                    .iter()
+                    .position(|&key| key == (pi, n_ranks, variant, cost))
+                    .expect("every cell has a baseline");
+                &baselines[k]
+            };
 
         // --- Phase 2: compile every trace against its baseline budget ----
         struct Job {
@@ -194,7 +207,7 @@ impl CampaignRunner {
         let mut jobs: Vec<Job> = Vec::with_capacity(enumeration.planned_runs);
         let mut cell_scheduled: Vec<usize> = vec![0; cells.len()];
         for (ci, cell) in cells.iter().enumerate() {
-            let base = baseline_of(cell.problem, cell.n_ranks, cell.variant);
+            let base = baseline_of(cell.problem, cell.n_ranks, cell.variant, cell.cost);
             // Adaptive cells budget against the policy's *upper* interval
             // bound: the tuner may grow T up to max_t, and the trace's
             // min-separation guarantee (a completed round between events)
@@ -228,6 +241,7 @@ impl CampaignRunner {
                     cell.problem,
                     cell.n_ranks,
                     cell.variant,
+                    cell.cost,
                     cell.format,
                 )
                 .strategy(Resilience {
@@ -252,7 +266,7 @@ impl CampaignRunner {
         let mut cell_reports: Vec<CellReport> = Vec::with_capacity(cells.len());
         let mut cursor = 0usize;
         for (ci, cell) in cells.iter().enumerate() {
-            let base = baseline_of(cell.problem, cell.n_ranks, cell.variant);
+            let base = baseline_of(cell.problem, cell.n_ranks, cell.variant, cell.cost);
             let mut errors = Vec::new();
             let mut oks: Vec<RunOutcome> = Vec::new();
             for &seed in &cell.seeds {
@@ -276,6 +290,7 @@ impl CampaignRunner {
                 problem: base.problem.clone(),
                 n_ranks: cell.n_ranks,
                 variant: cell.variant.name().to_string(),
+                cost_model: cell.cost.name().to_string(),
                 format: cell.format.name(),
                 strategy: cell.strategy.to_string(),
                 policy: cell.policy.name(),
@@ -307,11 +322,12 @@ impl CampaignRunner {
         })
     }
 
-    /// The common experiment stem of a (problem, ranks, variant, format)
-    /// tuple: baseline pairing means every cell run is this exact builder
-    /// plus strategy, φ, and the compiled failure schedule. Baselines pass
-    /// plain CSR — the format is bitwise and modeled-clock invariant, so
-    /// every format shares the CSR baseline measurement.
+    /// The common experiment stem of a (problem, ranks, variant, cost
+    /// model, format) tuple: baseline pairing means every cell run is this
+    /// exact builder plus strategy, φ, and the compiled failure schedule.
+    /// Baselines pass plain CSR — the format is bitwise and modeled-clock
+    /// invariant, so every format shares the CSR baseline measurement.
+    #[allow(clippy::too_many_arguments)]
     fn experiment(
         &self,
         spec: &CampaignSpec,
@@ -319,6 +335,7 @@ impl CampaignRunner {
         problem: usize,
         n_ranks: usize,
         variant: PcgVariant,
+        cost: CostModel,
         format: SpmvFormat,
     ) -> Experiment {
         let p = &spec.problems[problem];
@@ -330,7 +347,7 @@ impl CampaignRunner {
             .spmv_format(format)
             .rtol(spec.rtol)
             .max_iters(spec.max_iters)
-            .cost_model(spec.cost)
+            .cost_model(cost)
     }
 }
 
@@ -351,6 +368,7 @@ mod tests {
             )],
             rank_counts: vec![4],
             variants: vec![PcgVariant::Classic, PcgVariant::Pipelined],
+            cost_models: vec![CostModel::default()],
             formats: vec![SpmvFormat::Csr],
             strategies: vec![Strategy::esr(), Strategy::Esrp { t: 5 }],
             policies: vec![esrcg_core::strategy::IntervalPolicy::Fixed],
@@ -359,7 +377,6 @@ mod tests {
             seeds: vec![3, 4],
             rtol: 1e-8,
             max_iters: 200_000,
-            cost: esrcg_cluster::CostModel::default(),
             max_runs: None,
         }
     }
@@ -373,6 +390,7 @@ mod tests {
         assert_eq!(report.baselines[1].variant, "pipelined");
         for base in &report.baselines {
             assert!(base.t0 > 0.0 && base.c > 0);
+            assert_eq!(base.cost_model, "default");
         }
         assert_eq!(report.cells.len(), 8);
         for cell in &report.cells {

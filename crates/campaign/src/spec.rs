@@ -1,8 +1,8 @@
 //! The declarative campaign matrix and its budget-aware enumerator.
 //!
 //! A [`CampaignSpec`] is the cross product *problems × rank counts ×
-//! PCG variants × SpMV formats × strategies × interval policies × φ ×
-//! fault processes*, replicated over trace seeds.
+//! PCG variants × cost models × SpMV formats × strategies × interval
+//! policies × φ × fault processes*, replicated over trace seeds.
 //! [`CampaignSpec::enumerate`] flattens it into an ordered list of
 //! [`CellPlan`]s — the unit of aggregation — skipping combinations that can
 //! never run (φ ≥ ranks), collapsing seed replicates of deterministic
@@ -52,6 +52,14 @@ pub struct CampaignSpec {
     /// variant: a pipelined cell is compared against the pipelined
     /// failure-free reference, never against classic.
     pub variants: Vec<PcgVariant>,
+    /// Network cost-model presets the campaign is clocked under. Baselines
+    /// are matched per cost model — modeled overheads only make sense
+    /// against a reference run on the *same* clock — so this axis splits
+    /// baselines exactly like the variant axis does. The
+    /// latency-dominated preset is where the s-step variant's fused
+    /// reduction pays off; the default preset keeps the classic crossover
+    /// visible.
+    pub cost_models: Vec<CostModel>,
     /// SpMV storage formats under test. All formats are bitwise identical
     /// and charge the same flops (the modeled clock is format-invariant),
     /// so the axis exercises code paths rather than splitting baselines —
@@ -75,8 +83,6 @@ pub struct CampaignSpec {
     pub rtol: f64,
     /// Iteration cap of every run.
     pub max_iters: usize,
-    /// The cost model every run is clocked with.
-    pub cost: CostModel,
     /// Optional budget: at most this many measured runs (baselines not
     /// counted). The kept cells are a strict prefix of the enumeration —
     /// from the first cell that does not fit, everything is dropped — and
@@ -87,10 +93,12 @@ pub struct CampaignSpec {
 
 impl CampaignSpec {
     /// The CI/acceptance smoke campaign: one small Poisson problem on 4
-    /// ranks, both PCG variants, all three strategies (ESR, ESRP, IMCR),
-    /// fixed and adaptive interval policies, φ ∈ {1, 2}, the failure-free
-    /// control, two stochastic processes × two seeds, and the paper's
-    /// worst-case event as one deterministic cell.
+    /// ranks, all three PCG variants (classic, pipelined, s-step s=4),
+    /// the default and latency-dominated cost models, all three
+    /// strategies (ESR, ESRP, IMCR), fixed and adaptive interval
+    /// policies, φ ∈ {1, 2}, the failure-free control, two stochastic
+    /// processes × two seeds, and the paper's worst-case event as one
+    /// deterministic cell.
     pub fn smoke() -> Self {
         CampaignSpec {
             problems: vec![ProblemSpec::new(
@@ -99,7 +107,12 @@ impl CampaignSpec {
                 RhsSpec::Random { seed: 7 },
             )],
             rank_counts: vec![4],
-            variants: vec![PcgVariant::Classic, PcgVariant::Pipelined],
+            variants: vec![
+                PcgVariant::Classic,
+                PcgVariant::Pipelined,
+                PcgVariant::SStep { s: 4 },
+            ],
+            cost_models: vec![CostModel::default(), CostModel::latency_dominated()],
             formats: vec![SpmvFormat::Csr],
             strategies: vec![
                 Strategy::esr(),
@@ -126,7 +139,6 @@ impl CampaignSpec {
             seeds: vec![11, 17],
             rtol: 1e-8,
             max_iters: 200_000,
-            cost: CostModel::default(),
             max_runs: None,
         }
     }
@@ -155,6 +167,14 @@ impl CampaignSpec {
         for (i, v) in self.variants.iter().enumerate() {
             if self.variants[..i].contains(v) {
                 return Err(format!("duplicate PCG variant '{}'", v.name()));
+            }
+        }
+        if self.cost_models.is_empty() {
+            return Err("campaign needs at least one cost model".into());
+        }
+        for (i, c) in self.cost_models.iter().enumerate() {
+            if self.cost_models[..i].contains(c) {
+                return Err(format!("duplicate cost model '{}'", c.name()));
             }
         }
         if self.formats.is_empty() {
@@ -208,9 +228,9 @@ impl CampaignSpec {
 }
 
 /// One cell of the enumerated campaign: a unique
-/// (problem, ranks, variant, format, strategy, policy, φ, process)
-/// combination plus the seeds it runs under. Aggregation happens per cell,
-/// over its seed replicates.
+/// (problem, ranks, variant, cost model, format, strategy, policy, φ,
+/// process) combination plus the seeds it runs under. Aggregation happens
+/// per cell, over its seed replicates.
 #[derive(Debug, Clone)]
 pub struct CellPlan {
     /// Index into [`CampaignSpec::problems`].
@@ -219,6 +239,9 @@ pub struct CellPlan {
     pub n_ranks: usize,
     /// The PCG recurrence variant.
     pub variant: PcgVariant,
+    /// The cost model this cell (and its matched baseline) is clocked
+    /// with.
+    pub cost: CostModel,
     /// The SpMV storage format.
     pub format: SpmvFormat,
     /// The resilience strategy.
@@ -269,37 +292,40 @@ impl CampaignSpec {
         for (pi, _) in self.problems.iter().enumerate() {
             for &n_ranks in &self.rank_counts {
                 for &variant in &self.variants {
-                    for &format in &self.formats {
-                        for &strategy in &self.strategies {
-                            for &policy in &self.policies {
-                                for &phi in &self.phis {
-                                    if phi >= n_ranks {
-                                        skipped_combos += self.processes.len();
-                                        continue;
-                                    }
-                                    for &process in &self.processes {
-                                        let seeds: Vec<u64> = if process.is_stochastic() {
-                                            self.seeds.clone()
-                                        } else {
-                                            vec![self.seeds[0]]
-                                        };
-                                        if exhausted || planned_runs + seeds.len() > budget {
-                                            exhausted = true;
-                                            dropped_runs += seeds.len();
+                    for &cost in &self.cost_models {
+                        for &format in &self.formats {
+                            for &strategy in &self.strategies {
+                                for &policy in &self.policies {
+                                    for &phi in &self.phis {
+                                        if phi >= n_ranks {
+                                            skipped_combos += self.processes.len();
                                             continue;
                                         }
-                                        planned_runs += seeds.len();
-                                        cells.push(CellPlan {
-                                            problem: pi,
-                                            n_ranks,
-                                            variant,
-                                            format,
-                                            strategy,
-                                            policy,
-                                            phi,
-                                            process,
-                                            seeds,
-                                        });
+                                        for &process in &self.processes {
+                                            let seeds: Vec<u64> = if process.is_stochastic() {
+                                                self.seeds.clone()
+                                            } else {
+                                                vec![self.seeds[0]]
+                                            };
+                                            if exhausted || planned_runs + seeds.len() > budget {
+                                                exhausted = true;
+                                                dropped_runs += seeds.len();
+                                                continue;
+                                            }
+                                            planned_runs += seeds.len();
+                                            cells.push(CellPlan {
+                                                problem: pi,
+                                                n_ranks,
+                                                variant,
+                                                cost,
+                                                format,
+                                                strategy,
+                                                policy,
+                                                phi,
+                                                process,
+                                                seeds,
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -325,17 +351,34 @@ mod tests {
     fn smoke_spec_enumerates_all_strategies_and_processes() {
         let spec = CampaignSpec::smoke();
         let e = spec.enumerate().unwrap();
-        // 2 variants × 3 strategies × 2 policies × 2 phis × 4 processes,
-        // nothing skipped.
-        assert_eq!(e.cells.len(), 96);
+        // 3 variants × 2 cost models × 3 strategies × 2 policies × 2 phis
+        // × 4 processes, nothing skipped.
+        assert_eq!(e.cells.len(), 288);
         assert_eq!(e.skipped_combos, 0);
         assert_eq!(e.dropped_runs, 0);
-        // Both variants are covered, including with failures.
-        for variant in [PcgVariant::Classic, PcgVariant::Pipelined] {
+        // All variants are covered, including with failures.
+        for variant in [
+            PcgVariant::Classic,
+            PcgVariant::Pipelined,
+            PcgVariant::SStep { s: 4 },
+        ] {
             assert!(e
                 .cells
                 .iter()
                 .any(|c| c.variant == variant && c.process.is_stochastic()));
+        }
+        // Both cost models are covered, for every variant.
+        for cost in [CostModel::default(), CostModel::latency_dominated()] {
+            for variant in [
+                PcgVariant::Classic,
+                PcgVariant::Pipelined,
+                PcgVariant::SStep { s: 4 },
+            ] {
+                assert!(e
+                    .cells
+                    .iter()
+                    .any(|c| c.cost == cost && c.variant == variant));
+            }
         }
         // Stochastic cells carry both seeds, deterministic ones collapse.
         let stochastic = e.cells.iter().filter(|c| c.process.is_stochastic());
@@ -345,8 +388,8 @@ mod tests {
         for c in e.cells.iter().filter(|c| !c.process.is_stochastic()) {
             assert_eq!(c.seeds, vec![11]);
         }
-        // 2 stochastic × 2 seeds + 2 deterministic × 1 seed, per 24 combos.
-        assert_eq!(e.planned_runs, 24 * (2 * 2 + 2));
+        // 2 stochastic × 2 seeds + 2 deterministic × 1 seed, per 72 combos.
+        assert_eq!(e.planned_runs, 72 * (2 * 2 + 2));
     }
 
     #[test]
@@ -380,8 +423,9 @@ mod tests {
         // both.
         assert_eq!(
             e.skipped_combos,
-            2 * 3 * 2 * 4,
-            "2 variants × 3 strategies × 2 policies × 4 processes"
+            3 * 2 * 3 * 2 * 4,
+            "3 variants × 2 cost models × 3 strategies × 2 policies × 4 \
+             processes"
         );
         assert!(e.cells.iter().all(|c| c.phi < c.n_ranks,));
     }
@@ -478,6 +522,14 @@ mod tests {
         let mut bad = CampaignSpec::smoke();
         bad.policies = vec![IntervalPolicy::Adaptive { min_t: 5, max_t: 3 }];
         assert!(bad.validate().is_err(), "inverted bounds rejected");
+
+        let mut bad = CampaignSpec::smoke();
+        bad.cost_models.clear();
+        assert!(bad.validate().unwrap_err().contains("cost model"));
+
+        let mut bad = CampaignSpec::smoke();
+        bad.cost_models = vec![CostModel::default(), CostModel::default()];
+        assert!(bad.validate().unwrap_err().contains("duplicate cost model"));
     }
 
     #[test]

@@ -22,7 +22,15 @@ fn test_spec() -> CampaignSpec {
             RhsSpec::FromKnownSolution,
         )],
         rank_counts: vec![4],
-        variants: vec![PcgVariant::Classic, PcgVariant::Pipelined],
+        variants: vec![
+            PcgVariant::Classic,
+            PcgVariant::Pipelined,
+            PcgVariant::SStep { s: 4 },
+        ],
+        cost_models: vec![
+            esrcg_cluster::CostModel::default(),
+            esrcg_cluster::CostModel::latency_dominated(),
+        ],
         formats: vec![SpmvFormat::Csr, SpmvFormat::sell()],
         strategies: vec![
             Strategy::esr(),
@@ -38,7 +46,6 @@ fn test_spec() -> CampaignSpec {
         seeds: vec![5, 6],
         rtol: 1e-8,
         max_iters: 200_000,
-        cost: esrcg_cluster::CostModel::default(),
         max_runs: None,
     }
 }
@@ -75,10 +82,18 @@ fn same_spec_compiles_identical_schedules() {
 fn aggregated_json_is_byte_identical_across_worker_counts() {
     let spec = test_spec();
     let reference = CampaignRunner::new(4).run(&spec).unwrap().to_json();
-    assert!(reference.contains("\"schema\": \"esrcg-campaign-v4\""));
+    assert!(reference.contains("\"schema\": \"esrcg-campaign-v5\""));
     assert!(
         reference.contains("\"variant\": \"pipelined\""),
         "pipelined cells reach the artifact"
+    );
+    assert!(
+        reference.contains("\"variant\": \"sstep4\""),
+        "s-step cells reach the artifact"
+    );
+    assert!(
+        reference.contains("\"cost_model\": \"latency-dominated\""),
+        "the cost-model axis reaches the artifact"
     );
     assert!(
         reference.contains("\"format\": \"sell-8-64\""),

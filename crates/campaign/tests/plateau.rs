@@ -29,6 +29,7 @@ fn spec(strategies: Vec<Strategy>, policy: IntervalPolicy, process: FaultProcess
         )],
         rank_counts: vec![4],
         variants: vec![PcgVariant::Classic],
+        cost_models: vec![esrcg_cluster::CostModel::default()],
         formats: vec![esrcg_sparse::SpmvFormat::Csr],
         strategies,
         policies: vec![policy],
@@ -37,7 +38,6 @@ fn spec(strategies: Vec<Strategy>, policy: IntervalPolicy, process: FaultProcess
         seeds: vec![11, 12, 13, 14],
         rtol: 1e-8,
         max_iters: 200_000,
-        cost: esrcg_cluster::CostModel::default(),
         max_runs: None,
     }
 }

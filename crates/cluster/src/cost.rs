@@ -50,6 +50,65 @@ impl CostModel {
         }
     }
 
+    /// A latency-dominated network: per-message latency 250× the default
+    /// (500 µs — think congested fabric or wide-area links) with the
+    /// default bandwidth and compute rate. Global reductions pay the tree
+    /// latency on every stage, so this is the regime where
+    /// communication-avoiding recurrences (s-step CG) pull ahead of
+    /// per-iteration pipelining.
+    pub fn latency_dominated() -> Self {
+        CostModel {
+            alpha: 5.0e-4,
+            ..CostModel::default()
+        }
+    }
+
+    /// The named presets benches and campaigns can sweep, in canonical
+    /// order: `default`, `latency-dominated`, `compute-only`, `comm-only`
+    /// (the parameterized constructors evaluated at the default rates).
+    pub fn presets() -> [CostModel; 4] {
+        let d = CostModel::default();
+        [
+            d,
+            CostModel::latency_dominated(),
+            CostModel::compute_only(d.seconds_per_flop),
+            CostModel::comm_only(d.alpha, d.seconds_per_byte),
+        ]
+    }
+
+    /// The preset name of this model, or `custom` when the parameters
+    /// match no preset. Stable — report schemas key on these strings.
+    pub fn name(&self) -> &'static str {
+        let d = CostModel::default();
+        if *self == d {
+            "default"
+        } else if *self == CostModel::latency_dominated() {
+            "latency-dominated"
+        } else if *self == CostModel::compute_only(d.seconds_per_flop) {
+            "compute-only"
+        } else if *self == CostModel::comm_only(d.alpha, d.seconds_per_byte) {
+            "comm-only"
+        } else {
+            "custom"
+        }
+    }
+
+    /// Parses a preset name (the inverse of [`CostModel::name`]).
+    ///
+    /// # Errors
+    /// Returns a human-readable message for unknown names.
+    pub fn parse(name: &str) -> Result<CostModel, String> {
+        CostModel::presets()
+            .into_iter()
+            .find(|c| c.name() == name)
+            .ok_or_else(|| {
+                format!(
+                    "unknown cost model '{name}' (expected one of: default, \
+                     latency-dominated, compute-only, comm-only)"
+                )
+            })
+    }
+
     /// Time for a message of `bytes` payload to cross the network after
     /// injection.
     #[inline]
@@ -108,6 +167,30 @@ mod tests {
         let c = CostModel::comm_only(1e-6, 1e-9);
         assert_eq!(c.compute_time(1_000_000), 0.0);
         assert!(c.transfer_time(8) > 1e-6);
+    }
+
+    #[test]
+    fn preset_names_round_trip() {
+        for preset in CostModel::presets() {
+            assert_ne!(preset.name(), "custom");
+            assert_eq!(CostModel::parse(preset.name()), Ok(preset));
+        }
+        assert_eq!(CostModel::default().name(), "default");
+        assert_eq!(CostModel::latency_dominated().name(), "latency-dominated");
+        assert!(CostModel::parse("warp-drive").is_err());
+        let custom = CostModel {
+            alpha: 1.0,
+            ..CostModel::default()
+        };
+        assert_eq!(custom.name(), "custom");
+    }
+
+    #[test]
+    fn latency_dominated_raises_only_alpha() {
+        let (d, l) = (CostModel::default(), CostModel::latency_dominated());
+        assert!(l.alpha > 100.0 * d.alpha);
+        assert_eq!(l.seconds_per_byte, d.seconds_per_byte);
+        assert_eq!(l.seconds_per_flop, d.seconds_per_flop);
     }
 
     #[test]

@@ -279,6 +279,11 @@ pub enum Tag {
     /// ASpMV's free halo ride of `p` disappears and augmented iterations
     /// ship `p` explicitly under this kind).
     PipelinedP = 24,
+    /// S-step-variant explicit redundant-copy exchange of the block-start
+    /// search directions p^(ĵ−1) / p^(ĵ) (the matrix-powers sweep
+    /// communicates basis columns under [`Tag::Halo`]; the protection
+    /// copies ride this dedicated kind so the two streams cannot mix).
+    SStepBasis = 25,
 }
 
 impl Tag {
@@ -337,6 +342,8 @@ mod tests {
             Tag::RecoveryScalar,
             Tag::RecoveryCkpt,
             Tag::RecoveryInner,
+            Tag::PipelinedP,
+            Tag::SStepBasis,
         ];
         let mut seen = std::collections::HashSet::new();
         for k in kinds {

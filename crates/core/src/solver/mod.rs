@@ -25,7 +25,7 @@ use crate::dist::halo::{exchange_halo, HaloExchange};
 use crate::dist::plan::CommPlan;
 use crate::strategy::{IntervalPolicy, Strategy};
 use recovery::{recover, RecoveryOutcome};
-use state::{HeldCheckpoint, NodeState};
+use state::{HeldCheckpoint, NodeState, SStepAux};
 pub use tuning::TuneEvent;
 use tuning::{IntervalSchedule, IntervalTuner};
 pub use workspace::SolverWorkspace;
@@ -94,14 +94,30 @@ pub enum PcgVariant {
     /// auxiliary recurrence vectors w/s/h/g (see `ARCHITECTURE.md`
     /// §"Pipelined reduction pipeline").
     Pipelined,
+    /// s-step (communication-avoiding) PCG: one fused Gram reduction per
+    /// **s** iterations (Chronopoulos–Gear / Carson–Demmel lineage). Each
+    /// outer step builds the Krylov block basis by a matrix-powers sweep
+    /// (2s−1 SpMVs over the split-phase halo path), reduces the small Gram
+    /// system once, then replays s scalar CG updates from the replicated
+    /// coefficients. Trajectories agree with Classic to rounding; the
+    /// reduction count per iteration drops from 2 (Classic) / 1
+    /// (Pipelined) to 1/s. See `ARCHITECTURE.md` §"s-step pipeline".
+    SStep {
+        /// Block size s ∈ {2, 4, 8}.
+        s: usize,
+    },
 }
 
 impl PcgVariant {
-    /// Short name for reports: `classic` or `pipelined`.
+    /// Short name for reports: `classic`, `pipelined`, or `sstep<s>`.
     pub fn name(self) -> &'static str {
         match self {
             PcgVariant::Classic => "classic",
             PcgVariant::Pipelined => "pipelined",
+            PcgVariant::SStep { s: 2 } => "sstep2",
+            PcgVariant::SStep { s: 4 } => "sstep4",
+            PcgVariant::SStep { s: 8 } => "sstep8",
+            PcgVariant::SStep { .. } => "sstep",
         }
     }
 }
@@ -230,6 +246,11 @@ impl SolverConfig {
             || self.inner_rtol.is_nan()
         {
             return Err("tolerances must be positive".into());
+        }
+        if let PcgVariant::SStep { s } = self.variant {
+            if !matches!(s, 2 | 4 | 8) {
+                return Err(format!("s-step block size must be 2, 4, or 8 (got {s})"));
+            }
         }
         Ok(())
     }
@@ -594,6 +615,44 @@ pub(crate) fn init_pipelined(
 /// at the resume point when it changed, and re-establishes the anchor's
 /// protection data (ESRP starred copies / an IMCR checkpoint round) so the
 /// anchor is a valid rollback target for the next failure.
+/// The cluster-mean analytic per-round protection cost under the run's
+/// cost model — the α–β floor the adaptive tuner blends with the measured
+/// phase means (satellite of the s-step PR; see `IntervalTuner::propose`).
+/// Computed from replicated shared data (partition, plans, buddy fan-out),
+/// so every rank derives the identical value without communication.
+fn analytic_round_cost_mean(ctx: &Ctx, shared: &SharedProblem) -> f64 {
+    let cost = ctx.cost_model();
+    let n = ctx.size();
+    let total: f64 = (0..n)
+        .map(|r| match shared.cfg.strategy {
+            Strategy::Imcr { .. } => {
+                let nloc = shared.part.range(r).len();
+                // The checkpoint blob is [x; r; z; p; β] for the classic
+                // and s-step recurrences, plus [w; q; u; β**] pipelined
+                // extras (see `NodeState::checkpoint_blob_into`).
+                let blob_len = match shared.cfg.variant {
+                    PcgVariant::Pipelined => 8 * nloc + 3,
+                    PcgVariant::Classic | PcgVariant::SStep { .. } => 4 * nloc + 1,
+                };
+                tuning::analytic_checkpoint_round_cost(&cost, shared.cfg.phi, blob_len)
+            }
+            Strategy::Esrp { .. } => {
+                let sends = shared.plan.sends_of(r).iter().map(|(_, g)| g.len());
+                let extras = shared
+                    .aspmv
+                    .as_ref()
+                    .map(|a| a.extras_of(r))
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|(_, g)| g.len());
+                tuning::analytic_storage_stage_cost(&cost, sends.chain(extras))
+            }
+            Strategy::None => 0.0,
+        })
+        .sum();
+    total / n as f64
+}
+
 fn retune_after_recovery(
     ctx: &mut Ctx,
     shared: &SharedProblem,
@@ -603,7 +662,8 @@ fn retune_after_recovery(
     rec: &RecoveryOutcome,
     total_loop_trips: usize,
 ) -> TuneEvent {
-    let ev = tuner.propose(ctx, sched, rec, total_loop_trips);
+    let analytic = analytic_round_cost_mean(ctx, shared);
+    let ev = tuner.propose(ctx, sched, rec, total_loop_trips, analytic);
     if ev.interval_after != ev.interval_before {
         sched.reanchor(ev.interval_after, rec.resumed_at);
         if rec.resumed_at > 0 {
@@ -637,6 +697,7 @@ pub fn solve_node(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
     match shared.cfg.variant {
         PcgVariant::Classic => solve_node_classic(ctx, shared),
         PcgVariant::Pipelined => solve_node_pipelined(ctx, shared),
+        PcgVariant::SStep { s } => solve_node_sstep(ctx, shared, s),
     }
 }
 
@@ -740,7 +801,10 @@ fn solve_node_classic(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
                 if event.affects(rank) {
                     st.wipe();
                 }
-                let rec = recover(ctx, shared, &mut st, &mut ws, &mut full, j, &event, &sched);
+                let target = sched.rollback_target(j);
+                let rec = recover(
+                    ctx, shared, &mut st, &mut ws, &mut full, j, target, &event, &sched,
+                );
                 j = rec.resumed_at;
                 if let Some(tn) = tuner.as_mut() {
                     let ev = retune_after_recovery(
@@ -886,7 +950,15 @@ fn solve_node_pipelined(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
         // guarantee (and its contents) identical to Classic's.
         if sched.augmented(j) {
             let mut captured: Vec<(usize, f64)> = Vec::new();
-            pipelined_capture(ctx, shared, &st.p, range.start, j, &mut captured);
+            capture_direction(
+                ctx,
+                shared,
+                &st.p,
+                range.start,
+                j,
+                Tag::PipelinedP,
+                &mut captured,
+            );
             st.queue.push(j, captured);
             if let (Some(tn), Some(1)) = (tuner.as_mut(), sched.interval()) {
                 // ESR: every augmented iteration is one protection round.
@@ -911,7 +983,10 @@ fn solve_node_pipelined(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
                 if event.affects(rank) {
                     st.wipe();
                 }
-                let rec = recover(ctx, shared, &mut st, &mut ws, &mut full, j, &event, &sched);
+                let target = sched.rollback_target(j);
+                let rec = recover(
+                    ctx, shared, &mut st, &mut ws, &mut full, j, target, &event, &sched,
+                );
                 j = rec.resumed_at;
                 if let Some(tn) = tuner.as_mut() {
                     let ev = retune_after_recovery(
@@ -1026,21 +1101,586 @@ fn solve_node_pipelined(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
     )
 }
 
-/// Sends and receives the explicit redundant copies of the pipelined
-/// search direction: the outer halo index sets plus the ASpMV extras, so
-/// the captured set (and hence the queue's coverage guarantee) matches the
-/// classic augmented SpMV exactly. Runs under [`Phase::Storage`].
-fn pipelined_capture(
+/// The s-step (communication-avoiding) PCG loop: one fused Gram reduction
+/// per outer step of up to `s` iterations. Each trip
+///
+/// 1. protects the **block-start** state (IMCR checkpoint round, explicit
+///    redundant copies of p^(ĵ−1)/p^(ĵ), ESRP starred copies — all of
+///    which land on outer-step boundaries, where the state is exactly
+///    classic-shaped and the transient Krylov block is empty),
+/// 2. builds the block basis V = [ρ₀…ρ_s, ζ₀…ζ_{s−1}] by a matrix-powers
+///    sweep (ρ₀ = p, ζ₀ = z, each power one split-phase-halo SpMV plus one
+///    local preconditioner apply; the A-images W fall out for free),
+/// 3. reduces the small Gram system [VᵀW, WᵀW, Vᵀr₀, Wᵀr₀, r₀·r₀] with a
+///    **single** fused allreduce,
+/// 4. replays up to `s` scalar CG updates on the replicated coordinate
+///    vectors (serial O(s²) arithmetic — bitwise identical on every rank
+///    and across thread counts), truncating early if the monomial basis
+///    runs out of accuracy, then materializes x/r/z/p at the block end.
+///
+/// A failure whose iteration falls anywhere inside the window is detected
+/// at the block start and rolls back to the last protected block start —
+/// the re-executed scalar updates are replicated, so trajectories stay
+/// deterministic. See `ARCHITECTURE.md` §"s-step pipeline".
+fn solve_node_sstep(ctx: &mut Ctx, shared: &SharedProblem, s: usize) -> NodeOutcome {
+    let cfg = &shared.cfg;
+    debug_assert!(cfg.validate(ctx.size()).is_ok(), "invalid solver config");
+    let part = &*shared.part;
+    assert_eq!(ctx.size(), part.n_ranks(), "rank count mismatch");
+    let rank = ctx.rank();
+    let be = cfg.backend.subdivided(ctx.size());
+    let range = part.range(rank);
+    let nloc = range.len();
+    let nv = 2 * s + 1;
+    let nw = 2 * s - 1;
+    // V-index u → W-index of A·v_u (None for ρ_s and ζ_{s−1}, whose
+    // A-images the sweep never needs).
+    let aimg = |u: usize| -> Option<usize> {
+        match u {
+            _ if u < s => Some(u),
+            _ if u == s => None,
+            _ if u < 2 * s => Some(u - 1),
+            _ => None,
+        }
+    };
+    // V-index u → V-index of M⁻¹A·v_u (the basis shift; same None set).
+    let shift = |u: usize| -> Option<usize> {
+        if u == s || u == 2 * s {
+            None
+        } else {
+            Some(u + 1)
+        }
+    };
+
+    ctx.set_phase(Phase::Setup);
+    let mut full = vec![0.0f64; part.n()];
+    let mut ws = SolverWorkspace::new();
+    // Per-block workspace, allocated once: every column is fully
+    // overwritten each outer step (see [`SStepAux`]).
+    let mut aux = Box::new(SStepAux::new(s, nloc));
+
+    let mut st = NodeState::new(nloc);
+    let (bnorm2, rr_init) = init_state(ctx, shared, &mut st, &mut full);
+    assert!(bnorm2 > 0.0, "zero right-hand side: x = 0 is the solution");
+    let mut relres = (rr_init / bnorm2).sqrt();
+
+    let mut j: usize = 0;
+    let mut next_event = 0usize;
+    let mut recovery_reports: Vec<RecoveryOutcome> = Vec::new();
+    let mut tuning_events: Vec<TuneEvent> = Vec::new();
+    let mut sched = IntervalSchedule::new(cfg.strategy);
+    let mut tuner = IntervalTuner::for_policy(cfg.interval_policy);
+    let mut total_loop_trips = 0usize;
+    let mut converged = false;
+    // The last block start whose state is protected (checkpoint round,
+    // ESR capture, or ESRP starred copies): the rollback target for any
+    // failure inside a later window. Replicated control flow — identical
+    // on every rank, and it survives failure injection just as the loop
+    // counter does (the paper wipes *node state*, not the program).
+    let mut last_protect: Option<usize> = None;
+    // The iteration label the materialized `aux.p_prev` belongs to
+    // (`Some(j − 1)` entering a block start at j whose predecessor block
+    // completed normally; `None` right after init or a degenerate resume).
+    let mut p_prev_at: Option<usize> = None;
+
+    loop {
+        if relres < cfg.rtol {
+            converged = true;
+            break;
+        }
+        if j >= cfg.max_iters {
+            break;
+        }
+        let window_end = (j + s).min(cfg.max_iters);
+        let window = j..window_end;
+        let s_eff = window_end - j;
+
+        // --- IMCR checkpoint when any window iteration is due -------------
+        // Checkpoints land on the block start, so the blob stays
+        // classic-shaped ([x; r; z; p; β]) — the Krylov block is rebuilt
+        // from definitions after any rollback.
+        if window.clone().any(|jj| sched.checkpoint(jj)) {
+            checkpoint_exchange(ctx, shared, &mut st, j);
+            last_protect = Some(j);
+            if let Some(tn) = tuner.as_mut() {
+                tn.note_round();
+            }
+        }
+
+        // --- Redundant copies of p^(j−1), p^(j) (explicit, block-aligned) --
+        // The matrix-powers sweep communicates basis columns, not p, so —
+        // as with the pipelined variant — augmented iterations ship the
+        // search directions explicitly over the halo + extras index sets.
+        // Both block-start directions are captured so the reconstruction
+        // (paper Alg. 2) finds p^(ĵ−1) and p^(ĵ) under its usual labels.
+        // ESR (T = 1) protects every block start. ESRP (T > 1) protects
+        // only block starts whose window completes a storage stage —
+        // capturing at every augmented window would push extra pairs and
+        // evict the starred pair from the depth-3 queue before a failure
+        // can use it. (`storage_second` is never true for IMCR, and
+        // `augmented` never for IMCR either, so IMCR captures nothing.)
+        let capture_due = j >= 1
+            && p_prev_at == Some(j - 1)
+            && if sched.interval() == Some(1) {
+                window.clone().any(|jj| sched.augmented(jj))
+            } else {
+                window.clone().any(|jj| sched.storage_second(jj))
+            };
+        if capture_due {
+            // After a rollback the queue may still hold slots at or past
+            // this block start (survivors keep everything up to the
+            // recovery point); drop them so the re-executed captures leave
+            // the queue identical to an undisturbed run's. No-op otherwise.
+            st.queue.purge_after(j - 1);
+            let mut cap_prev: Vec<(usize, f64)> = Vec::new();
+            capture_direction(
+                ctx,
+                shared,
+                &aux.p_prev,
+                range.start,
+                j - 1,
+                Tag::SStepBasis,
+                &mut cap_prev,
+            );
+            st.queue.push(j - 1, cap_prev);
+            let mut cap_cur: Vec<(usize, f64)> = Vec::new();
+            capture_direction(
+                ctx,
+                shared,
+                &st.p,
+                range.start,
+                j,
+                Tag::SStepBasis,
+                &mut cap_cur,
+            );
+            st.queue.push(j, cap_cur);
+            if sched.interval() == Some(1) {
+                // ESR: every captured block start is a protection round.
+                last_protect = Some(j);
+                if let Some(tn) = tuner.as_mut() {
+                    tn.note_round();
+                }
+            }
+        }
+
+        // --- ESRP storage stage falling in this window: starred copies ----
+        // β^(j−1) is exactly the β* the per-iteration schedule would have
+        // promoted at its stage end, because the star lands on the block
+        // start rather than mid-stage.
+        if capture_due && window.clone().any(|jj| sched.storage_second(jj)) {
+            ctx.set_phase(Phase::Storage);
+            st.beta_ss = st.beta_prev;
+            st.make_star(j);
+            last_protect = Some(j);
+            if let Some(tn) = tuner.as_mut() {
+                tn.note_round();
+            }
+        }
+
+        // --- Failure injection + recovery (anywhere inside the window) ----
+        if let Some(f) = cfg.failures.get(next_event) {
+            let j_f = f.at_iteration();
+            if window.contains(&j_f) {
+                next_event += 1;
+                let event = f.clone();
+                if event.affects(rank) {
+                    st.wipe();
+                }
+                let rec = recover(
+                    ctx,
+                    shared,
+                    &mut st,
+                    &mut ws,
+                    &mut full,
+                    j_f,
+                    last_protect,
+                    &event,
+                    &sched,
+                );
+                j = rec.resumed_at;
+                last_protect = (!rec.full_restart).then_some(rec.resumed_at);
+                if let Some(tn) = tuner.as_mut() {
+                    let ev = retune_after_recovery(
+                        ctx,
+                        shared,
+                        &mut st,
+                        &mut sched,
+                        tn,
+                        &rec,
+                        total_loop_trips,
+                    );
+                    tuning_events.push(ev);
+                }
+                // Re-materialize p^(ĵ−1) for the re-executed block-start
+                // captures: p = z + β·p_prev at the resume point inverts to
+                // (p − z)/β. Replicated arithmetic on replicated state.
+                if cfg.strategy.uses_aspmv() {
+                    if j >= 1 && st.beta_prev != 0.0 {
+                        ctx.set_phase(Phase::RecoveryReset);
+                        let beta = st.beta_prev;
+                        for l in 0..nloc {
+                            aux.p_prev[l] = (st.p[l] - st.z[l]) / beta;
+                        }
+                        ctx.charge_flops(2 * nloc as u64);
+                        p_prev_at = Some(j - 1);
+                    } else {
+                        p_prev_at = None;
+                    }
+                }
+                recovery_reports.push(rec);
+                relres = f64::INFINITY;
+                continue;
+            }
+        }
+
+        // --- Matrix-powers sweep: the block basis and its A-images --------
+        // 2s−1 SpMVs and preconditioner applies per block (≈2× the classic
+        // work — the communication-avoiding trade), each over the
+        // configured halo schedule. Tag subs repeat across the two chains;
+        // per-(source, tag) FIFO matching keeps sequential reuse safe.
+        ctx.set_phase(Phase::SpMV);
+        {
+            let SStepAux { v, w, .. } = &mut *aux;
+            v[0].copy_from_slice(&st.p);
+            for k in 0..s {
+                dist_spmv(
+                    ctx,
+                    shared,
+                    be,
+                    &v[k],
+                    (j + k) as u32,
+                    &mut full,
+                    &mut w[k],
+                    None,
+                );
+                ctx.set_phase(Phase::Precond);
+                shared
+                    .precond
+                    .apply_local(range.clone(), &w[k], &mut v[k + 1]);
+                ctx.charge_flops(shared.precond.apply_flops(range.clone()));
+                ctx.set_phase(Phase::SpMV);
+            }
+            v[s + 1].copy_from_slice(&st.z);
+            for k in 0..s - 1 {
+                dist_spmv(
+                    ctx,
+                    shared,
+                    be,
+                    &v[s + 1 + k],
+                    (j + k) as u32,
+                    &mut full,
+                    &mut w[s + k],
+                    None,
+                );
+                ctx.set_phase(Phase::Precond);
+                shared
+                    .precond
+                    .apply_local(range.clone(), &w[s + k], &mut v[s + 2 + k]);
+                ctx.charge_flops(shared.precond.apply_flops(range.clone()));
+                ctx.set_phase(Phase::SpMV);
+            }
+        }
+
+        // --- The one fused Gram reduction of the outer step ---------------
+        // [G = VᵀW | upper(H = WᵀW) | Vᵀr₀ | Wᵀr₀ | r₀·r₀] in a pooled
+        // buffer; started and finished through the split-phase reduce path.
+        ctx.set_phase(Phase::Reduction);
+        let n_dots = nv * nw + nw * (nw + 1) / 2 + nv + nw + 1;
+        let mut buf = ctx.take_f64s();
+        {
+            let SStepAux { v, w, .. } = &*aux;
+            for vu in v.iter() {
+                for wt in w.iter() {
+                    buf.push(be.dot(vu, wt));
+                }
+            }
+            for (a, wa) in w.iter().enumerate() {
+                for wb in &w[a..] {
+                    buf.push(be.dot(wa, wb));
+                }
+            }
+            for vu in v.iter() {
+                buf.push(be.dot(vu, &st.r));
+            }
+            for wt in w.iter() {
+                buf.push(be.dot(wt, &st.r));
+            }
+            buf.push(be.dot(&st.r, &st.r));
+        }
+        debug_assert_eq!(buf.len(), n_dots);
+        ctx.charge_flops(2 * n_dots as u64 * nloc as u64);
+        let pending = ctx.allreduce_sum_start(&buf);
+        ctx.recycle_f64s(buf);
+        let red = pending.finish(ctx);
+        let rr0;
+        {
+            let SStepAux { g, h, vr, wr, .. } = &mut *aux;
+            g.copy_from_slice(&red[..nv * nw]);
+            let mut idx = nv * nw;
+            for a in 0..nw {
+                for b in a..nw {
+                    h[a * nw + b] = red[idx];
+                    h[b * nw + a] = red[idx];
+                    idx += 1;
+                }
+            }
+            vr.copy_from_slice(&red[idx..idx + nv]);
+            idx += nv;
+            wr.copy_from_slice(&red[idx..idx + nw]);
+            idx += nw;
+            rr0 = red[idx];
+        }
+        ctx.recycle_f64s(red);
+
+        // --- Up to s scalar CG updates from replicated coordinates --------
+        // All arithmetic below is serial and replicated: every rank holds
+        // the same Gram blocks, so every rank derives bitwise-identical
+        // α/β/convergence decisions with no further communication.
+        ctx.set_phase(Phase::VecOps);
+        let mut i_exec = 0usize;
+        let mut rz = st.rz;
+        let mut beta_last = st.beta_prev;
+        {
+            let SStepAux {
+                g,
+                h,
+                vr,
+                wr,
+                ca,
+                ca_prev,
+                cc,
+                ce,
+                cf,
+                cc_t,
+                ce_t,
+                cf_t,
+                ..
+            } = &mut *aux;
+            ca.fill(0.0);
+            ca[0] = 1.0; // p = ρ₀
+            cc.fill(0.0);
+            cc[s + 1] = 1.0; // z = ζ₀
+            ce.fill(0.0);
+            cf.fill(0.0);
+            for i in 0..s_eff {
+                // pᵀAp through the Gram block: Σ_t ca_t Σ_u ca_u·(v_u·Av_t).
+                let mut pap = 0.0;
+                for (t, &cat) in ca.iter().enumerate() {
+                    if cat == 0.0 {
+                        continue;
+                    }
+                    let Some(wi) = aimg(t) else {
+                        debug_assert!(false, "ca support leaked past the A-image columns");
+                        continue;
+                    };
+                    let mut acc = 0.0;
+                    for (u, &cau) in ca.iter().enumerate() {
+                        if cau != 0.0 {
+                            acc += cau * g[u * nw + wi];
+                        }
+                    }
+                    pap += cat * acc;
+                }
+                if i == 0 {
+                    // The i = 0 Gram value is the exact dot p·Ap (up to
+                    // reduction rounding): a violation means the matrix,
+                    // not the basis.
+                    assert!(
+                        pap > 0.0,
+                        "pᵀAp = {pap} ≤ 0: matrix not SPD to working precision"
+                    );
+                } else if pap <= 0.0 || pap.is_nan() {
+                    // The monomial basis ran out of accuracy mid-block:
+                    // truncate without committing. The state stays at
+                    // iteration j + i and the next block starts a fresh
+                    // basis from the materialized vectors.
+                    break;
+                }
+                let alpha = rz / pap;
+                // Tentative coordinate updates (committed only if the
+                // derived scalars stay finite).
+                for u in 0..nv {
+                    ce_t[u] = ce[u] + alpha * ca[u];
+                }
+                cf_t.copy_from_slice(cf);
+                cc_t.copy_from_slice(cc);
+                for (t, &cat) in ca.iter().enumerate() {
+                    if cat == 0.0 {
+                        continue;
+                    }
+                    match (aimg(t), shift(t)) {
+                        (Some(wi), Some(sh)) => {
+                            cf_t[wi] -= alpha * cat; // r −= α·Ap
+                            cc_t[sh] -= alpha * cat; // z −= α·M⁻¹Ap
+                        }
+                        _ => debug_assert!(false, "ca support leaked past the basis range"),
+                    }
+                }
+                // ‖r‖² and r·z of the tentative iterate, from the Gram
+                // blocks (r = r₀ + W·cf, z = V·cc).
+                let mut rr_new = rr0;
+                for (wi, &cfw) in cf_t.iter().enumerate() {
+                    if cfw == 0.0 {
+                        continue;
+                    }
+                    rr_new += 2.0 * cfw * wr[wi];
+                    let mut acc = 0.0;
+                    for (w2, &cf2) in cf_t.iter().enumerate() {
+                        if cf2 != 0.0 {
+                            acc += cf2 * h[wi * nw + w2];
+                        }
+                    }
+                    rr_new += cfw * acc;
+                }
+                let mut rz_new = 0.0;
+                for (u, &ccu) in cc_t.iter().enumerate() {
+                    if ccu != 0.0 {
+                        rz_new += ccu * vr[u];
+                    }
+                }
+                for (wi, &cfw) in cf_t.iter().enumerate() {
+                    if cfw == 0.0 {
+                        continue;
+                    }
+                    let mut acc = 0.0;
+                    for (u, &ccu) in cc_t.iter().enumerate() {
+                        if ccu != 0.0 {
+                            acc += ccu * g[u * nw + wi];
+                        }
+                    }
+                    rz_new += cfw * acc;
+                }
+                if !(rr_new.is_finite() && rz_new.is_finite()) {
+                    assert!(
+                        i > 0,
+                        "s-step Gram recurrence non-finite on the first update"
+                    );
+                    break;
+                }
+                // Commit, mirroring one classic iteration (including the
+                // unconditional p-update — classic never gates on β's sign).
+                std::mem::swap(ce, ce_t);
+                std::mem::swap(cf, cf_t);
+                std::mem::swap(cc, cc_t);
+                i_exec = i + 1;
+                let beta = rz_new / rz;
+                for u in 0..nv {
+                    ca_prev[u] = ca[u];
+                    ca[u] = cc[u] + beta * ca_prev[u];
+                }
+                beta_last = beta;
+                rz = rz_new;
+                relres = (rr_new.max(0.0) / bnorm2).sqrt();
+                if relres < cfg.rtol || j + i + 1 >= cfg.max_iters {
+                    break;
+                }
+            }
+        }
+        ctx.charge_flops(i_exec as u64 * (4 * nv * nw + 2 * nw * nw + 8 * nv) as u64);
+
+        // --- Materialize the block-end state ------------------------------
+        // Column-by-column axpys in fixed index order: bitwise identical
+        // across thread counts, dispatch modes, and formats (the backend's
+        // per-vector kernels already are).
+        ctx.set_phase(Phase::VecOps);
+        let j_next = j + i_exec;
+        {
+            let SStepAux {
+                v,
+                w,
+                ca,
+                ca_prev,
+                cc,
+                ce,
+                cf,
+                p_prev,
+                ..
+            } = &mut *aux;
+            let mut axpys = 0u64;
+            for (&c, vu) in ce.iter().zip(v.iter()) {
+                if c != 0.0 {
+                    be.axpby(c, vu, 1.0, &mut st.x);
+                    axpys += 1;
+                }
+            }
+            for (&c, wt) in cf.iter().zip(w.iter()) {
+                if c != 0.0 {
+                    be.axpby(c, wt, 1.0, &mut st.r);
+                    axpys += 1;
+                }
+            }
+            st.z.fill(0.0);
+            for (&c, vu) in cc.iter().zip(v.iter()) {
+                if c != 0.0 {
+                    be.axpby(c, vu, 1.0, &mut st.z);
+                    axpys += 1;
+                }
+            }
+            st.p.fill(0.0);
+            for (&c, vu) in ca.iter().zip(v.iter()) {
+                if c != 0.0 {
+                    be.axpby(c, vu, 1.0, &mut st.p);
+                    axpys += 1;
+                }
+            }
+            let converged_now = relres < cfg.rtol;
+            if cfg.strategy.uses_aspmv() && !converged_now {
+                // p^(j_next − 1) for the next block start's capture. After
+                // ≥ 1 committed update ca_prev holds the previous p's
+                // coordinates in *this* block's basis.
+                p_prev.fill(0.0);
+                for (&c, vu) in ca_prev.iter().zip(v.iter()) {
+                    if c != 0.0 {
+                        be.axpby(c, vu, 1.0, p_prev);
+                        axpys += 1;
+                    }
+                }
+                p_prev_at = Some(j_next - 1);
+            }
+            ctx.charge_flops(axpys * 2 * nloc as u64);
+        }
+        st.rz = rz;
+        st.beta_prev = beta_last;
+        total_loop_trips += i_exec;
+        j = j_next;
+    }
+
+    drift_epilogue(
+        ctx,
+        shared,
+        be,
+        st,
+        &mut full,
+        bnorm2,
+        converged,
+        j,
+        total_loop_trips,
+        recovery_reports,
+        tuning_events,
+    )
+}
+
+/// Sends and receives explicit redundant copies of a search direction:
+/// the outer halo index sets plus the ASpMV extras, so the captured set
+/// (and hence the queue's coverage guarantee) matches the classic
+/// augmented SpMV exactly. Runs under [`Phase::Storage`]. The pipelined
+/// variant ships each iteration's p under [`Tag::PipelinedP`]; the s-step
+/// variant ships the block-start pair p^(ĵ−1)/p^(ĵ) under
+/// [`Tag::SStepBasis`] (a separate kind so the two copies of one block
+/// start cannot mix with the matrix-powers halo traffic), with `label`
+/// doubling as the tag sub and the queue iteration label.
+fn capture_direction(
     ctx: &mut Ctx,
     shared: &SharedProblem,
     p_local: &[f64],
     range_start: usize,
-    j: usize,
+    label: usize,
+    kind: Tag,
     captured: &mut Vec<(usize, f64)>,
 ) {
     let rank = ctx.rank();
     ctx.set_phase(Phase::Storage);
-    let tag = Tag::PipelinedP.with(j as u32);
+    let tag = kind.with(label as u32);
     for (dst, gidx) in shared.plan.sends_of(rank) {
         let mut pairs = ctx.take_pairs();
         pairs.extend(gidx.iter().map(|&g| (g, p_local[g - range_start])));
@@ -1051,7 +1691,7 @@ fn pipelined_capture(
         captured.extend_from_slice(&pairs);
         ctx.recycle_pairs(pairs);
     }
-    aspmv_extras(ctx, shared, p_local, range_start, j, captured);
+    aspmv_extras(ctx, shared, p_local, range_start, label, captured);
 }
 
 /// Post-convergence accuracy metrics: the paper's residual drift (Eq. 2)

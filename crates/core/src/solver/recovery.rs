@@ -45,12 +45,14 @@ pub struct RecoveryOutcome {
 }
 
 /// Runs the strategy's recovery protocol. The failed ranks must already
-/// have wiped their state ([`NodeState::wipe`]). The rollback target comes
-/// from the (possibly re-anchored) `sched`, not the static config, so
-/// adaptively re-tuned intervals roll back to the points the *current*
-/// schedule actually protected. Returns the outcome; afterwards every
-/// rank's state corresponds to iteration `outcome.resumed_at` and `st.rz`
-/// is current.
+/// have wiped their state ([`NodeState::wipe`]). The rollback `target` is
+/// supplied by the caller: the per-iteration variants derive it from the
+/// (possibly re-anchored) `sched` via [`IntervalSchedule::rollback_target`],
+/// while the s-step variant passes the last *block-start* it protected —
+/// its protection events all land on outer-step boundaries, so mid-block
+/// failures resume at the enclosing outer step. Returns the outcome;
+/// afterwards every rank's state corresponds to iteration
+/// `outcome.resumed_at` and `st.rz` is current.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn recover(
     ctx: &mut Ctx,
@@ -59,11 +61,11 @@ pub(crate) fn recover(
     ws: &mut SolverWorkspace,
     full: &mut [f64],
     j_f: usize,
+    target: Option<usize>,
     event: &esrcg_cluster::FailureSpec,
     sched: &IntervalSchedule,
 ) -> RecoveryOutcome {
     let t_start = ctx.barrier_sync_clock();
-    let target = sched.rollback_target(j_f);
     let (resumed_at, full_restart, inner_iterations) = match sched.strategy() {
         Strategy::None => panic!(
             "node failure injected into a run without a resilience strategy — \
@@ -362,7 +364,11 @@ fn recover_esrp(
     // --- All ranks: re-establish the replicated scalars for iteration ĵ ---
     ctx.set_phase(Phase::RecoveryReset);
     match shared.cfg.variant {
-        PcgVariant::Classic => {
+        PcgVariant::Classic | PcgVariant::SStep { .. } => {
+            // SStep rolls back to a block start, where its state is exactly
+            // classic-shaped (x, r, z, p, β) and the transient Krylov block
+            // is definitionally empty — the next outer step rebuilds the
+            // basis from definitions, so only r·z needs re-establishing.
             let rz_loc = be.dot(&st.r, &st.z);
             ctx.charge_flops(2 * st.r.len() as u64);
             st.rz = ctx.allreduce_sum_scalar(rz_loc);
@@ -514,11 +520,16 @@ fn recover_imcr(
 
     // Classic blobs carry β but not r·z, so the replicated scalar is
     // recomputed — from bitwise-restored r and z, giving back the exact
-    // checkpoint-time value. Pipelined blobs carry γ and pᵀAp directly
-    // (pᵀAp is a running recurrence, not recomputable from the vectors),
-    // so the rollback is already complete and bitwise; the variant is
-    // shared config, so every rank skips the reduction together.
-    if shared.cfg.variant == PcgVariant::Classic {
+    // checkpoint-time value. SStep checkpoints are classic-shaped (they
+    // land on outer-step boundaries, where the transient Krylov block is
+    // empty), so it takes the same path. Pipelined blobs carry γ and pᵀAp
+    // directly (pᵀAp is a running recurrence, not recomputable from the
+    // vectors), so the rollback is already complete and bitwise; the
+    // variant is shared config, so every rank skips the reduction together.
+    if matches!(
+        shared.cfg.variant,
+        PcgVariant::Classic | PcgVariant::SStep { .. }
+    ) {
         let rz_loc = shared.cfg.backend.subdivided(ctx.size()).dot(&st.r, &st.z);
         ctx.charge_flops(2 * st.r.len() as u64);
         st.rz = ctx.allreduce_sum_scalar(rz_loc);
@@ -739,7 +750,9 @@ fn full_restart(ctx: &mut Ctx, shared: &SharedProblem, st: &mut NodeState, full:
     ctx.set_phase(Phase::RecoveryReset);
     let nloc = shared.part.local_len(ctx.rank());
     match shared.cfg.variant {
-        PcgVariant::Classic => {
+        PcgVariant::Classic | PcgVariant::SStep { .. } => {
+            // SStep restarts with classic-shaped state: the outer loop
+            // rebuilds its per-block basis workspace from definitions.
             *st = NodeState::new(nloc);
             init_state(ctx, shared, st, full);
         }

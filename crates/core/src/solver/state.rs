@@ -47,6 +47,79 @@ impl PipelinedAux {
     }
 }
 
+/// Per-block workspace of the **s-step** (communication-avoiding) PCG
+/// variant (Chronopoulos–Gear / Carson–Demmel lineage; see
+/// `ARCHITECTURE.md` §"s-step pipeline"). Unlike [`PipelinedAux`] this is
+/// *not* part of [`NodeState`]: every column is fully overwritten by the
+/// matrix-powers sweep at the start of each outer step, so the basis is
+/// per-block scratch — a failed node's replacement rebuilds it from
+/// definitions and `wipe` never needs to touch it. The solver holds it as
+/// a local `Box<SStepAux>` allocated once before the outer loop.
+#[derive(Debug, Clone)]
+pub(crate) struct SStepAux {
+    /// Basis columns V = [ρ₀…ρ_s, ζ₀…ζ_{s−1}]: ρ₀ = p, ρ_{k+1} = M⁻¹Aρ_k,
+    /// ζ₀ = z, ζ_{k+1} = M⁻¹Aζ_k — `2s+1` columns of `nloc` each.
+    pub v: Vec<Vec<f64>>,
+    /// A-images W = [Aρ₀…Aρ_{s−1}, Aζ₀…Aζ_{s−2}] (`2s−1` columns),
+    /// produced for free by the sweep (each power is one SpMV into a W
+    /// column followed by one local preconditioner apply into V).
+    pub w: Vec<Vec<f64>>,
+    /// Gram block G = VᵀW after the fused reduction, row-major `nv × nw`.
+    pub g: Vec<f64>,
+    /// Gram block H = WᵀW, full `nw × nw` (mirrored from the packed
+    /// upper triangle carried by the reduction payload).
+    pub h: Vec<f64>,
+    /// Vᵀr₀ (`nv`) — r₀ is the residual at the block start.
+    pub vr: Vec<f64>,
+    /// Wᵀr₀ (`nw`).
+    pub wr: Vec<f64>,
+    /// Replicated coordinates of p in the V basis (length `nv`).
+    pub ca: Vec<f64>,
+    /// Coordinates of the *previous* p (for the redundancy captures).
+    pub ca_prev: Vec<f64>,
+    /// Coordinates of z in the V basis (length `nv`).
+    pub cc: Vec<f64>,
+    /// Coordinates of x − x₀ in the V basis (length `nv`).
+    pub ce: Vec<f64>,
+    /// Coordinates of r − r₀ in the W basis (length `nw`).
+    pub cf: Vec<f64>,
+    /// Tentative copies — an inner update computes into these and only
+    /// commits when the replicated scalars stay finite and usable, so a
+    /// truncated block leaves consistent state at the last good iterate.
+    pub cc_t: Vec<f64>,
+    pub ce_t: Vec<f64>,
+    pub cf_t: Vec<f64>,
+    /// p^(ĵ−1) materialized from `ca_prev` at a block start whose window
+    /// contains an augmented iteration (redundant-copy capture).
+    pub p_prev: Vec<f64>,
+}
+
+impl SStepAux {
+    /// Workspace for block size `s` on a node owning `nloc` indices.
+    /// All later solver work is allocation-free against these buffers.
+    pub fn new(s: usize, nloc: usize) -> Self {
+        let nv = 2 * s + 1;
+        let nw = 2 * s - 1;
+        SStepAux {
+            v: vec![vec![0.0; nloc]; nv],
+            w: vec![vec![0.0; nloc]; nw],
+            g: vec![0.0; nv * nw],
+            h: vec![0.0; nw * nw],
+            vr: vec![0.0; nv],
+            wr: vec![0.0; nw],
+            ca: vec![0.0; nv],
+            ca_prev: vec![0.0; nv],
+            cc: vec![0.0; nv],
+            ce: vec![0.0; nv],
+            cf: vec![0.0; nw],
+            cc_t: vec![0.0; nv],
+            ce_t: vec![0.0; nv],
+            cf_t: vec![0.0; nw],
+            p_prev: vec![0.0; nloc],
+        }
+    }
+}
+
 /// The pipelined part of an IMCR checkpoint: the extra recurrence vectors
 /// and replicated scalars that must roll back bitwise alongside
 /// `[x; r; z; p]`.
@@ -514,5 +587,18 @@ mod tests {
     #[should_panic(expected = "blob length")]
     fn bad_blob_rejected() {
         NodeState::new(3).restore_from_blob(&[0.0; 5]);
+    }
+
+    #[test]
+    fn sstep_aux_dimensions() {
+        let aux = SStepAux::new(4, 6);
+        assert_eq!(aux.v.len(), 9, "2s+1 basis columns");
+        assert_eq!(aux.w.len(), 7, "2s-1 A-image columns");
+        assert!(aux.v.iter().all(|c| c.len() == 6));
+        assert_eq!(aux.g.len(), 9 * 7);
+        assert_eq!(aux.h.len(), 7 * 7);
+        assert_eq!(aux.ca.len(), 9);
+        assert_eq!(aux.cf.len(), 7);
+        assert_eq!(aux.p_prev.len(), 6);
     }
 }

@@ -12,10 +12,30 @@
 //! (synchronized clock, allreduced mean cost, shared failure stream), so
 //! every rank re-tunes identically and the protocol cannot diverge.
 
-use esrcg_cluster::{Ctx, Phase};
+use esrcg_cluster::{CostModel, Ctx, Phase};
 
 use crate::solver::recovery::{esrp_rollback_target, imcr_rollback_target, RecoveryOutcome};
 use crate::strategy::{IntervalPolicy, Strategy};
+
+/// The analytic α–β cost of one IMCR checkpoint round on one rank: `φ`
+/// point-to-point blob transfers of `blob_len` doubles each. Early in a
+/// run the measured `Phase::Checkpoint` mean is noisy (few rounds, and a
+/// round that overlapped other traffic under-attributes); the cost model
+/// knows the floor exactly, so the tuner uses whichever is larger.
+pub(crate) fn analytic_checkpoint_round_cost(cost: &CostModel, phi: usize, blob_len: usize) -> f64 {
+    phi as f64 * cost.transfer_time(blob_len * 8)
+}
+
+/// The analytic α–β cost of one ESRP storage stage on one rank: two
+/// augmented iterations, each shipping `(global index, value)` pairs
+/// (16 bytes) over the given per-destination message sizes (the halo
+/// sends plus the redundancy extras).
+pub(crate) fn analytic_storage_stage_cost<I>(cost: &CostModel, pair_counts: I) -> f64
+where
+    I: Iterator<Item = usize>,
+{
+    2.0 * pair_counts.map(|n| cost.transfer_time(n * 16)).sum::<f64>()
+}
 
 /// The storage/checkpoint schedule of a run: the current interval plus the
 /// *anchor* — the iteration the interval was last re-tuned at (0 until the
@@ -222,19 +242,26 @@ impl IntervalTuner {
     /// recovery. With at least two observed failures and one completed
     /// round, the proposal is the Daly/Young optimum
     /// `T* = √(2·MTBF̂ · c_round/t_iter)` — MTBF̂ in iterations from the
-    /// failure stream, `c_round` the allreduced mean per-round
-    /// `Storage`/`Checkpoint` cost, `t_iter` the synchronized clock per
-    /// loop trip — rounded, snapped from 2 to 1 for ESRP (the paper's
-    /// "use ESR instead" rule), and clamped to the policy bounds.
-    /// Otherwise the current interval stands and **no collectives run**, so
-    /// an adaptive run with fewer than two failures stays bitwise
-    /// identical to its fixed twin.
+    /// failure stream, `c_round` the per-round protection cost, `t_iter`
+    /// the synchronized clock per loop trip — rounded, snapped from 2 to 1
+    /// for ESRP (the paper's "use ESR instead" rule), and clamped to the
+    /// policy bounds. `c_round` blends two estimates: the allreduced mean
+    /// of the measured `Storage`/`Checkpoint` phase time, and
+    /// `analytic_round` — the cost model's α–β prediction for one round
+    /// (see [`analytic_checkpoint_round_cost`] /
+    /// [`analytic_storage_stage_cost`]) — taking the larger. The measured
+    /// mean catches congestion the model misses; the analytic floor keeps
+    /// an under-attributed early sample from collapsing `T*`.
+    /// Below two failures the current interval stands and **no collectives
+    /// run**, so an adaptive run with fewer than two failures stays
+    /// bitwise identical to its fixed twin.
     pub(crate) fn propose(
         &mut self,
         ctx: &mut Ctx,
         sched: &IntervalSchedule,
         rec: &RecoveryOutcome,
         total_loop_trips: usize,
+        analytic_round: f64,
     ) -> TuneEvent {
         self.failures_seen += 1;
         let before = sched.interval().expect("tuning requires an interval");
@@ -256,7 +283,7 @@ impl IntervalTuner {
             let mtbf = rec.failed_at as f64 / self.failures_seen as f64;
             mtbf_iters = Some(mtbf);
             let t_iter = clock / total_loop_trips as f64;
-            let c_round = c_mean / self.rounds as f64;
+            let c_round = (c_mean / self.rounds as f64).max(analytic_round);
             if t_iter > 0.0 && c_round > 0.0 {
                 let t_star = (2.0 * mtbf * (c_round / t_iter)).sqrt();
                 let mut cand = (t_star.round().max(1.0) as usize).clamp(self.min_t, self.max_t);
@@ -359,6 +386,88 @@ mod tests {
         assert_eq!(c.rollback_target(15), Some(10));
         assert_eq!(c.rollback_target(16), Some(16));
         assert_eq!(c.rollback_target(23), Some(22));
+    }
+
+    /// Runs the tuner's second-failure proposal inside a one-rank SPMD
+    /// context under `cost`, with one second of modeled compute over 1000
+    /// loop trips (t_iter = 1 ms), one completed round, and a failure
+    /// stream giving MTBF̂ = 25 iterations. No `Storage`/`Checkpoint` time
+    /// was ever measured, so the proposal is driven entirely by the
+    /// analytic per-round cost.
+    fn tuned_interval(strategy: Strategy, cost: CostModel, analytic: f64) -> usize {
+        let out = esrcg_cluster::run_spmd(1, cost, move |ctx| {
+            let mut tuner = IntervalTuner::for_policy(IntervalPolicy::Adaptive {
+                min_t: 1,
+                max_t: 40,
+            })
+            .expect("adaptive tuner");
+            let sched = IntervalSchedule::new(strategy);
+            let rec = RecoveryOutcome {
+                failed_at: 50,
+                resumed_at: 45,
+                wasted_iterations: 5,
+                full_restart: false,
+                recovery_time: 0.0,
+                inner_iterations: 0,
+            };
+            tuner.note_round();
+            ctx.charge_flops(2_000_000_000);
+            let first = tuner.propose(ctx, &sched, &rec, 1000, analytic);
+            assert_eq!(
+                first.interval_after, first.interval_before,
+                "one observed failure never re-tunes"
+            );
+            tuner
+                .propose(ctx, &sched, &rec, 1000, analytic)
+                .interval_after
+        });
+        out.results[0]
+    }
+
+    /// The cost model shapes the Daly optimum: the same failure stream and
+    /// iteration speed yield a preset-dependent `T*` because the analytic
+    /// per-round cost scales with α and 1/β. The pinned values are the
+    /// closed-form `√(2·25·c_round/1ms)` rounded and clamped.
+    #[test]
+    fn analytic_round_cost_drives_the_tuned_interval_per_preset() {
+        // IMCR: one buddy transfer of a 4·1000+1-double classic blob.
+        let imcr = Strategy::Imcr { t: 8 };
+        let c_of = |cost: &CostModel| analytic_checkpoint_round_cost(cost, 1, 4001);
+        let d = CostModel::default();
+        assert_eq!(tuned_interval(imcr, d, c_of(&d)), 1);
+        let l = CostModel::latency_dominated();
+        assert_eq!(tuned_interval(imcr, l, c_of(&l)), 5);
+        // Free communication → zero analytic and zero measured cost: the
+        // configured interval stands.
+        let f = CostModel::compute_only(d.seconds_per_flop);
+        assert_eq!(tuned_interval(imcr, f, c_of(&f)), 8);
+        // Free compute → the modeled clock never advances, t_iter = 0: the
+        // tuner refuses to divide by it and holds the interval.
+        let m = CostModel::comm_only(d.alpha, d.seconds_per_byte);
+        assert_eq!(tuned_interval(imcr, m, c_of(&m)), 8);
+
+        // ESRP: a storage stage of two captures, each two 64-pair sends.
+        let esrp = Strategy::Esrp { t: 6 };
+        let c_of = |cost: &CostModel| analytic_storage_stage_cost(cost, [64, 64].into_iter());
+        assert_eq!(tuned_interval(esrp, d, c_of(&d)), 1);
+        assert_eq!(tuned_interval(esrp, l, c_of(&l)), 10);
+        assert_eq!(tuned_interval(esrp, f, c_of(&f)), 6);
+        assert_eq!(tuned_interval(esrp, m, c_of(&m)), 6);
+    }
+
+    /// The blend takes the *larger* of measured and analytic: a cheap
+    /// analytic floor must not drag `T*` below what the measured phase
+    /// means imply, and vice versa.
+    #[test]
+    fn analytic_floor_and_measured_mean_blend_by_max() {
+        let cost = CostModel::default();
+        let strategy = Strategy::Imcr { t: 8 };
+        // A large analytic round cost (1 ms per round = the iteration
+        // time): T* = √(2·25·1) ≈ 7 regardless of the zero measured mean.
+        let out = tuned_interval(strategy, cost, 1.0e-3);
+        assert_eq!(out, 7);
+        // Zero analytic with zero measured cost: no re-tune at all.
+        assert_eq!(tuned_interval(strategy, cost, 0.0), 8);
     }
 
     #[test]
