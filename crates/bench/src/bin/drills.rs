@@ -16,19 +16,25 @@
 //!   --inject-slow-recovery PCT  inflate every measured recovery time by
 //!                               PCT percent — CI's self-test that the gate
 //!                               actually trips
+//!   --trace-out PATH            write the trace-replay drill's Chrome/
+//!                               Perfetto trace JSON (pure modeled clock,
+//!                               byte-identical across hosts and workers)
 //!   --quiet                     suppress the summary on stderr
 //! ```
 //!
 //! Exit status: 0 when every drill ran and the gate (if requested) passed,
 //! 1 otherwise.
 
-use esrcg_bench::drills::{check_regressions, comparison_table, run_all, REGRESSION_THRESHOLD};
+use esrcg_bench::drills::{
+    check_regressions, comparison_table, run_all, trace_replay_perfetto, REGRESSION_THRESHOLD,
+};
 
 struct Options {
     workers: usize,
     check: Option<String>,
     out: Option<String>,
     inject_pct: f64,
+    trace_out: Option<String>,
     quiet: bool,
 }
 
@@ -38,6 +44,7 @@ fn parse_args() -> Result<Options, String> {
         check: None,
         out: None,
         inject_pct: 0.0,
+        trace_out: None,
         quiet: false,
     };
     let mut args = std::env::args().skip(1);
@@ -61,6 +68,9 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or("missing value for --inject-slow-recovery")?
                     .parse()
                     .map_err(|_| "bad --inject-slow-recovery")?;
+            }
+            "--trace-out" => {
+                opt.trace_out = Some(args.next().ok_or("missing value for --trace-out")?)
             }
             "--quiet" => opt.quiet = true,
             other => return Err(format!("unknown flag '{other}'")),
@@ -115,6 +125,23 @@ fn main() {
         let table = comparison_table(baseline_md.as_deref().unwrap_or(""), &outcomes);
         let report = format!("# Drill run\n\n```text\n{lines}```\n\n{table}");
         if let Err(e) = std::fs::write(path, report) {
+            eprintln!("drills: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        if !opt.quiet {
+            eprintln!("drills: wrote {path}");
+        }
+    }
+
+    if let Some(path) = &opt.trace_out {
+        let json = match trace_replay_perfetto() {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("drills: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = std::fs::write(path, json) {
             eprintln!("drills: cannot write {path}: {e}");
             std::process::exit(1);
         }

@@ -34,6 +34,9 @@
 //!                         row order)
 //!   --deterministic       zero all wall-clock fields so the JSON is
 //!                         byte-identical across runs and --workers counts
+//!   --trace-out PATH      also write the flight-recorder probe's Chrome/
+//!                         Perfetto trace JSON (chrome://tracing, ui.perfetto.dev);
+//!                         pure modeled clock, byte-identical across hosts
 //! ```
 
 use esrcg_bench::kernels::{
@@ -59,6 +62,7 @@ struct Options {
     matrix_files: Vec<String>,
     workers: usize,
     deterministic: bool,
+    trace_out: Option<String>,
 }
 
 fn parse_list(v: &str) -> Result<Vec<usize>, String> {
@@ -82,6 +86,7 @@ fn parse_args() -> Result<Options, String> {
         matrix_files: Vec::new(),
         workers: 1,
         deterministic: false,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -176,6 +181,9 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|_| "bad --workers")?
             }
             "--deterministic" => opt.deterministic = true,
+            "--trace-out" => {
+                opt.trace_out = Some(args.next().ok_or("missing value for --trace-out")?)
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -309,6 +317,22 @@ fn main() {
                 w.variant,
                 w.split_per_iter() * 1e6
             );
+        }
+    }
+    if let Some(probe) = &report.trace {
+        eprintln!(
+            "flight recorder: {} under {} (phi {}), failure at iter {} -> \
+             {} events, recovery {:.9} modeled s",
+            probe.variant,
+            probe.strategy,
+            probe.phi,
+            probe.failure_at,
+            probe.events,
+            probe.recovery_seconds
+        );
+        if let Some(path) = &opt.trace_out {
+            std::fs::write(path, &probe.perfetto).expect("write trace file");
+            eprintln!("wrote {path}");
         }
     }
     let json = report.to_json();

@@ -5,9 +5,10 @@
 //! recovery path end to end — fail-stop events, φ-wide bursts, failures
 //! landing inside a checkpoint round, pre-recovery-point full restarts,
 //! the pipelined variant, a mid-block failure of the s-step variant,
-//! IMCR rollback, and the adaptive interval tuner
-//! under exponential and burst fault processes. Every drill emits one
-//! machine-parseable artifact line
+//! IMCR rollback, the adaptive interval tuner
+//! under exponential and burst fault processes, and a flight-recorder
+//! replay that re-derives the recovery time from the recorded trace.
+//! Every drill emits one machine-parseable artifact line
 //!
 //! ```text
 //! drill=<name> recovery_modeled_s=<seconds> iters_overhead=<n>
@@ -25,6 +26,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use esrcg_campaign::fleet::run_jobs;
 use esrcg_campaign::{FaultProcess, TraceBudget};
+use esrcg_cluster::{validate_trace_json, TraceConfig};
 use esrcg_core::driver::{Experiment, MatrixSource, RunReport};
 use esrcg_core::solver::PcgVariant;
 use esrcg_core::{Resilience, Strategy};
@@ -34,7 +36,7 @@ use esrcg_core::{Resilience, Strategy};
 pub const REGRESSION_THRESHOLD: f64 = 0.20;
 
 /// The drill catalog, in the order the harness runs and reports them.
-pub const DRILLS: [&str; 11] = [
+pub const DRILLS: [&str; 12] = [
     "esr-single-fail-stop",
     "esrp-phi-block-burst",
     "imcr-checkpoint-round-failure",
@@ -46,6 +48,7 @@ pub const DRILLS: [&str; 11] = [
     "exp-auto",
     "burst-fixed-t",
     "burst-auto",
+    "trace-replay",
 ];
 
 /// The measured result of one drill.
@@ -230,8 +233,63 @@ pub fn run_drill(name: &str) -> Result<DrillOutcome, String> {
             2,
             Strategy::Esrp { t: 6 }.auto_bounded(AUTO_BOUNDS.0, AUTO_BOUNDS.1),
         ),
+        // Flight-recorder replay: the mid-block s-step failure re-run with
+        // the recorder at Full. The drill passes only when the trace is
+        // phase-covered, recovery-attributed, structurally valid Perfetto
+        // JSON, and its recovery spans reproduce the artifact line's
+        // recovery_modeled_s bit for bit.
+        "trace-replay" => {
+            let report = trace_replay_run()?;
+            let o = outcome("trace-replay", &report)?;
+            let trace = report
+                .trace
+                .as_ref()
+                .ok_or("trace-replay: no trace recorded")?;
+            trace.validate().map_err(|e| format!("trace-replay: {e}"))?;
+            trace
+                .validate_recovery_attribution()
+                .map_err(|e| format!("trace-replay: {e}"))?;
+            validate_trace_json(&trace.to_perfetto_json())
+                .map_err(|e| format!("trace-replay: {e}"))?;
+            let replayed = trace.recovery_seconds();
+            if replayed.to_bits() != o.recovery_modeled_s.to_bits() {
+                return Err(format!(
+                    "trace-replay: trace recovery spans ({replayed:.12}) do not \
+                     reproduce the artifact's recovery_modeled_s ({:.12})",
+                    o.recovery_modeled_s
+                ));
+            }
+            Ok(o)
+        }
         other => Err(format!("unknown drill '{other}'")),
     }
+}
+
+/// The trace-replay drill's experiment: the `sstep-midblock-esrp` scenario
+/// with the flight recorder at [`TraceConfig::Full`].
+fn trace_replay_run() -> Result<RunReport, String> {
+    base(Strategy::Esrp { t: 5 }, 1)
+        .variant(PcgVariant::SStep { s: 4 })
+        .failure_at(21, 0, 1)
+        .trace(TraceConfig::Full)
+        .run()
+}
+
+/// Runs the trace-replay experiment and returns its Chrome/Perfetto trace
+/// document — the payload behind `drills --trace-out`. Pure modeled clock,
+/// so the bytes are identical across hosts and worker counts.
+///
+/// # Errors
+/// Configuration errors and non-converging runs.
+pub fn trace_replay_perfetto() -> Result<String, String> {
+    let report = trace_replay_run()?;
+    let trace = report
+        .trace
+        .as_ref()
+        .ok_or("trace-replay: no trace recorded")?;
+    let json = trace.to_perfetto_json();
+    validate_trace_json(&json).map_err(|e| format!("trace-replay: {e}"))?;
+    Ok(json)
 }
 
 /// Runs the whole catalog on `workers` threads. Results come back in

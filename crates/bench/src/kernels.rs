@@ -33,9 +33,10 @@
 use std::time::Instant;
 
 use esrcg_campaign::report::fmt_nonneg_zero;
-use esrcg_cluster::{CostModel, Phase};
-use esrcg_core::driver::{Experiment, MatrixSource};
+use esrcg_cluster::{validate_trace_json, CostModel, MetricsRollup, Phase, TraceConfig};
+use esrcg_core::driver::{Experiment, MatrixSource, RhsSpec};
 use esrcg_core::solver::{PcgVariant, SpmvMode};
+use esrcg_core::Strategy;
 use esrcg_sparse::backend::{PARALLEL_CUTOFF, SPMV_PARALLEL_NNZ_CUTOFF};
 use esrcg_sparse::gen::{audikw_like, poisson2d, poisson3d, stencil27};
 use esrcg_sparse::pool::{self, DispatchMode};
@@ -247,6 +248,100 @@ pub struct KernelReport {
     pub overhead: Vec<OverheadMeasurement>,
     /// Halo-overlap sweep (blocking vs split-phase distributed SpMV).
     pub overlap: Vec<OverlapMeasurement>,
+    /// Flight-recorder probe (schema v7): one deterministic failing run
+    /// recorded at [`TraceConfig::Full`], carrying the metrics rollup and
+    /// the Perfetto document behind `--trace-out`.
+    pub trace: Option<TraceProbe>,
+}
+
+/// The flight-recorder probe attached to `BENCH_kernels.json` since schema
+/// v7: an s-step solve with a failure injected *mid-block* under ESRP —
+/// the nastiest window the recorder covers — recorded at
+/// [`TraceConfig::Full`]. Every field lives on the modeled clock, so the
+/// probe (and the Perfetto document `kernels --trace-out` writes) is
+/// byte-identical across hosts, kernel thread counts, and `--workers`
+/// values; `--deterministic` leaves it untouched.
+#[derive(Debug, Clone)]
+pub struct TraceProbe {
+    /// PCG recurrence of the probe run.
+    pub variant: &'static str,
+    /// Recovery strategy (with its checkpoint interval).
+    pub strategy: &'static str,
+    /// Redundancy copies per halo entry.
+    pub phi: usize,
+    /// Problem rows.
+    pub n: usize,
+    /// Simulated ranks.
+    pub n_ranks: usize,
+    /// Iteration the injected failure triggers at (deliberately not a
+    /// multiple of s: the rollback crosses a block boundary).
+    pub failure_at: usize,
+    /// Iterations to convergence.
+    pub iterations: usize,
+    /// Total modeled seconds of the run.
+    pub modeled_seconds: f64,
+    /// Sum of the trace's recovery spans — asserted bitwise equal to the
+    /// run's reported recovery modeled time when the probe is built.
+    pub recovery_seconds: f64,
+    /// Merged trace events across all ranks.
+    pub events: usize,
+    /// Events in the rendered Perfetto document (metadata + spans +
+    /// instants), as counted by the structural validator.
+    pub perfetto_events: usize,
+    /// The Chrome/Perfetto trace-event JSON document.
+    pub perfetto: String,
+    /// Metrics rollup of the probe run (all ranks absorbed).
+    pub metrics: MetricsRollup,
+}
+
+/// Runs the flight-recorder probe and validates everything it reports:
+/// phase coverage, recovery attribution, Perfetto structure, and the
+/// bitwise identity between the trace's recovery spans and the run's
+/// reported recovery time.
+pub fn run_trace_probe() -> TraceProbe {
+    let report = Experiment::builder()
+        .matrix(MatrixSource::Poisson2d { nx: 24, ny: 24 })
+        .rhs(RhsSpec::Random { seed: 42 })
+        .n_ranks(4)
+        .variant(PcgVariant::SStep { s: 4 })
+        .strategy(Strategy::Esrp { t: 5 })
+        .phi(1)
+        .failure_at(21, 0, 1)
+        .trace(TraceConfig::Full)
+        .run()
+        .expect("trace probe run");
+    let trace = report.trace.as_ref().expect("Full records a trace");
+    trace.validate().expect("probe trace is phase-covered");
+    trace
+        .validate_recovery_attribution()
+        .expect("probe recovery window is attributed");
+    let perfetto = trace.to_perfetto_json();
+    let perfetto_events =
+        validate_trace_json(&perfetto).expect("probe renders valid trace-event JSON");
+    let reported: f64 = report.recoveries.iter().map(|r| r.recovery_time).sum();
+    let recovery_seconds = trace.recovery_seconds();
+    assert_eq!(
+        recovery_seconds.to_bits(),
+        reported.to_bits(),
+        "recovery spans sum bitwise to the reported recovery time"
+    );
+    let events = trace.event_count();
+    let metrics = report.metrics.clone().expect("rollup present");
+    TraceProbe {
+        variant: "sstep4",
+        strategy: "esrp(t=5)",
+        phi: 1,
+        n: 576,
+        n_ranks: 4,
+        failure_at: 21,
+        iterations: report.iterations,
+        modeled_seconds: report.modeled_time,
+        recovery_seconds,
+        events,
+        perfetto_events,
+        perfetto,
+        metrics,
+    }
 }
 
 fn median_secs(samples: &mut [f64]) -> f64 {
@@ -333,6 +428,7 @@ pub fn run_kernel_bench(sizes: &[usize], thread_counts: &[usize], samples: usize
         cutoff: Vec::new(),
         overhead,
         overlap: Vec::new(),
+        trace: Some(run_trace_probe()),
     }
 }
 
@@ -703,8 +799,9 @@ impl KernelReport {
 
     /// Zeroes every wall-clock field (timed seconds, GFLOP/s) while keeping
     /// the deterministic ones — structure sizes, padding, modeled-clock
-    /// overlap rows. With `--deterministic` the emitted JSON is then
-    /// byte-identical across hosts, repetitions, and `--workers` counts.
+    /// overlap rows, and the flight-recorder probe (pure modeled clock).
+    /// With `--deterministic` the emitted JSON is then byte-identical
+    /// across hosts, repetitions, and `--workers` counts.
     pub fn zero_wall_clock(&mut self) {
         self.host_threads = 0;
         for m in &mut self.results {
@@ -729,7 +826,7 @@ impl KernelReport {
     /// carries no serde).
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
-        s.push_str("  \"schema\": \"esrcg-bench-kernels-v6\",\n");
+        s.push_str("  \"schema\": \"esrcg-bench-kernels-v7\",\n");
         s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
         s.push_str("  \"results\": [\n");
         for (i, m) in self.results.iter().enumerate() {
@@ -859,6 +956,32 @@ impl KernelReport {
             ));
         }
         s.push_str("  ],\n");
+        // The flight-recorder probe: one failing s-step ESRP run recorded
+        // at Full, entirely on the modeled clock — valid on any host.
+        match &self.trace {
+            Some(p) => {
+                s.push_str(&format!(
+                    "  \"trace\": {{\"variant\": \"{}\", \"strategy\": \"{}\", \
+                     \"phi\": {}, \"n\": {}, \"n_ranks\": {}, \"failure_at\": {}, \
+                     \"iterations\": {}, \"modeled_seconds\": {:.9}, \
+                     \"recovery_seconds\": {:.9}, \"events\": {}, \
+                     \"perfetto_events\": {}}},\n",
+                    p.variant,
+                    p.strategy,
+                    p.phi,
+                    p.n,
+                    p.n_ranks,
+                    p.failure_at,
+                    p.iterations,
+                    fmt_nonneg_zero(p.modeled_seconds),
+                    fmt_nonneg_zero(p.recovery_seconds),
+                    p.events,
+                    p.perfetto_events,
+                ));
+                s.push_str(&format!("  \"metrics\": {},\n", p.metrics.to_json("  ")));
+            }
+            None => s.push_str("  \"trace\": null,\n  \"metrics\": null,\n"),
+        }
         s.push_str("  \"summary\": {\n");
         let mut lines = Vec::new();
         let sizes: Vec<usize> = {
@@ -1008,7 +1131,7 @@ mod tests {
         assert_eq!(report.overhead.len(), 1);
         assert_eq!(report.overhead[0].kernel, "dispatch");
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"esrcg-bench-kernels-v6\""));
+        assert!(json.contains("\"schema\": \"esrcg-bench-kernels-v7\""));
         assert!(json.contains("\"kernel\": \"spmv\""));
         assert!(json.contains("spmv_speedup_2t_n1000"));
         assert!(json.contains("overhead_spawn_over_pooled_dispatch_2t_n0"));
@@ -1025,6 +1148,30 @@ mod tests {
             json.contains("\"crossover\": ["),
             "v6 carries the crossover section even when empty"
         );
+        assert!(
+            json.contains("\"trace\": {\"variant\": \"sstep4\"")
+                && json.contains("\"metrics\": {")
+                && json.contains("\"buffer_pool\": {\"takes\": "),
+            "v7 carries the flight-recorder probe and its rollup"
+        );
+        let probe = report.trace.as_ref().expect("the bench runs the probe");
+        assert!(probe.recovery_seconds > 0.0, "the probe's failure recovers");
+        assert!(probe.perfetto.starts_with('{'));
+    }
+
+    /// The probe is a pure function of the modeled execution: rebuilding it
+    /// reproduces the Perfetto document and the rollup byte-for-byte, which
+    /// is what lets CI `cmp` kernels artifacts across `--workers` counts.
+    #[test]
+    fn trace_probe_is_deterministic_and_validated() {
+        let a = run_trace_probe();
+        let b = run_trace_probe();
+        assert_eq!(a.perfetto, b.perfetto, "Perfetto document is byte-stable");
+        assert_eq!(a.metrics, b.metrics, "rollup is byte-stable");
+        assert_eq!(a.recovery_seconds.to_bits(), b.recovery_seconds.to_bits());
+        assert!(a.events > 0 && a.perfetto_events > 0);
+        assert_eq!(a.metrics.failures, 1, "exactly the injected failure");
+        assert!(a.metrics.sends > 0, "Full records message events");
     }
 
     #[test]
@@ -1054,6 +1201,7 @@ mod tests {
             cutoff: Vec::new(),
             overhead: Vec::new(),
             overlap: Vec::new(),
+            trace: None,
         };
         let json = report.to_json();
         assert!(json.contains("format_sell-8-64_over_csr_poisson2d_1t_n"));
@@ -1113,6 +1261,7 @@ mod tests {
             cutoff: rows,
             overhead: Vec::new(),
             overlap: Vec::new(),
+            trace: None,
         };
         let json = report.to_json();
         assert!(json.contains("\"gated\": true"));
@@ -1162,6 +1311,7 @@ mod tests {
             cutoff: Vec::new(),
             overhead: Vec::new(),
             overlap: rows,
+            trace: None,
         };
         assert!(report
             .to_json()
@@ -1202,6 +1352,7 @@ mod tests {
             cutoff: Vec::new(),
             overhead: Vec::new(),
             overlap: rows,
+            trace: None,
         };
         let json = report.to_json();
         assert!(json.contains("\"variant\": \"pipelined\""));
@@ -1244,6 +1395,7 @@ mod tests {
             cutoff: Vec::new(),
             overhead: Vec::new(),
             overlap: rows,
+            trace: None,
         };
         let winners = report.crossover_winners();
         assert_eq!(winners.len(), 2, "one winner per cost model");

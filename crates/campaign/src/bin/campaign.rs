@@ -23,6 +23,9 @@
 //!   --workers N       fleet worker threads (default 4); the artifact is
 //!                     byte-identical for any value
 //!   --out PATH        output file (default BENCH_campaign.json)
+//!   --trace-out PATH  also write one flight-recorder rollup line per
+//!                     measured run (JSONL, enumeration order) — the bytes
+//!                     are identical for any --workers value
 //!   --quiet           suppress progress lines on stderr
 //! ```
 
@@ -40,6 +43,7 @@ struct Options {
     max_runs: Option<usize>,
     workers: usize,
     out: String,
+    trace_out: Option<String>,
     quiet: bool,
 }
 
@@ -59,6 +63,7 @@ fn parse_args() -> Result<Options, String> {
         max_runs: None,
         workers: 4,
         out: "BENCH_campaign.json".to_string(),
+        trace_out: None,
         quiet: false,
     };
     let mut args = std::env::args().skip(1);
@@ -107,6 +112,9 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|_| "bad --workers")?
             }
             "--out" => opt.out = args.next().ok_or("missing value for --out")?,
+            "--trace-out" => {
+                opt.trace_out = Some(args.next().ok_or("missing value for --trace-out")?)
+            }
             "--quiet" => opt.quiet = true,
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -149,6 +157,15 @@ fn main() {
     if let Err(e) = std::fs::write(&opt.out, report.to_json()) {
         eprintln!("cannot write {}: {e}", opt.out);
         std::process::exit(1);
+    }
+    if let Some(path) = &opt.trace_out {
+        let mut body = report.run_traces.join("\n");
+        body.push('\n');
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
     }
     println!("{}", report.to_markdown());
     eprintln!("wrote {}", opt.out);

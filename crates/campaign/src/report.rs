@@ -11,9 +11,11 @@
 
 use std::fmt::Write as _;
 
+use esrcg_cluster::{MetricsRollup, Phase};
+
 /// Schema identifier stamped into the JSON artifact. Bump on any change to
 /// the emitted structure.
-pub const SCHEMA: &str = "esrcg-campaign-v5";
+pub const SCHEMA: &str = "esrcg-campaign-v6";
 
 /// Normalizes `-0.0` to `+0.0` before fixed-precision rendering.
 ///
@@ -148,6 +150,11 @@ pub struct CellReport {
     /// Share of modeled time spent in recovery: `Σ recovery_time / t`,
     /// over converged runs.
     pub recovery_share: Option<Summary>,
+    /// Flight-recorder rollup absorbed over the cell's completed runs
+    /// (measured runs record at `TraceConfig::Spans`, so message counters
+    /// stay zero; spans, marks, recovery, and buffer-pool counters are
+    /// populated).
+    pub metrics: MetricsRollup,
 }
 
 /// The full campaign outcome: baselines, per-cell aggregates, and the
@@ -165,6 +172,72 @@ pub struct CampaignReport {
     pub skipped_combos: usize,
     /// Runs cut by the campaign budget.
     pub dropped_runs: usize,
+    /// One [`run_trace_line`] per completed measured run, in enumeration
+    /// order — the JSONL body `campaign --trace-out` writes. Errored runs
+    /// contribute no line (their errors live in the cell report), so the
+    /// stream is byte-identical across fleet worker counts.
+    pub run_traces: Vec<String>,
+}
+
+/// One measured run's flight-recorder rollup as a single JSON line (for the
+/// `--trace-out` JSONL export). Flat scalar counters plus per-phase seconds
+/// (non-zero phases only) and buffer-pool counters; fixed key order and
+/// precision, so the line is deterministic.
+pub fn run_trace_line(
+    cell: usize,
+    seed: u64,
+    converged: bool,
+    iterations: usize,
+    modeled_seconds: f64,
+    m: &MetricsRollup,
+) -> String {
+    let mut s = String::with_capacity(512);
+    let _ = write!(
+        s,
+        "{{\"cell\": {cell}, \"seed\": {seed}, \"converged\": {converged}, \
+         \"iterations\": {iterations}, \"modeled_seconds\": {:.9}, \
+         \"loop_trips\": {}, \"reductions\": {}, \"recovery_spans\": {}, \
+         \"recovery_seconds\": {:.9}, \"failures\": {}, \
+         \"checkpoint_rounds\": {}, \"storage_rounds\": {}, \
+         \"tuner_decisions\": {}, \"phases\": [",
+        fmt_nonneg_zero(modeled_seconds),
+        m.iterations,
+        m.reductions,
+        m.recovery_spans,
+        fmt_nonneg_zero(m.recovery_seconds),
+        m.failures,
+        m.checkpoint_rounds,
+        m.storage_rounds,
+        m.tuner_decisions,
+    );
+    let mut first = true;
+    for (i, phase) in Phase::ALL.iter().enumerate() {
+        if m.phase_spans[i] == 0 {
+            continue;
+        }
+        if !first {
+            s.push_str(", ");
+        }
+        first = false;
+        let _ = write!(
+            s,
+            "{{\"phase\": \"{}\", \"spans\": {}, \"seconds\": {:.9}}}",
+            phase.name(),
+            m.phase_spans[i],
+            fmt_nonneg_zero(m.phase_seconds[i])
+        );
+    }
+    let _ = write!(
+        s,
+        "], \"buffer_pool\": {{\"takes\": {}, \"hits\": {}, \"misses\": {}, \
+         \"recycles\": {}, \"high_water\": {}}}}}",
+        m.buffer_pool.takes,
+        m.buffer_pool.hits,
+        m.buffer_pool.misses(),
+        m.buffer_pool.recycles,
+        m.buffer_pool.high_water
+    );
+    s
 }
 
 fn json_str(s: &str) -> String {
@@ -269,11 +342,16 @@ impl CampaignReport {
             let _ = writeln!(
                 s,
                 "     \"iterations\": {}, \"modeled_seconds\": {}, \
-                 \"overhead\": {}, \"recovery_share\": {}}}{}",
+                 \"overhead\": {}, \"recovery_share\": {},",
                 opt_summary(&c.iterations, 1),
                 opt_summary(&c.modeled_time, 9),
                 opt_summary(&c.overhead, 6),
                 opt_summary(&c.recovery_share, 6),
+            );
+            let _ = writeln!(
+                s,
+                "     \"metrics\": {}}}{}",
+                c.metrics.to_json("     "),
                 if i + 1 == self.cells.len() { "" } else { "," }
             );
         }
@@ -410,10 +488,31 @@ mod tests {
                 modeled_time: Summary::of(&[0.0013, 0.0014]),
                 overhead: Summary::of(&[0.05, 0.13]),
                 recovery_share: Summary::of(&[0.02, 0.03]),
+                metrics: MetricsRollup {
+                    iterations: 200,
+                    reductions: 400,
+                    recovery_spans: 3,
+                    recovery_seconds: 0.0000625,
+                    failures: 3,
+                    checkpoint_rounds: 20,
+                    ..MetricsRollup::default()
+                },
             }],
             planned_runs: 2,
             skipped_combos: 0,
             dropped_runs: 0,
+            run_traces: vec![run_trace_line(
+                0,
+                11,
+                true,
+                100,
+                0.0013,
+                &MetricsRollup {
+                    iterations: 100,
+                    reductions: 200,
+                    ..MetricsRollup::default()
+                },
+            )],
         }
     }
 
@@ -432,7 +531,7 @@ mod tests {
         let a = r.to_json();
         let b = r.to_json();
         assert_eq!(a, b, "rendering is pure");
-        assert!(a.contains("\"schema\": \"esrcg-campaign-v5\""));
+        assert!(a.contains("\"schema\": \"esrcg-campaign-v6\""));
         assert!(a.contains("\"cost_model\": \"default\""));
         assert!(a.contains("\"format\": \"csr\""));
         assert!(a.contains("\"policy\": \"fixed\""));
@@ -440,6 +539,23 @@ mod tests {
         assert!(a.contains("\"overhead\": {\"min\": 0.050000"));
         assert!(a.contains("\"process\": \"exp(mtbf=30)\""));
         assert!(a.contains("\"variant\": \"pipelined\""));
+        // The per-cell flight-recorder rollup rides along.
+        assert!(a.contains("\"metrics\": {"));
+        assert!(a.contains("\"reductions\": 400"));
+        assert!(a.contains("\"recovery_seconds\": 0.000062500"));
+    }
+
+    #[test]
+    fn run_trace_lines_are_single_line_json() {
+        let r = sample();
+        assert_eq!(r.run_traces.len(), 1);
+        let line = &r.run_traces[0];
+        assert!(!line.contains('\n'), "JSONL lines must be single-line");
+        assert!(line.starts_with("{\"cell\": 0, \"seed\": 11, \"converged\": true"));
+        assert!(line.contains("\"loop_trips\": 100"));
+        assert!(line.contains("\"reductions\": 200"));
+        assert!(line.contains("\"buffer_pool\": {\"takes\": 0"));
+        assert!(line.ends_with('}'));
     }
 
     #[test]

@@ -25,14 +25,14 @@
 
 use std::sync::Arc;
 
-use esrcg_cluster::CostModel;
+use esrcg_cluster::{CostModel, MetricsRollup, TraceConfig};
 use esrcg_core::driver::{Experiment, MatrixSource, RunReport};
 use esrcg_core::solver::PcgVariant;
 use esrcg_core::strategy::Resilience;
 use esrcg_sparse::{CsrMatrix, SpmvFormat};
 
 use crate::fleet::run_jobs;
-use crate::report::{BaselineReport, CampaignReport, CellReport, Summary};
+use crate::report::{run_trace_line, BaselineReport, CampaignReport, CellReport, Summary};
 use crate::spec::CampaignSpec;
 use crate::trace::TraceBudget;
 
@@ -53,11 +53,16 @@ struct RunOutcome {
     recovery_time: f64,
     wasted_iterations: usize,
     full_restarts: usize,
+    metrics: MetricsRollup,
 }
 
 impl RunOutcome {
     fn from_report(r: &RunReport) -> Self {
         RunOutcome {
+            // Measured runs record at `TraceConfig::Spans`, so the rollup is
+            // always present; keep the fallback total so a future Off-level
+            // path degrades to zeros instead of panicking.
+            metrics: r.metrics.clone().unwrap_or_default(),
             converged: r.converged,
             iterations: r.iterations,
             modeled_time: r.modeled_time,
@@ -250,6 +255,10 @@ impl CampaignRunner {
                 })
                 .phi(cell.phi)
                 .failures(job.schedule.clone())
+                // Spans-level recording: phase/recovery spans and logical
+                // marks per run, no per-message events. The recorder never
+                // touches the modeled clock, so overheads are unchanged.
+                .trace(TraceConfig::Spans)
                 .run()
                 .map(|r| RunOutcome::from_report(&r))
             },
@@ -264,6 +273,7 @@ impl CampaignRunner {
         // `outcomes[k]` corresponds to `jobs[k]`, whose cell indices are
         // nondecreasing in enumeration order; walk them as one stream.
         let mut cell_reports: Vec<CellReport> = Vec::with_capacity(cells.len());
+        let mut run_traces: Vec<String> = Vec::with_capacity(outcomes.len());
         let mut cursor = 0usize;
         for (ci, cell) in cells.iter().enumerate() {
             let base = baseline_of(cell.problem, cell.n_ranks, cell.variant, cell.cost);
@@ -271,11 +281,25 @@ impl CampaignRunner {
             let mut oks: Vec<RunOutcome> = Vec::new();
             for &seed in &cell.seeds {
                 match &outcomes[cursor] {
-                    Ok(Ok(o)) => oks.push(o.clone()),
+                    Ok(Ok(o)) => {
+                        run_traces.push(run_trace_line(
+                            ci,
+                            seed,
+                            o.converged,
+                            o.iterations,
+                            o.modeled_time,
+                            &o.metrics,
+                        ));
+                        oks.push(o.clone());
+                    }
                     Ok(Err(e)) => errors.push(format!("seed {seed}: {e}")),
                     Err(e) => errors.push(format!("seed {seed}: {e}")),
                 }
                 cursor += 1;
+            }
+            let mut metrics = MetricsRollup::default();
+            for o in &oks {
+                metrics.absorb(&o.metrics);
             }
             // Summaries cover *converged* runs only: a run that hit the
             // iteration cap carries a meaningless (cap-sized) iteration
@@ -309,6 +333,7 @@ impl CampaignRunner {
                 modeled_time: metric(&|o| o.modeled_time),
                 overhead: metric(&|o| (o.modeled_time - base.t0) / base.t0),
                 recovery_share: metric(&|o| o.recovery_time / o.modeled_time),
+                metrics,
             });
         }
         debug_assert_eq!(cursor, outcomes.len(), "every run aggregated");
@@ -319,6 +344,7 @@ impl CampaignRunner {
             planned_runs: enumeration.planned_runs,
             skipped_combos: enumeration.skipped_combos,
             dropped_runs: enumeration.dropped_runs,
+            run_traces,
         })
     }
 
@@ -438,6 +464,39 @@ mod tests {
             .unwrap();
         assert!(esrp_wf.events_triggered > 0);
         assert!(esrp_wf.wasted_iterations <= 5 * esrp_wf.events_triggered + esrp_wf.runs);
+    }
+
+    #[test]
+    fn report_and_trace_lines_are_identical_across_worker_counts() {
+        let spec = tiny_spec();
+        let reference = CampaignRunner::new(1).run(&spec).unwrap();
+        assert!(!reference.run_traces.is_empty());
+        let ref_json = reference.to_json();
+        let ref_lines = reference.run_traces.join("\n");
+        for workers in [4usize, 8] {
+            let report = CampaignRunner::new(workers).run(&spec).unwrap();
+            assert_eq!(
+                ref_json,
+                report.to_json(),
+                "{workers} workers: report JSON must be byte-identical"
+            );
+            assert_eq!(
+                ref_lines,
+                report.run_traces.join("\n"),
+                "{workers} workers: trace JSONL must be byte-identical"
+            );
+        }
+        // The per-cell rollup carries real observability: every cell ran
+        // iterations and reductions; failure cells recorded recovery spans.
+        for cell in &reference.cells {
+            assert!(cell.metrics.iterations > 0);
+            assert!(cell.metrics.reductions > 0);
+            assert_eq!(cell.metrics.sends, 0, "Spans level records no messages");
+            if cell.events_triggered > 0 {
+                assert_eq!(cell.metrics.recovery_spans as usize, cell.events_triggered);
+                assert!(cell.metrics.recovery_seconds > 0.0);
+            }
+        }
     }
 
     #[test]

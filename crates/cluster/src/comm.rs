@@ -8,6 +8,7 @@ use std::sync::mpsc::{Receiver, Sender};
 use crate::cost::CostModel;
 use crate::msg::{BufferPool, BufferPoolStats, Message, Payload, Tag};
 use crate::stats::{Phase, RankStats};
+use crate::trace::{InstantKind, TraceConfig, TraceEvent, TraceRecorder};
 
 /// Reduction operators for [`Ctx::allreduce`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +98,8 @@ pub struct Ctx {
     stats: RankStats,
     /// Monotone sequence numbers to disambiguate repeated collectives.
     coll_seq: u32,
+    /// Flight recorder (a branch-only no-op at [`TraceConfig::Off`]).
+    trace: TraceRecorder,
 }
 
 impl Ctx {
@@ -108,6 +111,7 @@ impl Ctx {
         senders: Vec<Sender<Message>>,
         receivers: Vec<Receiver<Message>>,
         cost: CostModel,
+        trace: TraceConfig,
     ) -> Self {
         let pending = (0..size).map(|_| HashMap::new()).collect();
         Ctx {
@@ -122,6 +126,7 @@ impl Ctx {
             phase: Phase::Setup,
             stats: RankStats::default(),
             coll_seq: 0,
+            trace: TraceRecorder::new(trace),
         }
     }
 
@@ -150,8 +155,11 @@ impl Ctx {
     }
 
     /// Sets the phase subsequent activity is attributed to; returns the
-    /// previous phase so callers can restore it.
+    /// previous phase so callers can restore it. When tracing is on, the
+    /// transition closes the recorder's open phase span at the current
+    /// modeled clock.
     pub fn set_phase(&mut self, phase: Phase) -> Phase {
+        self.trace.on_phase(phase, self.clock);
         std::mem::replace(&mut self.phase, phase)
     }
 
@@ -203,10 +211,33 @@ impl Ctx {
         self.buffers.stats()
     }
 
-    /// Consumes the context, returning the final counters. Called by the
-    /// runner after the rank body finishes.
-    pub(crate) fn into_stats(self) -> RankStats {
-        self.stats
+    /// The flight recorder's capture level.
+    #[inline]
+    pub fn trace_level(&self) -> TraceConfig {
+        self.trace.level()
+    }
+
+    /// Records a logical instant (iteration mark, failure trigger, …) at the
+    /// current modeled clock. A no-op unless tracing is enabled.
+    #[inline]
+    pub fn trace_instant(&mut self, kind: InstantKind, arg: u64) {
+        self.trace.instant(kind, arg, self.clock);
+    }
+
+    /// Records one recovery episode as a span between the entry and exit
+    /// barrier clocks of `recover()`. A no-op unless tracing is enabled.
+    #[inline]
+    pub fn trace_recovery_span(&mut self, start: f64, end: f64) {
+        self.trace.recovery(start, end);
+    }
+
+    /// Consumes the context, returning the final counters, buffer-pool
+    /// counters, and trace events (the recorder's open phase span is closed
+    /// at the final clock). Called by the runner after the rank body
+    /// finishes.
+    pub(crate) fn into_parts(self) -> (RankStats, BufferPoolStats, Vec<TraceEvent>) {
+        let events = self.trace.finish(self.clock);
+        (self.stats, self.buffers.stats(), events)
     }
 
     /// Advances the logical clock by `dt`, attributing it to the current
@@ -249,6 +280,7 @@ impl Ctx {
         // Sender pays the injection overhead; the message then arrives after
         // the transfer time. Receiver-side synchronization happens in recv.
         self.advance(self.cost.injection_time());
+        self.trace.send(to, tag, bytes, self.clock);
         let arrival = self.clock + self.cost.transfer_time(bytes);
         self.senders[to]
             .send(Message {
@@ -261,12 +293,29 @@ impl Ctx {
 
     /// Completes a receive on the modeled clock: waits (if needed) until
     /// the message's arrival time, attributing the wait to the current
-    /// phase's `recv_wait` counter.
+    /// phase's `recv_wait` counter. Returns the modeled wait.
     #[inline]
-    fn complete_recv(&mut self, arrival: f64) {
+    fn complete_recv(&mut self, arrival: f64) -> f64 {
         if arrival > self.clock {
-            self.stats.recv_wait[self.phase as usize] += arrival - self.clock;
+            let wait = arrival - self.clock;
+            self.stats.recv_wait[self.phase as usize] += wait;
             self.advance_to(arrival);
+            wait
+        } else {
+            0.0
+        }
+    }
+
+    /// Records a completed receive in the flight recorder (`Full` level
+    /// only). The event is identical whether the message was handed over by
+    /// `recv` or the `try_recv` fast path: both complete at
+    /// `max(clock, arrival)` with the same payload, so `Full` traces stay
+    /// schedule-independent.
+    #[inline]
+    fn trace_recv(&mut self, from: usize, tag: u64, payload: &Payload, wait: f64) {
+        if self.trace.level() == TraceConfig::Full {
+            self.trace
+                .recv(from, tag, payload.bytes(), wait, self.clock);
         }
     }
 
@@ -285,7 +334,8 @@ impl Ctx {
         // Check parked messages first.
         if let Some(queue) = self.pending[from].get_mut(&tag) {
             if let Some(msg) = queue.pop_front() {
-                self.complete_recv(msg.arrival);
+                let wait = self.complete_recv(msg.arrival);
+                self.trace_recv(from, tag, &msg.payload, wait);
                 return msg.payload;
             }
         }
@@ -294,7 +344,8 @@ impl Ctx {
                 .recv()
                 .expect("sender hung up: a rank exited early");
             if msg.tag == tag {
-                self.complete_recv(msg.arrival);
+                let wait = self.complete_recv(msg.arrival);
+                self.trace_recv(from, tag, &msg.payload, wait);
                 return msg.payload;
             }
             self.pending[from]
@@ -337,7 +388,9 @@ impl Ctx {
         self.drain_channel(from);
         let queue = self.pending[from].get_mut(&tag)?;
         if queue.front().is_some_and(|m| m.has_arrived(self.clock)) {
-            return queue.pop_front().map(|m| m.payload);
+            let msg = queue.pop_front()?;
+            self.trace_recv(from, tag, &msg.payload, 0.0);
+            return Some(msg.payload);
         }
         None
     }
@@ -384,6 +437,8 @@ impl Ctx {
     /// on the modeled clock.
     pub fn allreduce_start(&mut self, vals: &[f64], op: ReduceOp) -> PendingReduce {
         let seq = self.next_seq();
+        self.trace
+            .instant(InstantKind::ReduceStart, seq as u64, self.clock);
         let mut acc = self.buffers.take_f64s();
         acc.extend_from_slice(vals);
         // First tree level: ranks with the low bit set forward immediately.
@@ -411,6 +466,14 @@ impl Ctx {
 
     /// Completes a split-phase all-reduce (see [`PendingReduce::finish`]).
     fn allreduce_finish(&mut self, pending: PendingReduce) -> Vec<f64> {
+        let seq = pending.seq;
+        let out = self.allreduce_finish_inner(pending);
+        self.trace
+            .instant(InstantKind::ReduceFinish, seq as u64, self.clock);
+        out
+    }
+
+    fn allreduce_finish_inner(&mut self, pending: PendingReduce) -> Vec<f64> {
         let PendingReduce { op, len, seq, acc } = pending;
         let tag = Tag::Reduce.with(seq);
         let mut acc = match acc {

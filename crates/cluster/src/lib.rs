@@ -30,10 +30,15 @@ pub mod failure;
 pub mod msg;
 pub mod spmd;
 pub mod stats;
+pub mod trace;
 
 pub use comm::{Ctx, PendingReduce, ReduceOp};
 pub use cost::CostModel;
 pub use failure::FailureSpec;
 pub use msg::{BufferPool, BufferPoolStats, Payload, Tag};
-pub use spmd::{run_spmd, SpmdOutcome};
+pub use spmd::{run_spmd, run_spmd_traced, SpmdOutcome};
 pub use stats::{Phase, RankStats, N_PHASES};
+pub use trace::{
+    check_phase_coverage, check_recovery_attribution, tag_kind_name, validate_trace_json,
+    InstantKind, MergedTrace, MetricsRollup, RankTrace, TraceConfig, TraceEvent, TraceRecorder,
+};

@@ -99,6 +99,27 @@ pub struct BufferPoolStats {
     pub takes: u64,
     /// Takes served from the free list (the rest allocated fresh).
     pub hits: u64,
+    /// Buffers successfully parked by the `recycle*` methods (zero-capacity
+    /// and overflow buffers are dropped, not counted).
+    pub recycles: u64,
+    /// Most buffers parked across all shapes at any point.
+    pub high_water: u64,
+}
+
+impl BufferPoolStats {
+    /// Takes that had to allocate fresh storage.
+    pub fn misses(&self) -> u64 {
+        self.takes - self.hits
+    }
+
+    /// Element-wise accumulation for aggregating across ranks (`high_water`
+    /// sums too: the cluster-wide peak if every rank peaked simultaneously).
+    pub fn absorb(&mut self, other: &BufferPoolStats) {
+        self.takes += other.takes;
+        self.hits += other.hits;
+        self.recycles += other.recycles;
+        self.high_water += other.high_water;
+    }
 }
 
 /// Per-rank free lists of payload backing buffers.
@@ -134,10 +155,21 @@ impl BufferPool {
         }
     }
 
-    fn park<T>(list: &mut Vec<Vec<T>>, mut v: Vec<T>) {
+    fn park<T>(list: &mut Vec<Vec<T>>, mut v: Vec<T>) -> bool {
         if list.len() < MAX_POOLED && v.capacity() > 0 {
             v.clear();
             list.push(v);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn note_recycle(&mut self) {
+        self.stats.recycles += 1;
+        let parked = self.parked() as u64;
+        if parked > self.stats.high_water {
+            self.stats.high_water = parked;
         }
     }
 
@@ -158,17 +190,23 @@ impl BufferPool {
 
     /// Parks a consumed `f64` buffer for reuse.
     pub fn recycle_f64s(&mut self, v: Vec<f64>) {
-        Self::park(&mut self.f64s, v);
+        if Self::park(&mut self.f64s, v) {
+            self.note_recycle();
+        }
     }
 
     /// Parks a consumed index buffer for reuse.
     pub fn recycle_usizes(&mut self, v: Vec<usize>) {
-        Self::park(&mut self.usizes, v);
+        if Self::park(&mut self.usizes, v) {
+            self.note_recycle();
+        }
     }
 
     /// Parks a consumed pair buffer for reuse.
     pub fn recycle_pairs(&mut self, v: Vec<(usize, f64)>) {
-        Self::park(&mut self.pairs, v);
+        if Self::park(&mut self.pairs, v) {
+            self.note_recycle();
+        }
     }
 
     /// Parks whatever backing buffer `payload` carries (no-op for the
@@ -397,6 +435,39 @@ mod tests {
             pool.recycle_f64s(vec![0.0; 4]);
         }
         assert!(pool.parked() <= super::MAX_POOLED, "free list is bounded");
+        assert_eq!(
+            pool.stats().recycles,
+            super::MAX_POOLED as u64,
+            "dropped buffers are not counted as recycles"
+        );
+        assert_eq!(pool.stats().high_water, super::MAX_POOLED as u64);
+    }
+
+    #[test]
+    fn buffer_pool_counts_recycles_misses_and_high_water() {
+        let mut pool = BufferPool::new();
+        let a = pool.take_f64s(); // miss
+        pool.recycle_f64s(vec![0.0; 8]);
+        pool.recycle_usizes(vec![1, 2]);
+        assert_eq!(pool.stats().recycles, 2);
+        assert_eq!(pool.stats().high_water, 2);
+        let _ = pool.take_usizes(); // hit: one parked buffer leaves
+        pool.recycle_f64s(vec![0.0; 8]);
+        assert_eq!(
+            pool.stats().high_water,
+            2,
+            "high-water only moves on new peaks"
+        );
+        drop(a);
+
+        let s = pool.stats();
+        assert_eq!(s.misses(), s.takes - s.hits);
+        let mut total = BufferPoolStats::default();
+        total.absorb(&s);
+        total.absorb(&s);
+        assert_eq!(total.takes, 2 * s.takes);
+        assert_eq!(total.recycles, 2 * s.recycles);
+        assert_eq!(total.high_water, 2 * s.high_water);
     }
 
     #[test]

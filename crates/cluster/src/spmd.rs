@@ -11,8 +11,9 @@ use std::time::{Duration, Instant};
 
 use crate::comm::Ctx;
 use crate::cost::CostModel;
-use crate::msg::Message;
+use crate::msg::{BufferPoolStats, Message};
 use crate::stats::RankStats;
+use crate::trace::{MergedTrace, RankTrace, TraceConfig};
 
 /// Result of an SPMD run.
 #[derive(Debug)]
@@ -21,6 +22,11 @@ pub struct SpmdOutcome<T> {
     pub results: Vec<T>,
     /// Per-rank instrumentation counters, in rank order.
     pub stats: Vec<RankStats>,
+    /// Per-rank buffer-pool reuse counters, in rank order.
+    pub buffer_stats: Vec<BufferPoolStats>,
+    /// The merged flight-recorder trace (`None` when the run was started
+    /// with [`TraceConfig::Off`]).
+    pub trace: Option<MergedTrace>,
     /// Real elapsed time of the whole run.
     pub wall_time: Duration,
     /// Modeled runtime: the maximum final logical clock across ranks.
@@ -36,6 +42,15 @@ impl<T> SpmdOutcome<T> {
         }
         acc
     }
+
+    /// Aggregated buffer-pool counters over all ranks.
+    pub fn total_buffer_stats(&self) -> BufferPoolStats {
+        let mut acc = BufferPoolStats::default();
+        for s in &self.buffer_stats {
+            acc.absorb(s);
+        }
+        acc
+    }
 }
 
 /// Runs `body` as an SPMD program over `n_ranks` simulated nodes, one OS
@@ -48,6 +63,26 @@ impl<T> SpmdOutcome<T> {
 /// # Panics
 /// Panics if `n_ranks == 0` or if any rank body panics.
 pub fn run_spmd<T, F>(n_ranks: usize, cost: CostModel, body: F) -> SpmdOutcome<T>
+where
+    T: Send,
+    F: Fn(&mut Ctx) -> T + Sync,
+{
+    run_spmd_traced(n_ranks, cost, TraceConfig::Off, body)
+}
+
+/// [`run_spmd`] with the flight recorder enabled at `trace` level on every
+/// rank. Under [`TraceConfig::Off`] the two are identical (and
+/// [`SpmdOutcome::trace`] is `None`); at any other level the outcome carries
+/// the merged per-rank event logs.
+///
+/// # Panics
+/// Panics if `n_ranks == 0` or if any rank body panics.
+pub fn run_spmd_traced<T, F>(
+    n_ranks: usize,
+    cost: CostModel,
+    trace: TraceConfig,
+    body: F,
+) -> SpmdOutcome<T>
 where
     T: Send,
     F: Fn(&mut Ctx) -> T + Sync,
@@ -68,16 +103,24 @@ where
 
     let started = Instant::now();
     let body_ref = &body;
-    let mut per_rank: Vec<Option<(T, RankStats, f64)>> = std::thread::scope(|scope| {
+    type RankResult<T> = (
+        T,
+        RankStats,
+        BufferPoolStats,
+        Vec<crate::trace::TraceEvent>,
+        f64,
+    );
+    let mut per_rank: Vec<Option<RankResult<T>>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_ranks);
         // Hand each rank its row of senders and column of receivers.
         let rank_channels: Vec<_> = senders.into_iter().zip(receivers).collect();
         for (rank, (tx_row, rx_col)) in rank_channels.into_iter().enumerate() {
             handles.push(scope.spawn(move || {
-                let mut ctx = Ctx::new(rank, n_ranks, tx_row, rx_col, cost);
+                let mut ctx = Ctx::new(rank, n_ranks, tx_row, rx_col, cost, trace);
                 let out = body_ref(&mut ctx);
                 let clock = ctx.clock();
-                (out, ctx.into_stats(), clock)
+                let (st, pool, events) = ctx.into_parts();
+                (out, st, pool, events, clock)
             }));
         }
         handles
@@ -92,17 +135,29 @@ where
 
     let mut results = Vec::with_capacity(n_ranks);
     let mut stats = Vec::with_capacity(n_ranks);
+    let mut buffer_stats = Vec::with_capacity(n_ranks);
+    let mut rank_traces = Vec::with_capacity(n_ranks);
     let mut modeled_time = 0.0f64;
-    for slot in per_rank.iter_mut() {
-        let (out, st, clock) = slot.take().expect("all ranks joined");
+    for (rank, slot) in per_rank.iter_mut().enumerate() {
+        let (out, st, pool, events, clock) = slot.take().expect("all ranks joined");
         results.push(out);
         stats.push(st);
+        buffer_stats.push(pool);
+        rank_traces.push(RankTrace {
+            rank,
+            final_clock: clock,
+            events,
+        });
         modeled_time = modeled_time.max(clock);
     }
 
     SpmdOutcome {
         results,
         stats,
+        buffer_stats,
+        trace: trace
+            .enabled()
+            .then_some(MergedTrace { ranks: rank_traces }),
         wall_time,
         modeled_time,
     }

@@ -1,0 +1,1207 @@
+//! Deterministic flight recorder: modeled-clock span/instant events per rank.
+//!
+//! Every rank's [`Ctx`](crate::Ctx) owns a [`TraceRecorder`]. When tracing is
+//! enabled the recorder logs *modeled-clock* timestamps — phase transitions as
+//! spans, recoveries as spans, and iteration marks / failures / collective
+//! boundaries / sends / recvs as instants. Because the modeled clock is
+//! host-independent and every communication event is scheduled by a
+//! deterministic protocol (tag-matched point-to-point channels, binomial
+//! collective trees, source-ordered halo drains), the recorded event stream is
+//! a pure function of the run's inputs: merged traces are byte-identical
+//! across `DispatchMode`s, kernel thread counts, and campaign `--workers`,
+//! and can therefore be `cmp`-tested like any other artifact.
+//!
+//! Two renderers are provided:
+//!
+//! * [`MergedTrace::to_perfetto_json`] — Chrome/Perfetto trace-event JSON
+//!   (one track per rank; phases and recoveries as complete `"X"` spans,
+//!   failures/iterations/collectives as `"i"` instants), and
+//! * [`MergedTrace::rollup`] — a [`MetricsRollup`] of per-phase span
+//!   counts/durations, message/byte counters by tag kind and peer, buffer
+//!   pool counters, and iterations-per-reduction.
+//!
+//! The default level is [`TraceConfig::Off`]: a single enum compare per hook,
+//! no allocation (the event `Vec` is never grown), and no effect whatsoever
+//! on the modeled clock — tracing at any level never advances time.
+
+use crate::msg::BufferPoolStats;
+use crate::stats::{Phase, N_PHASES};
+
+/// How much the flight recorder captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceConfig {
+    /// No recording at all. Branch-only, zero-allocation overhead.
+    #[default]
+    Off,
+    /// Phase spans, recovery spans, and logical instants (iterations,
+    /// failures, checkpoint/storage rounds, tuner decisions, allreduce
+    /// start/finish). No per-message events.
+    Spans,
+    /// Everything in `Spans` plus one event per point-to-point send and
+    /// receive (peer, tag kind, bytes, receive wait).
+    Full,
+}
+
+impl TraceConfig {
+    /// True unless the level is [`TraceConfig::Off`].
+    #[inline]
+    pub fn enabled(self) -> bool {
+        !matches!(self, TraceConfig::Off)
+    }
+}
+
+/// Logical point events recorded at [`TraceConfig::Spans`] and above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstantKind {
+    /// One solver loop trip (per iteration for classic/pipelined, per block
+    /// for s-step). `arg` = logical iteration index at the mark.
+    Iteration,
+    /// A failure was injected and detected; `arg` = iteration index.
+    FailureTrigger,
+    /// A checkpoint exchange round completed; `arg` = iteration index.
+    CheckpointRound,
+    /// A redundant-storage round (ESRP direction capture); `arg` = iteration.
+    StorageRound,
+    /// The interval tuner changed the checkpoint period; `arg` = new period.
+    TunerDecision,
+    /// An allreduce was posted; `arg` = collective sequence number.
+    ReduceStart,
+    /// An allreduce completed on this rank; `arg` = sequence number.
+    ReduceFinish,
+}
+
+impl InstantKind {
+    /// Stable kebab-case name used in rendered artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            InstantKind::Iteration => "iteration",
+            InstantKind::FailureTrigger => "failure",
+            InstantKind::CheckpointRound => "checkpoint-round",
+            InstantKind::StorageRound => "storage-round",
+            InstantKind::TunerDecision => "tuner-decision",
+            InstantKind::ReduceStart => "reduce-start",
+            InstantKind::ReduceFinish => "reduce-finish",
+        }
+    }
+}
+
+/// Stable name for a wire-tag kind (`tag >> 32`), mirroring [`crate::Tag`].
+pub fn tag_kind_name(kind: u32) -> &'static str {
+    match kind {
+        1 => "reduce",
+        2 => "bcast",
+        3 => "barrier",
+        4 => "gather",
+        16 => "halo",
+        17 => "redundant",
+        18 => "checkpoint",
+        19 => "recovery-copies",
+        20 => "recovery-halo",
+        21 => "recovery-scalar",
+        22 => "recovery-ckpt",
+        23 => "recovery-inner",
+        24 => "pipelined-p",
+        25 => "sstep-basis",
+        _ => "other",
+    }
+}
+
+/// Number of distinct tag-kind slots the rollup tracks (indexed densely).
+const TAG_KIND_IDS: [u32; 15] = [1, 2, 3, 4, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 0];
+
+fn tag_kind_slot(kind: u32) -> usize {
+    TAG_KIND_IDS
+        .iter()
+        .position(|&k| k == kind)
+        .unwrap_or(TAG_KIND_IDS.len() - 1)
+}
+
+/// One recorded event. All timestamps are modeled-clock seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A contiguous interval during which the rank was in `phase`.
+    /// Phase spans tile the rank's timeline exactly: the first span starts at
+    /// bitwise `0.0`, each span starts where the previous ended, and the last
+    /// span ends at the rank's final clock ([`check_phase_coverage`]).
+    PhaseSpan { phase: Phase, start: f64, end: f64 },
+    /// One recovery episode, bracketed by the entry/exit barriers of
+    /// `recover()`; `end - start` is the per-failure `recovery_time`.
+    RecoverySpan { start: f64, end: f64 },
+    /// A logical point event.
+    Instant {
+        kind: InstantKind,
+        arg: u64,
+        at: f64,
+    },
+    /// A point-to-point send (recorded at `Full`); `at` is the clock after
+    /// the injection charge.
+    Send {
+        peer: usize,
+        tag_kind: u32,
+        bytes: usize,
+        at: f64,
+    },
+    /// A point-to-point receive completion (recorded at `Full`); `wait` is
+    /// the modeled time spent blocked for the arrival, `at` the clock after
+    /// synchronizing with it.
+    Recv {
+        peer: usize,
+        tag_kind: u32,
+        bytes: usize,
+        wait: f64,
+        at: f64,
+    },
+}
+
+/// Per-rank recorder owned by [`Ctx`](crate::Ctx).
+///
+/// Span bookkeeping: the recorder keeps one open phase span (`open_phase`,
+/// `open_start`) and closes it on every phase transition, dropping zero-width
+/// spans (which preserves exact tiling because a dropped span has
+/// `start == end`). [`TraceRecorder::finish`] closes the final span at the
+/// rank's final clock.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    level: TraceConfig,
+    events: Vec<TraceEvent>,
+    open_phase: Phase,
+    open_start: f64,
+}
+
+impl TraceRecorder {
+    /// A recorder starting in `Phase::Setup` at clock `0.0`.
+    pub fn new(level: TraceConfig) -> Self {
+        TraceRecorder {
+            level,
+            events: Vec::new(),
+            open_phase: Phase::Setup,
+            open_start: 0.0,
+        }
+    }
+
+    /// The configured capture level.
+    #[inline]
+    pub fn level(&self) -> TraceConfig {
+        self.level
+    }
+
+    /// Record a phase transition at `clock`, closing the open span.
+    #[inline]
+    pub fn on_phase(&mut self, phase: Phase, clock: f64) {
+        if !self.level.enabled() || phase == self.open_phase {
+            return;
+        }
+        if clock > self.open_start {
+            self.events.push(TraceEvent::PhaseSpan {
+                phase: self.open_phase,
+                start: self.open_start,
+                end: clock,
+            });
+        }
+        self.open_phase = phase;
+        self.open_start = clock;
+    }
+
+    /// Record a logical instant (at `Spans` and above).
+    #[inline]
+    pub fn instant(&mut self, kind: InstantKind, arg: u64, clock: f64) {
+        if self.level.enabled() {
+            self.events.push(TraceEvent::Instant {
+                kind,
+                arg,
+                at: clock,
+            });
+        }
+    }
+
+    /// Record a recovery span (at `Spans` and above).
+    #[inline]
+    pub fn recovery(&mut self, start: f64, end: f64) {
+        if self.level.enabled() {
+            self.events.push(TraceEvent::RecoverySpan { start, end });
+        }
+    }
+
+    /// Record a point-to-point send (at `Full` only).
+    #[inline]
+    pub fn send(&mut self, peer: usize, tag: u64, bytes: usize, clock: f64) {
+        if self.level == TraceConfig::Full {
+            self.events.push(TraceEvent::Send {
+                peer,
+                tag_kind: (tag >> 32) as u32,
+                bytes,
+                at: clock,
+            });
+        }
+    }
+
+    /// Record a point-to-point receive completion (at `Full` only).
+    #[inline]
+    pub fn recv(&mut self, peer: usize, tag: u64, bytes: usize, wait: f64, clock: f64) {
+        if self.level == TraceConfig::Full {
+            self.events.push(TraceEvent::Recv {
+                peer,
+                tag_kind: (tag >> 32) as u32,
+                bytes,
+                wait,
+                at: clock,
+            });
+        }
+    }
+
+    /// Close the open phase span at the rank's final clock and return the
+    /// event log.
+    pub fn finish(mut self, clock: f64) -> Vec<TraceEvent> {
+        if self.level.enabled() && clock > self.open_start {
+            self.events.push(TraceEvent::PhaseSpan {
+                phase: self.open_phase,
+                start: self.open_start,
+                end: clock,
+            });
+        }
+        self.events
+    }
+}
+
+/// One rank's completed event log plus its final modeled clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankTrace {
+    /// Rank index (the Perfetto `tid`).
+    pub rank: usize,
+    /// The rank's final modeled clock; the last phase span ends here.
+    pub final_clock: f64,
+    /// Events in recording order (phase spans appear in start order).
+    pub events: Vec<TraceEvent>,
+}
+
+/// All ranks' traces from one run, merged in rank order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedTrace {
+    /// Per-rank traces, indexed by rank.
+    pub ranks: Vec<RankTrace>,
+}
+
+/// Exact-tiling coverage check: every modeled-time interval of the rank is
+/// covered by exactly one phase span. Requires the first span to start at
+/// bitwise `0.0`, each span to start bitwise where the previous ended, and
+/// the last span to end bitwise at `final_clock`. Dropped zero-width spans
+/// cannot break this (they satisfied `start == end`).
+pub fn check_phase_coverage(events: &[TraceEvent], final_clock: f64) -> Result<(), String> {
+    let mut cursor = 0.0f64;
+    for ev in events {
+        if let TraceEvent::PhaseSpan { phase, start, end } = ev {
+            if start.to_bits() != cursor.to_bits() {
+                return Err(format!(
+                    "phase span {} starts at {start:e} but previous coverage ended at {cursor:e}",
+                    phase.name()
+                ));
+            }
+            if end < start {
+                return Err(format!("phase span {} ends before it starts", phase.name()));
+            }
+            cursor = *end;
+        }
+    }
+    if cursor.to_bits() != final_clock.to_bits() {
+        return Err(format!(
+            "phase coverage ends at {cursor:e} but the rank's final clock is {final_clock:e}"
+        ));
+    }
+    Ok(())
+}
+
+/// Recovery attribution check: every phase span overlapping a recovery span's
+/// interior must be a recovery phase (`Phase::is_recovery`). This is the
+/// catch-all for attribution gaps — before the fix, the entry barrier of
+/// `recover()` ran under the caller's compute phase.
+///
+/// Not part of [`MergedTrace::validate`]: a *full restart* legitimately
+/// replays the setup phases inside its recovery window, so this check only
+/// holds for runs whose failures all found a recovery point (which is what
+/// the determinism tests and the trace-replay drill assert).
+pub fn check_recovery_attribution(events: &[TraceEvent]) -> Result<(), String> {
+    let recoveries: Vec<(f64, f64)> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            TraceEvent::RecoverySpan { start, end } => Some((*start, *end)),
+            _ => None,
+        })
+        .collect();
+    if recoveries.is_empty() {
+        return Ok(());
+    }
+    for ev in events {
+        if let TraceEvent::PhaseSpan { phase, start, end } = ev {
+            if phase.is_recovery() {
+                continue;
+            }
+            for &(rs, re) in &recoveries {
+                if *start < re && *end > rs {
+                    return Err(format!(
+                        "non-recovery phase span {} [{start:e}, {end:e}] overlaps \
+                         recovery span [{rs:e}, {re:e}]",
+                        phase.name()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+impl MergedTrace {
+    /// Run the exact-tiling coverage check on every rank: the catch-all
+    /// assertion that no modeled-time interval escapes phase attribution.
+    pub fn validate(&self) -> Result<(), String> {
+        for rt in &self.ranks {
+            check_phase_coverage(&rt.events, rt.final_clock)
+                .map_err(|e| format!("rank {}: {e}", rt.rank))?;
+        }
+        Ok(())
+    }
+
+    /// Run [`check_recovery_attribution`] on every rank (see its caveat on
+    /// full restarts).
+    pub fn validate_recovery_attribution(&self) -> Result<(), String> {
+        for rt in &self.ranks {
+            check_recovery_attribution(&rt.events).map_err(|e| format!("rank {}: {e}", rt.rank))?;
+        }
+        Ok(())
+    }
+
+    /// Total number of recorded events across ranks.
+    pub fn event_count(&self) -> usize {
+        self.ranks.iter().map(|r| r.events.len()).sum()
+    }
+
+    /// Sum of recovery span durations on rank 0, folded from `0.0` in event
+    /// order — the same fold the driver uses over `recoveries`, so for a
+    /// traced run this is bitwise equal to the reported recovery modeled
+    /// time.
+    pub fn recovery_seconds(&self) -> f64 {
+        let mut total = 0.0;
+        if let Some(rt) = self.ranks.first() {
+            for ev in &rt.events {
+                if let TraceEvent::RecoverySpan { start, end } = ev {
+                    total += end - start;
+                }
+            }
+        }
+        total
+    }
+
+    /// Render Chrome/Perfetto trace-event JSON: one `pid 0` process, one
+    /// `tid` per rank, phases/recoveries as complete (`"X"`) spans and
+    /// everything else as thread-scoped (`"i"`) instants. Timestamps are
+    /// modeled-clock microseconds with fixed three-decimal formatting, so the
+    /// output is byte-stable wherever the event stream is.
+    pub fn to_perfetto_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.event_count() * 96);
+        out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [");
+        let mut first = true;
+        let emit = |out: &mut String, first: &mut bool, line: String| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push_str("\n    ");
+            out.push_str(&line);
+        };
+        for rt in &self.ranks {
+            emit(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": {}, \
+                     \"args\": {{\"name\": \"rank {}\"}}}}",
+                    rt.rank, rt.rank
+                ),
+            );
+        }
+        for rt in &self.ranks {
+            let tid = rt.rank;
+            for ev in &rt.events {
+                let line = match ev {
+                    TraceEvent::PhaseSpan { phase, start, end } => format!(
+                        "{{\"name\": \"{}\", \"cat\": \"phase\", \"ph\": \"X\", \"pid\": 0, \
+                         \"tid\": {tid}, \"ts\": {}, \"dur\": {}}}",
+                        phase.name(),
+                        fmt_us(*start),
+                        fmt_us(end - start)
+                    ),
+                    TraceEvent::RecoverySpan { start, end } => format!(
+                        "{{\"name\": \"recovery\", \"cat\": \"recovery\", \"ph\": \"X\", \
+                         \"pid\": 0, \"tid\": {tid}, \"ts\": {}, \"dur\": {}}}",
+                        fmt_us(*start),
+                        fmt_us(end - start)
+                    ),
+                    TraceEvent::Instant { kind, arg, at } => format!(
+                        "{{\"name\": \"{}\", \"cat\": \"mark\", \"ph\": \"i\", \"s\": \"t\", \
+                         \"pid\": 0, \"tid\": {tid}, \"ts\": {}, \"args\": {{\"v\": {arg}}}}}",
+                        kind.name(),
+                        fmt_us(*at)
+                    ),
+                    TraceEvent::Send {
+                        peer,
+                        tag_kind,
+                        bytes,
+                        at,
+                    } => format!(
+                        "{{\"name\": \"send\", \"cat\": \"msg\", \"ph\": \"i\", \"s\": \"t\", \
+                         \"pid\": 0, \"tid\": {tid}, \"ts\": {}, \"args\": {{\"peer\": {peer}, \
+                         \"tag\": \"{}\", \"bytes\": {bytes}}}}}",
+                        fmt_us(*at),
+                        tag_kind_name(*tag_kind)
+                    ),
+                    TraceEvent::Recv {
+                        peer,
+                        tag_kind,
+                        bytes,
+                        wait,
+                        at,
+                    } => format!(
+                        "{{\"name\": \"recv\", \"cat\": \"msg\", \"ph\": \"i\", \"s\": \"t\", \
+                         \"pid\": 0, \"tid\": {tid}, \"ts\": {}, \"args\": {{\"peer\": {peer}, \
+                         \"tag\": \"{}\", \"bytes\": {bytes}, \"wait_us\": {}}}}}",
+                        fmt_us(*at),
+                        tag_kind_name(*tag_kind),
+                        fmt_us(*wait)
+                    ),
+                };
+                emit(&mut out, &mut first, line);
+            }
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Fold the merged trace (plus per-rank buffer-pool counters) into a
+    /// [`MetricsRollup`].
+    ///
+    /// Replicated logical events — iterations, reductions, failures,
+    /// checkpoint/storage rounds, tuner decisions, recovery spans — are
+    /// counted on rank 0 only (every rank records the same ones). Phase
+    /// spans/durations and message counters are summed across ranks, like
+    /// `RankStats` totals.
+    pub fn rollup(&self, pools: &[BufferPoolStats]) -> MetricsRollup {
+        let n_ranks = self.ranks.len();
+        let mut r = MetricsRollup {
+            msgs_to_peer: vec![0; n_ranks],
+            ..MetricsRollup::default()
+        };
+        for (i, rt) in self.ranks.iter().enumerate() {
+            let canonical = i == 0;
+            for ev in &rt.events {
+                match ev {
+                    TraceEvent::PhaseSpan { phase, start, end } => {
+                        let p = *phase as usize;
+                        r.phase_spans[p] += 1;
+                        r.phase_seconds[p] += end - start;
+                    }
+                    TraceEvent::RecoverySpan { start, end } => {
+                        if canonical {
+                            r.recovery_spans += 1;
+                            r.recovery_seconds += end - start;
+                        }
+                    }
+                    TraceEvent::Instant { kind, .. } => {
+                        if canonical {
+                            match kind {
+                                InstantKind::Iteration => r.iterations += 1,
+                                InstantKind::FailureTrigger => r.failures += 1,
+                                InstantKind::CheckpointRound => r.checkpoint_rounds += 1,
+                                InstantKind::StorageRound => r.storage_rounds += 1,
+                                InstantKind::TunerDecision => r.tuner_decisions += 1,
+                                InstantKind::ReduceStart => r.reductions += 1,
+                                InstantKind::ReduceFinish => {}
+                            }
+                        }
+                    }
+                    TraceEvent::Send {
+                        peer,
+                        tag_kind,
+                        bytes,
+                        ..
+                    } => {
+                        r.sends += 1;
+                        let slot = tag_kind_slot(*tag_kind);
+                        r.msgs_by_tag[slot] += 1;
+                        r.bytes_by_tag[slot] += *bytes as u64;
+                        if *peer < r.msgs_to_peer.len() {
+                            r.msgs_to_peer[*peer] += 1;
+                        }
+                    }
+                    TraceEvent::Recv { wait, .. } => {
+                        r.recvs += 1;
+                        r.recv_wait_seconds += wait;
+                    }
+                }
+            }
+        }
+        for p in pools {
+            r.buffer_pool.absorb(p);
+        }
+        r
+    }
+}
+
+/// Format modeled seconds as microseconds with fixed 3-decimal precision
+/// (nanosecond resolution), normalizing `-0.0` to `0.0`.
+fn fmt_us(seconds: f64) -> String {
+    format!("{:.3}", seconds * 1e6 + 0.0)
+}
+
+/// Aggregated counters folded from a [`MergedTrace`]; deterministic and
+/// renderable into bench/campaign JSON.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRollup {
+    /// Phase span counts by `Phase as usize`, summed across ranks.
+    pub phase_spans: [u64; N_PHASES],
+    /// Phase span durations (modeled seconds) summed across ranks in event
+    /// order.
+    pub phase_seconds: [f64; N_PHASES],
+    /// Solver loop trips marked on rank 0.
+    pub iterations: u64,
+    /// Allreduces posted on rank 0.
+    pub reductions: u64,
+    /// Recovery episodes (rank 0).
+    pub recovery_spans: u64,
+    /// Recovery span durations summed in event order on rank 0; bitwise equal
+    /// to the run's reported recovery modeled time.
+    pub recovery_seconds: f64,
+    /// Failure triggers (rank 0).
+    pub failures: u64,
+    /// Checkpoint exchange rounds (rank 0).
+    pub checkpoint_rounds: u64,
+    /// Redundant-storage rounds (rank 0).
+    pub storage_rounds: u64,
+    /// Tuner interval changes (rank 0).
+    pub tuner_decisions: u64,
+    /// Point-to-point sends across all ranks (`Full` traces only).
+    pub sends: u64,
+    /// Point-to-point receive completions across all ranks (`Full` only).
+    pub recvs: u64,
+    /// Modeled receive wait summed across all ranks (`Full` only).
+    pub recv_wait_seconds: f64,
+    /// Message counts per tag-kind slot (see [`tag_kind_name`]).
+    pub msgs_by_tag: [u64; TAG_KIND_IDS.len()],
+    /// Payload bytes per tag-kind slot.
+    pub bytes_by_tag: [u64; TAG_KIND_IDS.len()],
+    /// Sends addressed to each destination rank, summed over sources.
+    pub msgs_to_peer: Vec<u64>,
+    /// Buffer-pool counters summed across ranks.
+    pub buffer_pool: BufferPoolStats,
+}
+
+impl MetricsRollup {
+    /// Iterations per allreduce (0 when no reductions were recorded).
+    pub fn iterations_per_reduction(&self) -> f64 {
+        if self.reductions == 0 {
+            0.0
+        } else {
+            self.iterations as f64 / self.reductions as f64
+        }
+    }
+
+    /// Accumulate another rollup into this one — how the campaign folds the
+    /// per-run rollups of a cell into one per-cell aggregate. Every counter
+    /// and duration is summed; `msgs_to_peer` is summed element-wise (grown
+    /// to the longer rank count); buffer-pool counters are absorbed.
+    pub fn absorb(&mut self, other: &MetricsRollup) {
+        for p in 0..N_PHASES {
+            self.phase_spans[p] += other.phase_spans[p];
+            self.phase_seconds[p] += other.phase_seconds[p];
+        }
+        self.iterations += other.iterations;
+        self.reductions += other.reductions;
+        self.recovery_spans += other.recovery_spans;
+        self.recovery_seconds += other.recovery_seconds;
+        self.failures += other.failures;
+        self.checkpoint_rounds += other.checkpoint_rounds;
+        self.storage_rounds += other.storage_rounds;
+        self.tuner_decisions += other.tuner_decisions;
+        self.sends += other.sends;
+        self.recvs += other.recvs;
+        self.recv_wait_seconds += other.recv_wait_seconds;
+        for slot in 0..TAG_KIND_IDS.len() {
+            self.msgs_by_tag[slot] += other.msgs_by_tag[slot];
+            self.bytes_by_tag[slot] += other.bytes_by_tag[slot];
+        }
+        if self.msgs_to_peer.len() < other.msgs_to_peer.len() {
+            self.msgs_to_peer.resize(other.msgs_to_peer.len(), 0);
+        }
+        for (dst, &m) in other.msgs_to_peer.iter().enumerate() {
+            self.msgs_to_peer[dst] += m;
+        }
+        self.buffer_pool.absorb(&other.buffer_pool);
+    }
+
+    /// Render the rollup as a deterministic JSON object. `indent` is the
+    /// leading whitespace applied to each line of the object body; the
+    /// opening brace is not indented.
+    pub fn to_json(&self, indent: &str) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("{indent}  \"phases\": [\n"));
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            s.push_str(&format!(
+                "{indent}    {{\"phase\": \"{}\", \"spans\": {}, \"seconds\": {:.9}}}{}\n",
+                phase.name(),
+                self.phase_spans[i],
+                self.phase_seconds[i] + 0.0,
+                if i + 1 < N_PHASES { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!("{indent}  ],\n"));
+        s.push_str(&format!("{indent}  \"iterations\": {},\n", self.iterations));
+        s.push_str(&format!("{indent}  \"reductions\": {},\n", self.reductions));
+        s.push_str(&format!(
+            "{indent}  \"iterations_per_reduction\": {:.4},\n",
+            self.iterations_per_reduction() + 0.0
+        ));
+        s.push_str(&format!(
+            "{indent}  \"recovery_spans\": {},\n",
+            self.recovery_spans
+        ));
+        s.push_str(&format!(
+            "{indent}  \"recovery_seconds\": {:.9},\n",
+            self.recovery_seconds + 0.0
+        ));
+        s.push_str(&format!("{indent}  \"failures\": {},\n", self.failures));
+        s.push_str(&format!(
+            "{indent}  \"checkpoint_rounds\": {},\n",
+            self.checkpoint_rounds
+        ));
+        s.push_str(&format!(
+            "{indent}  \"storage_rounds\": {},\n",
+            self.storage_rounds
+        ));
+        s.push_str(&format!(
+            "{indent}  \"tuner_decisions\": {},\n",
+            self.tuner_decisions
+        ));
+        s.push_str(&format!("{indent}  \"sends\": {},\n", self.sends));
+        s.push_str(&format!("{indent}  \"recvs\": {},\n", self.recvs));
+        s.push_str(&format!(
+            "{indent}  \"recv_wait_seconds\": {:.9},\n",
+            self.recv_wait_seconds + 0.0
+        ));
+        s.push_str(&format!("{indent}  \"messages_by_tag\": [\n"));
+        let mut rows: Vec<String> = Vec::new();
+        for (slot, &kind) in TAG_KIND_IDS.iter().enumerate() {
+            if self.msgs_by_tag[slot] == 0 {
+                continue;
+            }
+            rows.push(format!(
+                "{indent}    {{\"tag\": \"{}\", \"msgs\": {}, \"bytes\": {}}}",
+                tag_kind_name(kind),
+                self.msgs_by_tag[slot],
+                self.bytes_by_tag[slot]
+            ));
+        }
+        s.push_str(&rows.join(",\n"));
+        if !rows.is_empty() {
+            s.push('\n');
+        }
+        s.push_str(&format!("{indent}  ],\n"));
+        s.push_str(&format!(
+            "{indent}  \"messages_to_peer\": [{}],\n",
+            self.msgs_to_peer
+                .iter()
+                .map(|m| m.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        s.push_str(&format!(
+            "{indent}  \"buffer_pool\": {{\"takes\": {}, \"hits\": {}, \"misses\": {}, \
+             \"recycles\": {}, \"high_water\": {}}}\n",
+            self.buffer_pool.takes,
+            self.buffer_pool.hits,
+            self.buffer_pool.misses(),
+            self.buffer_pool.recycles,
+            self.buffer_pool.high_water
+        ));
+        s.push_str(&format!("{indent}}}"));
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace-event JSON validation (serde stand-in: the workspace is
+// dependency-free, so this is a minimal hand-rolled structural parser).
+// ---------------------------------------------------------------------------
+
+/// Validate a Perfetto trace-event JSON document structurally: well-formed
+/// JSON, a top-level object with a `"traceEvents"` array, and every event an
+/// object carrying a string `"name"`, a `"ph"` in `{"X","i","M"}`, integer
+/// `"pid"`/`"tid"`, a numeric `"ts"` (except metadata events), and — for
+/// `"X"` spans — a numeric `"dur"`. Returns the number of events validated.
+pub fn validate_trace_json(text: &str) -> Result<usize, String> {
+    let mut p = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let doc = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    let JsonValue::Object(fields) = doc else {
+        return Err("top level is not an object".into());
+    };
+    let Some(JsonValue::Array(events)) = fields
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+    else {
+        return Err("missing \"traceEvents\" array".into());
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let JsonValue::Object(f) = ev else {
+            return Err(format!("event {i} is not an object"));
+        };
+        let get = |key: &str| f.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        match get("name") {
+            Some(JsonValue::String(_)) => {}
+            _ => return Err(format!("event {i}: missing string \"name\"")),
+        }
+        let ph = match get("ph") {
+            Some(JsonValue::String(s)) => s.as_str(),
+            _ => return Err(format!("event {i}: missing string \"ph\"")),
+        };
+        if !matches!(ph, "X" | "i" | "M") {
+            return Err(format!("event {i}: unexpected ph {ph:?}"));
+        }
+        for key in ["pid", "tid"] {
+            match get(key) {
+                Some(JsonValue::Number(n)) if n.fract() == 0.0 && *n >= 0.0 => {}
+                _ => return Err(format!("event {i}: missing integer \"{key}\"")),
+            }
+        }
+        if ph != "M" {
+            match get("ts") {
+                Some(JsonValue::Number(n)) if n.is_finite() => {}
+                _ => return Err(format!("event {i}: missing numeric \"ts\"")),
+            }
+        }
+        if ph == "X" {
+            match get("dur") {
+                Some(JsonValue::Number(n)) if n.is_finite() && *n >= 0.0 => {}
+                _ => return Err(format!("event {i}: missing non-negative \"dur\"")),
+            }
+        }
+    }
+    Ok(events.len())
+}
+
+enum JsonValue {
+    Null,
+    Bool,
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek()? {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => Ok(JsonValue::String(self.parse_string()?)),
+            b't' => self.parse_lit("true", JsonValue::Bool),
+            b'f' => self.parse_lit("false", JsonValue::Bool),
+            b'n' => self.parse_lit("null", JsonValue::Null),
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JsonValue::Number)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos - 1)),
+                    }
+                }
+                _ => out.push(b as char),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_recorder_records_nothing_and_never_allocates() {
+        let mut r = TraceRecorder::new(TraceConfig::Off);
+        r.on_phase(Phase::SpMV, 1.0);
+        r.instant(InstantKind::Iteration, 3, 1.5);
+        r.recovery(1.0, 2.0);
+        r.send(1, crate::msg::Tag::Halo.with(0), 64, 1.0);
+        r.recv(1, crate::msg::Tag::Halo.with(0), 64, 0.0, 1.0);
+        let events = r.finish(2.0);
+        assert!(events.is_empty());
+        assert_eq!(events.capacity(), 0, "Off recorder must never allocate");
+    }
+
+    #[test]
+    fn spans_level_skips_message_events() {
+        let mut r = TraceRecorder::new(TraceConfig::Spans);
+        r.send(1, crate::msg::Tag::Halo.with(0), 64, 1.0);
+        r.recv(1, crate::msg::Tag::Halo.with(0), 64, 0.0, 1.0);
+        r.instant(InstantKind::Iteration, 0, 1.0);
+        let events = r.finish(2.0);
+        assert_eq!(events.len(), 2); // iteration instant + the closing Setup span
+    }
+
+    #[test]
+    fn phase_spans_tile_the_timeline_exactly() {
+        let mut r = TraceRecorder::new(TraceConfig::Spans);
+        r.on_phase(Phase::SpMV, 0.25);
+        r.on_phase(Phase::Reduction, 0.5);
+        r.on_phase(Phase::Reduction, 0.5); // no-op: same phase
+        r.on_phase(Phase::VecOps, 0.5); // zero-width Reduction span dropped
+        let events = r.finish(1.0);
+        check_phase_coverage(&events, 1.0).unwrap();
+        let spans: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::PhaseSpan { phase, .. } => Some(*phase),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans, vec![Phase::Setup, Phase::SpMV, Phase::VecOps]);
+    }
+
+    #[test]
+    fn coverage_check_rejects_gaps() {
+        let events = vec![
+            TraceEvent::PhaseSpan {
+                phase: Phase::Setup,
+                start: 0.0,
+                end: 0.5,
+            },
+            TraceEvent::PhaseSpan {
+                phase: Phase::SpMV,
+                start: 0.6,
+                end: 1.0,
+            },
+        ];
+        assert!(check_phase_coverage(&events, 1.0).is_err());
+    }
+
+    #[test]
+    fn attribution_check_flags_compute_time_inside_recovery() {
+        let events = vec![
+            TraceEvent::PhaseSpan {
+                phase: Phase::SpMV,
+                start: 0.0,
+                end: 2.0,
+            },
+            TraceEvent::RecoverySpan {
+                start: 1.0,
+                end: 1.5,
+            },
+        ];
+        assert!(check_recovery_attribution(&events).is_err());
+        let ok = vec![
+            TraceEvent::PhaseSpan {
+                phase: Phase::SpMV,
+                start: 0.0,
+                end: 1.0,
+            },
+            TraceEvent::PhaseSpan {
+                phase: Phase::RecoveryGather,
+                start: 1.0,
+                end: 1.5,
+            },
+            TraceEvent::PhaseSpan {
+                phase: Phase::SpMV,
+                start: 1.5,
+                end: 2.0,
+            },
+            TraceEvent::RecoverySpan {
+                start: 1.0,
+                end: 1.5,
+            },
+        ];
+        assert!(check_recovery_attribution(&ok).is_ok());
+    }
+
+    #[test]
+    fn perfetto_json_is_structurally_valid() {
+        let trace = MergedTrace {
+            ranks: vec![RankTrace {
+                rank: 0,
+                final_clock: 1.0,
+                events: vec![
+                    TraceEvent::PhaseSpan {
+                        phase: Phase::Setup,
+                        start: 0.0,
+                        end: 1.0,
+                    },
+                    TraceEvent::RecoverySpan {
+                        start: 0.25,
+                        end: 0.5,
+                    },
+                    TraceEvent::Instant {
+                        kind: InstantKind::Iteration,
+                        arg: 7,
+                        at: 0.125,
+                    },
+                    TraceEvent::Send {
+                        peer: 1,
+                        tag_kind: 16,
+                        bytes: 64,
+                        at: 0.2,
+                    },
+                    TraceEvent::Recv {
+                        peer: 1,
+                        tag_kind: 16,
+                        bytes: 64,
+                        wait: 0.01,
+                        at: 0.3,
+                    },
+                ],
+            }],
+        };
+        let json = trace.to_perfetto_json();
+        let n = validate_trace_json(&json).unwrap();
+        assert_eq!(n, 6); // 1 metadata + 5 events
+        assert!(json.contains("\"displayTimeUnit\": \"ms\""));
+        assert!(json.contains("\"tag\": \"halo\""));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_trace_json("{").is_err());
+        assert!(validate_trace_json("[]").is_err());
+        assert!(validate_trace_json("{\"traceEvents\": [{\"ph\": \"X\"}]}").is_err());
+        assert!(validate_trace_json(
+            "{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"Q\", \"pid\": 0, \"tid\": 0, \"ts\": 1}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rollup_counts_replicated_events_once_and_messages_everywhere() {
+        let mk_rank = |rank: usize| RankTrace {
+            rank,
+            final_clock: 2.0,
+            events: vec![
+                TraceEvent::PhaseSpan {
+                    phase: Phase::SpMV,
+                    start: 0.0,
+                    end: 2.0,
+                },
+                TraceEvent::Instant {
+                    kind: InstantKind::Iteration,
+                    arg: 0,
+                    at: 0.5,
+                },
+                TraceEvent::Instant {
+                    kind: InstantKind::ReduceStart,
+                    arg: 0,
+                    at: 0.6,
+                },
+                TraceEvent::RecoverySpan {
+                    start: 1.0,
+                    end: 1.5,
+                },
+                TraceEvent::Send {
+                    peer: 1 - rank,
+                    tag_kind: 16,
+                    bytes: 80,
+                    at: 0.1,
+                },
+                TraceEvent::Recv {
+                    peer: 1 - rank,
+                    tag_kind: 16,
+                    bytes: 80,
+                    wait: 0.0,
+                    at: 0.2,
+                },
+            ],
+        };
+        let trace = MergedTrace {
+            ranks: vec![mk_rank(0), mk_rank(1)],
+        };
+        let r = trace.rollup(&[]);
+        assert_eq!(r.iterations, 1);
+        assert_eq!(r.reductions, 1);
+        assert_eq!(r.recovery_spans, 1);
+        assert_eq!(r.recovery_seconds, 0.5);
+        assert_eq!(r.sends, 2);
+        assert_eq!(r.recvs, 2);
+        assert_eq!(r.phase_spans[Phase::SpMV as usize], 2);
+        assert_eq!(r.msgs_to_peer, vec![1, 1]);
+        assert_eq!(r.iterations_per_reduction(), 1.0);
+        let json = r.to_json("  ");
+        assert!(json.contains("\"tag\": \"halo\", \"msgs\": 2, \"bytes\": 160"));
+    }
+
+    #[test]
+    fn rollup_absorb_sums_everything() {
+        let mut a = MetricsRollup {
+            iterations: 3,
+            reductions: 6,
+            recovery_seconds: 0.5,
+            msgs_to_peer: vec![1],
+            ..MetricsRollup::default()
+        };
+        a.phase_seconds[Phase::SpMV as usize] = 1.0;
+        let mut b = MetricsRollup {
+            iterations: 2,
+            reductions: 4,
+            recovery_seconds: 0.25,
+            msgs_to_peer: vec![2, 7],
+            ..MetricsRollup::default()
+        };
+        b.phase_seconds[Phase::SpMV as usize] = 0.5;
+        b.buffer_pool.takes = 10;
+        a.absorb(&b);
+        assert_eq!(a.iterations, 5);
+        assert_eq!(a.reductions, 10);
+        assert_eq!(a.recovery_seconds, 0.75);
+        assert_eq!(a.phase_seconds[Phase::SpMV as usize], 1.5);
+        assert_eq!(a.msgs_to_peer, vec![3, 7]);
+        assert_eq!(a.buffer_pool.takes, 10);
+    }
+}

@@ -19,7 +19,10 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
-use esrcg_cluster::{run_spmd, CostModel, FailureSpec, Phase, RankStats};
+use esrcg_cluster::{
+    run_spmd_traced, BufferPoolStats, CostModel, FailureSpec, MergedTrace, MetricsRollup, Phase,
+    RankStats, TraceConfig,
+};
 use esrcg_precond::PrecondSpec;
 use esrcg_sparse::gen;
 use esrcg_sparse::{CsrMatrix, KernelBackend, SpmvFormat};
@@ -229,6 +232,7 @@ pub struct Experiment {
     spmv_mode: SpmvMode,
     variant: PcgVariant,
     spmv_format: SpmvFormat,
+    trace: TraceConfig,
 }
 
 impl Experiment {
@@ -253,6 +257,7 @@ impl Experiment {
             spmv_mode: SpmvMode::default(),
             variant: PcgVariant::default(),
             spmv_format: SpmvFormat::default(),
+            trace: TraceConfig::Off,
         }
     }
 
@@ -390,6 +395,18 @@ impl Experiment {
         self
     }
 
+    /// Selects the flight-recorder level (default: [`TraceConfig::Off`]).
+    /// `Off` is a branch-only no-op — runs are bitwise identical to a build
+    /// without the recorder. `Spans` records phase/recovery spans and
+    /// logical marks; `Full` adds per-message send/recv events. Because
+    /// every event is timestamped with the deterministic modeled clock, the
+    /// merged trace is byte-identical across thread counts and dispatch
+    /// modes.
+    pub fn trace(mut self, t: TraceConfig) -> Self {
+        self.trace = t;
+        self
+    }
+
     /// Selects the SpMV storage format (default: [`SpmvFormat::Csr`]).
     /// All formats are bitwise identical (see [`esrcg_sparse::format`]);
     /// non-CSR formats are converted once per problem and cached in the
@@ -446,7 +463,7 @@ impl Experiment {
         let interior_rows = shared.row_split.total_interior();
         let boundary_rows = shared.row_split.total_boundary();
 
-        let outcome = run_spmd(self.n_ranks, self.cost, {
+        let outcome = run_spmd_traced(self.n_ranks, self.cost, self.trace, {
             let shared = shared.clone();
             move |ctx| solve_node(ctx, &shared)
         });
@@ -483,6 +500,11 @@ impl Experiment {
         // Tuner decisions are replicated; report rank 0's copy and feed
         // the failure stream to the registered observer in trigger order.
         let tuning = first.tuning.clone();
+        let buffer_stats_total = outcome.total_buffer_stats();
+        let metrics = outcome
+            .trace
+            .as_ref()
+            .map(|t| t.rollup(&outcome.buffer_stats));
         if let Some(obs) = &self.observer.0 {
             for (e, rec) in recoveries.iter().enumerate() {
                 obs.on_failure(&FaultObservation {
@@ -507,6 +529,10 @@ impl Experiment {
             tuning,
             per_rank_stats: outcome.stats,
             stats_total,
+            per_rank_buffer_stats: outcome.buffer_stats,
+            buffer_stats_total,
+            trace: outcome.trace,
+            metrics,
             x,
             strategy: self.strategy,
             policy: self.policy,
@@ -550,6 +576,16 @@ pub struct RunReport {
     pub per_rank_stats: Vec<RankStats>,
     /// Sum of all ranks' counters.
     pub stats_total: RankStats,
+    /// Per-rank buffer-pool counters (always populated, recorder or not).
+    pub per_rank_buffer_stats: Vec<BufferPoolStats>,
+    /// All ranks' buffer-pool counters absorbed into one.
+    pub buffer_stats_total: BufferPoolStats,
+    /// The merged flight-recorder trace (`None` under [`TraceConfig::Off`]).
+    /// Render with [`RunReport::trace_json`] for Perfetto.
+    pub trace: Option<MergedTrace>,
+    /// Metrics rollup derived from the trace (`None` under
+    /// [`TraceConfig::Off`]).
+    pub metrics: Option<MetricsRollup>,
     /// The assembled global solution.
     pub x: Vec<f64>,
     /// Echo of the strategy.
@@ -580,6 +616,12 @@ impl RunReport {
     /// reference time (the paper's "reconstruction overhead" column).
     pub fn reconstruction_overhead_vs(&self, t0: f64) -> f64 {
         self.recoveries.iter().map(|r| r.recovery_time).sum::<f64>() / t0
+    }
+
+    /// Renders the recorded trace as Chrome/Perfetto trace-event JSON
+    /// (one track per rank). `None` under [`TraceConfig::Off`].
+    pub fn trace_json(&self) -> Option<String> {
+        self.trace.as_ref().map(MergedTrace::to_perfetto_json)
     }
 
     /// Modeled time spent in a phase, maximized over ranks.

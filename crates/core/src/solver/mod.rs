@@ -14,7 +14,7 @@ pub mod workspace;
 
 use std::sync::Arc;
 
-use esrcg_cluster::{Ctx, Payload, Phase, Tag};
+use esrcg_cluster::{Ctx, InstantKind, Payload, Phase, Tag};
 use esrcg_precond::{PrecondSpec, Preconditioner};
 use esrcg_sparse::{
     CsrMatrix, FormatCache, KernelBackend, Partition, RowSplitSet, SparseError, SpmvFormat,
@@ -665,6 +665,7 @@ fn retune_after_recovery(
     let analytic = analytic_round_cost_mean(ctx, shared);
     let ev = tuner.propose(ctx, sched, rec, total_loop_trips, analytic);
     if ev.interval_after != ev.interval_before {
+        ctx.trace_instant(InstantKind::TunerDecision, ev.interval_after as u64);
         sched.reanchor(ev.interval_after, rec.resumed_at);
         if rec.resumed_at > 0 {
             match sched.strategy() {
@@ -739,6 +740,7 @@ fn solve_node_classic(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
             break;
         }
         total_loop_trips += 1;
+        ctx.trace_instant(InstantKind::Iteration, j as u64);
 
         // --- IMCR checkpoint (before the SpMV, state is iteration j) ------
         if sched.checkpoint(j) {
@@ -771,6 +773,7 @@ fn solve_node_classic(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
                 |ctx, cap| {
                     let cap = cap.expect("augmented SpMV always captures");
                     aspmv_extras(ctx, shared, p_ref, range.start, j, cap);
+                    ctx.trace_instant(InstantKind::StorageRound, j as u64);
                     ctx.set_phase(Phase::SpMV);
                 },
             );
@@ -797,6 +800,7 @@ fn solve_node_classic(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
         if let Some(f) = cfg.failures.get(next_event) {
             if f.triggers_at(j) {
                 next_event += 1;
+                ctx.trace_instant(InstantKind::FailureTrigger, j as u64);
                 let event = f.clone();
                 if event.affects(rank) {
                     st.wipe();
@@ -933,6 +937,7 @@ fn solve_node_pipelined(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
             break;
         }
         total_loop_trips += 1;
+        ctx.trace_instant(InstantKind::Iteration, j as u64);
 
         // --- IMCR checkpoint (entry state is iteration j) -----------------
         if sched.checkpoint(j) {
@@ -979,6 +984,7 @@ fn solve_node_pipelined(ctx: &mut Ctx, shared: &SharedProblem) -> NodeOutcome {
         if let Some(f) = cfg.failures.get(next_event) {
             if f.triggers_at(j) {
                 next_event += 1;
+                ctx.trace_instant(InstantKind::FailureTrigger, j as u64);
                 let event = f.clone();
                 if event.affects(rank) {
                     st.wipe();
@@ -1194,6 +1200,8 @@ fn solve_node_sstep(ctx: &mut Ctx, shared: &SharedProblem, s: usize) -> NodeOutc
         let window_end = (j + s).min(cfg.max_iters);
         let window = j..window_end;
         let s_eff = window_end - j;
+        // One mark per loop trip (an s-step block), labeled with its start.
+        ctx.trace_instant(InstantKind::Iteration, j as u64);
 
         // --- IMCR checkpoint when any window iteration is due -------------
         // Checkpoints land on the block start, so the blob stays
@@ -1282,6 +1290,7 @@ fn solve_node_sstep(ctx: &mut Ctx, shared: &SharedProblem, s: usize) -> NodeOutc
             let j_f = f.at_iteration();
             if window.contains(&j_f) {
                 next_event += 1;
+                ctx.trace_instant(InstantKind::FailureTrigger, j_f as u64);
                 let event = f.clone();
                 if event.affects(rank) {
                     st.wipe();
@@ -1680,6 +1689,7 @@ fn capture_direction(
 ) {
     let rank = ctx.rank();
     ctx.set_phase(Phase::Storage);
+    ctx.trace_instant(InstantKind::StorageRound, label as u64);
     let tag = kind.with(label as u32);
     for (dst, gidx) in shared.plan.sends_of(rank) {
         let mut pairs = ctx.take_pairs();
@@ -1781,6 +1791,7 @@ fn checkpoint_exchange(ctx: &mut Ctx, shared: &SharedProblem, st: &mut NodeState
     let buddies = shared.buddies.as_ref().expect("IMCR requires a buddy map");
     let rank = ctx.rank();
     ctx.set_phase(Phase::Checkpoint);
+    ctx.trace_instant(InstantKind::CheckpointRound, j as u64);
     let tag = Tag::Checkpoint.with(j as u32);
     // Stage the blob in a pooled buffer: the whole round allocates nothing
     // at steady state.

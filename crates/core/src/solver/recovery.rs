@@ -65,6 +65,12 @@ pub(crate) fn recover(
     event: &esrcg_cluster::FailureSpec,
     sched: &IntervalSchedule,
 ) -> RecoveryOutcome {
+    // Attribute the entry barrier (and everything until the strategy sets a
+    // finer recovery phase) to RecoveryReset rather than the caller's
+    // compute phase — otherwise SpMV/Storage silently absorb the
+    // synchronization cost of the failure, and the interval tuner reads a
+    // polluted Storage time.
+    ctx.set_phase(Phase::RecoveryReset);
     let t_start = ctx.barrier_sync_clock();
     let (resumed_at, full_restart, inner_iterations) = match sched.strategy() {
         Strategy::None => panic!(
@@ -75,6 +81,7 @@ pub(crate) fn recover(
         Strategy::Imcr { .. } => recover_imcr(ctx, shared, st, full, target, event.ranks()),
     };
     let t_end = ctx.barrier_sync_clock();
+    ctx.trace_recovery_span(t_start, t_end);
     RecoveryOutcome {
         failed_at: j_f,
         resumed_at,

@@ -60,12 +60,14 @@ pub mod prelude {
     pub use esrcg_campaign::{
         CampaignReport, CampaignRunner, CampaignSpec, FaultProcess, ProblemSpec, TraceBudget,
     };
-    pub use esrcg_cluster::{CostModel, FailureSpec, Phase};
+    pub use esrcg_cluster::{
+        CostModel, FailureSpec, MergedTrace, MetricsRollup, Phase, TraceConfig,
+    };
     pub use esrcg_core::driver::{
         paper_failure_iteration, Experiment, MatrixSource, RhsSpec, RunReport,
     };
     pub use esrcg_core::pcg::pcg;
-    pub use esrcg_core::solver::SpmvMode;
+    pub use esrcg_core::solver::{PcgVariant, SpmvMode};
     pub use esrcg_core::strategy::Strategy;
     pub use esrcg_precond::PrecondSpec;
     pub use esrcg_sparse::{CooMatrix, CsrMatrix, KernelBackend, Partition};
